@@ -1,0 +1,90 @@
+// A1 -- ablation on the thinning-pass count c0 (Lemma 7 / Lemma 24).
+// Measures the residual density of the survivor array after c0 A-to-C
+// passes against the paper's 4^{-c0} per-pass collision model, and the
+// downstream effect on loose-compaction success.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/loose_compact.h"
+
+using namespace oem;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  (void)flags;
+  const std::size_t B = 8;
+  const std::uint64_t M = 8 * 128;
+  const std::uint64_t n = 4096;
+
+  bench::banner("A1", "ablation -- thinning rounds c0 vs residual density (Lemma 7 model)");
+  bench::note("model: per-pass failure <= occupancy(C) ~ 1/4, so residual ~ 4^{-c0}");
+
+  Table t({"c0", "measured residual", "4^{-c0} model", "loose-compact failures/20",
+           "total I/O (one run)"});
+  for (unsigned c0 : {1u, 2u, 3u, 4u, 6u}) {
+    // Residual measurement: run ONLY the thinning part by using a loose
+    // compaction with a huge tail threshold (no halving interference), then
+    // count what stayed behind.  We emulate it directly here.
+    double residual = 0.0;
+    {
+      Client client(bench::params(B, M));
+      const std::uint64_t r_cap = n / 5;
+      ExtArray cur = client.alloc_blocks(n, Client::Init::kUninit);
+      std::vector<Record> flat(n * B);
+      rng::Xoshiro g(3);
+      std::uint64_t real = 0;
+      for (std::uint64_t b = 0; b < n; ++b)
+        if (g.bernoulli(0.15)) {
+          ++real;
+          for (std::size_t x = 0; x < B; ++x) flat[b * B + x] = {b, x};
+        }
+      client.poke(cur, flat);
+      ExtArray c_arr = client.alloc_blocks(4 * r_cap, Client::Init::kEmpty);
+      rng::Xoshiro coins(41);
+      BlockBuf blk, slot;
+      const BlockBuf empty = make_empty_block(B);
+      for (unsigned pass = 0; pass < c0; ++pass) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+          client.read_block(cur, i, blk);
+          const std::uint64_t j = coins.below(4 * r_cap);
+          client.read_block(c_arr, j, slot);
+          const bool move = !blk[0].is_empty() && slot[0].is_empty();
+          client.write_block(c_arr, j, move ? blk : slot);
+          client.write_block(cur, i, move ? empty : blk);
+        }
+      }
+      std::uint64_t left = 0;
+      auto all = client.peek(cur);
+      for (std::uint64_t b = 0; b < n; ++b)
+        if (!all[b * B].is_empty()) ++left;
+      residual = real ? static_cast<double>(left) / static_cast<double>(real) : 0.0;
+    }
+
+    // Downstream: loose compaction success with this c0.
+    int failures = 0;
+    std::uint64_t one_run_io = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      Client client(bench::params(B, M));
+      ExtArray a = client.alloc_blocks(n, Client::Init::kUninit);
+      std::vector<Record> flat(n * B);
+      rng::Xoshiro g(trial + 100);
+      for (std::uint64_t b = 0; b < n; ++b)
+        if (g.bernoulli(0.15))
+          for (std::size_t x = 0; x < B; ++x) flat[b * B + x] = {b, x};
+      client.poke(a, flat);
+      client.reset_stats();
+      core::LooseCompactOptions opts;
+      opts.thinning_rounds = c0;
+      auto res = core::loose_compact_blocks(client, a, n / 5,
+                                            core::block_nonempty_pred(),
+                                            700 + trial, opts);
+      if (!res.status.ok()) ++failures;
+      one_run_io = client.stats().total();
+    }
+    t.add_row({std::to_string(c0), Table::fmt(residual, 4),
+               Table::fmt(std::pow(0.25, c0), 4), std::to_string(failures),
+               std::to_string(one_run_io)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// F1 + E3 -- Theorem 6: butterfly-like compaction network.
+//   F1: regenerate Figure 1 (the 7-occupied-cell example, level by level).
+//   E3: I/O count vs n and m; fit to c * n * log(n)/log(m); comparison with
+//       the Lemma-2 sort-based compactor.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/butterfly.h"
+#include "util/math.h"
+
+using namespace oem;
+
+namespace {
+
+/// Reproduce Figure 1's label table: positions/labels for the paper's
+/// example, then simulate the level-by-level label evolution exactly as the
+/// routing rule prescribes (d <- d - (d mod 2^{i+1})).
+void figure1() {
+  bench::banner("F1", "Figure 1 -- butterfly compaction network (paper's example)");
+  // The figure shows occupied cells with labels 2 3 3 6 8 8 9 on L0.
+  std::vector<std::uint64_t> pos = {2, 4, 5, 9, 12, 13, 15};
+  std::vector<std::uint64_t> lab = {2, 3, 3, 6, 8, 8, 9};
+
+  Table t({"level", "occupied cells (position:remaining-distance)"});
+  std::vector<std::uint64_t> p = pos, d = lab;
+  for (unsigned level = 0; level <= 4; ++level) {
+    std::string row;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      row += std::to_string(p[i]) + ":" + std::to_string(d[i]);
+      if (i + 1 < p.size()) row += "  ";
+    }
+    t.add_row({"L" + std::to_string(level), row});
+    if (level == 4) break;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const std::uint64_t delta = d[i] % (std::uint64_t{1} << (level + 1));
+      p[i] -= delta;
+      d[i] -= delta;
+    }
+    // No-collision check (Lemma 5).
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      if (p[i] == p[i - 1]) {
+        bench::note("COLLISION -- Lemma 5 violated!");
+        return;
+      }
+    }
+  }
+  t.print(std::cout);
+  bench::note("final positions 0..6: tight order-preserving compaction, no collisions (Lemma 5)");
+}
+
+void e3(const Flags& flags) {
+  const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
+  bench::banner("E3", "Theorem 6 -- tight compaction I/O vs n and m");
+  bench::note("claim: I/O ~ c * n * ceil(log n / log m); sort-based compaction pays log^2");
+
+  Table t({"n (blocks)", "m (blocks)", "butterfly I/O", "I/O per n",
+           "n*ceil(log n/ g)", "sort-based I/O", "speedup"});
+  for (std::uint64_t m : {16ull, 64ull, 1024ull}) {
+    for (std::uint64_t n : {256ull, 1024ull, 4096ull, 16384ull}) {
+      Client c1(bench::params(B, m * B));
+      ExtArray a1 = c1.alloc_blocks(n, Client::Init::kUninit);
+      std::vector<Record> flat(n * B);
+      rng::Xoshiro g(5);
+      for (std::uint64_t b = 0; b < n; ++b)
+        if (g.bernoulli(0.5))
+          for (std::size_t r = 0; r < B; ++r) flat[b * B + r] = {b, r};
+      c1.poke(a1, flat);
+      c1.reset_stats();
+      core::tight_compact_blocks(c1, a1, core::block_nonempty_pred());
+      const std::uint64_t bio = c1.stats().total();
+
+      Client c2(bench::params(B, m * B));
+      ExtArray a2 = c2.alloc_blocks(n, Client::Init::kUninit);
+      c2.poke(a2, flat);
+      c2.reset_stats();
+      core::tight_compact_by_sort(c2, a2, core::block_nonempty_pred());
+      const std::uint64_t sio = c2.stats().total();
+
+      const unsigned g_levels =
+          std::max<unsigned>(1, floor_log2(std::max<std::uint64_t>(2, m / 8)));
+      const std::uint64_t model =
+          n * ceil_div(ceil_log2(next_pow2(n)), g_levels);
+      t.add_row({std::to_string(n), std::to_string(m), std::to_string(bio),
+                 Table::fmt(static_cast<double>(bio) / static_cast<double>(n), 1),
+                 std::to_string(model), std::to_string(sio),
+                 Table::fmt(static_cast<double>(sio) / static_cast<double>(bio), 2)});
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  figure1();
+  e3(flags);
+  return 0;
+}

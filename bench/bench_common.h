@@ -1,0 +1,40 @@
+// Shared helpers for the experiment harness.  Every bench binary prints
+// markdown tables whose rows are quoted in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "extmem/client.h"
+#include "rng/random.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace oem::bench {
+
+inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 1) {
+  ClientParams p;
+  p.block_records = B;
+  p.cache_records = M;
+  p.seed = seed;
+  return p;
+}
+
+inline std::vector<Record> random_records(std::uint64_t n, std::uint64_t seed) {
+  rng::Xoshiro g(seed);
+  std::vector<Record> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = {g.next() >> 1, i};
+  return v;
+}
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n## " << id << ": " << title << "\n\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+}  // namespace oem::bench

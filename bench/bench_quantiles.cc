@@ -1,0 +1,77 @@
+// E7 -- Theorem 17: q-quantile selection in O(N/B) I/Os.
+// Reports dense-regime cost (== one Lemma-2 sort + scans, the paper's own
+// rule), forced-sparse pipeline cost and its scaling, rank accuracy, and
+// success rates.
+#include "bench_common.h"
+#include "core/quantiles.h"
+#include "sortnet/external_sort.h"
+
+using namespace oem;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
+
+  bench::banner("E7a", "Theorem 17 -- quantile cost: dense rule vs forced sparse pipeline");
+  bench::note("dense ((M/B)^4 > N/B, all lab scales): cost == Lemma-2 sort + scans;"
+              " sparse pipeline: scans + Theorem-4 compactions (butterfly at these sizes)");
+  Table t({"N", "q", "path", "I/O", "per record", "sort-only I/O", "ok"});
+  for (std::uint64_t N : {65536ull, 262144ull}) {
+    for (bool sparse : {false, true}) {
+      Client client(bench::params(B, 8 * 1024));
+      ExtArray a = client.alloc(N, Client::Init::kUninit);
+      client.poke(a, bench::random_records(N, 3));
+      client.reset_stats();
+      core::QuantilesOptions opts;
+      opts.paper_intervals = false;
+      opts.force_sparse = sparse;
+      auto res = core::oblivious_quantiles(client, a, 4, 21, opts);
+      const std::uint64_t sort_io =
+          sortnet::ext_sort_predicted_ios(ceil_div(N, B), 1024);
+      t.add_row({std::to_string(N), "4", sparse ? "sparse" : "dense",
+                 std::to_string(client.stats().total()),
+                 Table::fmt(static_cast<double>(client.stats().total()) /
+                                static_cast<double>(N), 3),
+                 std::to_string(sort_io), res.status.ok() ? "yes" : "NO"});
+    }
+  }
+  t.print(std::cout);
+
+  bench::banner("E7b", "quantile rank accuracy (exact on success)");
+  Table t2({"N", "q", "trials", "whp failures", "max rank error on success"});
+  {
+    const std::uint64_t N = 65536;
+    Client client(bench::params(B, 8 * 1024));
+    auto v = bench::random_records(N, 7);
+    ExtArray a = client.alloc(N, Client::Init::kUninit);
+    client.poke(a, v);
+    std::vector<Record> sorted = v;
+    std::sort(sorted.begin(), sorted.end(), RecordLess{});
+    for (std::uint64_t q : {2ull, 4ull}) {
+      core::QuantilesOptions opts;
+      opts.paper_intervals = false;
+      opts.force_sparse = true;
+      int failures = 0;
+      std::uint64_t max_err = 0;
+      const int trials = 10;
+      for (int trial = 0; trial < trials; ++trial) {
+        auto res = core::oblivious_quantiles(client, a, q, 400 + trial, opts);
+        if (!res.status.ok()) {
+          ++failures;
+          continue;
+        }
+        auto targets = core::quantile_ranks(N, q);
+        for (std::uint64_t j = 0; j < q; ++j) {
+          // Rank error: distance between the returned key's rank range and
+          // the target rank (0 when the key matches the target rank's key).
+          const std::uint64_t key = res.quantiles[j].key;
+          if (sorted[targets[j] - 1].key != key) ++max_err;
+        }
+      }
+      t2.add_row({std::to_string(N), std::to_string(q), std::to_string(trials),
+                  std::to_string(failures), std::to_string(max_err)});
+    }
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// A2 -- ablation: the "shuffle" half of shuffle-and-deal (paper §5,
+// Valiant-Brebner-style).  Measures per-batch color-quota overflow (hot
+// spots) on clustered inputs with and without the Fisher-Yates block
+// shuffle, across quota margins -- Lemma 18 / Corollary 19 in action.
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/shuffle_deal.h"
+
+using namespace oem;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  (void)flags;
+  const std::size_t B = 8;
+  const std::uint64_t n = 2048;
+  const unsigned colors = 4;
+
+  bench::banner("A2", "ablation -- shuffle-and-deal vs deal-only (hot spots, Lemma 18)");
+  bench::note("input: colors fully clustered (sorted by color), the adversarial case the "
+              "shuffle defends against; quota = mean * margin");
+
+  Table t({"quota margin", "quota (blocks)", "drops w/o shuffle", "drops with shuffle",
+           "drop rate w/o", "drop rate with"});
+  const std::uint64_t batch = 64;
+  for (double margin : {1.25, 1.5, 2.0, 3.0}) {
+    const std::uint64_t quota = static_cast<std::uint64_t>(
+        std::ceil(margin * static_cast<double>(batch) / colors));
+    std::uint64_t drops[2] = {0, 0};
+    for (int with_shuffle = 0; with_shuffle < 2; ++with_shuffle) {
+      for (int trial = 0; trial < 5; ++trial) {
+        Client client(bench::params(B, B * 256, trial + 1));
+        ExtArray a = client.alloc_blocks(n, Client::Init::kUninit);
+        std::vector<Record> flat(n * B);
+        for (std::uint64_t b = 0; b < n; ++b) {
+          const std::uint64_t color = b / (n / colors);  // clustered!
+          for (std::size_t r = 0; r < B; ++r) flat[b * B + r] = {color, b};
+        }
+        client.poke(a, flat);
+        if (with_shuffle) {
+          rng::Xoshiro coins(trial + 77);
+          core::shuffle_blocks(client, a, coins);
+        }
+        core::DealOptions opts;
+        opts.batch_blocks = batch;
+        opts.quota = quota;
+        auto res = core::deal_blocks(
+            client, a, colors,
+            [&](const Record& r) { return static_cast<unsigned>(r.key % colors); }, opts);
+        drops[with_shuffle] += res.overflow_drops;
+      }
+    }
+    const double denom = 5.0 * n;
+    t.add_row({Table::fmt(margin, 2), std::to_string(quota),
+               std::to_string(drops[0]), std::to_string(drops[1]),
+               Table::fmt(drops[0] / denom, 4), Table::fmt(drops[1] / denom, 4)});
+  }
+  t.print(std::cout);
+
+  bench::banner("A2b", "shuffle uniformity (chi-square over landing positions)");
+  {
+    // Where does block 0 land after the shuffle?  Should be uniform.
+    std::vector<std::uint64_t> counts(16, 0);
+    const int trials = 4000;
+    const std::uint64_t nb = 16;
+    for (int trial = 0; trial < trials; ++trial) {
+      Client client(bench::params(2, 2 * 8, trial));
+      ExtArray a = client.alloc_blocks(nb, Client::Init::kUninit);
+      std::vector<Record> flat(nb * 2);
+      for (std::uint64_t b = 0; b < nb; ++b) flat[b * 2] = {b, b};
+      client.poke(a, flat);
+      rng::Xoshiro coins(trial * 31 + 7);
+      core::shuffle_blocks(client, a, coins);
+      auto out = client.peek(a);
+      for (std::uint64_t b = 0; b < nb; ++b)
+        if (out[b * 2].key == 0) ++counts[b];
+    }
+    Table t2({"positions", "trials", "chi-square (15 dof)", "99th pct threshold"});
+    t2.add_row({"16", std::to_string(trials),
+                Table::fmt(chi_square_uniform(counts), 2), "30.6"});
+    t2.print(std::cout);
+  }
+  return 0;
+}

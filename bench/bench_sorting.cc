@@ -1,0 +1,148 @@
+// E8 -- Theorem 21: randomized oblivious sort at O((N/B) log_{M/B}(N/B)).
+//
+// Three views:
+//   E8a: measured I/O per block vs n for the randomized sort (forced
+//        recursive regime) and the deterministic Lemma-2 sort -- the
+//        reproducible lab-scale claim is the GROWTH RATE gap (log_m vs
+//        log^2), reported as per-doubling growth factors.
+//   E8b: cost-model extrapolation to the paper's asymptotic regime, showing
+//        where the randomized sort's absolute win appears.
+//   E8c: correctness/success summary + non-oblivious external merge sort
+//        floor (the price of obliviousness).
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/oblivious_sort.h"
+#include "sortnet/external_sort.h"
+#include "util/math.h"
+
+using namespace oem;
+
+namespace {
+
+core::ObliviousSortOptions shape_opts() {
+  core::ObliviousSortOptions opts;
+  opts.paper_dense_rule = false;  // lab scale is always "dense"; force the pipeline
+  opts.sparse_quantiles = true;
+  opts.quantiles.paper_intervals = false;
+  opts.min_recursive_blocks = 2048;
+  return opts;
+}
+
+struct E8aResult {
+  double rand_pb_per_level = 0.0;  // measured rand I/O per block per level
+  double det_c2 = 0.0;             // det I/O per block / log^2(n/(m/2)-runs)
+};
+
+E8aResult g_e8a;
+
+void e8a() {
+  bench::banner("E8a", "randomized (Theorem 21) vs deterministic (Lemma 2): growth rates");
+  bench::note("claim shape: rand per-block I/O ~ c1 * log_m(n) (one level per q-fold "
+              "growth), det ~ c2 * log^2(n/m); growth columns show the gap");
+  const std::size_t B = 8;
+  const std::uint64_t m = 256;  // q = 4
+  Table t({"n (blocks)", "rand I/O/blk", "rand growth", "det I/O/blk", "det growth",
+           "levels", "ok"});
+  double prev_rand = 0, prev_det = 0;
+  for (std::uint64_t n : {4096ull, 16384ull, 65536ull}) {
+    Client c(bench::params(B, m * B));
+    ExtArray a = c.alloc(n * B, Client::Init::kUninit);
+    c.poke(a, bench::random_records(n * B, 2));
+    c.reset_stats();
+    ExtArray out;
+    auto res = core::oblivious_sort_padded(c, a, &out, 5, shape_opts());
+    const double rand_pb =
+        static_cast<double>(c.stats().total()) / static_cast<double>(n);
+    const double det_pb =
+        static_cast<double>(sortnet::ext_sort_predicted_ios(n, m)) /
+        static_cast<double>(n);
+    t.add_row({std::to_string(n), Table::fmt(rand_pb, 0),
+               prev_rand ? Table::fmt(rand_pb / prev_rand, 2) : "-",
+               Table::fmt(det_pb, 0),
+               prev_det ? Table::fmt(det_pb / prev_det, 2) : "-",
+               std::to_string(res.stats.levels), res.status.ok() ? "yes" : "NO"});
+    prev_rand = rand_pb;
+    prev_det = det_pb;
+    g_e8a.rand_pb_per_level =
+        rand_pb / std::max(1.0, static_cast<double>(res.stats.levels));
+    const double lg = std::log2(static_cast<double>(n) / (m / 2.0));
+    g_e8a.det_c2 = det_pb / (lg * lg);
+  }
+  t.print(std::cout);
+}
+
+void e8b() {
+  bench::banner("E8b", "cost-model extrapolation (calibrated from E8a's measurements)");
+  bench::note("rand(n)/n = c1 * log_{q+1}(n), det(n)/n = c2 * log^2(n/m): the ratio "
+              "det/rand grows like log(n) -- the paper's saved factor.  With THIS "
+              "implementation's constants (c1/c2 printed below) the absolute crossover "
+              "sits far beyond practical sizes; the reproduced claim is the growth gap.");
+  const double m = 256.0, q1 = 5.0;
+  const double c1 = g_e8a.rand_pb_per_level > 0 ? g_e8a.rand_pb_per_level : 900.0;
+  const double c2 = g_e8a.det_c2 > 0 ? g_e8a.det_c2 : 1.5;
+  Table t({"n (blocks)", "levels", "rand I/O/blk", "det I/O/blk", "det/rand"});
+  for (double lg2 = 20; lg2 <= 100; lg2 += 20) {
+    const double n = std::pow(2.0, lg2);
+    const double levels = std::max(1.0, (lg2 - 11.0) * std::log(2.0) / std::log(q1));
+    const double rand_pb = c1 * levels;
+    const double lgnm = lg2 - std::log2(m / 2.0);
+    const double det_pb = c2 * lgnm * lgnm;
+    t.add_row({"2^" + Table::fmt(lg2, 0), Table::fmt(levels, 1),
+               Table::fmt(rand_pb, 0), Table::fmt(det_pb, 0),
+               Table::fmt(det_pb / rand_pb, 2)});
+  }
+  t.print(std::cout);
+  // Crossover: c1 * (ln2/ln q1) * (lg n - 11) = c2 * (lg n - 7)^2.
+  const double a = std::log(2.0) / std::log(q1);
+  double lo = 12, hi = 400;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = (lo + hi) / 2;
+    if (c2 * (mid - 7) * (mid - 7) < c1 * a * (mid - 11)) lo = mid;
+    else hi = mid;
+  }
+  std::cout << "estimated absolute crossover: n ~ 2^" << Table::fmt(hi, 0)
+            << " blocks (c1=" << Table::fmt(c1, 1) << ", c2=" << Table::fmt(c2, 2)
+            << ")\n";
+}
+
+void e8c() {
+  bench::banner("E8c", "the price of obliviousness: non-oblivious merge-sort floor");
+  bench::note("a non-oblivious external merge sort uses ~2n*ceil(log_m(n/m)+1) I/Os; both "
+              "oblivious sorts pay a polylog factor over it (the paper's Theorem 21 "
+              "closes the gap to a single log)");
+  const std::size_t B = 8;
+  Table t({"n (blocks)", "m", "merge-sort floor", "det oblivious", "rand oblivious",
+           "det/floor", "rand/floor"});
+  const std::uint64_t m = 256;
+  for (std::uint64_t n : {16384ull, 65536ull}) {
+    const double floor_io =
+        2.0 * static_cast<double>(n) *
+        (std::ceil(log_base(static_cast<double>(n) / static_cast<double>(m),
+                            static_cast<double>(m))) +
+         1.0);
+    const double det = static_cast<double>(sortnet::ext_sort_predicted_ios(n, m));
+    Client c(bench::params(B, m * B));
+    ExtArray a = c.alloc(n * B, Client::Init::kUninit);
+    c.poke(a, bench::random_records(n * B, 2));
+    c.reset_stats();
+    ExtArray out;
+    (void)core::oblivious_sort_padded(c, a, &out, 5, shape_opts());
+    const double rnd = static_cast<double>(c.stats().total());
+    t.add_row({std::to_string(n), std::to_string(m), Table::fmt(floor_io, 0),
+               Table::fmt(det, 0), Table::fmt(rnd, 0),
+               Table::fmt(det / floor_io, 1), Table::fmt(rnd / floor_io, 1)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  (void)flags;
+  e8a();
+  e8b();
+  e8c();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E2 + A3 -- Lemma 1 / Theorem 4: IBLT decode success vs sizing, and sparse
+// compaction cost scaling.
+//   E2a: RAM IBLT listEntries success rate vs cells-per-item (Lemma 1's
+//        m = delta*k*n sizing) and k.
+//   E2b: oblivious sparse compaction (Theorem 4) I/O vs n at fixed sparse r:
+//        the linear n-term dominates; also reports the strategy the public
+//        cost model picks (IBLT vs butterfly) and both predictions.
+#include "bench_common.h"
+#include "core/sparse_compact.h"
+#include "iblt/iblt.h"
+
+using namespace oem;
+
+namespace {
+
+void e2a() {
+  bench::banner("E2a/A3", "Lemma 1 -- IBLT decode success rate vs table sizing");
+  bench::note("claim: listEntries succeeds w.p. >= 1 - 1/n^c once cells/item and k are "
+              "constants ~2+; failure rate collapses as the table grows");
+  Table t({"items", "k", "cells/item", "trials", "decode failures", "failure rate"});
+  const int trials = 300;
+  for (unsigned k : {3u, 4u, 5u}) {
+    for (double cpi : {1.2, 1.5, 2.0, 3.0, 4.0}) {
+      const std::uint64_t items = 200;
+      int failures = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        iblt::IbltParams params;
+        params.k = k;
+        params.cells_per_item = cpi;
+        iblt::Iblt table(items, params, 7000 + trial);
+        for (std::uint64_t x = 0; x < items; ++x)
+          table.insert(x * 2654435761u + trial, x);
+        std::vector<iblt::Entry> out;
+        if (!table.list_entries(out) || out.size() != items) ++failures;
+      }
+      t.add_row({std::to_string(items), std::to_string(k), Table::fmt(cpi, 1),
+                 std::to_string(trials), std::to_string(failures),
+                 Table::fmt(static_cast<double>(failures) / trials, 4)});
+    }
+  }
+  t.print(std::cout);
+}
+
+void e2b() {
+  bench::banner("E2b", "Theorem 4 -- sparse compaction I/O scaling (r fixed, n grows)");
+  bench::note("claim: O(n + r polylog r) -- for fixed sparse r the cost is linear in n");
+  const std::size_t B = 8;
+  const std::uint64_t M = 8 * 256;
+  Table t({"n (blocks)", "r (blocks)", "strategy", "total I/O", "I/O per n",
+           "iblt model", "butterfly model", "ok"});
+  const std::uint64_t r = 24;
+  for (std::uint64_t n : {512ull, 2048ull, 8192ull, 32768ull}) {
+    Client client(bench::params(B, M));
+    ExtArray a = client.alloc_blocks(n, Client::Init::kUninit);
+    std::vector<Record> flat(n * B);
+    for (std::uint64_t i = 0; i < r; ++i) {
+      const std::uint64_t b = i * (n / r);
+      for (std::size_t x = 0; x < B; ++x) flat[b * B + x] = {b, x};
+    }
+    client.poke(a, flat);
+    client.reset_stats();
+    core::SparseCompactOptions opts;
+    auto res = core::sparse_compact_blocks(client, a, r, core::block_nonempty_pred(),
+                                           11, opts);
+    const std::uint64_t iblt_model =
+        core::sparse_compact_iblt_cost(n, r, B, M, opts);
+    const std::uint64_t bfly_model = core::sparse_compact_butterfly_cost(n, M / B);
+    t.add_row({std::to_string(n), std::to_string(r),
+               iblt_model < bfly_model ? "iblt" : "butterfly",
+               std::to_string(client.stats().total()),
+               Table::fmt(static_cast<double>(client.stats().total()) /
+                              static_cast<double>(n), 1),
+               std::to_string(iblt_model), std::to_string(bfly_model),
+               res.status.ok() ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+}
+
+void e2c() {
+  bench::banner("E2c", "Theorem 4 -- oblivious sparse compaction success rate");
+  bench::note("claim: succeeds w.p. 1 - 1/r^c; failures reported, trace unchanged");
+  const std::size_t B = 8;
+  Table t({"n (blocks)", "r (blocks)", "decode", "trials", "failures"});
+  for (bool external : {false, true}) {
+    const std::uint64_t n = 256, r = 20;
+    const std::uint64_t M = external ? 8 * 32 : 8 * 4096;
+    int failures = 0;
+    const int trials = 25;
+    for (int trial = 0; trial < trials; ++trial) {
+      Client client(bench::params(B, M));
+      ExtArray a = client.alloc_blocks(n, Client::Init::kUninit);
+      std::vector<Record> flat(n * B);
+      rng::Xoshiro g(trial);
+      std::uint64_t placed = 0;
+      for (std::uint64_t b = 0; b < n && placed < r; ++b) {
+        if (g.bernoulli(0.07)) {
+          ++placed;
+          for (std::size_t x = 0; x < B; ++x) flat[b * B + x] = {b, x};
+        }
+      }
+      client.poke(a, flat);
+      core::SparseCompactOptions opts;
+      opts.cost_aware = false;  // force the Theorem-4 IBLT path
+      opts.iblt.force_external_decode = external;
+      auto res = core::sparse_compact_blocks(client, a, r, core::block_nonempty_pred(),
+                                             500 + trial, opts);
+      if (!res.status.ok()) ++failures;
+    }
+    t.add_row({std::to_string(n), std::to_string(r), external ? "external" : "in-cache",
+               std::to_string(trials), std::to_string(failures)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  (void)flags;
+  e2a();
+  e2b();
+  e2c();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Access-pattern audit: what exactly does the honest-but-curious server
+// see, and why does a non-oblivious algorithm leak?
+//
+//   ./example_access_pattern_audit
+//
+// Side-by-side: a binary search (the classic leaky access pattern -- the
+// probe sequence IS the value) vs an oblivious full scan, and a hash-table
+// probe vs Theorem 4's IBLT insertion pass.  Prints the first trace events
+// under two different inputs so the leak is visible to the naked eye.
+#include <iomanip>
+#include <iostream>
+
+#include "core/sparse_compact.h"
+#include "hash/hashing.h"
+#include "extmem/client.h"
+#include "obliv/trace_check.h"
+#include "util/flags.h"
+
+using namespace oem;
+
+namespace {
+
+void show(const std::string& name, const obliv::CheckResult& result) {
+  std::cout << name << ": "
+            << (result.oblivious ? "OBLIVIOUS (identical traces)" : "LEAKS") << "\n";
+  for (const auto& run : result.runs) {
+    std::cout << "   " << std::setw(10) << run.input_name << "  hash=" << std::hex
+              << std::setw(16) << run.trace_hash << std::dec << "  len=" << run.trace_len
+              << "\n";
+  }
+  if (!result.oblivious && !result.diagnosis.empty())
+    std::cout << "   " << result.diagnosis << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  (void)flags;
+  ClientParams params;
+  params.block_records = 4;
+  params.cache_records = 64;
+  const std::uint64_t N = 256;
+
+  std::cout << "== access-pattern audit ==\n\n";
+
+  // 1. Binary search for a data-dependent key: the probe path spells out
+  // the value's position.
+  auto binary_search = [](Client& c, const ExtArray& a) {
+    BlockBuf blk;
+    c.read_block(a, 0, blk);
+    const Word needle = blk[0].key;  // search for the first element's key
+    std::uint64_t lo = 0, hi = a.num_blocks();
+    while (lo + 1 < hi) {
+      const std::uint64_t mid = (lo + hi) / 2;
+      c.read_block(a, mid, blk);
+      if (blk[0].key <= needle) lo = mid;
+      else hi = mid;
+    }
+  };
+  show("binary search (leaky)",
+       obliv::check_oblivious(params, N, obliv::canonical_inputs(3), binary_search, true));
+
+  // 2. The oblivious alternative: scan everything, select privately.
+  auto scan_select = [](Client& c, const ExtArray& a) {
+    BlockBuf blk;
+    Record best{};
+    for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
+      c.read_block(a, i, blk);
+      for (const Record& r : blk)
+        if (!r.is_empty() && (best.is_empty() || RecordLess{}(r, best))) best = r;
+    }
+  };
+  show("full scan + private select (oblivious)",
+       obliv::check_oblivious(params, N, obliv::canonical_inputs(3), scan_select));
+
+  // 3. Hash-table insertion keyed by VALUES: collisions depend on the data
+  // (the paper's own counter-example in §1).
+  auto value_hash_probe = [](Client& c, const ExtArray& a) {
+    ExtArray table = c.alloc_blocks(32, Client::Init::kEmpty);
+    BlockBuf blk, slot;
+    for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
+      c.read_block(a, i, blk);
+      const std::uint64_t h = hash::mix(blk[0].key, 7) % 32;  // value-keyed!
+      c.read_block(table, h, slot);
+      c.write_block(table, h, blk);
+    }
+  };
+  show("hash table keyed by values (leaky)",
+       obliv::check_oblivious(params, N, obliv::canonical_inputs(3), value_hash_probe));
+
+  // 4. Theorem 4's trick: the IBLT is keyed by POSITION, so the identical
+  // cell sequence is touched whatever the data holds.
+  auto iblt_insert = [](Client& c, const ExtArray& a) {
+    core::SparseCompactOptions opts;
+    opts.cost_aware = false;
+    core::sparse_compact_blocks(c, a, 12,
+                                [](std::uint64_t, const BlockBuf& b) {
+                                  return !b[0].is_empty() && b[0].key % 7 == 0;
+                                },
+                                5, opts);
+  };
+  show("IBLT compaction keyed by position (Theorem 4, oblivious)",
+       obliv::check_oblivious(params, N, obliv::canonical_inputs(3), iblt_insert));
+
+  std::cout << "moral: position-keyed, padded, or circuit-like access patterns are\n"
+               "safe; value-keyed probes and early exits are not.\n";
+  return 0;
+}

@@ -1,0 +1,293 @@
+#include "core/butterfly.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "sortnet/external_sort.h"
+#include "util/math.h"
+
+namespace oem::core {
+
+namespace {
+
+// Working representation: each network cell occupies two consecutive blocks
+// of the scratch array W -- payload (block 2c) and metadata (block 2c+1,
+// record 0 = {occupied, remaining distance in cells}).
+
+struct CellSlot {
+  bool occupied = false;
+  std::uint64_t dist = 0;
+  BlockBuf payload;
+};
+
+class CellIo {
+ public:
+  CellIo(Client& c, const ExtArray& w)
+      : c_(c), w_(w), empty_(make_empty_block(c.B())) {}
+
+  void read(std::uint64_t cell, CellSlot& slot) {
+    c_.read_block(w_, 2 * cell, slot.payload);
+    c_.read_block(w_, 2 * cell + 1, meta_);
+    slot.occupied = meta_[0].key != 0;
+    slot.dist = meta_[0].value;
+  }
+
+  void write(std::uint64_t cell, const CellSlot& slot) {
+    // Unoccupied slots may have had their payload moved out during routing;
+    // either way one payload write + one metadata write happen (trace is the
+    // same for both cases).
+    c_.write_block(w_, 2 * cell, slot.occupied ? slot.payload : empty_);
+    meta_.assign(c_.B(), Record{0, 0});
+    meta_[0] = {slot.occupied ? std::uint64_t{1} : std::uint64_t{0}, slot.dist};
+    c_.write_block(w_, 2 * cell + 1, meta_);
+  }
+
+ private:
+  Client& c_;
+  const ExtArray& w_;
+  BlockBuf meta_;
+  const BlockBuf empty_;
+};
+
+/// Routes the scratch array W of n_p2 cells through the full butterfly.
+/// direction=+1: leftward compaction (levels LSB->MSB).
+/// direction=-1: rightward expansion (levels MSB->LSB).
+/// Distances are in cells; at (global) level i an occupied cell moves by
+/// 0 or 2^i, with Lemma 5 ruling out collisions.
+void route(Client& client, const ExtArray& w, std::uint64_t n_p2, int direction) {
+  if (n_p2 <= 1) return;
+  const unsigned L = floor_log2(n_p2);
+  const std::uint64_t m = client.m();
+  const unsigned g = std::max<unsigned>(1, floor_log2(std::max<std::uint64_t>(2, m / 8)));
+  CellIo io(client, w);
+
+  const unsigned num_super = (L + g - 1) / g;
+  for (unsigned st = 0; st < num_super; ++st) {
+    // Super-level index in execution order depends on direction.
+    const unsigned t = direction > 0 ? st : num_super - 1 - st;
+    const unsigned g_t = std::min<unsigned>(g, L - t * g);
+    const std::uint64_t s = std::uint64_t{1} << (t * g);  // stride in cells
+    const std::uint64_t span = std::uint64_t{1} << g_t;   // max movement, in stride units
+    const std::uint64_t len = n_p2 / s;                   // virtual subarray length
+
+    std::uint64_t win = std::min<std::uint64_t>(len, 2 * span);
+    if (win <= span && win < len) win = span + 1;  // ensure forward progress
+
+    for (std::uint64_t rho = 0; rho < s; ++rho) {
+      // Sliding-window sweep over the virtual array V[q] = cell rho + q*s.
+      // Compaction sweeps left-to-right (receivers are to the left of
+      // senders); expansion sweeps right-to-left.
+      std::vector<CellSlot> cur(win), nxt(win);
+      CacheLease lease(client.cache(), 2 * win * (client.B() + 1));
+
+      std::uint64_t a0 = direction > 0 ? 0 : len - win;
+      for (;;) {
+        for (std::uint64_t q = 0; q < win; ++q) io.read(rho + (a0 + q) * s, cur[q]);
+
+        for (unsigned l = 0; l < g_t; ++l) {
+          const std::uint64_t step_cells = s << l;
+          for (auto& slot : nxt) {
+            slot.occupied = false;
+            slot.dist = 0;
+          }
+          for (std::uint64_t q = 0; q < win; ++q) {
+            if (!cur[q].occupied) continue;
+            std::uint64_t delta;
+            if (direction > 0) {
+              delta = cur[q].dist % (step_cells << 1);  // 0 or 2^i (Lemma 5 invariant)
+            } else {
+              delta = cur[q].dist & step_cells;  // bit i of the total displacement
+            }
+            assert(delta == 0 || delta == step_cells);
+            const std::uint64_t move = delta / s;
+            const std::uint64_t q_new =
+                direction > 0 ? q - move : q + move;  // underflow caught below
+            if (q_new >= win) {
+              // Lemma 5 + window invariants make this unreachable; if it
+              // trips, it is an implementation bug, not bad luck.
+              throw std::logic_error("butterfly: cell routed outside window");
+            }
+            if (nxt[q_new].occupied)
+              throw std::logic_error("butterfly: collision (violates Lemma 5)");
+            nxt[q_new].occupied = true;
+            nxt[q_new].dist = cur[q].dist - delta;
+            nxt[q_new].payload = std::move(cur[q].payload);
+          }
+          std::swap(cur, nxt);
+        }
+
+        for (std::uint64_t q = 0; q < win; ++q) io.write(rho + (a0 + q) * s, cur[q]);
+
+        if (win >= len) break;
+        if (direction > 0) {
+          if (a0 + win >= len) break;
+          a0 = std::min(a0 + (win - span), len - win);
+        } else {
+          if (a0 == 0) break;
+          a0 = a0 > (win - span) ? a0 - (win - span) : 0;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BlockPredFn block_nonempty_pred() {
+  return [](std::uint64_t, const BlockBuf& blk) {
+    return !blk.empty() && !blk[0].is_empty();
+  };
+}
+
+TightCompactResult tight_compact_blocks(Client& client, const ExtArray& a,
+                                        const BlockPredFn& pred) {
+  const std::uint64_t n = a.num_blocks();
+  TightCompactResult res;
+  res.out = client.alloc_blocks(n, Client::Init::kUninit);
+  if (n == 0) return res;
+  const std::uint64_t n_p2 = next_pow2(n);
+
+  ExtArray w = client.alloc_blocks(2 * n_p2, Client::Init::kUninit);
+  CellIo io(client, w);
+
+  // Copy-in scan: label occupied cells with "number of empty cells to my
+  // left" (their leftward routing distance); final position = rank.
+  {
+    CacheLease lease(client.cache(), 2 * client.B() + 2);
+    CellSlot slot;
+    std::uint64_t empties = 0;
+    for (std::uint64_t i = 0; i < n_p2; ++i) {
+      if (i < n) {
+        client.read_block(a, i, slot.payload);
+        slot.occupied = pred(i, slot.payload);
+      } else {
+        slot.payload = make_empty_block(client.B());
+        slot.occupied = false;
+      }
+      slot.dist = slot.occupied ? empties : 0;
+      if (!slot.occupied) ++empties;
+      if (slot.occupied) ++res.occupied;
+      io.write(i, slot);
+    }
+  }
+
+  route(client, w, n_p2, /*direction=*/+1);
+
+  // Copy-out scan: occupied cells now form the prefix, in original order.
+  {
+    CacheLease lease(client.cache(), 2 * client.B() + 2);
+    CellSlot slot;
+    const BlockBuf empty = make_empty_block(client.B());
+    for (std::uint64_t i = 0; i < n; ++i) {
+      io.read(i, slot);
+      assert(!slot.occupied || slot.dist == 0);
+      client.write_block(res.out, i, slot.occupied ? slot.payload : empty);
+    }
+  }
+  client.release(w);
+  return res;
+}
+
+ExtArray expand_blocks(Client& client, const ExtArray& a, std::uint64_t count,
+                       std::uint64_t out_blocks,
+                       const std::function<std::uint64_t(std::uint64_t)>& target) {
+  ExtArray out = client.alloc_blocks(out_blocks, Client::Init::kUninit);
+  if (out_blocks == 0) return out;
+  const std::uint64_t n_p2 = next_pow2(out_blocks);
+  ExtArray w = client.alloc_blocks(2 * n_p2, Client::Init::kUninit);
+  CellIo io(client, w);
+
+  // Copy-in: block i gets rightward distance target(i) - i.
+  {
+    CacheLease lease(client.cache(), 2 * client.B() + 2);
+    CellSlot slot;
+    std::uint64_t prev_target = 0;
+    for (std::uint64_t i = 0; i < n_p2; ++i) {
+      if (i < count) {
+        client.read_block(a, i, slot.payload);
+        const std::uint64_t t = target(i);
+        assert(t >= i && t < out_blocks);
+        assert(i == 0 || t > prev_target);
+        prev_target = t;
+        slot.occupied = true;
+        slot.dist = t - i;
+      } else {
+        slot.payload = make_empty_block(client.B());
+        slot.occupied = false;
+        slot.dist = 0;
+      }
+      io.write(i, slot);
+    }
+  }
+
+  route(client, w, n_p2, /*direction=*/-1);
+
+  {
+    CacheLease lease(client.cache(), 2 * client.B() + 2);
+    CellSlot slot;
+    const BlockBuf empty = make_empty_block(client.B());
+    for (std::uint64_t i = 0; i < out_blocks; ++i) {
+      io.read(i, slot);
+      assert(!slot.occupied || slot.dist == 0);
+      client.write_block(out, i, slot.occupied ? slot.payload : empty);
+    }
+  }
+  client.release(w);
+  return out;
+}
+
+TightCompactResult tight_compact_by_sort(Client& client, const ExtArray& a,
+                                         const BlockPredFn& pred) {
+  const std::uint64_t n = a.num_blocks();
+  const std::size_t B = client.B();
+  TightCompactResult res;
+  // Represent each block as a 1-block unit keyed by (distinguished ? index :
+  // sentinel); unit-sorting brings distinguished blocks to the front in
+  // order.  The key rides in a prepended header block, so units are 2 blocks.
+  const std::uint64_t ub = 2;
+  ExtArray units = client.alloc_blocks(n * ub, Client::Init::kUninit);
+  {
+    CacheLease lease(client.cache(), 2 * B);
+    BlockBuf blk, hdr(B);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      client.read_block(a, i, blk);
+      const bool dist = pred(i, blk);
+      if (dist) ++res.occupied;
+      hdr.assign(B, Record{0, 0});
+      hdr[0] = {dist ? i : kEmptyKey, 0};
+      client.write_block(units, ub * i, hdr);
+      client.write_block(units, ub * i + 1, blk);
+    }
+  }
+  sortnet::ext_oblivious_unit_sort(client, units, ub);
+  res.out = client.alloc_blocks(n, Client::Init::kUninit);
+  {
+    CacheLease lease(client.cache(), 2 * B);
+    BlockBuf blk, hdr;
+    const BlockBuf empty = make_empty_block(B);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      client.read_block(units, ub * i, hdr);
+      client.read_block(units, ub * i + 1, blk);
+      client.write_block(res.out, i, hdr[0].key != kEmptyKey ? blk : empty);
+    }
+  }
+  // `units` cannot be released LIFO (res.out was allocated after it); the
+  // arena reclaims it with the client.
+  return res;
+}
+
+std::uint64_t butterfly_predicted_ios(std::uint64_t n_blocks, std::uint64_t m_blocks) {
+  if (n_blocks == 0) return 0;
+  const std::uint64_t n_p2 = next_pow2(n_blocks);
+  const unsigned L = floor_log2(n_p2);
+  const unsigned g =
+      std::max<unsigned>(1, floor_log2(std::max<std::uint64_t>(2, m_blocks / 8)));
+  const unsigned num_super = L == 0 ? 0 : (L + g - 1) / g;
+  // copy-in (n reads + 2 n' writes) + per super-level ~2 passes over 2n'
+  // blocks read+write + copy-out (2n reads + n writes).
+  return n_blocks + 2 * n_p2 + num_super * 8 * n_p2 + 3 * n_blocks;
+}
+
+}  // namespace oem::core

@@ -1,0 +1,67 @@
+// Butterfly-like compaction network -- Theorem 6 of the paper (Figure 1).
+//
+// Tight, order-preserving, *deterministic* compaction of the distinguished
+// blocks of an n-block array using O((N/B) log_{M/B}(N/B)) I/Os, plus the
+// reverse operation (order-preserving expansion), which the paper uses for
+// failure sweeping and which we also use to build padded quantile buckets.
+//
+// Mechanics (paper §3): the network has ceil(log n) levels; an occupied cell
+// at position j labeled with leftward distance d moves by (d mod 2^{i+1})
+// in {0, 2^i} at level i.  Lemma 5 guarantees no two blocks ever collide.
+// Distances for compaction are "number of empty cells to my left", computed
+// by one scan.
+//
+// I/O efficiency: levels are processed in super-levels of g = Theta(log m)
+// levels.  After t*g levels every remaining distance is a multiple of
+// s = 2^{t*g}, so cells split into s independent strided subarrays; a
+// sliding window of 2*2^{g_t} cells (cache-sized) routes g_t levels in one
+// linear pass per subarray.  Total: O(n * ceil(log n / log m)) block I/Os --
+// the paper's O((N/B) log_{M/B}(N/B)).
+//
+// The trace depends only on (n, m): fully data-oblivious, no failure
+// probability.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "extmem/client.h"
+
+namespace oem::core {
+
+/// Block-level distinguishing predicate, evaluated privately.
+using BlockPredFn = std::function<bool(std::uint64_t block_index, const BlockBuf& content)>;
+
+/// Block is distinguished iff its first record is non-empty (the convention
+/// for consolidated arrays, where blocks are full-or-empty).
+BlockPredFn block_nonempty_pred();
+
+struct TightCompactResult {
+  ExtArray out;               // n blocks: occupied prefix, then empty blocks
+  std::uint64_t occupied = 0;  // number of distinguished blocks (private)
+};
+
+/// Theorem 6: tight order-preserving compaction of the distinguished blocks
+/// of `a` into the prefix of a fresh n-block array.
+TightCompactResult tight_compact_blocks(Client& client, const ExtArray& a,
+                                        const BlockPredFn& pred);
+
+/// Theorem 6 "in reverse": expansion.  Routes block i of `a` (for
+/// i < count) to position target(i) of a fresh array of out_blocks blocks;
+/// targets must be strictly increasing with target(i) >= i and
+/// target(count-1) < out_blocks.  Other output blocks are empty.
+ExtArray expand_blocks(Client& client, const ExtArray& a, std::uint64_t count,
+                       std::uint64_t out_blocks,
+                       const std::function<std::uint64_t(std::uint64_t)>& target);
+
+/// Reference implementation for differential testing: compaction via the
+/// deterministic oblivious sort of Lemma 2 (sort blocks by (empty, index)).
+/// Costs a log^2 factor; used only by tests and the E3 baseline bench.
+TightCompactResult tight_compact_by_sort(Client& client, const ExtArray& a,
+                                         const BlockPredFn& pred);
+
+/// Cost-model predictor for the butterfly router (block I/Os), used by tests
+/// to pin the O(n log n / log m) shape.
+std::uint64_t butterfly_predicted_ios(std::uint64_t n_blocks, std::uint64_t m_blocks);
+
+}  // namespace oem::core

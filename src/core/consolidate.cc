@@ -1,0 +1,53 @@
+#include "core/consolidate.h"
+
+namespace oem::core {
+
+RecordPred nonempty_pred() {
+  return [](std::uint64_t, const Record& r) { return !r.is_empty(); };
+}
+
+bool consolidated_block_distinguished(const BlockBuf& blk) {
+  return !blk.empty() && !blk[0].is_empty();
+}
+
+ConsolidateResult consolidate(Client& client, const ExtArray& a, const RecordPred& pred) {
+  const std::size_t B = client.B();
+  const std::uint64_t n = a.num_blocks();
+  ConsolidateResult res;
+  res.out = client.alloc_blocks(n + 1, Client::Init::kUninit);
+
+  // Alice's in-memory pending buffer x: fewer than B distinguished records,
+  // in input order.
+  CacheLease lease(client.cache(), 3 * B);
+  std::vector<Record> x;
+  x.reserve(2 * B);
+  BlockBuf in, outblk(B);
+  const BlockBuf empty = make_empty_block(B);
+
+  std::uint64_t rec_index = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    client.read_block(a, i, in);
+    for (std::size_t r = 0; r < B; ++r, ++rec_index) {
+      if (pred(rec_index, in[r])) {
+        x.push_back(in[r]);
+        ++res.distinguished;
+      }
+    }
+    // One output block per input block: full if we can fill it, else empty.
+    if (x.size() >= B) {
+      for (std::size_t r = 0; r < B; ++r) outblk[r] = x[r];
+      x.erase(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(B));
+      client.write_block(res.out, i, outblk);
+      ++res.full_blocks;
+    } else {
+      client.write_block(res.out, i, empty);
+    }
+  }
+  // Final flush of the pending partial block (position n).
+  outblk = empty;
+  for (std::size_t r = 0; r < x.size(); ++r) outblk[r] = x[r];
+  client.write_block(res.out, n, outblk);
+  return res;
+}
+
+}  // namespace oem::core

@@ -1,0 +1,47 @@
+// Data consolidation -- Lemma 3 of the paper.
+//
+// Input: an array A of n blocks whose records may be "distinguished"
+// (decided by a private predicate).  Output: an array A' of n+1 blocks such
+// that every block is either completely full of distinguished records,
+// completely empty, or the single final partial block -- with the relative
+// order of distinguished records preserved.
+//
+// The access pattern is a single scan of A and A' (read A[i], write A'[i],
+// final flush), so the trace depends only on n: deterministic and oblivious.
+// Cost: exactly n reads + (n+1) writes.
+//
+// This is the preprocessing step of every compaction algorithm in the paper;
+// it lets the randomized compaction machinery work at block granularity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "extmem/client.h"
+
+namespace oem::core {
+
+/// Predicate over records, evaluated privately.  May be stateful (e.g., a
+/// Bernoulli sampler for Theorem 12's random marking); it is invoked exactly
+/// once per record in scan order, for every record, so a randomized
+/// predicate consumes coins in a data-independent pattern.
+using RecordPred = std::function<bool(std::uint64_t record_index, const Record& r)>;
+
+/// Marks a record distinguished iff it is non-empty.
+RecordPred nonempty_pred();
+
+struct ConsolidateResult {
+  ExtArray out;                      // n+1 blocks
+  std::uint64_t distinguished = 0;   // total marked records (Alice's private count)
+  std::uint64_t full_blocks = 0;     // completely full output blocks
+};
+
+/// Lemma 3.  The result's `distinguished` / `full_blocks` counts live in
+/// Alice's private memory; Bob sees only the scan.
+ConsolidateResult consolidate(Client& client, const ExtArray& a, const RecordPred& pred);
+
+/// Block-level predicate for consolidated arrays: a block is distinguished
+/// iff it holds at least one (equivalently: its first) non-empty record.
+bool consolidated_block_distinguished(const BlockBuf& blk);
+
+}  // namespace oem::core

@@ -1,0 +1,213 @@
+#include "core/logstar_compact.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sortnet/external_sort.h"
+#include "util/math.h"
+
+namespace oem::core {
+
+namespace {
+
+/// One thinning pass from `src` (its first `src_len` blocks) into the cell
+/// range [dst_first, dst_first + dst_cells) of `dst`.  Every step costs
+/// exactly 4 I/Os; the probe index is a data-independent coin.
+void thinning_pass(Client& client, const ExtArray& src, std::uint64_t src_len,
+                   const ExtArray& dst, std::uint64_t dst_first,
+                   std::uint64_t dst_cells, rng::Xoshiro& coins) {
+  CacheLease lease(client.cache(), 2 * client.B());
+  BlockBuf blk, slot;
+  const BlockBuf empty = make_empty_block(client.B());
+  for (std::uint64_t i = 0; i < src_len; ++i) {
+    client.read_block(src, i, blk);
+    const std::uint64_t j = dst_first + coins.below(dst_cells);
+    client.read_block(dst, j, slot);
+    const bool move = !blk[0].is_empty() && slot[0].is_empty();
+    client.write_block(dst, j, move ? blk : slot);
+    client.write_block(src, i, move ? empty : blk);
+  }
+}
+
+}  // namespace
+
+LogstarCompactResult logstar_compact_blocks(Client& client, const ExtArray& a,
+                                            std::uint64_t r_capacity,
+                                            const BlockPredFn& pred,
+                                            std::uint64_t seed,
+                                            const LogstarCompactOptions& opts) {
+  LogstarCompactResult res;
+  const std::uint64_t n0 = a.num_blocks();
+  const std::size_t B = client.B();
+  r_capacity = std::max<std::uint64_t>(1, r_capacity);
+  const std::uint64_t out_blocks = 4 * r_capacity + ceil_div(r_capacity, 4);
+  const std::uint64_t main_cells = 4 * r_capacity;
+  const std::uint64_t reserve_cells = out_blocks - main_cells;
+  rng::Xoshiro coins(seed ^ 0x70c577a5d31fULL);
+
+  if (r_capacity * 4 > n0) {
+    res.status = Status::InvalidArgument("log* compaction requires R < N/4");
+    res.out = client.alloc_blocks(out_blocks);
+    return res;
+  }
+
+  const std::uint64_t log_n = std::max<std::uint64_t>(1, ceil_log2(n0 + 2));
+  const std::uint64_t sparse_threshold = std::max<std::uint64_t>(
+      1, n0 / (log_n * log_n * std::max<std::uint64_t>(1, opts.threshold_divisor)));
+
+  // Base cases (public-parameter branch).
+  if (n0 <= opts.base_case_blocks || r_capacity <= sparse_threshold) {
+    // Tiny input: deterministic oblivious block sort; sparse input:
+    // Theorem 4.  Either way the distinguished blocks land in the front of
+    // an exact-r array which we then place into `out`.
+    SparseCompactResult sc =
+        sparse_compact_blocks(client, a, r_capacity, pred, seed, opts.sparse);
+    res.distinguished = sc.distinguished;
+    res.status = sc.status;
+    res.out = client.alloc_blocks(out_blocks, Client::Init::kUninit);
+    CacheLease lease(client.cache(), B);
+    BlockBuf blk;
+    const BlockBuf empty = make_empty_block(B);
+    for (std::uint64_t i = 0; i < out_blocks; ++i) {
+      if (i < sc.out.num_blocks()) {
+        client.read_block(sc.out, i, blk);
+        client.write_block(res.out, i, blk);
+      } else {
+        client.write_block(res.out, i, empty);
+      }
+    }
+    return res;
+  }
+
+  // General case.  D = main 4r cells ++ reserve 0.25r cells.
+  ExtArray d_arr = client.alloc_blocks(out_blocks, Client::Init::kEmpty);
+
+  // Working array with headroom for the appended C_i arrays
+  // (sum r/t_i < r/2).
+  const std::uint64_t a_cap = n0 + ceil_div(r_capacity, 2) + 4;
+  ExtArray work = client.alloc_blocks(a_cap, Client::Init::kUninit);
+  std::uint64_t work_len = n0;
+  std::uint64_t work_cap = a_cap;
+  {
+    CacheLease lease(client.cache(), B);
+    BlockBuf blk;
+    const BlockBuf empty = make_empty_block(B);
+    for (std::uint64_t i = 0; i < n0; ++i) {
+      client.read_block(a, i, blk);
+      const bool dist = pred(i, blk);
+      if (dist) ++res.distinguished;
+      client.write_block(work, i, dist ? blk : empty);
+    }
+    for (std::uint64_t i = n0; i < a_cap; ++i) client.write_block(work, i, empty);
+  }
+  res.status = res.distinguished <= r_capacity
+                   ? Status::Ok()
+                   : Status::WhpFailure("more distinguished blocks than capacity");
+
+  // Initial c0 thinning passes (Lemma 24).
+  for (unsigned p = 0; p < opts.initial_thinning; ++p)
+    thinning_pass(client, work, work_len, d_arr, 0, main_cells, coins);
+
+  // Tower phases.
+  std::uint64_t t = 4;  // t_1 = 2^2
+  const std::uint64_t t_cap = std::uint64_t{1} << opts.max_tower_exponent;
+  for (unsigned phase = 1;; ++phase) {
+    // Survivor bound r / t^4 (saturating).
+    const long double t4 = static_cast<long double>(t) * t * t * t;
+    const std::uint64_t survivors_bound = static_cast<std::uint64_t>(
+        std::ceil(static_cast<long double>(r_capacity) / t4));
+
+    if (survivors_bound <= sparse_threshold || work_len <= opts.base_case_blocks) {
+      // Final step: Theorem 4 into the reserve.  The initial thinning plus
+      // this terminal compaction constitute the last phase.
+      res.phases = phase;
+      SparseCompactResult sc = sparse_compact_blocks(
+          client, work.slice_blocks(0, work_len), reserve_cells, block_nonempty_pred(),
+          seed ^ (0x9e37ULL + phase), opts.sparse);
+      res.status.Update(sc.status);
+      CacheLease lease(client.cache(), B);
+      BlockBuf blk;
+      for (std::uint64_t i = 0; i < reserve_cells; ++i) {
+        client.read_block(sc.out, i, blk);
+        client.write_block(d_arr, main_cells + i, blk);
+      }
+      break;
+    }
+    res.phases = phase;
+
+    // --- Thinning-out step: C_i of r/t_i cells.
+    const std::uint64_t c_cells =
+        std::max<std::uint64_t>(1, ceil_div(r_capacity, t));
+    ExtArray c_arr = client.alloc_blocks(c_cells, Client::Init::kEmpty);
+    thinning_pass(client, work, work_len, c_arr, 0, c_cells, coins);
+    thinning_pass(client, work, work_len, c_arr, 0, c_cells, coins);
+    const std::uint64_t c_to_d = std::min<std::uint64_t>(t, 64);
+    for (std::uint64_t p = 0; p < c_to_d; ++p)
+      thinning_pass(client, c_arr, c_cells, d_arr, 0, main_cells, coins);
+    // Grow A by concatenating C_i (some items may be stuck there).
+    {
+      CacheLease lease(client.cache(), B);
+      BlockBuf blk;
+      for (std::uint64_t i = 0; i < c_cells && work_len < work_cap; ++i) {
+        client.read_block(c_arr, i, blk);
+        client.write_block(work, work_len++, blk);
+      }
+    }
+    client.release(c_arr);  // not trailing; reclaimed with the client
+
+    // --- Region-compaction step: regions of 2^{4 t_i} cells (capped), each
+    // compacted to region_len / t_i^2 cells via Theorem 4.
+    const std::uint64_t region_len = std::min<std::uint64_t>(
+        {work_len, opts.max_region_blocks,
+         t >= 16 ? opts.max_region_blocks : (std::uint64_t{1} << (4 * t))});
+    const std::uint64_t t2 = t * t;
+    const std::uint64_t r_i =
+        std::max<std::uint64_t>(1, region_len / std::max<std::uint64_t>(2, t2));
+    const std::uint64_t regions = ceil_div(work_len, region_len);
+
+    // Headroom so later phases can append their C_i arrays.
+    const std::uint64_t next_cap = regions * r_i + ceil_div(r_capacity, 2) + 4;
+    ExtArray next = client.alloc_blocks(next_cap, Client::Init::kUninit);
+    for (std::uint64_t g = 0; g < regions; ++g) {
+      const std::uint64_t base = g * region_len;
+      const std::uint64_t len = std::min(region_len, work_len - base);
+      SparseCompactResult sc = sparse_compact_blocks(
+          client, work.slice_blocks(base, len), r_i, block_nonempty_pred(),
+          seed ^ (0xabcdULL * (phase * 131 + g + 1)), opts.sparse);
+      res.status.Update(sc.status);
+      // t_i^2 thinning passes from the compacted region into D.
+      const std::uint64_t passes = std::min<std::uint64_t>(t2, 64);
+      for (std::uint64_t p = 0; p < passes; ++p)
+        thinning_pass(client, sc.out, r_i, d_arr, 0, main_cells, coins);
+      // Whatever remains joins the next round's array.
+      CacheLease lease(client.cache(), B);
+      BlockBuf blk;
+      for (std::uint64_t i = 0; i < r_i; ++i) {
+        client.read_block(sc.out, i, blk);
+        client.write_block(next, g * r_i + i, blk);
+      }
+    }
+    {
+      // Blank the headroom so later appends land on explicit empty blocks.
+      CacheLease lease(client.cache(), B);
+      const BlockBuf empty = make_empty_block(B);
+      for (std::uint64_t i = regions * r_i; i < next_cap; ++i)
+        client.write_block(next, i, empty);
+    }
+    work = next;
+    work_len = regions * r_i;
+    work_cap = next_cap;
+
+    // Advance the tower: t_{i+1} = 2^{t_i}, capped.
+    if (t >= 64 || (std::uint64_t{1} << t) >= t_cap) {
+      t = t_cap;
+    } else {
+      t = std::uint64_t{1} << t;
+    }
+  }
+
+  res.out = d_arr;
+  return res;
+}
+
+}  // namespace oem::core

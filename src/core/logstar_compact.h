@@ -1,0 +1,61 @@
+// Loose compaction without the wide-block / tall-cache assumptions --
+// Theorem 9 (Appendix B), after Matias & Vishkin's parallel linear
+// approximate compaction.
+//
+// Compacts at most r < n/4 distinguished blocks into 4.25r blocks using
+// O(n log* n) I/Os, assuming only B >= 1 and M >= 2B.  Phases follow the
+// tower-of-twos t_1 = 4, t_{i+1} = 2^{t_i}:
+//   * initial c0 A-to-D thinning passes (Lemma 24);
+//   * per phase: a thinning-out step through an auxiliary array C_i of
+//     r/t_i cells (2 A-to-C passes, t_i C-to-D passes, then A := A ++ C_i),
+//     and a region-compaction step over regions of 2^{4 t_i} cells
+//     (overcrowding test, Theorem-4 compaction of each region to
+//     2^{4 t_i}/t_i^2 cells, then t_i^2 thinning passes from the compacted
+//     regions into D);
+//   * once the survivor bound r/t_i^4 drops below n/log^2 n, a final
+//     Theorem-4 compaction into D's reserve of 0.25r cells finishes.
+//
+// The paper's constants (c0 >= 23, regions of 2^16+ cells) target the
+// asymptotic high-probability claims; the defaults here are practical
+// equivalents (and the caps are configurable), with measured failure rates
+// reported by bench E5.  Trace: scans, coin-indexed probes, and Theorem-4
+// calls -- data-oblivious throughout.
+#pragma once
+
+#include <cstdint>
+
+#include "core/butterfly.h"
+#include "core/sparse_compact.h"
+#include "extmem/client.h"
+#include "util/status.h"
+
+namespace oem::core {
+
+struct LogstarCompactOptions {
+  unsigned initial_thinning = 8;      // c0 (paper: >= 23 for the formal bound)
+  unsigned max_tower_exponent = 16;   // cap t_i at 2^16
+  std::uint64_t max_region_blocks = 4096;  // cap the 2^{4 t_i} region size
+  std::uint64_t base_case_blocks = 64;     // n0: below this, sort directly
+  /// Divisor on the paper's n/log^2(n) termination threshold.  With t_1 = 4
+  /// the very first phase already satisfies the threshold at any feasible n
+  /// (the tower grows that fast); benches raise the divisor to force extra
+  /// phases and demonstrate the tower machinery.
+  std::uint64_t threshold_divisor = 1;
+  SparseCompactOptions sparse;
+};
+
+struct LogstarCompactResult {
+  ExtArray out;                    // exactly ceil(4.25 * r_capacity) blocks
+  std::uint64_t distinguished = 0;
+  unsigned phases = 0;             // tower phases executed (log* n shape)
+  Status status;
+};
+
+/// Theorem 9 at block granularity; requires r_capacity <= n/4.
+LogstarCompactResult logstar_compact_blocks(Client& client, const ExtArray& a,
+                                            std::uint64_t r_capacity,
+                                            const BlockPredFn& pred,
+                                            std::uint64_t seed,
+                                            const LogstarCompactOptions& opts = {});
+
+}  // namespace oem::core

@@ -1,0 +1,142 @@
+#include "core/loose_compact.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sortnet/external_sort.h"
+#include "util/math.h"
+
+namespace oem::core {
+
+LooseCompactResult loose_compact_blocks(Client& client, const ExtArray& a,
+                                        std::uint64_t r_capacity,
+                                        const BlockPredFn& pred, std::uint64_t seed,
+                                        const LooseCompactOptions& opts) {
+  LooseCompactResult res;
+  const std::uint64_t n0 = a.num_blocks();
+  const std::size_t B = client.B();
+  r_capacity = std::max<std::uint64_t>(1, r_capacity);
+  if (r_capacity * 4 > n0) {
+    res.status = Status::InvalidArgument("loose compaction requires R < N/4");
+    res.out = client.alloc_blocks(5 * r_capacity);
+    return res;
+  }
+  rng::Xoshiro coins(seed ^ 0x10053c0a3ac7ULL);
+
+  // 1. Normalize: distinguished blocks keep their content, everything else
+  // becomes an explicitly empty block.  One scan.
+  ExtArray cur = client.alloc_blocks(n0, Client::Init::kUninit);
+  {
+    CacheLease lease(client.cache(), B);
+    BlockBuf blk;
+    const BlockBuf empty = make_empty_block(B);
+    for (std::uint64_t i = 0; i < n0; ++i) {
+      client.read_block(a, i, blk);
+      const bool d = pred(i, blk);
+      if (d) ++res.distinguished;
+      client.write_block(cur, i, d ? blk : empty);
+    }
+  }
+  res.status = res.distinguished <= r_capacity
+                   ? Status::Ok()
+                   : Status::WhpFailure("more distinguished blocks than capacity");
+
+  // 2. The collector C of 4r cells (paying the counted initialization).
+  const std::uint64_t c_cells = 4 * r_capacity;
+  ExtArray c_arr = client.alloc_blocks(c_cells, Client::Init::kEmpty);
+
+  const std::uint64_t m = client.m();
+  const std::uint64_t log_n = std::max<std::uint64_t>(1, ceil_log2(n0 + 2));
+  const std::uint64_t tail_threshold =
+      std::max<std::uint64_t>(opts.min_tail_blocks,
+                              n0 / std::max<std::uint64_t>(1, log_n * log_n));
+
+  std::uint64_t n_cur = n0;
+  CacheLease lease(client.cache(), 2 * B);
+  BlockBuf blk, slot;
+  const BlockBuf empty = make_empty_block(B);
+
+  while (n_cur > tail_threshold) {
+    // 2a. c0 thinning passes: trace is (R cur[i], R C[j], W C[j], W cur[i])
+    // for every i; j is a data-independent coin.
+    for (unsigned pass = 0; pass < opts.thinning_rounds; ++pass) {
+      for (std::uint64_t i = 0; i < n_cur; ++i) {
+        client.read_block(cur, i, blk);
+        const std::uint64_t j = coins.below(c_cells);
+        client.read_block(c_arr, j, slot);
+        const bool move = !blk[0].is_empty() && slot[0].is_empty();
+        client.write_block(c_arr, j, move ? blk : slot);
+        client.write_block(cur, i, move ? empty : blk);
+      }
+    }
+
+    // 2b. Region halving: survivors are sparse w.h.p. (Lemma 7).
+    // Region must fit in cache alongside the scan buffers (hence m - 2).
+    const std::uint64_t region_cache = m > 4 ? m - 2 : m;
+    const std::uint64_t region_len = std::min<std::uint64_t>(
+        {n_cur, region_cache,
+         std::max<std::uint64_t>(
+             2, static_cast<std::uint64_t>(opts.region_log_factor *
+                                           static_cast<double>(log_n)))});
+    const std::uint64_t half = (region_len + 1) / 2;
+    const std::uint64_t regions = ceil_div(n_cur, region_len);
+    ExtArray next = client.alloc_blocks(regions * half, Client::Init::kUninit);
+    {
+      CacheLease region_lease(client.cache(), region_len * B);
+      std::vector<BlockBuf> region;
+      for (std::uint64_t g = 0; g < regions; ++g) {
+        const std::uint64_t base = g * region_len;
+        const std::uint64_t len = std::min(region_len, n_cur - base);
+        region.clear();
+        std::vector<BlockBuf> survivors;
+        for (std::uint64_t b = 0; b < len; ++b) {
+          client.read_block(cur, base + b, blk);
+          if (!blk[0].is_empty()) survivors.push_back(blk);
+        }
+        if (survivors.size() > half) {
+          // Overcrowded region (Lemma 7 tail event): blocks beyond `half`
+          // are lost; flag it, keep the trace unchanged.
+          res.status.Update(Status::WhpFailure("overcrowded region in halving step"));
+          survivors.resize(half);
+        }
+        for (std::uint64_t b = 0; b < half; ++b) {
+          client.write_block(next, g * half + b,
+                             b < survivors.size() ? survivors[b] : empty);
+        }
+      }
+    }
+    // `cur`'s old extent is abandoned to the arena (reclaimed with the
+    // client); the halved array becomes the new working array.
+    cur = next;
+    n_cur = regions * half;
+  }
+
+  // 3. Tail cleanup: deterministic oblivious block sort (non-empty blocks,
+  // keyed by their first record, move to the front).
+  sortnet::ext_oblivious_unit_sort(client, cur, /*unit_blocks=*/1);
+  std::uint64_t tail_real = 0;
+  for (std::uint64_t i = 0; i < n_cur; ++i) {  // unconditional overflow scan
+    client.read_block(cur, i, blk);
+    if (!blk[0].is_empty()) ++tail_real;
+  }
+  if (tail_real > r_capacity)
+    res.status.Update(Status::WhpFailure("thinning survivors exceed capacity r"));
+
+  // 4. Assemble out = C (4r cells) ++ first r survivor blocks.
+  res.out = client.alloc_blocks(5 * r_capacity, Client::Init::kUninit);
+  for (std::uint64_t i = 0; i < c_cells; ++i) {
+    client.read_block(c_arr, i, blk);
+    client.write_block(res.out, i, blk);
+  }
+  for (std::uint64_t i = 0; i < r_capacity; ++i) {
+    if (i < n_cur) {
+      client.read_block(cur, i, blk);
+      client.write_block(res.out, c_cells + i, blk);
+    } else {
+      client.write_block(res.out, c_cells + i, empty);
+    }
+  }
+  return res;
+}
+
+}  // namespace oem::core

@@ -1,0 +1,57 @@
+// Loose compaction -- Theorem 8.
+//
+// Given an array of n blocks of which at most r < n/4 are distinguished,
+// map the distinguished blocks into an array of 5r blocks using O(n) I/Os,
+// succeeding w.h.p.  Not order-preserving (the paper's loose compaction is
+// unordered); it is the workhorse of the Theorem 21 sort, which re-tightens
+// each color array after the shuffle-and-deal distribution.
+//
+// Pipeline (paper §3 "Loose Compaction"):
+//   1. normalize: copy input so distinguished <=> non-empty block;
+//   2. c0 rounds of A-to-C thinning passes into C of 4r cells: per cell a
+//      uniformly random C slot is probed and the block moves there iff the
+//      slot is free -- 4 I/Os per cell regardless of outcome;
+//   3. region halving: survivors are, w.h.p., sparse (Lemma 7), so each
+//      region of c1*log(n) blocks is sorted privately (it fits in cache by
+//      the wide-block + tall-cache assumptions) and compacted to its first
+//      half; the array halves and step 2 repeats;
+//   4. once at most n/log^2(n) blocks remain, a final deterministic
+//      oblivious sort compacts the survivors to r blocks, which are
+//      concatenated after C.
+//
+// The trace depends only on (n, r, m, coins): data-oblivious.  An
+// overcrowded region (probability <= (N/B)^{-c1}, Lemma 7) or survivor
+// overflow is reported via Status; the trace is identical either way.
+#pragma once
+
+#include <cstdint>
+
+#include "core/butterfly.h"
+#include "extmem/client.h"
+#include "util/status.h"
+
+namespace oem::core {
+
+struct LooseCompactOptions {
+  unsigned thinning_rounds = 3;   // c0: passes per halving iteration
+  double region_log_factor = 4.0; // c1: region length = c1 * log2(n) blocks
+  /// Stop halving when at most this many blocks remain (on top of the
+  /// n/log^2(n) rule); the tail is finished with the deterministic sort.
+  std::uint64_t min_tail_blocks = 16;
+};
+
+struct LooseCompactResult {
+  ExtArray out;                    // exactly 5*r_capacity blocks
+  std::uint64_t distinguished = 0; // private count
+  Status status;
+};
+
+/// Theorem 8 at block granularity.  Requires r_capacity <= n/4 (checked);
+/// blocks must be "front-packed" (a non-empty block has a non-empty first
+/// record), which all producers in this library maintain.
+LooseCompactResult loose_compact_blocks(Client& client, const ExtArray& a,
+                                        std::uint64_t r_capacity,
+                                        const BlockPredFn& pred, std::uint64_t seed,
+                                        const LooseCompactOptions& opts = {});
+
+}  // namespace oem::core

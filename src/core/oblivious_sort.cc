@@ -1,0 +1,337 @@
+#include "core/oblivious_sort.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/butterfly.h"
+#include "core/consolidate.h"
+#include "hash/hashing.h"
+#include "sortnet/external_sort.h"
+#include "util/math.h"
+
+namespace oem::core {
+
+namespace {
+
+struct Ctx {
+  Client& client;
+  const ObliviousSortOptions& opts;
+  SortStats stats;
+  /// Failure sweeping engages only at the recursion level whose children are
+  /// at most this many blocks -- the paper sweeps the O(sqrt(n))-sized
+  /// subproblems once, not every level (a per-level sweep would add a
+  /// deterministic-sort cost per level and destroy the I/O bound).
+  std::uint64_t sweep_max_blocks = 0;
+};
+
+/// Copy `count` blocks from src[0..] to dst[dst_first..], padding with empty
+/// blocks when src runs out.  One scan.
+void copy_blocks(Client& c, const ExtArray& src, const ExtArray& dst,
+                 std::uint64_t dst_first, std::uint64_t count) {
+  CacheLease lease(c.cache(), c.B());
+  BlockBuf blk;
+  const BlockBuf empty = make_empty_block(c.B());
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (i < src.num_blocks()) {
+      c.read_block(src, i, blk);
+      c.write_block(dst, dst_first + i, blk);
+    } else {
+      c.write_block(dst, dst_first + i, empty);
+    }
+  }
+}
+
+/// Deterministic base case: copy + private sort or Lemma 2 sort.  Output has
+/// the same block count as the input (>= 1).
+Status sort_node_deterministic(Ctx& ctx, const ExtArray& in, ExtArray* out) {
+  Client& client = ctx.client;
+  ++ctx.stats.det_sort_nodes;
+  const std::uint64_t n = std::max<std::uint64_t>(in.num_blocks(), 1);
+  *out = client.alloc_blocks(n, Client::Init::kUninit);
+  copy_blocks(client, in, *out, 0, n);
+  if (n <= client.m()) {
+    sortnet::sort_region_in_cache(client, *out, 0, n);
+  } else {
+    sortnet::ext_oblivious_sort(client, *out);
+  }
+  return Status::Ok();
+}
+
+/// The recursive padded sort.
+///
+/// `real_bound` is a PUBLIC upper bound on the number of non-empty records
+/// in `in`, derived from the top-level N by dividing by (q+1) per level --
+/// this is what keeps all array sizes (hence the trace) data-independent
+/// while the actual occupancy is private.
+Status sort_node(Ctx& ctx, const ExtArray& in, ExtArray* out,
+                 std::uint64_t real_bound, std::uint64_t seed, unsigned depth) {
+  Client& client = ctx.client;
+  const std::size_t B = client.B();
+  const std::uint64_t n = in.num_blocks();
+  const std::uint64_t m = client.m();
+  ++ctx.stats.nodes;
+  ctx.stats.levels = std::max(ctx.stats.levels, depth);
+
+  const std::uint64_t q64 = iroot(m, 4);
+  const std::uint64_t min_rec = ctx.opts.min_recursive_blocks != 0
+                                    ? ctx.opts.min_recursive_blocks
+                                    : 4 * m;
+  // Base cases: all conditions are public parameters.
+  const bool dense_regime = ctx.opts.paper_dense_rule && m * m * m * m >= n;
+  if (n <= min_rec || dense_regime || q64 < 2 ||
+      depth >= ctx.opts.max_depth || real_bound <= B * m) {
+    return sort_node_deterministic(ctx, in, out);
+  }
+  const unsigned q = static_cast<unsigned>(std::min<std::uint64_t>(q64, 255));
+  const unsigned colors = q + 1;
+
+  // Independent coin streams so that the (data-dependent) number of private
+  // tie-breaking decisions can never shift the coins that drive the trace.
+  rng::Xoshiro coins(seed ^ (0x517ab1e5ULL + depth));
+  const std::uint64_t quantile_seed = coins.next();
+  const std::uint64_t tie_seed = coins.next();
+  rng::Xoshiro shuffle_coins = coins.split();
+  std::vector<std::uint64_t> loose_seeds(colors), child_seeds(colors);
+  for (unsigned c = 0; c < colors; ++c) loose_seeds[c] = coins.next();
+  for (unsigned c = 0; c < colors; ++c) child_seeds[c] = coins.next();
+
+  Status st;  // accumulates this node's *unsweepable* failures
+
+  // --- 1. Splitters.  The private real-record count steers only rank
+  // arithmetic inside the quantile algorithm (see QuantilesOptions).
+  std::uint64_t real_records = 0;
+  {
+    CacheLease lease(client.cache(), B);
+    BlockBuf blk;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      client.read_block(in, i, blk);
+      for (const Record& r : blk)
+        if (!r.is_empty()) ++real_records;
+    }
+  }
+  QuantilesOptions qopts = ctx.opts.quantiles;
+  qopts.real_records = std::max<std::uint64_t>(real_records, colors + 1);
+  if (ctx.opts.sparse_quantiles) qopts.force_sparse = true;
+  QuantilesResult quant = oblivious_quantiles(client, in, q, quantile_seed, qopts);
+  // A quantile tail event yields degraded splitters, never a wrong sort:
+  // colors stay internally sorted and ordered; the only risk is a capacity
+  // overflow downstream, which the loose/deal stages flag themselves.
+  if (!quant.status.ok()) ++ctx.stats.quantile_tails;
+  std::vector<std::uint64_t> splitters(q, 0);
+  for (unsigned j = 0; j < q && j < quant.quantiles.size(); ++j)
+    splitters[j] = quant.quantiles[j].key;
+  std::sort(splitters.begin(), splitters.end());
+
+  // --- 2. Coloring.  Records strictly between splitters get the unique
+  // eligible color; records equal to splitter keys are spread over the
+  // eligible range by a deterministic keyed hash, so the consolidation and
+  // the deal below agree on every block's color while duplicate-heavy
+  // inputs still balance.
+  auto color_of = [&](const Record& r) -> unsigned {
+    unsigned lo = 0, hi = 0;
+    for (unsigned j = 0; j < q; ++j) {
+      if (splitters[j] < r.key) ++lo;
+      if (splitters[j] <= r.key) ++hi;
+    }
+    if (lo == hi) return lo;
+    const std::uint64_t h = hash::mix(r.key * 0x9e3779b97f4a7c15ULL ^ r.value, tie_seed);
+    return lo + static_cast<unsigned>(h % (hi - lo + 1));
+  };
+
+  // --- 3. Multi-way consolidation into monochromatic blocks.
+  MultiwayResult mw = multiway_consolidate(client, in, colors, color_of);
+  st.Update(mw.status);
+
+  // --- 4. Shuffle and deal.
+  shuffle_blocks(client, mw.out, shuffle_coins);
+  DealResult deal = deal_blocks(client, mw.out, colors, color_of, ctx.opts.deal);
+  st.Update(deal.status);
+
+  // --- 5. Loose compaction of each color.  The public per-color bound is
+  // real_bound/(q+1) plus a sqrt-scale additive slack (quantile rank error
+  // and tie-spreading variance are both O(sqrt) deviations).  The slack must
+  // be additive: a multiplicative slack would compound through the recursion
+  // and blow the level capacity up exponentially.
+  const double mean_child = static_cast<double>(real_bound) / static_cast<double>(colors);
+  const std::uint64_t child_real_bound = std::max<std::uint64_t>(
+      B, static_cast<std::uint64_t>(
+             std::ceil(mean_child + 4.0 * ctx.opts.color_slack * std::sqrt(mean_child))) +
+             2 * B);
+  const std::uint64_t r_cap = ceil_div(child_real_bound, B) + 2;
+  std::vector<ExtArray> child_inputs(colors);
+  for (unsigned c = 0; c < colors; ++c) {
+    if (4 * r_cap >= deal.colors[c].num_blocks()) {
+      // Too tight for Theorem 8; use the deterministic Theorem 6 compactor
+      // (same public branch for every color -- sizes are uniform).
+      TightCompactResult tight =
+          tight_compact_blocks(client, deal.colors[c], block_nonempty_pred());
+      child_inputs[c] = client.alloc_blocks(5 * r_cap, Client::Init::kUninit);
+      copy_blocks(client, tight.out, child_inputs[c], 0, 5 * r_cap);
+      if (tight.occupied > 5 * r_cap)
+        st.Update(Status::WhpFailure("color overflow after tight compaction"));
+    } else {
+      LooseCompactResult lc =
+          loose_compact_blocks(client, deal.colors[c], r_cap,
+                               block_nonempty_pred(), loose_seeds[c], ctx.opts.loose);
+      st.Update(lc.status);  // loose losses are unsweepable: data is gone
+      child_inputs[c] = lc.out;  // exactly 5 * r_cap blocks
+    }
+  }
+
+  // --- 6. Recursion.  Only the *sort* statuses are sweepable.
+  std::vector<ExtArray> child_out(colors);
+  std::vector<Status> child_sort_status(colors);
+  for (unsigned c = 0; c < colors; ++c) {
+    child_sort_status[c] =
+        sort_node(ctx, child_inputs[c], &child_out[c], child_real_bound,
+                  child_seeds[c], depth + 1);
+    if (!child_sort_status[c].ok()) ++ctx.stats.child_failures;
+  }
+
+  // --- 7. Level assembly + failure sweeping (fixed trace regardless of the
+  // number of actual failures).
+  std::uint64_t slice = 1;
+  for (unsigned c = 0; c < colors; ++c) {
+    slice = std::max(slice, child_out[c].num_blocks());
+    slice = std::max(slice, child_inputs[c].num_blocks());
+  }
+  ExtArray level = client.alloc_blocks(slice * colors, Client::Init::kUninit);
+  for (unsigned c = 0; c < colors; ++c)
+    copy_blocks(client, child_out[c], level, c * slice, slice);
+
+  // Sweep only at the bottom level (public size test); elsewhere child
+  // failures propagate upward unchanged.
+  const bool sweep_active =
+      ctx.opts.sweep_slots > 0 && 5 * r_cap <= ctx.sweep_max_blocks;
+  const unsigned slots = std::max(1u, ctx.opts.sweep_slots);
+  std::vector<int> slot_of(colors, -1);
+  unsigned failures = 0;
+  for (unsigned c = 0; c < colors; ++c) {
+    const bool injected =
+        sweep_active && ((ctx.opts.debug_fail_children_mask >> c) & 1u) != 0;
+    if (injected) {
+      // Failure injection: scramble the child's output so the test can only
+      // pass if the sweep actually restores it from the input.
+      CacheLease lease(client.cache(), B);
+      BlockBuf junk(B);
+      for (std::size_t rix = 0; rix < B; ++rix) junk[rix] = {rix + 1, 0xbad};
+      for (std::uint64_t i = 0; i < std::min<std::uint64_t>(slice, 8); ++i)
+        client.write_block(level, c * slice + i, junk);
+      child_sort_status[c].Update(Status::WhpFailure("injected"));
+    }
+    if (!child_sort_status[c].ok()) {
+      if (sweep_active && failures < slots) slot_of[c] = static_cast<int>(failures);
+      ++failures;
+    }
+  }
+  if (failures > 0 && (!sweep_active || failures > slots))
+    st.Update(Status::WhpFailure(sweep_active
+                                     ? "more failed children than sweep slots"
+                                     : "child failure above the sweep level"));
+  if (!sweep_active) {
+    if (!st.ok() && std::getenv("OBLIVEM_DEBUG") != nullptr) {
+      std::fprintf(stderr, "[oblivem] sort node depth=%u n=%llu failed: %s\n", depth,
+                   static_cast<unsigned long long>(n), st.message().c_str());
+    }
+    *out = level;
+    return st;
+  }
+
+  // Sweep slots start explicitly empty (counted writes, fixed pattern).
+  ExtArray sweep = client.alloc_blocks(slice * slots, Client::Init::kEmpty);
+  {
+    // Conditional copy-in of failed children's INPUTS (still intact).
+    CacheLease lease(client.cache(), 2 * B);
+    BlockBuf src, dst;
+    const BlockBuf empty = make_empty_block(B);
+    for (unsigned c = 0; c < colors; ++c) {
+      for (unsigned t = 0; t < slots; ++t) {
+        const bool mine = slot_of[c] == static_cast<int>(t);
+        for (std::uint64_t i = 0; i < slice; ++i) {
+          if (i < child_inputs[c].num_blocks()) {
+            client.read_block(child_inputs[c], i, src);
+          } else {
+            src = empty;
+          }
+          client.read_block(sweep, t * slice + i, dst);
+          client.write_block(sweep, t * slice + i, mine ? src : dst);
+        }
+      }
+    }
+  }
+  // Deterministic sort of every slot; an unused slot is all-empty and sorts
+  // with an identical trace.
+  for (unsigned t = 0; t < slots; ++t)
+    sortnet::ext_oblivious_sort(client, sweep.slice_blocks(t * slice, slice));
+  {
+    // Conditional copy-back into the failed children's level slices.
+    CacheLease lease(client.cache(), 2 * B);
+    BlockBuf src, dst;
+    for (unsigned c = 0; c < colors; ++c) {
+      for (unsigned t = 0; t < slots; ++t) {
+        const bool mine = slot_of[c] == static_cast<int>(t);
+        if (mine) ++ctx.stats.sweep_repairs;
+        for (std::uint64_t i = 0; i < slice; ++i) {
+          client.read_block(sweep, t * slice + i, src);
+          client.read_block(level, c * slice + i, dst);
+          client.write_block(level, c * slice + i, mine ? src : dst);
+        }
+      }
+    }
+  }
+
+  if (!st.ok() && std::getenv("OBLIVEM_DEBUG") != nullptr) {
+    std::fprintf(stderr, "[oblivem] sort node depth=%u n=%llu failed: %s\n", depth,
+                 static_cast<unsigned long long>(n), st.message().c_str());
+  }
+  *out = level;
+  return st;  // swept child failures are repaired and not propagated
+}
+
+}  // namespace
+
+ObliviousSortResult oblivious_sort_padded(Client& client, const ExtArray& a,
+                                          ExtArray* out, std::uint64_t seed,
+                                          const ObliviousSortOptions& opts) {
+  Ctx ctx{client, opts, {}};
+  ctx.sweep_max_blocks = 4 * iroot(std::max<std::uint64_t>(a.num_blocks(), 1), 2) + 64;
+  ObliviousSortResult res;
+  res.status = sort_node(ctx, a, out, a.num_records(), seed, 0);
+  res.stats = ctx.stats;
+  return res;
+}
+
+ObliviousSortResult oblivious_sort(Client& client, const ExtArray& a,
+                                   std::uint64_t seed,
+                                   const ObliviousSortOptions& opts) {
+  ObliviousSortResult res;
+  ExtArray padded;
+  res = oblivious_sort_padded(client, a, &padded, seed, opts);
+
+  // Finish: Lemma 3 consolidation (order-preserving over the already-sorted
+  // non-empty records) + Theorem 6 tight compaction, then copy back.
+  ConsolidateResult cons = consolidate(client, padded, nonempty_pred());
+  TightCompactResult tight =
+      tight_compact_blocks(client, cons.out, block_nonempty_pred());
+  if (tight.occupied > a.num_blocks())
+    res.status.Update(Status::WhpFailure("records were lost or duplicated"));
+  {
+    CacheLease lease(client.cache(), client.B());
+    BlockBuf blk;
+    const BlockBuf empty = make_empty_block(client.B());
+    for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
+      if (i < tight.out.num_blocks()) {
+        client.read_block(tight.out, i, blk);
+      } else {
+        blk = empty;
+      }
+      client.write_block(a, i, blk);
+    }
+  }
+  return res;
+}
+
+}  // namespace oem::core

@@ -1,0 +1,114 @@
+#include "core/sparse_compact.h"
+
+#include <algorithm>
+
+#include "sortnet/external_sort.h"
+#include "util/math.h"
+
+namespace oem::core {
+
+namespace {
+
+std::uint64_t iblt_cells(std::uint64_t r_capacity, const SparseCompactOptions& opts) {
+  return static_cast<std::uint64_t>(opts.iblt.iblt.cells_per_item *
+                                    static_cast<double>(std::max<std::uint64_t>(1, r_capacity))) +
+         opts.iblt.iblt.k;
+}
+
+}  // namespace
+
+std::uint64_t sparse_compact_iblt_cost(std::uint64_t n_blocks, std::uint64_t r_capacity,
+                                       std::size_t B, std::uint64_t M,
+                                       const SparseCompactOptions& opts) {
+  const std::uint64_t cells = iblt_cells(r_capacity, opts);
+  const unsigned k = opts.iblt.iblt.k;
+  // Build pass: per input block, 1 read + k * (meta RMW (~3) + payload 2).
+  std::uint64_t cost = n_blocks * (1 + 5ull * k);
+  cost += 2 * (cells + ceil_div(2 * cells, B));  // table zero-init
+
+  const std::uint64_t table_records = cells * (2 + B);
+  if (!opts.iblt.force_external_decode && table_records + 2 * B <= M) {
+    cost += cells + ceil_div(2 * cells, B) + r_capacity;  // scan in + out
+    return cost;
+  }
+  // External oblivious peeling: per round, several scans + two unit sorts of
+  // (1+k)*cells units, plus the final staged extraction.
+  const std::uint64_t ub = ceil_div(B + 2, B);
+  const std::uint64_t rounds =
+      opts.iblt.decode_rounds != 0
+          ? opts.iblt.decode_rounds
+          : static_cast<std::uint64_t>(ceil_log2(r_capacity + 2)) + 4;
+  const std::uint64_t comb_blocks = (1 + k) * cells * ub;
+  const std::uint64_t m_blocks = std::max<std::uint64_t>(2, M / B);
+  const std::uint64_t sort_cost = sortnet::ext_sort_predicted_ios(comb_blocks, m_blocks);
+  const std::uint64_t cand_sort = sortnet::ext_sort_predicted_ios(cells * ub, m_blocks);
+  const std::uint64_t per_round = 2 * sort_cost + 2 * cand_sort + 12 * cells * ub;
+  const std::uint64_t stage_sort =
+      sortnet::ext_sort_predicted_ios(rounds * cells * ub, m_blocks);
+  cost += rounds * per_round + 2 * stage_sort + rounds * cells * ub + r_capacity;
+  return cost;
+}
+
+std::uint64_t sparse_compact_butterfly_cost(std::uint64_t n_blocks,
+                                            std::uint64_t m_blocks) {
+  return butterfly_predicted_ios(n_blocks, m_blocks) + n_blocks;
+}
+
+SparseCompactResult sparse_compact_blocks(Client& client, const ExtArray& a,
+                                          std::uint64_t r_capacity,
+                                          const BlockPredFn& pred, std::uint64_t seed,
+                                          const SparseCompactOptions& opts) {
+  SparseCompactResult res;
+  const std::uint64_t n = a.num_blocks();
+  r_capacity = std::max<std::uint64_t>(1, r_capacity);
+
+  // Strategy choice on public parameters only: tiny capacities and
+  // not-actually-sparse inputs always go deterministic; otherwise the cost
+  // model picks (the IBLT path wins asymptotically -- Theorem 4's regime --
+  // while the Theorem 6 butterfly often wins at laboratory sizes).
+  const std::uint64_t cells = iblt_cells(r_capacity, opts);
+  bool use_butterfly = r_capacity <= opts.min_iblt_capacity || cells >= n;
+  if (!use_butterfly && opts.cost_aware) {
+    use_butterfly =
+        sparse_compact_butterfly_cost(n, client.m()) <
+        sparse_compact_iblt_cost(n, r_capacity, client.B(), client.M(), opts);
+  }
+
+  if (use_butterfly) {
+    TightCompactResult tight = tight_compact_blocks(client, a, pred);
+    res.distinguished = tight.occupied;
+    res.out = client.alloc_blocks(r_capacity, Client::Init::kUninit);
+    BlockBuf buf;
+    CacheLease lease(client.cache(), client.B());
+    const BlockBuf empty = make_empty_block(client.B());
+    for (std::uint64_t i = 0; i < r_capacity; ++i) {
+      if (i < tight.out.num_blocks()) {
+        client.read_block(tight.out, i, buf);
+        client.write_block(res.out, i, buf);
+      } else {
+        client.write_block(res.out, i, empty);
+      }
+    }
+    res.status = tight.occupied <= r_capacity
+                     ? Status::Ok()
+                     : Status::WhpFailure("distinguished blocks exceed capacity");
+    return res;
+  }
+
+  iblt::ObliviousBlockIblt table(client, r_capacity, opts.iblt, seed);
+  std::uint64_t seen = 0;
+  table.build(a, [&](std::uint64_t i, const BlockBuf& blk) {
+    const bool d = pred(i, blk);
+    if (d) ++seen;
+    return d;
+  });
+  res.distinguished = seen;
+  res.out = client.alloc(r_capacity * client.B(), Client::Init::kUninit);
+  res.status = table.extract(res.out);
+  if (res.status.ok() && seen > r_capacity) {
+    res.status = Status::WhpFailure("distinguished blocks exceed capacity");
+  }
+  return res;
+}
+
+}  // namespace oem::core

@@ -1,0 +1,62 @@
+// Tight order-preserving compaction for sparse arrays -- Theorem 4.
+//
+// Given an array of n blocks with at most r distinguished blocks, produce an
+// array of exactly r blocks holding the distinguished blocks in their
+// original relative order.  The heavy lifting is the oblivious IBLT: a
+// single pass inserts (i, A[i]) for distinguished blocks and merely
+// re-encrypts the same cells for the others, then the table (size O(r)) is
+// decoded obliviously and the entries are emitted sorted by original index.
+//
+// Cost: O(n) I/Os for the insertion pass plus polylog(r)-factor work on
+// O(r)-size arrays for the decode -- the paper's O(n + r log^2 r).  For tiny
+// capacities, where an IBLT is statistically meaningless, we fall back to
+// the deterministic butterfly compaction (Theorem 6), chosen by public
+// parameters only so the trace stays data-independent.
+//
+// Randomized: succeeds with probability 1 - 1/r^c (Lemma 1); failure is
+// reported, never silent, and the trace is the same either way.
+#pragma once
+
+#include <cstdint>
+
+#include "core/butterfly.h"
+#include "extmem/client.h"
+#include "iblt/oblivious_iblt.h"
+#include "util/status.h"
+
+namespace oem::core {
+
+struct SparseCompactOptions {
+  iblt::ObliviousIbltOptions iblt;
+  /// Capacities at or below this use the deterministic butterfly fallback.
+  std::uint64_t min_iblt_capacity = 8;
+  /// Pick IBLT vs butterfly by the public cost model below (recommended).
+  /// When false, the IBLT path is used whenever the capacity allows it
+  /// (the paper's asymptotic regime, useful for the E2 bench).
+  bool cost_aware = true;
+};
+
+/// Public-parameter cost estimates (block I/Os) for the two compaction
+/// strategies; sparse_compact_blocks picks the cheaper one when cost_aware.
+/// Exposed so tests can pin the model and the benches can report it.
+std::uint64_t sparse_compact_iblt_cost(std::uint64_t n_blocks, std::uint64_t r_capacity,
+                                       std::size_t B, std::uint64_t M,
+                                       const SparseCompactOptions& opts);
+std::uint64_t sparse_compact_butterfly_cost(std::uint64_t n_blocks,
+                                            std::uint64_t m_blocks);
+
+struct SparseCompactResult {
+  ExtArray out;                   // exactly r_capacity blocks
+  std::uint64_t distinguished = 0;  // private count observed during the pass
+  Status status;
+};
+
+/// Theorem 4 at block granularity.  `r_capacity` must upper-bound the number
+/// of distinguished blocks (a public parameter); exceeding it is a reported
+/// failure.  `seed` drives the IBLT hash family (data-independent).
+SparseCompactResult sparse_compact_blocks(Client& client, const ExtArray& a,
+                                          std::uint64_t r_capacity,
+                                          const BlockPredFn& pred, std::uint64_t seed,
+                                          const SparseCompactOptions& opts = {});
+
+}  // namespace oem::core

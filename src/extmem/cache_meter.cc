@@ -1,0 +1,4 @@
+#include "extmem/cache_meter.h"
+
+// Header-only; kept as a translation unit for symmetry and future growth.
+namespace oem {}

@@ -1,0 +1,77 @@
+// CacheMeter: enforcement of Alice's private-memory budget M.
+//
+// The paper's algorithms are only interesting because M << N; an
+// implementation that quietly buffers everything client-side would be
+// vacuous.  Algorithms charge their in-cache working sets against the meter
+// via RAII leases (units: records).  In strict mode exceeding M aborts the
+// test; otherwise the high-water mark is recorded so tests can assert
+// peak <= M after the fact.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace oem {
+
+class CacheMeter {
+ public:
+  CacheMeter(std::uint64_t capacity_records, bool strict)
+      : capacity_(capacity_records), strict_(strict) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t in_use() const { return in_use_; }
+  std::uint64_t peak() const { return peak_; }
+  void reset_peak() { peak_ = in_use_; }
+
+  void charge(std::uint64_t records) {
+    in_use_ += records;
+    if (in_use_ > peak_) peak_ = in_use_;
+    if (strict_ && in_use_ > capacity_) {
+      throw std::runtime_error("private cache budget exceeded: " +
+                               std::to_string(in_use_) + " > M=" +
+                               std::to_string(capacity_));
+    }
+  }
+
+  void release(std::uint64_t records) {
+    in_use_ = records > in_use_ ? 0 : in_use_ - records;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  bool strict_;
+  std::uint64_t in_use_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// RAII lease of private-memory records.
+class CacheLease {
+ public:
+  CacheLease(CacheMeter& meter, std::uint64_t records)
+      : meter_(&meter), records_(records) {
+    meter_->charge(records_);
+  }
+  CacheLease(const CacheLease&) = delete;
+  CacheLease& operator=(const CacheLease&) = delete;
+  CacheLease(CacheLease&& other) noexcept
+      : meter_(other.meter_), records_(other.records_) {
+    other.meter_ = nullptr;
+  }
+  ~CacheLease() {
+    if (meter_) meter_->release(records_);
+  }
+
+  /// Grow/shrink the lease (e.g., a buffer that expands during a phase).
+  void resize(std::uint64_t records) {
+    if (!meter_) return;
+    if (records > records_) meter_->charge(records - records_);
+    else meter_->release(records_ - records);
+    records_ = records;
+  }
+
+ private:
+  CacheMeter* meter_;
+  std::uint64_t records_;
+};
+
+}  // namespace oem

@@ -1,0 +1,156 @@
+#include "extmem/client.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace oem {
+
+Client::Client(const ClientParams& params)
+    : B_(params.block_records),
+      M_(params.cache_records),
+      dev_(std::make_unique<BlockDevice>(1 + params.block_records * kWordsPerRecord)),
+      enc_(rng::mix64(params.seed ^ 0x5bf0363546294ce7ULL), params.seed),
+      meter_(params.cache_records, params.strict_cache),
+      rng_(params.seed) {
+  assert(B_ >= 1);
+  assert(M_ >= 2 * B_ && "the paper assumes at least M >= 2B everywhere");
+  wire_.resize(dev_->block_words());
+}
+
+ExtArray Client::alloc(std::uint64_t num_records, Init init) {
+  const std::uint64_t nblocks = num_records == 0 ? 0 : ceil_div(num_records, B_);
+  ExtArray a(dev_->allocate(nblocks), num_records, B_);
+  if (init == Init::kEmpty) {
+    const BlockBuf empty = make_empty_block(B_);
+    for (std::uint64_t i = 0; i < nblocks; ++i) write_block(a, i, empty);
+  }
+  return a;
+}
+
+ExtArray Client::alloc_blocks(std::uint64_t num_blocks, Init init) {
+  return alloc(num_blocks * B_, init);
+}
+
+void Client::release(const ExtArray& a) { dev_->release(a.extent()); }
+
+void Client::serialize(const BlockBuf& in, std::span<Word> out_words) const {
+  assert(in.size() == B_);
+  assert(out_words.size() == 1 + B_ * kWordsPerRecord);
+  // out_words[0] is the nonce slot, filled by the caller.
+  for (std::size_t r = 0; r < B_; ++r) {
+    out_words[1 + 2 * r] = in[r].key;
+    out_words[2 + 2 * r] = in[r].value;
+  }
+}
+
+void Client::deserialize(std::span<const Word> in_words, BlockBuf& out) const {
+  assert(in_words.size() == 1 + B_ * kWordsPerRecord);
+  out.resize(B_);
+  for (std::size_t r = 0; r < B_; ++r) {
+    out[r].key = in_words[1 + 2 * r];
+    out[r].value = in_words[2 + 2 * r];
+  }
+}
+
+void Client::read_block(const ExtArray& a, std::uint64_t i, BlockBuf& out) {
+  assert(i < a.num_blocks());
+  const std::uint64_t dev_blk = a.device_block(i);
+  dev_->read(dev_blk, wire_);
+  const Word nonce = wire_[0];
+  enc_.apply_keystream(dev_blk, nonce, std::span<Word>(wire_).subspan(1));
+  deserialize(wire_, out);
+}
+
+void Client::write_block(const ExtArray& a, std::uint64_t i, const BlockBuf& in) {
+  assert(i < a.num_blocks());
+  const std::uint64_t dev_blk = a.device_block(i);
+  const Word nonce = enc_.fresh_nonce();
+  wire_[0] = nonce;
+  serialize(in, wire_);
+  enc_.apply_keystream(dev_blk, nonce, std::span<Word>(wire_).subspan(1));
+  dev_->write(dev_blk, wire_);
+}
+
+void Client::touch_block(const ExtArray& a, std::uint64_t i) {
+  BlockBuf buf;
+  CacheLease lease(meter_, B_);
+  read_block(a, i, buf);
+  write_block(a, i, buf);  // fresh nonce => fresh ciphertext
+}
+
+void Client::read_records(const ExtArray& a, std::uint64_t start, std::span<Record> out) {
+  assert(start + out.size() <= a.num_blocks() * B_);
+  BlockBuf buf;
+  std::uint64_t pos = start;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t blk = pos / B_;
+    const std::size_t off = static_cast<std::size_t>(pos % B_);
+    const std::size_t take = std::min(out.size() - done, B_ - off);
+    read_block(a, blk, buf);
+    for (std::size_t i = 0; i < take; ++i) out[done + i] = buf[off + i];
+    pos += take;
+    done += take;
+  }
+}
+
+void Client::write_records(const ExtArray& a, std::uint64_t start,
+                           std::span<const Record> in) {
+  assert(start + in.size() <= a.num_blocks() * B_);
+  BlockBuf buf;
+  std::uint64_t pos = start;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t blk = pos / B_;
+    const std::size_t off = static_cast<std::size_t>(pos % B_);
+    const std::size_t take = std::min(in.size() - done, B_ - off);
+    if (off != 0 || take != B_) {
+      read_block(a, blk, buf);  // read-modify-write for partial coverage
+    } else {
+      buf.assign(B_, Record{});
+    }
+    for (std::size_t i = 0; i < take; ++i) buf[off + i] = in[done + i];
+    write_block(a, blk, buf);
+    pos += take;
+    done += take;
+  }
+}
+
+std::vector<Record> Client::peek(const ExtArray& a) const {
+  std::vector<Record> out;
+  out.reserve(a.num_records());
+  std::vector<Word> wire(dev_->block_words());
+  BlockBuf buf;
+  for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
+    const std::uint64_t dev_blk = a.device_block(i);
+    std::memcpy(wire.data(), dev_->raw(dev_blk).data(), wire.size() * sizeof(Word));
+    enc_.apply_keystream(dev_blk, wire[0], std::span<Word>(wire).subspan(1));
+    deserialize(wire, buf);
+    for (std::size_t r = 0; r < B_ && out.size() < a.num_records(); ++r)
+      out.push_back(buf[r]);
+  }
+  return out;
+}
+
+void Client::poke(const ExtArray& a, std::span<const Record> records) {
+  assert(records.size() <= a.num_blocks() * B_);
+  std::vector<Word> wire(dev_->block_words());
+  BlockBuf buf(B_);
+  std::size_t idx = 0;
+  for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
+    for (std::size_t r = 0; r < B_; ++r) {
+      buf[r] = idx < records.size() ? records[idx] : Record{};
+      ++idx;
+    }
+    const std::uint64_t dev_blk = a.device_block(i);
+    const Word nonce = enc_.fresh_nonce();
+    wire[0] = nonce;
+    serialize(buf, wire);
+    enc_.apply_keystream(dev_blk, nonce, std::span<Word>(wire).subspan(1));
+    // Bypass counters/trace: direct poke into Bob's storage (setup only).
+    std::memcpy(const_cast<Word*>(dev_->raw(dev_blk).data()), wire.data(),
+                wire.size() * sizeof(Word));
+  }
+}
+
+}  // namespace oem

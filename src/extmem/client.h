@@ -1,0 +1,102 @@
+// Client: Alice's side of the outsourced-storage protocol.
+//
+// Owns the (simulated) remote BlockDevice, the encryption state, the private
+// cache meter, and the master PRG.  All algorithm I/O flows through
+// read_block/write_block, which (de/en)crypt and are counted + traced by the
+// device -- exactly the adversary's view in the paper's model.
+//
+// Parameter naming follows the paper: B = records per block, M = records of
+// private cache, N = records in an input, n = ceil(N/B) blocks,
+// m = floor(M/B) cache blocks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "extmem/cache_meter.h"
+#include "extmem/device.h"
+#include "extmem/encryption.h"
+#include "extmem/ext_array.h"
+#include "extmem/record.h"
+#include "rng/random.h"
+#include "util/math.h"
+
+namespace oem {
+
+struct ClientParams {
+  std::size_t block_records = 16;    // B
+  std::uint64_t cache_records = 1024;  // M
+  std::uint64_t seed = 1;
+  bool strict_cache = false;  // strict: throw when a lease exceeds M
+};
+
+class Client {
+ public:
+  explicit Client(const ClientParams& params);
+
+  std::size_t B() const { return B_; }
+  std::uint64_t M() const { return M_; }
+  /// Cache capacity in blocks, m = floor(M/B).
+  std::uint64_t m() const { return M_ / B_; }
+
+  BlockDevice& device() { return *dev_; }
+  const BlockDevice& device() const { return *dev_; }
+  CacheMeter& cache() { return meter_; }
+  rng::Xoshiro& rng() { return rng_; }
+
+  enum class Init { kUninit, kEmpty };
+
+  /// Allocate an array of `num_records` records (ceil(num_records/B) blocks).
+  /// Init::kEmpty writes all-empty blocks through the normal counted path
+  /// (the paper's algorithms must pay to create their scratch arrays);
+  /// Init::kUninit is for arrays the algorithm fully overwrites before
+  /// reading.
+  ExtArray alloc(std::uint64_t num_records, Init init = Init::kEmpty);
+  /// Allocate by block count directly.
+  ExtArray alloc_blocks(std::uint64_t num_blocks, Init init = Init::kEmpty);
+  /// Stack-discipline release of a scratch array.
+  void release(const ExtArray& a);
+
+  // --- counted, traced I/O (the adversary sees these) ---
+
+  void read_block(const ExtArray& a, std::uint64_t i, BlockBuf& out);
+  void write_block(const ExtArray& a, std::uint64_t i, const BlockBuf& in);
+
+  /// Re-encrypt block i in place without changing its contents.  To Bob this
+  /// is indistinguishable from a content-changing write (1 read + 1 write).
+  void touch_block(const ExtArray& a, std::uint64_t i);
+
+  /// Read/write a record range that may straddle block boundaries.  Writes
+  /// that partially cover a block do read-modify-write (counted).  The access
+  /// pattern depends only on (start, count) -- never on data.
+  void read_records(const ExtArray& a, std::uint64_t start, std::span<Record> out);
+  void write_records(const ExtArray& a, std::uint64_t start, std::span<const Record> in);
+
+  // --- uncounted debug/setup access (the omniscient test harness) ---
+
+  /// Read the whole array without touching I/O counters, the trace, or the
+  /// cache meter.  For test verification and workload setup only.
+  std::vector<Record> peek(const ExtArray& a) const;
+  /// Write records into the array without counting (test setup only).
+  void poke(const ExtArray& a, std::span<const Record> records);
+
+  const IoStats& stats() const { return dev_->stats(); }
+  void reset_stats() { dev_->reset_stats(); }
+
+ private:
+  void serialize(const BlockBuf& in, std::span<Word> out_words) const;
+  void deserialize(std::span<const Word> in_words, BlockBuf& out) const;
+
+  std::size_t B_;
+  std::uint64_t M_;
+  std::unique_ptr<BlockDevice> dev_;
+  Encryptor enc_;
+  CacheMeter meter_;
+  rng::Xoshiro rng_;
+  // Reused scratch to avoid per-I/O allocation; sized block_words().
+  mutable std::vector<Word> wire_;
+};
+
+}  // namespace oem

@@ -1,0 +1,53 @@
+#include "extmem/device.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace oem {
+
+BlockDevice::BlockDevice(std::size_t block_words) : block_words_(block_words) {
+  assert(block_words >= 1);
+}
+
+Extent BlockDevice::allocate(std::uint64_t nblocks) {
+  Extent e{num_blocks_, nblocks};
+  num_blocks_ += nblocks;
+  storage_.resize(static_cast<std::size_t>(num_blocks_) * block_words_);
+  return e;
+}
+
+void BlockDevice::release(const Extent& e) {
+  if (e.num_blocks == 0) return;
+  if (e.first_block + e.num_blocks == num_blocks_) {
+    num_blocks_ = e.first_block;
+    storage_.resize(static_cast<std::size_t>(num_blocks_) * block_words_);
+  }
+  // Non-LIFO releases are ignored: the arena is reclaimed wholesale when the
+  // Client is destroyed.  Algorithms allocate scratch LIFO, so in practice
+  // everything is reclaimed.
+}
+
+void BlockDevice::read(std::uint64_t block, std::span<Word> out) {
+  assert(block < num_blocks_);
+  assert(out.size() == block_words_);
+  stats_.reads++;
+  trace_.on_access(IoOp::kRead, block);
+  std::memcpy(out.data(), storage_.data() + block * block_words_,
+              block_words_ * sizeof(Word));
+}
+
+void BlockDevice::write(std::uint64_t block, std::span<const Word> in) {
+  assert(block < num_blocks_);
+  assert(in.size() == block_words_);
+  stats_.writes++;
+  trace_.on_access(IoOp::kWrite, block);
+  std::memcpy(storage_.data() + block * block_words_, in.data(),
+              block_words_ * sizeof(Word));
+}
+
+std::span<const Word> BlockDevice::raw(std::uint64_t block) const {
+  assert(block < num_blocks_);
+  return {storage_.data() + block * block_words_, block_words_};
+}
+
+}  // namespace oem

@@ -1,0 +1,58 @@
+// BlockDevice: Bob's outsourced storage.
+//
+// A flat array of fixed-size blocks of Words.  Every read/write increments
+// I/O counters and is reported to the TraceRecorder -- this is precisely the
+// view the honest-but-curious server gets (sequence + location of accesses,
+// ciphertext contents).  Allocation is arena style: arrays of blocks are
+// carved off the end; a stack-discipline `release` supports scratch arrays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "extmem/record.h"
+#include "extmem/trace.h"
+
+namespace oem {
+
+/// A contiguous run of blocks on the device.
+struct Extent {
+  std::uint64_t first_block = 0;
+  std::uint64_t num_blocks = 0;
+};
+
+class BlockDevice {
+ public:
+  /// block_words: words of ciphertext per block (payload + nonce header).
+  explicit BlockDevice(std::size_t block_words);
+
+  std::size_t block_words() const { return block_words_; }
+  std::uint64_t num_blocks() const { return num_blocks_; }
+
+  Extent allocate(std::uint64_t nblocks);
+  /// Stack-discipline release: frees the extent iff it is at the end of the
+  /// arena (scratch arrays are allocated/released LIFO by the algorithms).
+  void release(const Extent& e);
+
+  void read(std::uint64_t block, std::span<Word> out);
+  void write(std::uint64_t block, std::span<const Word> in);
+
+  const IoStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = IoStats{}; }
+
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  /// Raw ciphertext view, for tests that check Bob cannot see plaintext.
+  std::span<const Word> raw(std::uint64_t block) const;
+
+ private:
+  std::size_t block_words_;
+  std::uint64_t num_blocks_ = 0;
+  std::vector<Word> storage_;
+  IoStats stats_;
+  TraceRecorder trace_;
+};
+
+}  // namespace oem

@@ -1,0 +1,15 @@
+#include "extmem/encryption.h"
+
+#include "rng/random.h"
+
+namespace oem {
+
+Word Encryptor::fresh_nonce() { return rng::splitmix64(nonce_state_); }
+
+void Encryptor::apply_keystream(std::uint64_t block_index, Word nonce,
+                                std::span<Word> payload) const {
+  std::uint64_t stream = key_ ^ (block_index * 0x9e3779b97f4a7c15ULL) ^ nonce;
+  for (Word& w : payload) w ^= rng::splitmix64(stream);
+}
+
+}  // namespace oem

@@ -1,0 +1,41 @@
+// Simulation of semantically secure block encryption.
+//
+// The paper assumes Alice encrypts every block "using a semantically secure
+// encryption scheme such that re-encryption of the same value is
+// indistinguishable from an encryption of a different value".  We simulate
+// this with a keyed keystream (SplitMix64 over key ⊕ block ⊕ nonce ⊕ counter)
+// and a fresh random nonce on every write, so that:
+//   * the device only ever holds ciphertext,
+//   * rewriting an unchanged block produces a fresh, unrelated ciphertext.
+//
+// This is NOT a real cipher; it exists so the simulation has a genuine
+// "Bob cannot read contents" code path (DESIGN.md substitution #2).  All
+// obliviousness guarantees in this library are about access patterns only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "extmem/record.h"
+
+namespace oem {
+
+class Encryptor {
+ public:
+  Encryptor(Word key, std::uint64_t nonce_seed)
+      : key_(key), nonce_state_(nonce_seed ^ 0x41c64e6d12345ULL) {}
+
+  /// Draw a fresh nonce for a write.
+  Word fresh_nonce();
+
+  /// XOR `payload` with the keystream for (block_index, nonce); involutive,
+  /// so the same call decrypts.
+  void apply_keystream(std::uint64_t block_index, Word nonce,
+                       std::span<Word> payload) const;
+
+ private:
+  Word key_;
+  std::uint64_t nonce_state_;
+};
+
+}  // namespace oem

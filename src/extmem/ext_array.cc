@@ -1,0 +1,3 @@
+#include "extmem/ext_array.h"
+
+namespace oem {}

@@ -1,0 +1,45 @@
+// ExtArray: a typed handle to an array of Records stored on the BlockDevice.
+//
+// An ExtArray is a contiguous extent of device blocks holding `num_records`
+// records at `records_per_block` per block.  It is a value handle -- all I/O
+// goes through the owning Client so that encryption, I/O accounting and
+// cache metering are applied uniformly.
+#pragma once
+
+#include <cstdint>
+
+#include "extmem/device.h"
+#include "util/math.h"
+
+namespace oem {
+
+class ExtArray {
+ public:
+  ExtArray() = default;
+  ExtArray(Extent extent, std::uint64_t num_records, std::size_t records_per_block)
+      : extent_(extent), num_records_(num_records), records_per_block_(records_per_block) {}
+
+  bool valid() const { return records_per_block_ != 0; }
+  std::uint64_t num_records() const { return num_records_; }
+  std::uint64_t num_blocks() const { return extent_.num_blocks; }
+  std::size_t records_per_block() const { return records_per_block_; }
+  const Extent& extent() const { return extent_; }
+
+  /// Device block index backing array block i.
+  std::uint64_t device_block(std::uint64_t i) const {
+    return extent_.first_block + i;
+  }
+
+  /// A sub-array view: blocks [first, first + count) of this array.
+  ExtArray slice_blocks(std::uint64_t first, std::uint64_t count) const {
+    Extent e{extent_.first_block + first, count};
+    return ExtArray(e, count * records_per_block_, records_per_block_);
+  }
+
+ private:
+  Extent extent_;
+  std::uint64_t num_records_ = 0;
+  std::size_t records_per_block_ = 0;
+};
+
+}  // namespace oem

@@ -1,0 +1,59 @@
+// Core data types for the external-memory model.
+//
+// The unit of data is a Record: a (key, value) pair of 64-bit words, matching
+// the paper's key-value items ("we assume that keys and values can be stored
+// in memory words...").  A block holds B records; Alice's cache holds M
+// records; Bob's device stores blocks as encrypted words.
+//
+// The all-ones key is reserved as the "empty cell" sentinel.  The paper's
+// arrays explicitly allow empty cells (loose compaction, padded sorting), and
+// an empty cell compares greater than every real key so that sorting pushes
+// padding to the end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oem {
+
+using Word = std::uint64_t;
+
+inline constexpr Word kEmptyKey = ~Word{0};
+
+struct Record {
+  Word key = kEmptyKey;
+  Word value = 0;
+
+  bool is_empty() const { return key == kEmptyKey; }
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// Records per... words per record: a Record serializes to exactly 2 words.
+inline constexpr std::size_t kWordsPerRecord = 2;
+
+/// Key order with empty cells last; ties broken by value so that sorting is
+/// deterministic (useful for differential tests).
+struct RecordLess {
+  bool operator()(const Record& a, const Record& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  }
+};
+
+/// A block buffer in Alice's memory: B records.
+using BlockBuf = std::vector<Record>;
+
+inline BlockBuf make_empty_block(std::size_t records_per_block) {
+  return BlockBuf(records_per_block);  // Record default-constructs to empty
+}
+
+inline bool block_all_empty(const BlockBuf& b) {
+  for (const Record& r : b)
+    if (!r.is_empty()) return false;
+  return true;
+}
+
+}  // namespace oem

@@ -1,0 +1,29 @@
+#include "extmem/trace.h"
+
+namespace oem {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+void TraceRecorder::on_access(IoOp op, std::uint64_t block) {
+  hash_ = fnv_step(hash_, (block << 1) | static_cast<std::uint64_t>(op));
+  ++count_;
+  if (record_events_) events_.push_back({op, block});
+}
+
+void TraceRecorder::reset() {
+  hash_ = 0xcbf29ce484222325ULL;
+  count_ = 0;
+  events_.clear();
+}
+
+}  // namespace oem

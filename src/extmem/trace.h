@@ -1,0 +1,53 @@
+// Access-trace recording: the adversary's view.
+//
+// Bob observes the *sequence* of block reads and writes (op + block index)
+// but not plaintext contents (paper §1).  TraceRecorder captures exactly that
+// view.  For large runs it can run in hash-only mode (streaming FNV-1a over
+// events) so obliviousness can still be asserted via trace-hash equality
+// without storing millions of events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oem {
+
+enum class IoOp : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct TraceEvent {
+  IoOp op;
+  std::uint64_t block;
+
+  friend bool operator==(const TraceEvent& a, const TraceEvent& b) {
+    return a.op == b.op && a.block == b.block;
+  }
+};
+
+struct IoStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t total() const { return reads + writes; }
+};
+
+class TraceRecorder {
+ public:
+  void set_record_events(bool on) { record_events_ = on; }
+  bool recording_events() const { return record_events_; }
+
+  void on_access(IoOp op, std::uint64_t block);
+
+  /// Streaming FNV-1a hash over all events since the last reset.
+  std::uint64_t hash() const { return hash_; }
+  std::uint64_t size() const { return count_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  void reset();
+
+ private:
+  bool record_events_ = false;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+  std::uint64_t count_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace oem

@@ -1,0 +1,35 @@
+#include "hash/hashing.h"
+
+#include "rng/random.h"
+
+namespace oem::hash {
+
+std::uint64_t mix(std::uint64_t x, std::uint64_t seed) {
+  std::uint64_t s = x ^ (seed * 0x9e3779b97f4a7c15ULL) ^ 0x2545f4914f6cdd1dULL;
+  return rng::splitmix64(s);
+}
+
+std::uint64_t to_range(std::uint64_t x, std::uint64_t seed, std::uint64_t range) {
+  if (range == 0) return 0;
+  // Multiply-high maps a uniform 64-bit hash onto [0, range) without modulo
+  // bias (Lemire's method).
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(mix(x, seed)) * static_cast<unsigned __int128>(range);
+  return static_cast<std::uint64_t>(wide >> 64);
+}
+
+Tabulation::Tabulation(std::uint64_t seed) {
+  std::uint64_t sm = seed ^ 0xe7037ed1a0b428dbULL;
+  for (auto& table : tables_)
+    for (auto& cell : table) cell = rng::splitmix64(sm);
+}
+
+std::uint64_t Tabulation::operator()(std::uint64_t x) const {
+  std::uint64_t h = 0;
+  for (std::size_t b = 0; b < 8; ++b) {
+    h ^= tables_[b][(x >> (8 * b)) & 0xff];
+  }
+  return h;
+}
+
+}  // namespace oem::hash

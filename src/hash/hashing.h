@@ -1,0 +1,30 @@
+// Hash functions.
+//
+// The paper's IBLT needs k random hash functions h_1..h_k with distinct
+// values per key (achieved by partitioning, see khash.h), modeled as random
+// oracles.  We provide seeded mixing hashes plus simple tabulation hashing
+// (3-independent, good enough for the peeling analyses at our scales).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace oem::hash {
+
+/// Seeded 64->64 mixer (xxhash-style avalanche over splitmix constants).
+std::uint64_t mix(std::uint64_t x, std::uint64_t seed);
+
+/// Seeded hash onto [0, range).
+std::uint64_t to_range(std::uint64_t x, std::uint64_t seed, std::uint64_t range);
+
+/// Simple tabulation hashing over 8 byte-indexed tables; 3-independent.
+class Tabulation {
+ public:
+  explicit Tabulation(std::uint64_t seed);
+  std::uint64_t operator()(std::uint64_t x) const;
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace oem::hash

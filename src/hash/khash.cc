@@ -1,0 +1,35 @@
+#include "hash/khash.h"
+
+#include <cassert>
+
+#include "hash/hashing.h"
+#include "rng/random.h"
+
+namespace oem::hash {
+
+KHashFamily::KHashFamily(unsigned k, std::uint64_t cells, std::uint64_t seed) : k_(k) {
+  assert(k >= 1);
+  seg_len_ = cells / k;
+  if (seg_len_ == 0) seg_len_ = 1;
+  std::uint64_t sm = seed ^ 0x6a09e667f3bcc909ULL;
+  seeds_.resize(k);
+  for (auto& s : seeds_) s = rng::splitmix64(sm);
+  check_seed_ = rng::splitmix64(sm);
+}
+
+std::uint64_t KHashFamily::cell(std::uint64_t x, unsigned i) const {
+  assert(i < k_);
+  return static_cast<std::uint64_t>(i) * seg_len_ + to_range(x, seeds_[i], seg_len_);
+}
+
+std::vector<std::uint64_t> KHashFamily::cells_for(std::uint64_t x) const {
+  std::vector<std::uint64_t> out(k_);
+  for (unsigned i = 0; i < k_; ++i) out[i] = cell(x, i);
+  return out;
+}
+
+std::uint64_t KHashFamily::checksum(std::uint64_t x) const {
+  return mix(x, check_seed_) | 1;  // never zero, so an empty cell can't look pure
+}
+
+}  // namespace oem::hash

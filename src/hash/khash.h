@@ -1,0 +1,42 @@
+// Partitioned k-hash family for the invertible Bloom lookup table.
+//
+// The paper (§2) requires that for any key x the k cell indices h_1(x), ...,
+// h_k(x) are distinct, "which can be achieved by a number of methods,
+// including partitioning".  We partition the table of m cells into k
+// contiguous segments of floor(m/k) cells; h_i maps into segment i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oem::hash {
+
+class KHashFamily {
+ public:
+  /// `cells` is the total table size m; it is rounded down to a multiple of k
+  /// (>= k).  All k hashes of a key land in distinct segments, hence are
+  /// distinct cells.
+  KHashFamily(unsigned k, std::uint64_t cells, std::uint64_t seed);
+
+  unsigned k() const { return k_; }
+  std::uint64_t cells() const { return seg_len_ * k_; }
+  std::uint64_t segment_length() const { return seg_len_; }
+
+  /// Cell index of hash i (0-based) for key x.
+  std::uint64_t cell(std::uint64_t x, unsigned i) const;
+
+  /// All k cells for a key.
+  std::vector<std::uint64_t> cells_for(std::uint64_t x) const;
+
+  /// A checksum hash, independent of the k cell hashes, used to validate
+  /// "pure" cells during peeling (guards against false positives).
+  std::uint64_t checksum(std::uint64_t x) const;
+
+ private:
+  unsigned k_;
+  std::uint64_t seg_len_;
+  std::vector<std::uint64_t> seeds_;
+  std::uint64_t check_seed_;
+};
+
+}  // namespace oem::hash

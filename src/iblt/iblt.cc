@@ -1,0 +1,84 @@
+#include "iblt/iblt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace oem::iblt {
+
+Iblt::Iblt(std::uint64_t capacity, const IbltParams& params, std::uint64_t seed)
+    : hashes_(params.k,
+              std::max<std::uint64_t>(
+                  params.k,
+                  static_cast<std::uint64_t>(
+                      std::ceil(params.cells_per_item *
+                                static_cast<double>(std::max<std::uint64_t>(1, capacity))))),
+              seed),
+      cells_(hashes_.cells()) {}
+
+void Iblt::update(std::uint64_t key, std::uint64_t value, bool add) {
+  const std::uint64_t chk = hashes_.checksum(key);
+  for (unsigned i = 0; i < hashes_.k(); ++i) {
+    Cell& c = cells_[hashes_.cell(key, i)];
+    if (add) {
+      c.count += 1;
+      c.key_sum += key;
+      c.value_sum += value;
+      c.check_sum += chk;
+    } else {
+      c.count -= 1;
+      c.key_sum -= key;
+      c.value_sum -= value;
+      c.check_sum -= chk;
+    }
+  }
+}
+
+void Iblt::insert(std::uint64_t key, std::uint64_t value) { update(key, value, true); }
+void Iblt::erase(std::uint64_t key, std::uint64_t value) { update(key, value, false); }
+
+bool Iblt::cell_pure(const Cell& c) const {
+  return c.count == 1 && c.check_sum == hashes_.checksum(c.key_sum);
+}
+
+std::optional<std::uint64_t> Iblt::get(std::uint64_t key) const {
+  for (unsigned i = 0; i < hashes_.k(); ++i) {
+    const Cell& c = cells_[hashes_.cell(key, i)];
+    if (c.count == 0 && c.is_zero()) return std::nullopt;  // definitely absent
+    if (cell_pure(c)) {
+      if (c.key_sum == key) return c.value_sum;
+      return std::nullopt;  // pure with another key => key not here
+    }
+  }
+  return std::nullopt;  // all cells overloaded: lookup failure
+}
+
+bool Iblt::list_entries(std::vector<Entry>& out) {
+  // Classic peeling with a worklist of candidate pure cells; O(m) overall
+  // since each delete touches k cells and each cell joins the list O(1)
+  // amortized times.
+  std::vector<std::uint64_t> work;
+  work.reserve(cells_.size());
+  for (std::uint64_t i = 0; i < cells_.size(); ++i)
+    if (cell_pure(cells_[i])) work.push_back(i);
+
+  while (!work.empty()) {
+    const std::uint64_t i = work.back();
+    work.pop_back();
+    if (!cell_pure(cells_[i])) continue;  // may have changed since enqueued
+    const std::uint64_t key = cells_[i].key_sum;
+    const std::uint64_t value = cells_[i].value_sum;
+    out.push_back({key, value});
+    erase(key, value);
+    for (unsigned h = 0; h < hashes_.k(); ++h) {
+      const std::uint64_t c = hashes_.cell(key, h);
+      if (cell_pure(cells_[c])) work.push_back(c);
+    }
+  }
+
+  return std::all_of(cells_.begin(), cells_.end(),
+                     [](const Cell& c) { return c.is_zero(); });
+}
+
+}  // namespace oem::iblt

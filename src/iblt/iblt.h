@@ -1,0 +1,77 @@
+// Invertible Bloom lookup table (Goodrich & Mitzenmacher 2011), §2 of the
+// paper.  RAM-model reference implementation.
+//
+// Each of the m cells holds {count, keySum, valueSum} plus a checkSum of a
+// key-derived checksum (guards peeling against false "pure" cells; the paper
+// assumes random-oracle hashes, we make the failure mode explicit).  The k
+// hash functions are partitioned so the k cells of any key are distinct.
+//
+// insert/delete always succeed and touch exactly the k cells determined by
+// the key alone -- the "semi-oblivious" property Theorem 4 exploits.  get and
+// listEntries succeed w.h.p. when at most n < m/(δk) pairs are present
+// (Lemma 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hash/khash.h"
+
+namespace oem::iblt {
+
+struct Entry {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+struct Cell {
+  std::uint64_t count = 0;      // # entries mapped here (mod 2^64; deletes subtract)
+  std::uint64_t key_sum = 0;    // sum of keys mapped here
+  std::uint64_t value_sum = 0;  // sum of values mapped here
+  std::uint64_t check_sum = 0;  // sum of checksum(key) -- pure-cell validation
+
+  bool is_zero() const {
+    return count == 0 && key_sum == 0 && value_sum == 0 && check_sum == 0;
+  }
+};
+
+struct IbltParams {
+  unsigned k = 4;        // hash functions
+  double cells_per_item = 3.0;  // δ·k in the paper's m = δkn sizing
+};
+
+class Iblt {
+ public:
+  /// Table sized for up to `capacity` entries.
+  Iblt(std::uint64_t capacity, const IbltParams& params, std::uint64_t seed);
+
+  std::uint64_t num_cells() const { return cells_.size(); }
+  unsigned k() const { return hashes_.k(); }
+
+  void insert(std::uint64_t key, std::uint64_t value);
+  void erase(std::uint64_t key, std::uint64_t value);
+
+  /// Lookup; may fail (nullopt) even for present keys, with small probability
+  /// (when all k cells are overloaded).
+  std::optional<std::uint64_t> get(std::uint64_t key) const;
+
+  /// Peels all entries.  Returns true iff the table fully decoded (the paper's
+  /// success condition: every cell empty afterwards).  Destructive, per the
+  /// paper's footnote 3; copy the Iblt first for a non-destructive listing.
+  bool list_entries(std::vector<Entry>& out);
+
+  /// Direct cell access for the tests and the oblivious external variant.
+  const Cell& cell(std::uint64_t i) const { return cells_[i]; }
+  const hash::KHashFamily& hashes() const { return hashes_; }
+
+ private:
+  void update(std::uint64_t key, std::uint64_t value, bool add);
+  bool cell_pure(const Cell& c) const;
+
+  hash::KHashFamily hashes_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace oem::iblt

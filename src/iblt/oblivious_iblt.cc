@@ -1,0 +1,448 @@
+#include "iblt/oblivious_iblt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <vector>
+
+#include "sortnet/external_sort.h"
+#include "util/math.h"
+
+namespace oem::iblt {
+
+namespace {
+
+/// In-cache view of a cell during build/peel.
+struct CellState {
+  std::uint64_t count = 0;
+  std::uint64_t index_sum = 0;
+  std::uint64_t check_sum = 0;
+  std::vector<Record> payload;  // B records, word-wise sums
+
+  void add_block(std::uint64_t index, std::uint64_t check, const BlockBuf& blk, bool add) {
+    count += add ? 1 : static_cast<std::uint64_t>(-1);
+    index_sum += add ? index : static_cast<std::uint64_t>(-index);
+    check_sum += add ? check : static_cast<std::uint64_t>(-check);
+    for (std::size_t w = 0; w < payload.size(); ++w) {
+      if (add) {
+        payload[w].key += blk[w].key;
+        payload[w].value += blk[w].value;
+      } else {
+        payload[w].key -= blk[w].key;
+        payload[w].value -= blk[w].value;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ObliviousBlockIblt::ObliviousBlockIblt(Client& client, std::uint64_t capacity,
+                                       const ObliviousIbltOptions& opts,
+                                       std::uint64_t seed)
+    : client_(client),
+      capacity_(std::max<std::uint64_t>(1, capacity)),
+      opts_(opts),
+      hashes_(opts.iblt.k,
+              std::max<std::uint64_t>(
+                  opts.iblt.k,
+                  static_cast<std::uint64_t>(opts.iblt.cells_per_item *
+                                             static_cast<double>(capacity_)) +
+                      opts.iblt.k),
+              seed) {
+  const std::uint64_t cells = hashes_.cells();
+  meta_ = client_.alloc(2 * cells, Client::Init::kUninit);
+  payload_ = client_.alloc_blocks(cells, Client::Init::kUninit);
+  // Zero-initialize: sums must start at all-zero words (an "empty" Record is
+  // the sentinel key, not zero, so Init::kEmpty would be wrong here).
+  const BlockBuf zero(client_.B(), Record{0, 0});
+  CacheLease lease(client_.cache(), client_.B());
+  for (std::uint64_t b = 0; b < meta_.num_blocks(); ++b) client_.write_block(meta_, b, zero);
+  for (std::uint64_t b = 0; b < payload_.num_blocks(); ++b)
+    client_.write_block(payload_, b, zero);
+}
+
+ObliviousBlockIblt::~ObliviousBlockIblt() {
+  client_.release(payload_);
+  client_.release(meta_);
+}
+
+void ObliviousBlockIblt::build(const ExtArray& a, const BlockPred& distinguished) {
+  const std::size_t B = client_.B();
+  BlockBuf blk, cell_payload;
+  std::vector<Record> meta_recs(2);
+  CacheLease lease(client_.cache(), 3 * B + 2);
+
+  for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
+    client_.read_block(a, i, blk);
+    const bool is_dist = distinguished(i, blk);
+    const std::uint64_t chk = hashes_.checksum(i);
+    for (unsigned j = 0; j < hashes_.k(); ++j) {
+      const std::uint64_t c = hashes_.cell(i, j);
+      client_.read_records(meta_, 2 * c, meta_recs);
+      client_.read_block(payload_, c, cell_payload);
+      if (is_dist) {
+        meta_recs[0].key += 1;        // count
+        meta_recs[0].value += i;      // indexSum
+        meta_recs[1].key += chk;      // checkSum
+        for (std::size_t w = 0; w < B; ++w) {
+          cell_payload[w].key += blk[w].key;
+          cell_payload[w].value += blk[w].value;
+        }
+      }
+      // Written back unconditionally: to Bob, an untouched cell and an
+      // updated cell are both just fresh ciphertext.
+      client_.write_records(meta_, 2 * c, meta_recs);
+      client_.write_block(payload_, c, cell_payload);
+    }
+  }
+}
+
+bool ObliviousBlockIblt::decode_fits_in_cache() const {
+  const std::uint64_t cells = hashes_.cells();
+  const std::uint64_t table_records = cells * (2 + client_.B());
+  // Leave two blocks of headroom for streaming the output.
+  return !opts_.force_external_decode &&
+         table_records + 2 * client_.B() <= client_.M();
+}
+
+Status ObliviousBlockIblt::extract(const ExtArray& out) {
+  assert(out.num_blocks() >= capacity_);
+  if (decode_fits_in_cache()) return extract_in_cache(out);
+  return extract_external(out);
+}
+
+Status ObliviousBlockIblt::extract_in_cache(const ExtArray& out) {
+  const std::size_t B = client_.B();
+  const std::uint64_t cells = hashes_.cells();
+  CacheLease lease(client_.cache(), cells * (2 + B) + 2 * B);
+
+  // Scan the table into private memory.
+  std::vector<CellState> table(cells);
+  {
+    std::vector<Record> meta_recs(2);
+    BlockBuf pay;
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      client_.read_records(meta_, 2 * c, meta_recs);
+      client_.read_block(payload_, c, pay);
+      table[c].count = meta_recs[0].key;
+      table[c].index_sum = meta_recs[0].value;
+      table[c].check_sum = meta_recs[1].key;
+      table[c].payload = pay;
+    }
+  }
+
+  // Private peeling (invisible to Bob).
+  auto pure = [&](const CellState& cs) {
+    return cs.count == 1 && cs.check_sum == hashes_.checksum(cs.index_sum);
+  };
+  std::vector<std::uint64_t> work;
+  for (std::uint64_t c = 0; c < cells; ++c)
+    if (pure(table[c])) work.push_back(c);
+
+  std::map<std::uint64_t, BlockBuf> entries;  // index -> content (sorted)
+  while (!work.empty()) {
+    const std::uint64_t c = work.back();
+    work.pop_back();
+    if (!pure(table[c])) continue;
+    const std::uint64_t idx = table[c].index_sum;
+    const std::uint64_t chk = hashes_.checksum(idx);
+    const BlockBuf content = table[c].payload;
+    entries.emplace(idx, content);
+    for (unsigned j = 0; j < hashes_.k(); ++j) {
+      const std::uint64_t tc = hashes_.cell(idx, j);
+      table[tc].add_block(idx, chk, content, /*add=*/false);
+      if (pure(table[tc])) work.push_back(tc);
+    }
+  }
+
+  bool clean = true;
+  for (const auto& cs : table)
+    if (cs.count != 0 || cs.index_sum != 0 || cs.check_sum != 0) clean = false;
+
+  // Output pass: always writes exactly `capacity` blocks, decoded entries in
+  // index order first, empty blocks after.  Runs even on failure so the trace
+  // is outcome-independent.
+  auto it = entries.begin();
+  const BlockBuf empty = make_empty_block(B);
+  for (std::uint64_t t = 0; t < capacity_; ++t) {
+    if (clean && it != entries.end()) {
+      client_.write_block(out, t, it->second);
+      ++it;
+    } else {
+      client_.write_block(out, t, empty);
+    }
+  }
+
+  if (!clean) return Status::WhpFailure("IBLT peeling incomplete (in-cache path)");
+  if (entries.size() > capacity_)
+    return Status::WhpFailure("IBLT decoded more entries than capacity");
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// External oblivious peeling.
+//
+// Unit layout (ub = ceil((B+2)/B) blocks, ub*B records):
+//   rec0 = {sort_key, f0}, rec1 = {f1, f2}, rec2.. = B payload records.
+// The meaning of f0..f2 varies per stage and is documented inline.
+// A unit whose sort_key is the empty sentinel is a dummy and sorts last.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Unit {
+  std::vector<Record> recs;  // ub*B records
+
+  Record& r0() { return recs[0]; }
+  Record& r1() { return recs[1]; }
+  const Record& r0() const { return recs[0]; }
+  const Record& r1() const { return recs[1]; }
+  Record* payload() { return recs.data() + 2; }
+  const Record* payload() const { return recs.data() + 2; }
+};
+
+class UnitIo {
+ public:
+  UnitIo(Client& c, const ExtArray& a, std::uint64_t unit_blocks)
+      : c_(c), a_(a), ub_(unit_blocks), unit_records_(unit_blocks * c.B()) {}
+
+  void read(std::uint64_t u, Unit& unit) {
+    unit.recs.resize(unit_records_);
+    c_.read_records(a_, u * unit_records_, unit.recs);
+  }
+  void write(std::uint64_t u, const Unit& unit) {
+    assert(unit.recs.size() == unit_records_);
+    c_.write_records(a_, u * unit_records_, unit.recs);
+  }
+  std::size_t unit_records() const { return unit_records_; }
+
+ private:
+  Client& c_;
+  const ExtArray& a_;
+  std::uint64_t ub_;
+  std::size_t unit_records_;
+};
+
+}  // namespace
+
+Status ObliviousBlockIblt::extract_external(const ExtArray& out) {
+  const std::size_t B = client_.B();
+  const std::uint64_t cells = hashes_.cells();
+  const unsigned k = hashes_.k();
+  const std::uint64_t ub = ceil_div(B + 2, B);  // blocks per unit
+  const std::size_t unit_records = static_cast<std::size_t>(ub) * B;
+  // Parallel peeling at our load factor (cells_per_item >= 3) removes a
+  // large constant fraction of items per round; log2(r) rounds with a
+  // constant floor is a comfortable bound (failures are detected anyway).
+  const std::uint64_t rounds =
+      opts_.decode_rounds != 0
+          ? opts_.decode_rounds
+          : static_cast<std::uint64_t>(ceil_log2(capacity_ + 2)) + 4;
+
+  ExtArray cand = client_.alloc_blocks(cells * ub, Client::Init::kUninit);
+  ExtArray updates = client_.alloc_blocks(cells * k * ub, Client::Init::kUninit);
+  ExtArray comb = client_.alloc_blocks((cells + cells * k) * ub, Client::Init::kUninit);
+  ExtArray stage = client_.alloc_blocks(rounds * cells * ub, Client::Init::kUninit);
+  UnitIo cand_io(client_, cand, ub), upd_io(client_, updates, ub),
+      comb_io(client_, comb, ub), stage_io(client_, stage, ub);
+
+  Unit unit, next_unit;
+  unit.recs.resize(unit_records);
+  std::vector<Record> meta_recs(2);
+  BlockBuf pay;
+  CacheLease lease(client_.cache(), 4 * unit_records + 2 * B + 4);
+
+  const std::uint64_t kDummy = kEmptyKey;
+
+  for (std::uint64_t rd = 0; rd < rounds; ++rd) {
+    // --- Stage 1: scan cells, emit one candidate unit per cell.
+    // Candidate unit: r0 = {index or dummy, 0}, r1 = {check, 0}, payload.
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      client_.read_records(meta_, 2 * c, meta_recs);
+      client_.read_block(payload_, c, pay);
+      const bool pure = meta_recs[0].key == 1 &&
+                        meta_recs[1].key == hashes_.checksum(meta_recs[0].value);
+      std::fill(unit.recs.begin(), unit.recs.end(), Record{0, 0});
+      unit.r0() = {pure ? meta_recs[0].value : kDummy, 0};
+      unit.r1() = {pure ? meta_recs[1].key : 0, 0};
+      for (std::size_t w = 0; w < B; ++w) unit.recs[2 + w] = pay[w];
+      cand_io.write(c, unit);
+    }
+
+    // --- Stage 2: sort candidates by index; duplicates become adjacent.
+    sortnet::ext_oblivious_unit_sort(client_, cand, ub);
+
+    // --- Stage 3: dedupe scan -- two pure cells may hold the same item in
+    // the same round (the final item always does); only the first survives.
+    std::uint64_t prev_key = kDummy;
+    for (std::uint64_t u = 0; u < cells; ++u) {
+      cand_io.read(u, unit);
+      const bool dup = unit.r0().key != kDummy && unit.r0().key == prev_key;
+      prev_key = unit.r0().key;
+      if (dup) unit.r0().key = kDummy;
+      cand_io.write(u, unit);
+      // Stage the (possibly dummy) candidate for final output extraction.
+      stage_io.write(rd * cells + u, unit);
+    }
+
+    // --- Stage 4: generate k update units per candidate.
+    // Update unit: r0 = {2*target_cell+1 or dummy, 1}, r1 = {index, check}, payload.
+    for (std::uint64_t u = 0; u < cells; ++u) {
+      cand_io.read(u, unit);
+      const bool real = unit.r0().key != kDummy;
+      const std::uint64_t idx = unit.r0().key;
+      for (unsigned j = 0; j < k; ++j) {
+        Unit upd;
+        upd.recs.assign(unit_records, Record{0, 0});
+        if (real) {
+          const std::uint64_t target = hashes_.cell(idx, j);
+          upd.r0() = {2 * target + 1, 1};
+          upd.r1() = {idx, unit.r1().key};
+          for (std::size_t w = 0; w < B; ++w) upd.recs[2 + w] = unit.recs[2 + w];
+        } else {
+          upd.r0().key = kDummy;
+        }
+        upd_io.write(u * k + j, upd);
+      }
+    }
+
+    // --- Stage 5: build the combined stream: one base unit per cell
+    // (sort key 2*c, carrying the cell state) + all update units (sort key
+    // 2*target+1), then sort so each cell's base is followed by its updates.
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      client_.read_records(meta_, 2 * c, meta_recs);
+      client_.read_block(payload_, c, pay);
+      std::fill(unit.recs.begin(), unit.recs.end(), Record{0, 0});
+      unit.r0() = {2 * c, 0};                            // base tag: even key
+      unit.r1() = {meta_recs[0].key, meta_recs[0].value};  // {count, indexSum}
+      unit.recs[2 + 0].value = 0;
+      for (std::size_t w = 0; w < B; ++w) unit.recs[2 + w] = pay[w];
+      // checkSum rides in r0().value (unused for ordering).
+      unit.r0().value = meta_recs[1].key;
+      comb_io.write(c, unit);
+    }
+    for (std::uint64_t u = 0; u < cells * k; ++u) {
+      upd_io.read(u, unit);
+      comb_io.write(cells + u, unit);
+    }
+    sortnet::ext_oblivious_unit_sort(client_, comb, ub);
+
+    // --- Stage 6: forward scan with running accumulator; the last unit of
+    // each cell group is rewritten as the new cell state (sort key = 2*c),
+    // every other unit becomes a dummy.
+    const std::uint64_t total_units = cells + cells * k;
+    struct Acc {
+      std::uint64_t cell = kEmptyKey;
+      std::uint64_t count = 0, index_sum = 0, check_sum = 0;
+      std::vector<Record> payload;
+    } acc;
+    acc.payload.assign(B, Record{0, 0});
+    comb_io.read(0, unit);
+    for (std::uint64_t u = 0; u < total_units; ++u) {
+      const bool has_next = u + 1 < total_units;
+      if (has_next) comb_io.read(u + 1, next_unit);
+      const std::uint64_t key = unit.r0().key;
+      const bool is_dummy = key == kDummy;
+      const std::uint64_t cell_id = is_dummy ? kDummy : key / 2;
+      const bool is_base = !is_dummy && (key % 2 == 0);
+      if (!is_dummy) {
+        if (is_base) {
+          acc.cell = cell_id;
+          acc.count = unit.r1().key;
+          acc.index_sum = unit.r1().value;
+          acc.check_sum = unit.r0().value;
+          for (std::size_t w = 0; w < B; ++w) acc.payload[w] = unit.recs[2 + w];
+        } else {
+          // Update: subtract the peeled item (delete from the cell).  Every
+          // real update unit represents exactly one deletion.
+          acc.count -= 1;
+          acc.index_sum -= unit.r1().key;
+          acc.check_sum -= unit.r1().value;
+          for (std::size_t w = 0; w < B; ++w) {
+            acc.payload[w].key -= unit.recs[2 + w].key;
+            acc.payload[w].value -= unit.recs[2 + w].value;
+          }
+        }
+      }
+      const std::uint64_t next_cell =
+          has_next && next_unit.r0().key != kDummy ? next_unit.r0().key / 2 : kDummy;
+      const bool last_of_group = !is_dummy && (!has_next || next_cell != cell_id);
+      // Rewrite the unit in place.
+      Unit outu;
+      outu.recs.assign(unit_records, Record{0, 0});
+      if (last_of_group) {
+        outu.r0() = {2 * acc.cell, acc.check_sum};
+        outu.r1() = {acc.count, acc.index_sum};
+        for (std::size_t w = 0; w < B; ++w) outu.recs[2 + w] = acc.payload[w];
+      } else {
+        outu.r0().key = kDummy;
+      }
+      comb_io.write(u, outu);
+      if (has_next) unit = next_unit;
+    }
+
+    // --- Stage 7: sort so the `cells` last-of-group units lead, in cell
+    // order, then scan them back into the table.
+    sortnet::ext_oblivious_unit_sort(client_, comb, ub);
+    for (std::uint64_t c = 0; c < cells; ++c) {
+      comb_io.read(c, unit);
+      assert(unit.r0().key == 2 * c && "apply pass must produce one state per cell");
+      meta_recs[0] = {unit.r1().key, unit.r1().value};  // {count, indexSum}
+      meta_recs[1] = {unit.r0().value, 0};              // {checkSum, 0}
+      for (std::size_t w = 0; w < B; ++w) pay[w] = unit.recs[2 + w];
+      client_.write_records(meta_, 2 * c, meta_recs);
+      client_.write_block(payload_, c, pay);
+    }
+  }
+
+  // --- Verify the table fully peeled (scan; unconditional).
+  bool clean = true;
+  for (std::uint64_t c = 0; c < cells; ++c) {
+    client_.read_records(meta_, 2 * c, meta_recs);
+    if (meta_recs[0].key != 0 || meta_recs[0].value != 0 || meta_recs[1].key != 0)
+      clean = false;
+  }
+
+  // --- Final extraction: sort the staged candidates by index (dummies
+  // last), dedupe across rounds, re-sort, then emit the first `capacity`.
+  sortnet::ext_oblivious_unit_sort(client_, stage, ub);
+  const std::uint64_t stage_units = rounds * cells;
+  std::uint64_t prev_key = kDummy;
+  for (std::uint64_t u = 0; u < stage_units; ++u) {
+    stage_io.read(u, unit);
+    const bool dup = unit.r0().key != kDummy && unit.r0().key == prev_key;
+    prev_key = unit.r0().key;
+    if (dup) unit.r0().key = kDummy;
+    stage_io.write(u, unit);
+  }
+  sortnet::ext_oblivious_unit_sort(client_, stage, ub);
+
+  std::uint64_t real_count = 0;
+  const BlockBuf empty = make_empty_block(B);
+  for (std::uint64_t u = 0; u < stage_units; ++u) {
+    stage_io.read(u, unit);
+    const bool real = unit.r0().key != kDummy;
+    if (real) ++real_count;
+    if (u < capacity_) {
+      if (real && clean) {
+        for (std::size_t w = 0; w < B; ++w) pay[w] = unit.recs[2 + w];
+        client_.write_block(out, u, pay);
+      } else {
+        client_.write_block(out, u, empty);
+      }
+    }
+  }
+
+  client_.release(stage);
+  client_.release(comb);
+  client_.release(updates);
+  client_.release(cand);
+
+  if (!clean) return Status::WhpFailure("IBLT peeling incomplete (external path)");
+  if (real_count > capacity_)
+    return Status::WhpFailure("IBLT decoded more entries than capacity");
+  return Status::Ok();
+}
+
+}  // namespace oem::iblt

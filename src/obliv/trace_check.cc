@@ -1,0 +1,111 @@
+#include "obliv/trace_check.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rng/random.h"
+
+namespace oem::obliv {
+
+std::vector<NamedInput> canonical_inputs(std::uint64_t value_seed) {
+  std::vector<NamedInput> inputs;
+  inputs.push_back({"all-equal", [](std::uint64_t n) {
+                      std::vector<Record> v(n);
+                      for (std::uint64_t i = 0; i < n; ++i) v[i] = {42, i};
+                      return v;
+                    }});
+  inputs.push_back({"sorted", [](std::uint64_t n) {
+                      std::vector<Record> v(n);
+                      for (std::uint64_t i = 0; i < n; ++i) v[i] = {i, i};
+                      return v;
+                    }});
+  inputs.push_back({"reverse", [](std::uint64_t n) {
+                      std::vector<Record> v(n);
+                      for (std::uint64_t i = 0; i < n; ++i) v[i] = {n - 1 - i, i};
+                      return v;
+                    }});
+  inputs.push_back({"random", [value_seed](std::uint64_t n) {
+                      std::vector<Record> v(n);
+                      rng::Xoshiro g(value_seed ^ 0xabcdef12345ULL);
+                      for (std::uint64_t i = 0; i < n; ++i)
+                        v[i] = {g.next() >> 1, i};  // >>1 keeps keys below the sentinel
+                      return v;
+                    }});
+  inputs.push_back({"one-low", [](std::uint64_t n) {
+                      std::vector<Record> v(n);
+                      for (std::uint64_t i = 0; i < n; ++i) v[i] = {1000000 + i, i};
+                      if (n > 0) v[n / 2] = {0, n / 2};
+                      return v;
+                    }});
+  inputs.push_back({"half-half", [](std::uint64_t n) {
+                      std::vector<Record> v(n);
+                      for (std::uint64_t i = 0; i < n; ++i)
+                        v[i] = {i < n / 2 ? Word{7} : Word{1} << 40, i};
+                      return v;
+                    }});
+  return inputs;
+}
+
+CheckResult check_oblivious(
+    const ClientParams& params, std::uint64_t num_records,
+    const std::vector<NamedInput>& inputs,
+    const std::function<void(Client&, const ExtArray&)>& algo,
+    bool record_events) {
+  CheckResult result;
+  std::vector<std::vector<TraceEvent>> event_logs;
+
+  for (const auto& input : inputs) {
+    Client client(params);
+    client.device().trace().set_record_events(record_events);
+    ExtArray a = client.alloc(num_records, Client::Init::kUninit);
+    const std::vector<Record> data = input.gen(num_records);
+    client.poke(a, data);
+    client.reset_stats();
+    client.device().trace().reset();
+
+    algo(client, a);
+
+    TraceRun run;
+    run.input_name = input.name;
+    run.trace_hash = client.device().trace().hash();
+    run.trace_len = client.device().trace().size();
+    run.reads = client.stats().reads;
+    run.writes = client.stats().writes;
+    result.runs.push_back(run);
+    if (record_events) event_logs.push_back(client.device().trace().events());
+  }
+
+  result.oblivious = true;
+  for (std::size_t i = 1; i < result.runs.size(); ++i) {
+    if (result.runs[i].trace_hash != result.runs[0].trace_hash ||
+        result.runs[i].trace_len != result.runs[0].trace_len) {
+      result.oblivious = false;
+      if (record_events && i < event_logs.size()) {
+        const auto& a = event_logs[0];
+        const auto& b = event_logs[i];
+        const std::size_t lim = std::min(a.size(), b.size());
+        std::size_t d = 0;
+        while (d < lim && a[d] == b[d]) ++d;
+        std::ostringstream os;
+        os << "trace divergence between '" << result.runs[0].input_name
+           << "' and '" << result.runs[i].input_name << "' at event " << d;
+        if (d < lim) {
+          os << ": (" << (a[d].op == IoOp::kRead ? "R" : "W") << " " << a[d].block
+             << ") vs (" << (b[d].op == IoOp::kRead ? "R" : "W") << " " << b[d].block
+             << ")";
+        } else {
+          os << " (length mismatch: " << a.size() << " vs " << b.size() << ")";
+        }
+        result.diagnosis = os.str();
+      } else {
+        result.diagnosis = "trace hash mismatch for input '" +
+                           result.runs[i].input_name +
+                           "' (re-run with record_events for the diff)";
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace oem::obliv

@@ -1,0 +1,58 @@
+// Obliviousness harness.
+//
+// The paper's definition: the distribution of the access sequence S may
+// depend only on the problem, N, M, B, and |S| -- never on data values.
+// Every algorithm here draws its coins from an explicit seeded PRG,
+// independent of the data, so a *strict* consequence holds: for a fixed seed,
+// the trace must be bit-identical across any two inputs of the same size.
+// TraceChecker runs an algorithm on a set of adversarial inputs with the same
+// seed and asserts exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "extmem/client.h"
+
+namespace oem::obliv {
+
+struct TraceRun {
+  std::string input_name;
+  std::uint64_t trace_hash = 0;
+  std::uint64_t trace_len = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+struct CheckResult {
+  bool oblivious = false;
+  std::vector<TraceRun> runs;
+  std::string diagnosis;  // first divergence, when event recording is on
+};
+
+/// An input generator produces the record contents for a named adversarial
+/// input of exactly `num_records` records.
+using InputGen = std::function<std::vector<Record>(std::uint64_t num_records)>;
+
+struct NamedInput {
+  std::string name;
+  InputGen gen;
+};
+
+/// The canonical adversarial input family used throughout the tests and the
+/// obliviousness bench: all-equal, sorted, reverse-sorted, random,
+/// one-distinguished-element, half-and-half.
+std::vector<NamedInput> canonical_inputs(std::uint64_t value_seed);
+
+/// Runs `algo` once per input on a fresh Client (same params + seed each
+/// time) and compares the traces.  `algo` receives the client and the input
+/// array; it must draw randomness only from client.rng().
+CheckResult check_oblivious(
+    const ClientParams& params, std::uint64_t num_records,
+    const std::vector<NamedInput>& inputs,
+    const std::function<void(Client&, const ExtArray&)>& algo,
+    bool record_events = false);
+
+}  // namespace oem::obliv

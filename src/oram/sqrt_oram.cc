@@ -1,0 +1,148 @@
+#include "oram/sqrt_oram.h"
+
+#include <cassert>
+
+#include "hash/hashing.h"
+#include "sortnet/external_sort.h"
+#include "util/math.h"
+
+namespace oem::oram {
+
+SqrtOram::SqrtOram(Client& client, std::uint64_t n_items, ShuffleKind kind,
+                   std::uint64_t seed)
+    : client_(client),
+      n_(std::max<std::uint64_t>(n_items, 4)),
+      sqrt_n_(std::max<std::uint64_t>(2, iroot(n_, 2))),
+      kind_(kind),
+      seed_(seed),
+      prp_(n_ + sqrt_n_, hash::mix(seed, 0)) {
+  main_ = client_.alloc(n_ + sqrt_n_, Client::Init::kUninit);
+  stash_ = client_.alloc(sqrt_n_, Client::Init::kEmpty);
+  reshuffle();  // initial layout (epoch 0 contents)
+  stats_ = SqrtOramStats{};
+  client_.reset_stats();
+}
+
+std::uint64_t SqrtOram::expected_value(std::uint64_t index) const {
+  return hash::mix(index, seed_ ^ 0xfeedULL);
+}
+
+std::uint64_t SqrtOram::access(std::uint64_t index) {
+  assert(index < n_);
+  const std::uint64_t before = client_.stats().total();
+
+  // 1. Full stash scan (external, sqrt(N) records).
+  bool found = false;
+  std::uint64_t value = 0;
+  {
+    CacheLease lease(client_.cache(), client_.B());
+    BlockBuf blk;
+    for (std::uint64_t b = 0; b < stash_.num_blocks(); ++b) {
+      client_.read_block(stash_, b, blk);
+      for (const Record& r : blk) {
+        if (!r.is_empty() && r.key == index) {
+          found = true;
+          value = r.value;
+        }
+      }
+    }
+  }
+
+  // 2. One main-array probe: the real position if unseen, a dummy otherwise.
+  const std::uint64_t virt = found ? n_ + used_ : index;
+  const std::uint64_t pos = prp_.apply(virt);
+  {
+    CacheLease lease(client_.cache(), client_.B());
+    std::vector<Record> one(1);
+    client_.read_records(main_, pos, one);
+    if (!found) {
+      assert((!status_.ok() || one[0].key == index) && "PRP layout out of sync");
+      value = one[0].value;
+    }
+  }
+
+  // 3. Append (index, value) to the stash slot for this access.
+  {
+    CacheLease lease(client_.cache(), client_.B());
+    std::vector<Record> one(1);
+    one[0] = {index, value};
+    client_.write_records(stash_, used_, one);
+  }
+
+  ++used_;
+  ++stats_.accesses;
+  stats_.access_ios += client_.stats().total() - before;
+
+  if (used_ == sqrt_n_) reshuffle();
+  return value;
+}
+
+void SqrtOram::reshuffle() {
+  const std::uint64_t before = client_.stats().total();
+  ++epoch_;
+  prp_ = rng::FeistelPermutation(n_ + sqrt_n_, hash::mix(seed_, epoch_));
+
+  // Retag pass: cell for virtual index v gets sort key pi_{e}(v).  Real
+  // cells carry the stored value, dummies carry junk.  (Read-oriented demo:
+  // contents are regenerated; a full RW ORAM would merge the stash here,
+  // with identical I/O shape.)
+  {
+    CacheLease lease(client_.cache(), client_.B());
+    const std::size_t B = client_.B();
+    BlockBuf blk(B);
+    const std::uint64_t total = n_ + sqrt_n_;
+    for (std::uint64_t b = 0; b < main_.num_blocks(); ++b) {
+      for (std::size_t r = 0; r < B; ++r) {
+        const std::uint64_t v = b * B + r;
+        if (v < total) {
+          blk[r] = {prp_.apply(v), v < n_ ? expected_value(v) : 0};
+        } else {
+          blk[r] = Record{};
+        }
+      }
+      client_.write_block(main_, b, blk);
+    }
+  }
+
+  // The pluggable inner loop: oblivious sort by tag.
+  if (kind_ == ShuffleKind::kDeterministic) {
+    sortnet::ext_oblivious_sort(client_, main_);
+  } else {
+    core::ObliviousSortResult sr =
+        core::oblivious_sort(client_, main_, hash::mix(seed_ ^ 0x0badULL, epoch_));
+    status_.Update(sr.status);
+  }
+
+  // Rewrite tags back to virtual indices: after sorting by tag, position p
+  // holds the cell with tag p, i.e. virtual index pi^{-1}(p).
+  {
+    CacheLease lease(client_.cache(), client_.B());
+    const std::size_t B = client_.B();
+    BlockBuf blk;
+    const std::uint64_t total = n_ + sqrt_n_;
+    for (std::uint64_t b = 0; b < main_.num_blocks(); ++b) {
+      client_.read_block(main_, b, blk);
+      for (std::size_t r = 0; r < B; ++r) {
+        const std::uint64_t p = b * B + r;
+        if (p < total) {
+          blk[r].key = prp_.inverse(p);  // restore the virtual index as key
+        }
+      }
+      client_.write_block(main_, b, blk);
+    }
+  }
+
+  // Clear the stash.
+  {
+    CacheLease lease(client_.cache(), client_.B());
+    const BlockBuf empty = make_empty_block(client_.B());
+    for (std::uint64_t b = 0; b < stash_.num_blocks(); ++b)
+      client_.write_block(stash_, b, empty);
+  }
+
+  used_ = 0;
+  ++stats_.reshuffles;
+  stats_.reshuffle_ios += client_.stats().total() - before;
+}
+
+}  // namespace oem::oram

@@ -1,0 +1,63 @@
+#include "rng/permutation.h"
+
+#include <cassert>
+
+#include "util/math.h"
+
+namespace oem::rng {
+
+FeistelPermutation::FeistelPermutation(std::uint64_t n, std::uint64_t key, int rounds)
+    : n_(n), rounds_(rounds) {
+  assert(n >= 1);
+  assert(rounds >= 2);
+  // Smallest even-bit domain 2^{2w} >= n.
+  unsigned bits = ceil_log2(n < 2 ? 2 : n);
+  if (bits % 2) ++bits;
+  if (bits < 2) bits = 2;
+  half_bits_ = bits / 2;
+  half_mask_ = (std::uint64_t{1} << half_bits_) - 1;
+  std::uint64_t sm = key ^ 0xa0761d6478bd642fULL;
+  round_keys_.resize(static_cast<std::size_t>(rounds));
+  for (auto& rk : round_keys_) rk = splitmix64(sm);
+}
+
+std::uint64_t FeistelPermutation::permute_once(std::uint64_t x, bool forward) const {
+  std::uint64_t l = (x >> half_bits_) & half_mask_;
+  std::uint64_t r = x & half_mask_;
+  if (forward) {
+    for (int i = 0; i < rounds_; ++i) {
+      const std::uint64_t f = mix64(r ^ round_keys_[static_cast<std::size_t>(i)]) & half_mask_;
+      const std::uint64_t nl = r;
+      r = l ^ f;
+      l = nl;
+    }
+  } else {
+    for (int i = rounds_ - 1; i >= 0; --i) {
+      const std::uint64_t f = mix64(l ^ round_keys_[static_cast<std::size_t>(i)]) & half_mask_;
+      const std::uint64_t nr = l;
+      l = r ^ f;
+      r = nr;
+    }
+  }
+  return (l << half_bits_) | r;
+}
+
+std::uint64_t FeistelPermutation::apply(std::uint64_t x) const {
+  assert(x < n_);
+  std::uint64_t y = x;
+  do {
+    y = permute_once(y, /*forward=*/true);
+  } while (y >= n_);  // cycle-walk: expected <= 4 iterations since 2^{2w} < 4n
+  return y;
+}
+
+std::uint64_t FeistelPermutation::inverse(std::uint64_t y) const {
+  assert(y < n_);
+  std::uint64_t x = y;
+  do {
+    x = permute_once(x, /*forward=*/false);
+  } while (x >= n_);
+  return x;
+}
+
+}  // namespace oem::rng

@@ -1,0 +1,61 @@
+// Random permutations.
+//
+// Two tools:
+//  * fisher_yates: the classic in-place shuffle (Knuth, TAOCP vol. 2), used by
+//    the paper's "shuffle-and-deal" step on *blocks*.  The swap index choices
+//    are data-independent, so performing the shuffle in external memory is
+//    data-oblivious even though Bob watches every swap (paper §5).
+//  * FeistelPermutation: a stateless pseudo-random permutation over [0, n)
+//    via a 4-round Feistel network with cycle-walking.  Used by workload
+//    generators and by the square-root ORAM's position map simulation; O(1)
+//    memory regardless of n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/random.h"
+
+namespace oem::rng {
+
+/// In-place Fisher-Yates shuffle of indices [0, n): for i = 0..n-1 swap(i, j)
+/// with j uniform in [i, n).  `swap` is a callback so callers can swap
+/// external-memory blocks (4 I/Os per step) rather than in-RAM values.
+template <typename SwapFn>
+void fisher_yates(std::uint64_t n, Xoshiro& rng, SwapFn&& swap) {
+  for (std::uint64_t i = 0; i + 1 < n; ++i) {
+    const std::uint64_t j = rng.range(i, n - 1);
+    swap(i, j);  // callers may skip physical work when i == j, but the draw
+                 // itself must happen unconditionally to keep coins aligned
+  }
+}
+
+/// Convenience: shuffle a vector in place.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro& rng) {
+  fisher_yates(v.size(), rng, [&](std::uint64_t i, std::uint64_t j) {
+    if (i != j) std::swap(v[i], v[j]);
+  });
+}
+
+/// Pseudo-random permutation over [0, n) built from a balanced Feistel
+/// network over 2w-bit values with cycle-walking back into the domain.
+class FeistelPermutation {
+ public:
+  FeistelPermutation(std::uint64_t n, std::uint64_t key, int rounds = 4);
+
+  std::uint64_t domain() const { return n_; }
+  std::uint64_t apply(std::uint64_t x) const;    // pi(x)
+  std::uint64_t inverse(std::uint64_t y) const;  // pi^{-1}(y)
+
+ private:
+  std::uint64_t permute_once(std::uint64_t x, bool forward) const;
+
+  std::uint64_t n_;
+  unsigned half_bits_;
+  std::uint64_t half_mask_;
+  int rounds_;
+  std::vector<std::uint64_t> round_keys_;
+};
+
+}  // namespace oem::rng

@@ -1,0 +1,5 @@
+#include "rng/random.h"
+
+// Header-only; this translation unit exists so the target has a home for the
+// module and future non-inline additions.
+namespace oem::rng {}

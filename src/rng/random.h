@@ -1,0 +1,90 @@
+// Deterministic, seedable randomness.
+//
+// Every randomized algorithm in the paper tosses coins *independently of the
+// data*.  We exploit that to make obliviousness machine-checkable: with the
+// same seed, the block-access trace must be bit-identical across inputs.
+// Hence all algorithms take an explicit Rng (never a global source).
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+
+namespace oem::rng {
+
+/// SplitMix64: tiny, fast, full-period 2^64 generator.  Used both directly
+/// and to seed xoshiro and to derive keystreams in the encryption simulation.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a 64-bit input; used for keystreams and trace hashing.
+inline std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna: the main generator.
+class Xoshiro {
+ public:
+  explicit Xoshiro(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound >= 1.  Uses rejection sampling to
+  /// avoid modulo bias (important: the shuffle correctness tests check
+  /// uniformity with a chi-square statistic).
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound >= 1);
+    if (bound == 1) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli(p) coin.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    // 53-bit uniform double in [0, 1).
+    const double u = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return u < p;
+  }
+
+  /// Split off an independent child generator (for subroutines, so that the
+  /// consumption pattern of one phase cannot perturb another's coins).
+  Xoshiro split() { return Xoshiro(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace oem::rng

@@ -1,0 +1,287 @@
+#include "sortnet/external_sort.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "sortnet/networks.h"
+#include "util/math.h"
+
+namespace oem::sortnet {
+
+namespace {
+
+/// Read `count` blocks of `a` starting at `first` into `out` (appended).
+void read_run(Client& c, const ExtArray& a, std::uint64_t first, std::uint64_t count,
+              std::vector<Record>& out) {
+  BlockBuf buf;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    c.read_block(a, first + i, buf);
+    out.insert(out.end(), buf.begin(), buf.end());
+  }
+}
+
+void write_run(Client& c, const ExtArray& a, std::uint64_t first, std::uint64_t count,
+               const std::vector<Record>& data, std::size_t offset) {
+  const std::size_t B = c.B();
+  BlockBuf buf(B);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (std::size_t r = 0; r < B; ++r) buf[r] = data[offset + i * B + r];
+    c.write_block(a, first + i, buf);
+  }
+}
+
+/// Merge-split comparator on two runs of `run_blocks` blocks each: read both,
+/// merge privately, write lower half to run `lo` and upper half to run `hi`
+/// (swapped when descending).
+void merge_split(Client& c, const ExtArray& a, std::uint64_t run_blocks,
+                 std::uint64_t run_i, std::uint64_t run_j, bool ascending) {
+  const std::size_t B = c.B();
+  const std::size_t run_records = static_cast<std::size_t>(run_blocks) * B;
+  CacheLease lease(c.cache(), 2 * run_records);
+  std::vector<Record> buf;
+  buf.reserve(2 * run_records);
+  read_run(c, a, run_i * run_blocks, run_blocks, buf);
+  read_run(c, a, run_j * run_blocks, run_blocks, buf);
+  // Both runs are individually sorted; a single in-place merge suffices.
+  std::inplace_merge(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(run_records),
+                     buf.end(), RecordLess{});
+  if (ascending) {
+    write_run(c, a, run_i * run_blocks, run_blocks, buf, 0);
+    write_run(c, a, run_j * run_blocks, run_blocks, buf, run_records);
+  } else {
+    write_run(c, a, run_j * run_blocks, run_blocks, buf, 0);
+    write_run(c, a, run_i * run_blocks, run_blocks, buf, run_records);
+  }
+}
+
+}  // namespace
+
+void ext_oblivious_sort(Client& client, const ExtArray& a, const ExtSortOptions& opts) {
+  const std::uint64_t n = a.num_blocks();
+  if (n <= 1) {
+    if (n == 1) sort_region_in_cache(client, a, 0, 1);
+    return;
+  }
+  const std::uint64_t m = client.m();
+  std::uint64_t run_blocks = opts.run_blocks != 0 ? opts.run_blocks : std::max<std::uint64_t>(1, m / 2);
+  run_blocks = std::min(run_blocks, n);
+
+  const std::uint64_t runs = ceil_div(n, run_blocks);
+  const std::uint64_t runs_p2 = next_pow2(runs);
+
+  // Operate on the array itself when it is exactly runs_p2 * run_blocks
+  // blocks; otherwise sort in a padded scratch array and copy back.
+  const std::uint64_t padded_blocks = runs_p2 * run_blocks;
+  ExtArray work = a;
+  bool scratch = false;
+  if (padded_blocks != n) {
+    scratch = true;
+    work = client.alloc_blocks(padded_blocks, Client::Init::kUninit);
+    BlockBuf buf;
+    CacheLease lease(client.cache(), client.B());
+    const BlockBuf empty = make_empty_block(client.B());
+    for (std::uint64_t i = 0; i < padded_blocks; ++i) {
+      if (i < n) {
+        client.read_block(a, i, buf);
+        client.write_block(work, i, buf);
+      } else {
+        client.write_block(work, i, empty);
+      }
+    }
+  }
+
+  // Phase 1: sort each run privately.
+  for (std::uint64_t r = 0; r < runs_p2; ++r)
+    sort_region_in_cache(client, work, r * run_blocks, run_blocks);
+
+  // Phase 2: sorting network over runs with merge-split comparators.
+  auto comparator = [&](std::uint64_t i, std::uint64_t j, bool asc) {
+    merge_split(client, work, run_blocks, i, j, asc);
+  };
+  if (opts.odd_even) {
+    odd_even_schedule(runs_p2, comparator);
+  } else {
+    bitonic_schedule(runs_p2, comparator);
+  }
+
+  if (scratch) {
+    BlockBuf buf;
+    CacheLease lease(client.cache(), client.B());
+    for (std::uint64_t i = 0; i < n; ++i) {
+      client.read_block(work, i, buf);
+      client.write_block(a, i, buf);
+    }
+    client.release(work);
+  }
+}
+
+void sort_region_in_cache(Client& client, const ExtArray& a, std::uint64_t first_block,
+                          std::uint64_t count_blocks) {
+  sort_region_in_cache(client, a, first_block, count_blocks,
+                       [](const Record& x, const Record& y) { return RecordLess{}(x, y); });
+}
+
+void sort_region_in_cache(Client& client, const ExtArray& a, std::uint64_t first_block,
+                          std::uint64_t count_blocks,
+                          const std::function<bool(const Record&, const Record&)>& less) {
+  if (count_blocks == 0) return;
+  assert(first_block + count_blocks <= a.num_blocks());
+  const std::size_t B = client.B();
+  CacheLease lease(client.cache(), count_blocks * B);
+  std::vector<Record> buf;
+  buf.reserve(static_cast<std::size_t>(count_blocks) * B);
+  read_run(client, a, first_block, count_blocks, buf);
+  std::stable_sort(buf.begin(), buf.end(), less);
+  write_run(client, a, first_block, count_blocks, buf, 0);
+}
+
+namespace {
+
+/// Sort the units inside an in-cache buffer of whole units by their first
+/// record (RecordLess).  Stable so that differential tests are deterministic.
+void sort_units_in_buffer(std::vector<Record>& buf, std::size_t unit_records) {
+  const std::size_t units = buf.size() / unit_records;
+  std::vector<std::size_t> order(units);
+  for (std::size_t u = 0; u < units; ++u) order[u] = u;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return RecordLess{}(buf[x * unit_records], buf[y * unit_records]);
+  });
+  std::vector<Record> out(buf.size());
+  for (std::size_t u = 0; u < units; ++u) {
+    std::copy(buf.begin() + static_cast<std::ptrdiff_t>(order[u] * unit_records),
+              buf.begin() + static_cast<std::ptrdiff_t>((order[u] + 1) * unit_records),
+              out.begin() + static_cast<std::ptrdiff_t>(u * unit_records));
+  }
+  buf = std::move(out);
+}
+
+/// Merge two sorted runs of units into lower/upper halves.
+void unit_merge_split(Client& c, const ExtArray& a, std::uint64_t run_blocks,
+                      std::size_t unit_records, std::uint64_t run_i,
+                      std::uint64_t run_j, bool ascending) {
+  const std::size_t B = c.B();
+  const std::size_t run_records = static_cast<std::size_t>(run_blocks) * B;
+  CacheLease lease(c.cache(), 2 * run_records);
+  std::vector<Record> lo, hi;
+  lo.reserve(run_records);
+  hi.reserve(run_records);
+  read_run(c, a, run_i * run_blocks, run_blocks, lo);
+  read_run(c, a, run_j * run_blocks, run_blocks, hi);
+  // Merge at unit granularity (both runs unit-sorted).
+  std::vector<Record> merged(2 * run_records);
+  const std::size_t units = run_records / unit_records;
+  std::size_t x = 0, y = 0, o = 0;
+  auto take = [&](std::vector<Record>& src, std::size_t& idx) {
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(idx * unit_records),
+              src.begin() + static_cast<std::ptrdiff_t>((idx + 1) * unit_records),
+              merged.begin() + static_cast<std::ptrdiff_t>(o * unit_records));
+    ++idx;
+    ++o;
+  };
+  while (x < units && y < units) {
+    if (RecordLess{}(hi[y * unit_records], lo[x * unit_records])) take(hi, y);
+    else take(lo, x);
+  }
+  while (x < units) take(lo, x);
+  while (y < units) take(hi, y);
+  if (ascending) {
+    write_run(c, a, run_i * run_blocks, run_blocks, merged, 0);
+    write_run(c, a, run_j * run_blocks, run_blocks, merged, run_records);
+  } else {
+    write_run(c, a, run_j * run_blocks, run_blocks, merged, 0);
+    write_run(c, a, run_i * run_blocks, run_blocks, merged, run_records);
+  }
+}
+
+}  // namespace
+
+void ext_oblivious_unit_sort(Client& client, const ExtArray& a,
+                             std::uint64_t unit_blocks, const ExtSortOptions& opts) {
+  assert(unit_blocks >= 1);
+  const std::uint64_t n = a.num_blocks();
+  assert(n % unit_blocks == 0);
+  const std::uint64_t units = n / unit_blocks;
+  if (units <= 1) return;
+  const std::size_t B = client.B();
+  const std::size_t unit_records = static_cast<std::size_t>(unit_blocks) * B;
+  const std::uint64_t m = client.m();
+
+  // Runs are whole numbers of units; two runs must fit in cache.
+  std::uint64_t run_units =
+      std::max<std::uint64_t>(1, (opts.run_blocks != 0 ? opts.run_blocks : m / 2) / unit_blocks);
+  run_units = std::min(run_units, units);
+  const std::uint64_t run_blocks = run_units * unit_blocks;
+  const std::uint64_t runs = ceil_div(units, run_units);
+  const std::uint64_t runs_p2 = next_pow2(runs);
+  const std::uint64_t padded_blocks = runs_p2 * run_blocks;
+
+  ExtArray work = a;
+  bool scratch = false;
+  if (padded_blocks != n) {
+    scratch = true;
+    work = client.alloc_blocks(padded_blocks, Client::Init::kUninit);
+    BlockBuf buf;
+    CacheLease lease(client.cache(), B);
+    const BlockBuf empty = make_empty_block(B);  // empty key: pads sort last
+    for (std::uint64_t i = 0; i < padded_blocks; ++i) {
+      if (i < n) {
+        client.read_block(a, i, buf);
+        client.write_block(work, i, buf);
+      } else {
+        client.write_block(work, i, empty);
+      }
+    }
+  }
+
+  // Phase 1: unit-sort each run privately.
+  for (std::uint64_t r = 0; r < runs_p2; ++r) {
+    CacheLease lease(client.cache(), run_blocks * B);
+    std::vector<Record> buf;
+    buf.reserve(static_cast<std::size_t>(run_blocks) * B);
+    read_run(client, work, r * run_blocks, run_blocks, buf);
+    sort_units_in_buffer(buf, unit_records);
+    write_run(client, work, r * run_blocks, run_blocks, buf, 0);
+  }
+
+  // Phase 2: network over runs with unit-granularity merge-split.
+  auto comparator = [&](std::uint64_t i, std::uint64_t j, bool asc) {
+    unit_merge_split(client, work, run_blocks, unit_records, i, j, asc);
+  };
+  if (opts.odd_even) {
+    odd_even_schedule(runs_p2, comparator);
+  } else {
+    bitonic_schedule(runs_p2, comparator);
+  }
+
+  if (scratch) {
+    BlockBuf buf;
+    CacheLease lease(client.cache(), B);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      client.read_block(work, i, buf);
+      client.write_block(a, i, buf);
+    }
+    client.release(work);
+  }
+}
+
+std::uint64_t ext_sort_predicted_ios(std::uint64_t n_blocks, std::uint64_t m_blocks,
+                                     const ExtSortOptions& opts) {
+  if (n_blocks <= 1) return 2 * n_blocks;
+  std::uint64_t run_blocks =
+      opts.run_blocks != 0 ? opts.run_blocks : std::max<std::uint64_t>(1, m_blocks / 2);
+  run_blocks = std::min(run_blocks, n_blocks);
+  const std::uint64_t runs = ceil_div(n_blocks, run_blocks);
+  const std::uint64_t runs_p2 = next_pow2(runs);
+  const std::uint64_t padded = runs_p2 * run_blocks;
+  std::uint64_t io = 0;
+  if (padded != n_blocks) io += n_blocks + padded + n_blocks + n_blocks;  // copy in/out
+  io += 2 * padded;  // run formation
+  const std::uint64_t comparators = opts.odd_even ? odd_even_comparator_count(runs_p2)
+                                                  : bitonic_comparator_count(runs_p2);
+  io += comparators * 4 * run_blocks;  // each merge-split: 2 reads + 2 writes per run
+  return io;
+}
+
+}  // namespace oem::sortnet

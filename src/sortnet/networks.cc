@@ -1,0 +1,17 @@
+#include "sortnet/networks.h"
+
+namespace oem::sortnet {
+
+std::uint64_t bitonic_comparator_count(std::uint64_t n) {
+  std::uint64_t count = 0;
+  bitonic_schedule(n, [&](std::uint64_t, std::uint64_t, bool) { ++count; });
+  return count;
+}
+
+std::uint64_t odd_even_comparator_count(std::uint64_t n) {
+  std::uint64_t count = 0;
+  odd_even_schedule(n, [&](std::uint64_t, std::uint64_t, bool) { ++count; });
+  return count;
+}
+
+}  // namespace oem::sortnet

@@ -1,0 +1,49 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace oem {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg] = "true";
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+std::string Flags::get(const std::string& name, const std::string& def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+std::uint64_t Flags::get_u64(const std::string& name, std::uint64_t def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace oem

@@ -1,0 +1,27 @@
+// Minimal command-line flag parsing for bench and example binaries:
+// --name=value pairs with typed getters and defaults.  Unknown flags are
+// ignored so that binaries also accept google-benchmark's own flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace oem {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace oem

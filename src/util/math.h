@@ -1,0 +1,92 @@
+// Integer math helpers shared across the library.
+//
+// All algorithms in the paper are parameterized by N (items), B (block size)
+// and M (cache size); the derived quantities n = ceil(N/B), m = floor(M/B)
+// and various integer logarithms appear everywhere, so we centralize them.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cmath>
+#include <cstddef>
+
+namespace oem {
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1; returns 0 for x <= 1.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  unsigned r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x <= 1.
+constexpr unsigned ceil_log2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  if (x <= 1) return 1;
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log base m of n, as used in the paper's O((N/B) log_{M/B}(N/B)) bounds.
+/// Clamped below at 1 so it is safe to divide by.
+inline double log_base(double n, double m) {
+  if (n <= 1.0) return 1.0;
+  if (m <= 2.0) m = 2.0;
+  double v = std::log(n) / std::log(m);
+  return v < 1.0 ? 1.0 : v;
+}
+
+/// Iterated logarithm log*(x): number of times log2 must be applied before
+/// the value drops to <= 1.  Used by the Theorem 9 bound.
+constexpr unsigned log_star(double x) {
+  unsigned r = 0;
+  while (x > 1.0) {
+    // constexpr-friendly log2 via loop on the exponent is overkill; this
+    // function is only called with small arguments at runtime.
+    x = std::log2(x);
+    ++r;
+    if (r > 16) break;  // tower of twos exceeds any conceivable input
+  }
+  return r;
+}
+
+/// Integer k-th root (floor), for small k (2..8).  Used for the paper's
+/// n^{1/2}, (M/B)^{1/4}, N^{3/4}-style parameter derivations.
+inline std::uint64_t iroot(std::uint64_t x, unsigned k) {
+  assert(k >= 1);
+  if (k == 1 || x <= 1) return x;
+  auto r = static_cast<std::uint64_t>(std::floor(std::pow(static_cast<double>(x), 1.0 / k)));
+  // Fix up floating point error.
+  auto pw = [&](std::uint64_t v) {
+    long double p = 1;
+    for (unsigned i = 0; i < k; ++i) p *= static_cast<long double>(v);
+    return p;
+  };
+  while (r > 0 && pw(r) > static_cast<long double>(x)) --r;
+  while (pw(r + 1) <= static_cast<long double>(x)) ++r;
+  return r;
+}
+
+/// floor(x^{p/q}) for non-negative x; used for N^{3/4}, m^{3/4} etc.
+inline std::uint64_t ipow_frac(std::uint64_t x, unsigned p, unsigned q) {
+  long double v = std::pow(static_cast<long double>(x),
+                           static_cast<long double>(p) / static_cast<long double>(q));
+  return static_cast<std::uint64_t>(std::floor(v + 1e-9L));
+}
+
+}  // namespace oem

@@ -1,0 +1,80 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oem {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(var / static_cast<double>(xs.size() - 1)) : 0.0;
+  return s;
+}
+
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LinearFit f;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  const double sse_denom = (dn * syy - sy * sy);
+  if (sse_denom != 0.0) {
+    const double r = (dn * sxy - sx * sy) / std::sqrt(denom * sse_denom);
+    f.r2 = r * r;
+  }
+  return f;
+}
+
+double chi_square_uniform(const std::vector<std::uint64_t>& observed) {
+  if (observed.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (auto c : observed) total += c;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  if (expected <= 0.0) return 0.0;
+  double chi2 = 0.0;
+  for (auto c : observed) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+double chernoff_upper_tail(double mu, double gamma) {
+  if (mu <= 0.0 || gamma <= 2.0 * M_E) return 1.0;
+  const double exponent = gamma * mu * std::log2(gamma / M_E);
+  return std::exp2(-exponent);
+}
+
+double geometric_sum_tail(double n, double p, double t) {
+  if (n <= 0.0 || p <= 0.0 || p > 1.0 || t <= 0.0) return 1.0;
+  const double alpha = 1.0 / p;
+  // The five cases of Lemma 23, from tightest precondition to loosest.
+  if (t >= 3.0 * alpha) return std::exp(-t * p * n / 2.0);
+  if (t >= 2.0 * alpha) return std::exp(-t * p * n / 3.0);
+  if (t >= alpha) return std::exp(-t * p * n / 5.0);
+  if (t >= alpha / 2.0) return std::exp(-t * p * n / 9.0);
+  return std::exp(-(t * p) * (t * p) * n / 3.0);
+}
+
+}  // namespace oem

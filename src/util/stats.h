@@ -1,0 +1,43 @@
+// Small statistics toolkit used by tests and benchmarks: summary statistics,
+// linear regression (for fitting I/O-vs-n growth shapes), chi-square
+// uniformity test (for shuffle quality), and the paper's Chernoff-bound
+// helpers (Appendix A) used to pick constants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oem {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Least-squares fit y = a + b*x; returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Pearson chi-square statistic for observed counts vs a uniform expectation.
+double chi_square_uniform(const std::vector<std::uint64_t>& observed);
+
+/// Chernoff upper-tail bound of Lemma 22: Pr(X > gamma*mu) < 2^{-gamma*mu*log2(gamma/e)}
+/// for a sum of independent 0-1 variables with mean <= mu and gamma > 2e.
+double chernoff_upper_tail(double mu, double gamma);
+
+/// Negative-binomial (sum of n geometrics with parameter p) upper-tail bound
+/// of Lemma 23 at threshold (alpha + t) * n with alpha = 1/p.  Returns a
+/// (piecewise) bound matching the five cases in the paper's appendix.
+double geometric_sum_tail(double n, double p, double t);
+
+}  // namespace oem

@@ -1,0 +1,60 @@
+// Status type for the randomized algorithms.
+//
+// Every algorithm in the paper succeeds "with (very) high probability"; the
+// residual failure events (an IBLT decode that does not fully peel, a
+// thinning pass that leaves a region overcrowded, a sample that overflows its
+// capacity bound) are surfaced to callers as a non-ok Status instead of being
+// hidden.  Benchmarks report measured failure rates against the paper's
+// 1 - (N/B)^{-d} claims.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace oem {
+
+enum class StatusCode {
+  kOk = 0,
+  kWhpFailure,        // a low-probability randomized step failed; retry with a new seed
+  kInvalidArgument,   // caller violated a precondition (a bug, not bad luck)
+  kCapacityExceeded,  // private-cache budget M would be exceeded
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status WhpFailure(std::string msg) {
+    return Status(StatusCode::kWhpFailure, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Keep the first error when combining step statuses.
+  Status& Update(const Status& other) {
+    if (ok() && !other.ok()) *this = other;
+    return *this;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+#define OEM_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::oem::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace oem

@@ -1,0 +1,31 @@
+// Markdown-ish table printer for the benchmark harness.  Every bench binary
+// prints its experiment as aligned rows so EXPERIMENTS.md can quote them
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oem {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, integers as-is.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oem

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/consolidate.h"
+#include "obliv/trace_check.h"
+#include "test_util.h"
+
+namespace oem::core {
+namespace {
+
+TEST(Consolidate, PacksDistinguishedInOrder) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(64, Client::Init::kUninit);
+  auto v = test::iota_records(64);
+  client.poke(a, v);
+
+  // Distinguish multiples of 3.
+  ConsolidateResult res = consolidate(
+      client, a, [](std::uint64_t, const Record& r) { return r.key % 3 == 0; });
+  EXPECT_EQ(res.distinguished, 22u);  // 0,3,...,63
+  EXPECT_EQ(res.out.num_blocks(), 65u / 4 + 1 + (64 % 4 ? 1 : 0));
+
+  auto out = client.peek(res.out);
+  // Extract non-empty records: must be exactly the multiples of 3, in order.
+  auto packed = test::non_empty(out);
+  ASSERT_EQ(packed.size(), 22u);
+  for (std::size_t i = 0; i < packed.size(); ++i) EXPECT_EQ(packed[i].key, 3 * i);
+}
+
+TEST(Consolidate, BlocksAreFullOrEmptyExceptLast) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(60, Client::Init::kUninit);
+  auto v = test::random_records(60, 1);
+  client.poke(a, v);
+  ConsolidateResult res = consolidate(
+      client, a, [](std::uint64_t i, const Record&) { return i % 5 != 0; });
+
+  auto out = client.peek(res.out);
+  const std::uint64_t nb = res.out.num_blocks();
+  std::uint64_t partials = 0;
+  for (std::uint64_t b = 0; b < nb; ++b) {
+    std::size_t cnt = 0;
+    for (std::size_t r = 0; r < 4; ++r)
+      if (!out[b * 4 + r].is_empty()) ++cnt;
+    if (cnt != 0 && cnt != 4) {
+      ++partials;
+      EXPECT_EQ(b, nb - 1) << "partial block not at the end";
+    }
+  }
+  EXPECT_LE(partials, 1u);
+  EXPECT_EQ(res.full_blocks, res.distinguished / 4);
+}
+
+TEST(Consolidate, ExactIoCount) {
+  // Lemma 3: n reads + (n+1) writes, nothing else.
+  Client client(test::params(8, 64));
+  ExtArray a = client.alloc(128, Client::Init::kUninit);
+  client.poke(a, test::random_records(128, 2));
+  client.reset_stats();
+  consolidate(client, a, nonempty_pred());
+  EXPECT_EQ(client.stats().reads, 16u);
+  EXPECT_EQ(client.stats().writes, 17u);
+}
+
+TEST(Consolidate, PredicateSeesEveryRecordInOrder) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(32, Client::Init::kUninit);
+  client.poke(a, test::iota_records(32));
+  std::vector<std::uint64_t> seen;
+  consolidate(client, a, [&](std::uint64_t idx, const Record& r) {
+    seen.push_back(idx);
+    EXPECT_EQ(r.key, idx);  // iota layout
+    return false;
+  });
+  ASSERT_EQ(seen.size(), 32u);
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(Consolidate, AllDistinguished) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(16, Client::Init::kUninit);
+  auto v = test::iota_records(16);
+  client.poke(a, v);
+  ConsolidateResult res = consolidate(client, a, nonempty_pred());
+  EXPECT_EQ(res.distinguished, 16u);
+  auto packed = test::non_empty(client.peek(res.out));
+  EXPECT_EQ(packed, v);
+}
+
+TEST(Consolidate, NoneDistinguished) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(16, Client::Init::kUninit);
+  client.poke(a, test::iota_records(16));
+  ConsolidateResult res =
+      consolidate(client, a, [](std::uint64_t, const Record&) { return false; });
+  EXPECT_EQ(res.distinguished, 0u);
+  EXPECT_TRUE(test::non_empty(client.peek(res.out)).empty());
+}
+
+TEST(Consolidate, IsOblivious) {
+  auto result = obliv::check_oblivious(
+      test::params(4, 32), 128, obliv::canonical_inputs(5),
+      [](Client& c, const ExtArray& a) {
+        consolidate(c, a, [](std::uint64_t, const Record& r) {
+          return !r.is_empty() && r.key % 2 == 0;  // data-dependent marking
+        });
+      });
+  EXPECT_TRUE(result.oblivious) << result.diagnosis;
+}
+
+TEST(ConsolidatedBlockPred, FrontPackedConvention) {
+  BlockBuf full = {{1, 1}, {2, 2}};
+  BlockBuf empty = {Record{}, Record{}};
+  BlockBuf partial = {{5, 5}, Record{}};
+  EXPECT_TRUE(consolidated_block_distinguished(full));
+  EXPECT_FALSE(consolidated_block_distinguished(empty));
+  EXPECT_TRUE(consolidated_block_distinguished(partial));
+}
+
+}  // namespace
+}  // namespace oem::core

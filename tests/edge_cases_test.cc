@@ -1,0 +1,151 @@
+// Boundary-condition tests: degenerate sizes, B = 1, keys adjacent to the
+// empty-cell sentinel, single-element arrays, and all-empty inputs.
+#include <gtest/gtest.h>
+
+#include "core/butterfly.h"
+#include "core/consolidate.h"
+#include "core/oblivious_sort.h"
+#include "core/select.h"
+#include "core/sparse_compact.h"
+#include "sortnet/external_sort.h"
+#include "test_util.h"
+
+namespace oem {
+namespace {
+
+TEST(EdgeCases, SingleRecordSort) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(1, Client::Init::kUninit);
+  client.poke(a, std::vector<Record>{{5, 7}});
+  sortnet::ext_oblivious_sort(client, a);
+  EXPECT_EQ(client.peek(a)[0], (Record{5, 7}));
+}
+
+TEST(EdgeCases, AllEmptyArraySorts) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(64, Client::Init::kEmpty);
+  sortnet::ext_oblivious_sort(client, a);
+  for (const Record& r : client.peek(a)) EXPECT_TRUE(r.is_empty());
+}
+
+TEST(EdgeCases, BlockSizeOne) {
+  // B = 1: every record is its own block; all machinery must still work.
+  Client client(test::params(1, 8));
+  ExtArray a = client.alloc(32, Client::Init::kUninit);
+  auto v = test::random_records(32, 3);
+  client.poke(a, v);
+  sortnet::ext_oblivious_sort(client, a);
+  auto out = client.peek(a);
+  EXPECT_TRUE(test::same_multiset(out, v));
+  EXPECT_TRUE(test::padded_sorted(out));
+}
+
+TEST(EdgeCases, ButterflyBlockSizeOne) {
+  Client client(test::params(1, 16));
+  ExtArray a = client.alloc(16, Client::Init::kUninit);
+  std::vector<Record> v(16);
+  for (std::uint64_t i = 0; i < 16; i += 3) v[i] = {i, i};
+  client.poke(a, v);
+  auto res = core::tight_compact_blocks(client, a, core::block_nonempty_pred());
+  EXPECT_EQ(res.occupied, 6u);
+  auto out = client.peek(res.out);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(out[i].key, 3 * i);
+}
+
+TEST(EdgeCases, KeysAdjacentToSentinel) {
+  // The largest representable real key must survive sorting and never be
+  // confused with the empty sentinel (~0).
+  Client client(test::params(4, 64));
+  std::vector<Record> v = {{kEmptyKey - 1, 1}, {0, 2}, {kEmptyKey - 2, 3}, {1, 4}};
+  v.resize(32);  // rest empty
+  ExtArray a = client.alloc(32, Client::Init::kUninit);
+  client.poke(a, v);
+  sortnet::ext_oblivious_sort(client, a);
+  auto out = test::non_empty(client.peek(a));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].key, 0u);
+  EXPECT_EQ(out[3].key, kEmptyKey - 1);
+}
+
+TEST(EdgeCases, SelectOnTwoElements) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(2, Client::Init::kUninit);
+  client.poke(a, std::vector<Record>{{9, 0}, {3, 1}});
+  EXPECT_EQ(core::oblivious_select(client, a, 1, 1).value.key, 3u);
+  EXPECT_EQ(core::oblivious_select(client, a, 2, 1).value.key, 9u);
+}
+
+TEST(EdgeCases, ConsolidateSingleBlock) {
+  Client client(test::params(4, 32));
+  ExtArray a = client.alloc(4, Client::Init::kUninit);
+  client.poke(a, test::iota_records(4));
+  auto res = core::consolidate(client, a, core::nonempty_pred());
+  EXPECT_EQ(res.distinguished, 4u);
+  EXPECT_EQ(res.out.num_blocks(), 2u);  // n + 1
+  auto out = test::non_empty(client.peek(res.out));
+  EXPECT_EQ(out, test::iota_records(4));
+}
+
+TEST(EdgeCases, SparseCompactZeroDistinguished) {
+  Client client(test::params(4, 4096));
+  ExtArray a = client.alloc_blocks(32, Client::Init::kEmpty);
+  core::SparseCompactOptions opts;
+  opts.cost_aware = false;
+  auto res = core::sparse_compact_blocks(client, a, 8, core::block_nonempty_pred(),
+                                         3, opts);
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(res.distinguished, 0u);
+  for (const Record& r : client.peek(res.out)) EXPECT_TRUE(r.is_empty());
+}
+
+TEST(EdgeCases, ExpandToSamePositions) {
+  // Identity expansion: target(i) = i.
+  Client client(test::params(4, 64));
+  ExtArray a = client.alloc_blocks(8, Client::Init::kUninit);
+  auto v = test::random_records(32, 5);
+  client.poke(a, v);
+  ExtArray out =
+      core::expand_blocks(client, a, 8, 8, [](std::uint64_t i) { return i; });
+  EXPECT_EQ(client.peek(out), v);
+}
+
+TEST(EdgeCases, SortMaximallySkewedValues) {
+  // Many duplicates of the extreme keys.
+  Client client(test::params(4, 64));
+  std::vector<Record> v(1024);
+  for (std::uint64_t i = 0; i < v.size(); ++i)
+    v[i] = {i % 2 == 0 ? 0 : kEmptyKey - 1, i};
+  ExtArray a = client.alloc(v.size(), Client::Init::kUninit);
+  client.poke(a, v);
+  ASSERT_TRUE(core::oblivious_sort(client, a, 3).status.ok());
+  auto out = client.peek(a);
+  EXPECT_TRUE(test::same_multiset(out, v));
+  EXPECT_TRUE(test::keys_nondecreasing(test::non_empty(out)));
+}
+
+TEST(EdgeCases, RecordRangeSingleRecord) {
+  Client client(test::params(8, 64));
+  ExtArray a = client.alloc(64, Client::Init::kEmpty);
+  std::vector<Record> one = {{42, 43}};
+  client.write_records(a, 37, one);
+  std::vector<Record> got(1);
+  client.read_records(a, 37, got);
+  EXPECT_EQ(got[0], one[0]);
+  EXPECT_TRUE(client.peek(a)[36].is_empty());
+  EXPECT_TRUE(client.peek(a)[38].is_empty());
+}
+
+TEST(EdgeCases, MinimalCacheTwoBlocks) {
+  // The paper's weakest assumption: M = 2B.
+  Client client(test::params(4, 8));
+  ExtArray a = client.alloc(64, Client::Init::kUninit);
+  auto v = test::random_records(64, 9);
+  client.poke(a, v);
+  sortnet::ext_oblivious_sort(client, a);
+  auto out = client.peek(a);
+  EXPECT_TRUE(test::same_multiset(out, v));
+  EXPECT_TRUE(test::padded_sorted(out));
+}
+
+}  // namespace
+}  // namespace oem

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "extmem/cache_meter.h"
+#include "extmem/client.h"
+#include "obliv/trace_check.h"
+#include "test_util.h"
+
+namespace oem {
+namespace {
+
+TEST(Device, CountsAndTraces) {
+  BlockDevice dev(4);
+  Extent e = dev.allocate(3);
+  EXPECT_EQ(e.first_block, 0u);
+  EXPECT_EQ(dev.num_blocks(), 3u);
+  std::vector<Word> buf(4, 7);
+  dev.write(1, buf);
+  dev.read(1, buf);
+  EXPECT_EQ(dev.stats().writes, 1u);
+  EXPECT_EQ(dev.stats().reads, 1u);
+  EXPECT_EQ(dev.trace().size(), 2u);
+}
+
+TEST(Device, TraceHashDistinguishesSequences) {
+  BlockDevice d1(2), d2(2);
+  d1.allocate(4);
+  d2.allocate(4);
+  std::vector<Word> buf(2, 0);
+  d1.write(0, buf);
+  d1.write(1, buf);
+  d2.write(1, buf);
+  d2.write(0, buf);
+  EXPECT_NE(d1.trace().hash(), d2.trace().hash());
+}
+
+TEST(Device, LifoRelease) {
+  BlockDevice dev(2);
+  Extent a = dev.allocate(4);
+  Extent b = dev.allocate(4);
+  dev.release(b);
+  EXPECT_EQ(dev.num_blocks(), 4u);
+  dev.release(a);
+  EXPECT_EQ(dev.num_blocks(), 0u);
+}
+
+TEST(Client, BlockRoundTrip) {
+  Client c(test::params(8, 64));
+  ExtArray a = c.alloc(32);
+  BlockBuf blk(8);
+  for (std::size_t i = 0; i < 8; ++i) blk[i] = {i * 10, i};
+  c.write_block(a, 2, blk);
+  BlockBuf got;
+  c.read_block(a, 2, got);
+  EXPECT_EQ(got, blk);
+}
+
+TEST(Client, CiphertextHidesPlaintext) {
+  Client c(test::params(4, 32));
+  ExtArray a = c.alloc(4, Client::Init::kUninit);
+  BlockBuf blk(4);
+  for (std::size_t i = 0; i < 4; ++i) blk[i] = {0xdeadbeef, 0xcafe};
+  c.write_block(a, 0, blk);
+  auto raw = c.device().raw(a.device_block(0));
+  int matches = 0;
+  for (Word w : raw)
+    if (w == 0xdeadbeef || w == 0xcafe) ++matches;
+  EXPECT_EQ(matches, 0) << "plaintext leaked into Bob's storage";
+}
+
+TEST(Client, ReencryptionChangesCiphertext) {
+  Client c(test::params(4, 32));
+  ExtArray a = c.alloc(4, Client::Init::kUninit);
+  BlockBuf blk(4);
+  c.write_block(a, 0, blk);
+  std::vector<Word> first(c.device().raw(0).begin(), c.device().raw(0).end());
+  c.touch_block(a, 0);  // same contents, fresh nonce
+  std::vector<Word> second(c.device().raw(0).begin(), c.device().raw(0).end());
+  EXPECT_NE(first, second) << "re-encryption must be indistinguishable from a new write";
+  BlockBuf got;
+  c.read_block(a, 0, got);
+  EXPECT_EQ(got, blk);
+}
+
+TEST(Client, EmptyInitWritesEmptyBlocks) {
+  Client c(test::params(4, 32));
+  ExtArray a = c.alloc(16, Client::Init::kEmpty);
+  auto all = c.peek(a);
+  for (const Record& r : all) EXPECT_TRUE(r.is_empty());
+  EXPECT_EQ(c.stats().writes, 4u);  // counted initialization
+}
+
+TEST(Client, RecordRangeStraddlesBlocks) {
+  Client c(test::params(4, 64));
+  ExtArray a = c.alloc(16, Client::Init::kEmpty);
+  std::vector<Record> in = {{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}};
+  c.write_records(a, 2, in);  // covers blocks 0 and 1
+  std::vector<Record> out(5);
+  c.read_records(a, 2, out);
+  EXPECT_EQ(out, in);
+  // Neighbors preserved by the read-modify-write.
+  auto all = c.peek(a);
+  EXPECT_TRUE(all[0].is_empty());
+  EXPECT_TRUE(all[1].is_empty());
+  EXPECT_TRUE(all[7].is_empty());
+}
+
+TEST(Client, PokePeekBypassCounters) {
+  Client c(test::params(4, 32));
+  ExtArray a = c.alloc(8, Client::Init::kUninit);
+  auto v = test::iota_records(8);
+  c.reset_stats();
+  c.poke(a, v);
+  EXPECT_EQ(c.peek(a), v);
+  EXPECT_EQ(c.stats().total(), 0u);
+  EXPECT_EQ(c.device().trace().size(), 0u);
+}
+
+TEST(CacheMeter, TracksPeakAndStrictThrows) {
+  CacheMeter m(100, /*strict=*/true);
+  {
+    CacheLease l1(m, 60);
+    EXPECT_EQ(m.in_use(), 60u);
+    { CacheLease l2(m, 30); EXPECT_EQ(m.peak(), 90u); }
+    EXPECT_EQ(m.in_use(), 60u);
+    EXPECT_THROW(CacheLease l3(m, 50), std::runtime_error);
+  }
+  CacheMeter lax(100, /*strict=*/false);
+  CacheLease big(lax, 500);
+  EXPECT_EQ(lax.peak(), 500u);  // recorded, not fatal
+}
+
+TEST(CacheMeter, LeaseResize) {
+  CacheMeter m(100, false);
+  CacheLease l(m, 10);
+  l.resize(40);
+  EXPECT_EQ(m.in_use(), 40u);
+  l.resize(5);
+  EXPECT_EQ(m.in_use(), 5u);
+}
+
+TEST(TraceChecker, DetectsDataDependentAccess) {
+  // A deliberately NON-oblivious algorithm: touch block (first key mod n).
+  auto leaky = [](Client& c, const ExtArray& a) {
+    BlockBuf blk;
+    c.read_block(a, 0, blk);
+    c.read_block(a, blk[0].key % a.num_blocks(), blk);
+  };
+  auto result = obliv::check_oblivious(test::params(4, 64), 64,
+                                       obliv::canonical_inputs(1), leaky, true);
+  EXPECT_FALSE(result.oblivious);
+  EXPECT_FALSE(result.diagnosis.empty());
+}
+
+TEST(TraceChecker, AcceptsScan) {
+  auto scan = [](Client& c, const ExtArray& a) {
+    BlockBuf blk;
+    for (std::uint64_t i = 0; i < a.num_blocks(); ++i) c.read_block(a, i, blk);
+  };
+  auto result = obliv::check_oblivious(test::params(4, 64), 64,
+                                       obliv::canonical_inputs(1), scan);
+  EXPECT_TRUE(result.oblivious);
+  EXPECT_EQ(result.runs.size(), 6u);
+}
+
+}  // namespace
+}  // namespace oem

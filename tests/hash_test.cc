@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "hash/hashing.h"
+#include "hash/khash.h"
+#include "util/stats.h"
+
+namespace oem::hash {
+namespace {
+
+TEST(Mix, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(mix(1, 2), mix(1, 2));
+  EXPECT_NE(mix(1, 2), mix(1, 3));
+  EXPECT_NE(mix(1, 2), mix(2, 2));
+}
+
+TEST(ToRange, WithinRange) {
+  for (std::uint64_t range : {1ull, 2ull, 3ull, 100ull, 1ull << 40}) {
+    for (std::uint64_t x = 0; x < 64; ++x) EXPECT_LT(to_range(x, 9, range), range);
+  }
+}
+
+TEST(ToRange, RoughlyUniform) {
+  std::vector<std::uint64_t> counts(10, 0);
+  for (std::uint64_t x = 0; x < 100000; ++x) ++counts[to_range(x, 77, 10)];
+  EXPECT_LT(chi_square_uniform(counts), 35.0);  // 9 dof, very generous
+}
+
+TEST(Tabulation, DeterministicPerSeed) {
+  Tabulation h1(5), h2(5), h3(6);
+  EXPECT_EQ(h1(123456), h2(123456));
+  EXPECT_NE(h1(123456), h3(123456));
+}
+
+TEST(Tabulation, SpreadsBits) {
+  Tabulation h(42);
+  std::set<std::uint64_t> vals;
+  for (std::uint64_t x = 0; x < 1000; ++x) vals.insert(h(x));
+  EXPECT_EQ(vals.size(), 1000u);  // collisions vanishingly unlikely
+}
+
+TEST(KHash, CellsAreDistinctPerKey) {
+  // The paper requires h_1(x)..h_k(x) distinct; partitioning guarantees it.
+  KHashFamily fam(4, 100, 7);
+  for (std::uint64_t x = 0; x < 500; ++x) {
+    auto cells = fam.cells_for(x);
+    std::set<std::uint64_t> s(cells.begin(), cells.end());
+    EXPECT_EQ(s.size(), cells.size());
+    for (auto c : cells) EXPECT_LT(c, fam.cells());
+  }
+}
+
+TEST(KHash, SegmentsPartitionTable) {
+  KHashFamily fam(3, 99, 7);
+  EXPECT_EQ(fam.segment_length(), 33u);
+  EXPECT_EQ(fam.cells(), 99u);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    for (unsigned i = 0; i < 3; ++i) {
+      const std::uint64_t c = fam.cell(x, i);
+      EXPECT_GE(c, i * 33u);
+      EXPECT_LT(c, (i + 1) * 33u);
+    }
+  }
+}
+
+TEST(KHash, ChecksumNeverZero) {
+  KHashFamily fam(2, 10, 3);
+  for (std::uint64_t x = 0; x < 1000; ++x) EXPECT_NE(fam.checksum(x), 0u);
+}
+
+TEST(KHash, RoundsDownToMultipleOfK) {
+  KHashFamily fam(4, 103, 1);
+  EXPECT_EQ(fam.cells() % 4, 0u);
+  EXPECT_LE(fam.cells(), 103u);
+}
+
+}  // namespace
+}  // namespace oem::hash

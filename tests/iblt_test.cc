@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "iblt/iblt.h"
+#include "iblt/oblivious_iblt.h"
+#include "obliv/trace_check.h"
+#include "test_util.h"
+
+namespace oem::iblt {
+namespace {
+
+TEST(Iblt, InsertGetRoundTrip) {
+  Iblt t(64, {}, 1);
+  for (std::uint64_t k = 0; k < 32; ++k) t.insert(k, k * 7);
+  int hits = 0;
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    auto v = t.get(k);
+    if (v) {
+      EXPECT_EQ(*v, k * 7);
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 24);  // get may fail with small probability per key
+}
+
+TEST(Iblt, GetAbsentKeyMostlyNullopt) {
+  Iblt t(64, {}, 1);
+  for (std::uint64_t k = 0; k < 32; ++k) t.insert(k, k);
+  int false_hits = 0;
+  for (std::uint64_t k = 1000; k < 1100; ++k)
+    if (t.get(k)) ++false_hits;
+  EXPECT_EQ(false_hits, 0);
+}
+
+TEST(Iblt, ListEntriesRecoversAll) {
+  Iblt t(100, {}, 2);
+  std::map<std::uint64_t, std::uint64_t> ref;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    t.insert(k * 3 + 1, k * k);
+    ref[k * 3 + 1] = k * k;
+  }
+  std::vector<Entry> out;
+  ASSERT_TRUE(t.list_entries(out));
+  EXPECT_EQ(out.size(), 100u);
+  for (const auto& e : out) {
+    ASSERT_TRUE(ref.count(e.key));
+    EXPECT_EQ(ref[e.key], e.value);
+  }
+}
+
+TEST(Iblt, DeleteThenListEmpty) {
+  Iblt t(16, {}, 3);
+  t.insert(5, 50);
+  t.insert(6, 60);
+  t.erase(5, 50);
+  std::vector<Entry> out;
+  EXPECT_TRUE(t.list_entries(out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, 6u);
+}
+
+TEST(Iblt, OverloadedTableFailsToDecode) {
+  // 4x capacity: peeling must report incompleteness, not fabricate entries.
+  IbltParams params;
+  Iblt t(16, params, 4);
+  for (std::uint64_t k = 0; k < 64; ++k) t.insert(k, k);
+  std::vector<Entry> out;
+  EXPECT_FALSE(t.list_entries(out));
+}
+
+TEST(Iblt, DecodeSuccessRateAtPaperSizing) {
+  // Lemma 1: with m = delta*k*n cells the failure rate should be tiny.
+  int failures = 0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    Iblt t(50, {}, 1000 + trial);
+    for (std::uint64_t k = 0; k < 50; ++k) t.insert(k ^ (trial * 977), k);
+    std::vector<Entry> out;
+    if (!t.list_entries(out) || out.size() != 50) ++failures;
+  }
+  EXPECT_LE(failures, 2);
+}
+
+// ---------- Oblivious external-memory IBLT ----------
+
+struct ObliviousCase {
+  std::size_t B;
+  std::uint64_t M;
+  std::uint64_t n_blocks;
+  std::uint64_t capacity;
+  bool force_external;
+};
+
+class ObliviousIbltTest : public ::testing::TestWithParam<ObliviousCase> {};
+
+TEST_P(ObliviousIbltTest, BuildExtractRoundTrip) {
+  const auto& p = GetParam();
+  Client client(test::params(p.B, p.M));
+  ExtArray a = client.alloc_blocks(p.n_blocks, Client::Init::kUninit);
+  // Every 4th block is distinguished, content = recognizable pattern.
+  std::vector<Record> flat(p.n_blocks * p.B);
+  std::vector<std::uint64_t> dist_blocks;
+  for (std::uint64_t b = 0; b < p.n_blocks; ++b) {
+    if (b % 4 == 1 && dist_blocks.size() < p.capacity) {
+      dist_blocks.push_back(b);
+      for (std::size_t r = 0; r < p.B; ++r) flat[b * p.B + r] = {b * 100 + r, b};
+    }
+  }
+  client.poke(a, flat);
+
+  ObliviousIbltOptions opts;
+  opts.force_external_decode = p.force_external;
+  ObliviousBlockIblt table(client, p.capacity, opts, /*seed=*/9);
+  table.build(a, [](std::uint64_t, const BlockBuf& blk) {
+    return !blk[0].is_empty();
+  });
+  ExtArray out = client.alloc_blocks(p.capacity, Client::Init::kUninit);
+  Status st = table.extract(out);
+  ASSERT_TRUE(st.ok()) << st.message();
+
+  auto got = client.peek(out);
+  // Decoded blocks appear in original index order, then empties.
+  for (std::size_t i = 0; i < dist_blocks.size(); ++i) {
+    const std::uint64_t b = dist_blocks[i];
+    for (std::size_t r = 0; r < p.B; ++r) {
+      EXPECT_EQ(got[i * p.B + r].key, b * 100 + r)
+          << "block " << i << " record " << r;
+    }
+  }
+  for (std::size_t i = dist_blocks.size() * p.B; i < got.size(); ++i)
+    EXPECT_TRUE(got[i].is_empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ObliviousIbltTest,
+    ::testing::Values(ObliviousCase{4, 1024, 32, 10, false},   // in-cache decode
+                      ObliviousCase{4, 64, 32, 10, false},     // auto-external
+                      ObliviousCase{4, 1024, 32, 10, true},    // forced external
+                      ObliviousCase{8, 2048, 64, 18, false},
+                      ObliviousCase{8, 128, 64, 18, true},
+                      ObliviousCase{2, 64, 16, 4, true},
+                      ObliviousCase{1, 16, 16, 4, true}));     // B=1 edge
+
+TEST(ObliviousIblt, OverflowReportsFailure) {
+  Client client(test::params(4, 4096));
+  const std::uint64_t n_blocks = 64;
+  ExtArray a = client.alloc_blocks(n_blocks, Client::Init::kUninit);
+  std::vector<Record> flat(n_blocks * 4);
+  for (std::uint64_t b = 0; b < n_blocks; ++b)
+    for (std::size_t r = 0; r < 4; ++r) flat[b * 4 + r] = {b, r};  // ALL distinguished
+  client.poke(a, flat);
+  ObliviousBlockIblt table(client, /*capacity=*/8, {}, 11);
+  table.build(a, [](std::uint64_t, const BlockBuf&) { return true; });
+  ExtArray out = client.alloc_blocks(8, Client::Init::kUninit);
+  EXPECT_FALSE(table.extract(out).ok());
+}
+
+TEST(ObliviousIblt, BuildIsOblivious) {
+  // The insertion pass must produce identical traces whether zero, some, or
+  // all blocks are distinguished (content decides, trace must not).
+  auto algo = [](Client& c, const ExtArray& a) {
+    ObliviousIbltOptions opts;
+    ObliviousBlockIblt table(c, 8, opts, 5);
+    table.build(a, [](std::uint64_t, const BlockBuf& blk) {
+      return !blk[0].is_empty() && blk[0].key % 7 == 0;
+    });
+    ExtArray out = c.alloc_blocks(8, Client::Init::kUninit);
+    (void)table.extract(out);
+  };
+  auto result = obliv::check_oblivious(test::params(4, 4096), 128,
+                                       obliv::canonical_inputs(3), algo);
+  EXPECT_TRUE(result.oblivious) << result.diagnosis;
+}
+
+TEST(ObliviousIblt, ExternalDecodeIsOblivious) {
+  auto algo = [](Client& c, const ExtArray& a) {
+    ObliviousIbltOptions opts;
+    opts.force_external_decode = true;
+    ObliviousBlockIblt table(c, 6, opts, 5);
+    table.build(a, [](std::uint64_t, const BlockBuf& blk) {
+      return !blk[0].is_empty() && blk[0].key % 11 == 0;
+    });
+    ExtArray out = c.alloc_blocks(6, Client::Init::kUninit);
+    (void)table.extract(out);
+  };
+  auto result = obliv::check_oblivious(test::params(4, 64), 64,
+                                       obliv::canonical_inputs(4), algo);
+  EXPECT_TRUE(result.oblivious) << result.diagnosis;
+}
+
+TEST(ObliviousIblt, TraceSameOnSuccessAndFailure) {
+  // Run once with decodable load and once with hopeless overload; traces of
+  // extract() must match (failure is reported, never betrayed by access
+  // pattern).  Same sizes, same seed.
+  auto run = [&](bool overload) {
+    Client client(test::params(4, 64));
+    ExtArray a = client.alloc_blocks(64, Client::Init::kUninit);
+    std::vector<Record> flat(64 * 4);
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      const bool dist = overload ? true : (b % 16 == 0);
+      if (dist)
+        for (std::size_t r = 0; r < 4; ++r) flat[b * 4 + r] = {b, r};
+    }
+    client.poke(a, flat);
+    ObliviousIbltOptions opts;
+    opts.force_external_decode = true;
+    ObliviousBlockIblt table(client, 6, opts, 13);
+    table.build(a, [](std::uint64_t, const BlockBuf& blk) {
+      return !blk[0].is_empty();
+    });
+    ExtArray out = client.alloc_blocks(6, Client::Init::kUninit);
+    client.device().trace().reset();
+    const Status st = table.extract(out);
+    return std::make_pair(client.device().trace().hash(), st.ok());
+  };
+  auto [h_ok, ok1] = run(false);
+  auto [h_fail, ok2] = run(true);
+  EXPECT_TRUE(ok1);
+  EXPECT_FALSE(ok2);
+  EXPECT_EQ(h_ok, h_fail) << "extract trace leaked the outcome";
+}
+
+}  // namespace
+}  // namespace oem::iblt

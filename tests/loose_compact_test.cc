@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/loose_compact.h"
+#include "core/logstar_compact.h"
+#include "obliv/trace_check.h"
+#include "test_util.h"
+
+namespace oem::core {
+namespace {
+
+/// Marks block b distinguished with content {b*1000+r, b} when selected.
+std::vector<Record> sparse_blocks(std::uint64_t n_blocks, std::size_t B,
+                                  double density, std::uint64_t seed,
+                                  std::set<std::uint64_t>* chosen) {
+  rng::Xoshiro g(seed);
+  std::vector<Record> flat(n_blocks * B);
+  for (std::uint64_t b = 0; b < n_blocks; ++b) {
+    if (g.bernoulli(density)) {
+      chosen->insert(b);
+      for (std::size_t r = 0; r < B; ++r) flat[b * B + r] = {b * 1000 + r, b};
+    }
+  }
+  return flat;
+}
+
+/// Collects the distinguished block keys found in an output array.
+std::set<std::uint64_t> found_blocks(const std::vector<Record>& out, std::size_t B) {
+  std::set<std::uint64_t> s;
+  for (std::size_t b = 0; b * B < out.size(); ++b) {
+    const Record& r0 = out[b * B];
+    if (!r0.is_empty()) s.insert(r0.key / 1000);
+  }
+  return s;
+}
+
+struct LooseCase {
+  std::size_t B;
+  std::uint64_t M;
+  std::uint64_t n_blocks;
+  double density;
+};
+
+class LooseCompactTest : public ::testing::TestWithParam<LooseCase> {};
+
+TEST_P(LooseCompactTest, AllDistinguishedBlocksSurvive) {
+  const auto& p = GetParam();
+  Client client(test::params(p.B, p.M));
+  std::set<std::uint64_t> chosen;
+  std::vector<Record> flat =
+      sparse_blocks(p.n_blocks, p.B, p.density, 42, &chosen);
+  // Capacity bound: generous but < n/4.
+  const std::uint64_t r_cap =
+      std::min<std::uint64_t>(p.n_blocks / 4 - 1,
+                              chosen.size() + chosen.size() / 2 + 4);
+  ASSERT_GE(r_cap, chosen.size());
+
+  ExtArray a = client.alloc_blocks(p.n_blocks, Client::Init::kUninit);
+  client.poke(a, flat);
+  LooseCompactResult res =
+      loose_compact_blocks(client, a, r_cap, block_nonempty_pred(), 7);
+
+  ASSERT_TRUE(res.status.ok()) << res.status.message();
+  EXPECT_EQ(res.distinguished, chosen.size());
+  EXPECT_EQ(res.out.num_blocks(), 5 * r_cap);
+
+  auto out = client.peek(res.out);
+  EXPECT_EQ(found_blocks(out, p.B), chosen) << "blocks lost or fabricated";
+  // Content integrity of one surviving block.
+  for (std::size_t b = 0; b * p.B < out.size(); ++b) {
+    if (!out[b * p.B].is_empty()) {
+      const std::uint64_t src = out[b * p.B].key / 1000;
+      for (std::size_t r = 0; r < p.B; ++r)
+        EXPECT_EQ(out[b * p.B + r].key, src * 1000 + r);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LooseCompactTest,
+    ::testing::Values(LooseCase{4, 512, 128, 0.15}, LooseCase{4, 512, 256, 0.2},
+                      LooseCase{8, 1024, 512, 0.1}, LooseCase{4, 512, 64, 0.05},
+                      LooseCase{4, 2048, 1024, 0.2},
+                      LooseCase{16, 4096, 256, 0.12}));
+
+TEST(LooseCompact, RejectsOverdenseInput) {
+  Client client(test::params(4, 512));
+  ExtArray a = client.alloc_blocks(16, Client::Init::kEmpty);
+  LooseCompactResult res =
+      loose_compact_blocks(client, a, /*r_capacity=*/8, block_nonempty_pred(), 1);
+  EXPECT_EQ(res.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LooseCompact, ReportsOverflowWhenCountExceedsCapacity) {
+  Client client(test::params(4, 512));
+  const std::uint64_t n = 128;
+  std::set<std::uint64_t> chosen;
+  auto flat = sparse_blocks(n, 4, 0.24, 3, &chosen);
+  ASSERT_GT(chosen.size(), 8u);
+  ExtArray a = client.alloc_blocks(n, Client::Init::kUninit);
+  client.poke(a, flat);
+  // Deliberately undersized capacity.
+  LooseCompactResult res =
+      loose_compact_blocks(client, a, 8, block_nonempty_pred(), 1);
+  EXPECT_FALSE(res.status.ok());
+}
+
+TEST(LooseCompact, LinearIoShape) {
+  // I/Os per input block should stay roughly flat as n grows (Theorem 8's
+  // O(N/B) claim).  Density and capacity scale proportionally.
+  std::vector<double> per_block;
+  for (std::uint64_t n : {256ull, 1024ull, 4096ull}) {
+    Client client(test::params(4, 1024));
+    std::set<std::uint64_t> chosen;
+    auto flat = sparse_blocks(n, 4, 0.1, 5, &chosen);
+    ExtArray a = client.alloc_blocks(n, Client::Init::kUninit);
+    client.poke(a, flat);
+    client.reset_stats();
+    loose_compact_blocks(client, a, n / 5, block_nonempty_pred(), 5);
+    per_block.push_back(static_cast<double>(client.stats().total()) /
+                        static_cast<double>(n));
+  }
+  // 16x more data => per-block cost within 1.6x (log factors would give ~4x).
+  EXPECT_LT(per_block[2], per_block[0] * 1.6)
+      << per_block[0] << " " << per_block[1] << " " << per_block[2];
+}
+
+TEST(LooseCompact, IsOblivious) {
+  auto result = obliv::check_oblivious(
+      test::params(4, 512), 512, obliv::canonical_inputs(8),
+      [](Client& c, const ExtArray& a) {
+        loose_compact_blocks(c, a, a.num_blocks() / 5,
+                             [](std::uint64_t, const BlockBuf& blk) {
+                               return !blk[0].is_empty() && blk[0].key % 5 == 0;
+                             },
+                             99);
+      });
+  EXPECT_TRUE(result.oblivious) << result.diagnosis;
+}
+
+TEST(LooseCompact, SuccessRateHighAcrossSeeds) {
+  int failures = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    Client client(test::params(4, 512));
+    std::set<std::uint64_t> chosen;
+    auto flat = sparse_blocks(256, 4, 0.12, 100 + t, &chosen);
+    ExtArray a = client.alloc_blocks(256, Client::Init::kUninit);
+    client.poke(a, flat);
+    auto res = loose_compact_blocks(client, a, 63, block_nonempty_pred(), 200 + t);
+    if (!res.status.ok()) ++failures;
+    auto out = client.peek(res.out);
+    if (found_blocks(out, 4) != chosen && res.status.ok()) {
+      ADD_FAILURE() << "silent data loss at seed " << t;
+    }
+  }
+  EXPECT_LE(failures, 1);
+}
+
+// ---------- Theorem 9 (log*) ----------
+
+struct LogstarCase {
+  std::uint64_t n_blocks;
+  double density;
+};
+
+class LogstarTest : public ::testing::TestWithParam<LogstarCase> {};
+
+TEST_P(LogstarTest, CompactsWithoutWideBlockAssumption) {
+  const auto& p = GetParam();
+  // Small cache (M = 8B): no tall-cache/wide-block assumption needed.
+  Client client(test::params(4, 4 * 8));
+  std::set<std::uint64_t> chosen;
+  auto flat = sparse_blocks(p.n_blocks, 4, p.density, 21, &chosen);
+  const std::uint64_t r_cap = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(p.n_blocks / 4 - 1, chosen.size() + 4));
+  if (chosen.size() > r_cap) GTEST_SKIP() << "unlucky density draw";
+
+  ExtArray a = client.alloc_blocks(p.n_blocks, Client::Init::kUninit);
+  client.poke(a, flat);
+  LogstarCompactResult res =
+      logstar_compact_blocks(client, a, r_cap, block_nonempty_pred(), 17);
+  ASSERT_TRUE(res.status.ok()) << res.status.message();
+  EXPECT_EQ(res.distinguished, chosen.size());
+  EXPECT_EQ(res.out.num_blocks(), 4 * r_cap + (r_cap + 3) / 4);
+
+  auto out = client.peek(res.out);
+  EXPECT_EQ(found_blocks(out, 4), chosen);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, LogstarTest,
+                         ::testing::Values(LogstarCase{64, 0.1}, LogstarCase{128, 0.15},
+                                           LogstarCase{256, 0.2}, LogstarCase{512, 0.1},
+                                           LogstarCase{48, 0.05}));
+
+TEST(Logstar, PhaseCountIsTiny) {
+  // log* growth: even at 4096 blocks only a couple of tower phases run.
+  Client client(test::params(4, 32));
+  std::set<std::uint64_t> chosen;
+  auto flat = sparse_blocks(2048, 4, 0.2, 9, &chosen);
+  ExtArray a = client.alloc_blocks(2048, Client::Init::kUninit);
+  client.poke(a, flat);
+  auto res = logstar_compact_blocks(client, a, 500, block_nonempty_pred(), 3);
+  EXPECT_LE(res.phases, 3u);
+}
+
+TEST(Logstar, IsOblivious) {
+  auto result = obliv::check_oblivious(
+      test::params(4, 32), 256, obliv::canonical_inputs(9),
+      [](Client& c, const ExtArray& a) {
+        logstar_compact_blocks(c, a, a.num_blocks() / 5,
+                               [](std::uint64_t, const BlockBuf& blk) {
+                                 return !blk[0].is_empty() && blk[0].key % 3 == 0;
+                               },
+                               7);
+      });
+  EXPECT_TRUE(result.oblivious) << result.diagnosis;
+}
+
+}  // namespace
+}  // namespace oem::core

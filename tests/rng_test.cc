@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "rng/permutation.h"
+#include "rng/random.h"
+#include "util/stats.h"
+
+namespace oem::rng {
+namespace {
+
+TEST(SplitMix, Deterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  std::uint64_t s3 = 43;
+  EXPECT_NE(splitmix64(s3), [] { std::uint64_t s = 42; return splitmix64(s); }());
+}
+
+TEST(Xoshiro, SeedDeterminism) {
+  Xoshiro a(7), b(7), c(8);
+  bool any_diff = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+    if (x != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro, BelowRange) {
+  Xoshiro g(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(g.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, BelowRoughlyUniform) {
+  Xoshiro g(11);
+  std::vector<std::uint64_t> counts(16, 0);
+  const int draws = 160000;
+  for (int i = 0; i < draws; ++i) ++counts[g.below(16)];
+  // chi-square with 15 dof: 99.9th percentile ~ 37.7.
+  EXPECT_LT(chi_square_uniform(counts), 45.0);
+}
+
+TEST(Xoshiro, BernoulliMean) {
+  Xoshiro g(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += g.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+  EXPECT_FALSE(g.bernoulli(0.0));
+  EXPECT_TRUE(g.bernoulli(1.0));
+}
+
+TEST(Xoshiro, SplitIndependentStreams) {
+  Xoshiro a(9);
+  Xoshiro child = a.split();
+  // The child stream should not replay the parent stream.
+  bool differs = false;
+  Xoshiro b(9);
+  b.next();  // align with the split() draw
+  for (int i = 0; i < 16; ++i)
+    if (child.next() != b.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FisherYates, ProducesPermutation) {
+  Xoshiro g(13);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(v, g);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0);
+  EXPECT_EQ(*s.rbegin(), 99);
+}
+
+TEST(FisherYates, UniformOverSmallPermutations) {
+  // All 6 permutations of 3 elements should be ~equally likely.
+  std::map<std::vector<int>, int> counts;
+  Xoshiro g(17);
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> v = {0, 1, 2};
+    shuffle(v, g);
+    counts[v]++;
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [perm, c] : counts)
+    EXPECT_NEAR(static_cast<double>(c) / trials, 1.0 / 6.0, 0.01);
+}
+
+TEST(FisherYates, DrawsCoinEvenWhenIEqualsJ) {
+  // The swap callback must be invoked for every i (coin alignment).
+  Xoshiro g(19);
+  int calls = 0;
+  fisher_yates(10, g, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 9);
+}
+
+class FeistelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeistelTest, IsBijectionWithInverse) {
+  const std::uint64_t n = GetParam();
+  FeistelPermutation prp(n, /*key=*/0x1234, 4);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < n; ++x) {
+    const std::uint64_t y = prp.apply(x);
+    ASSERT_LT(y, n);
+    EXPECT_TRUE(seen.insert(y).second) << "collision at " << x;
+    EXPECT_EQ(prp.inverse(y), x);
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, FeistelTest,
+                         ::testing::Values(1, 2, 3, 5, 16, 17, 100, 257, 1024, 1000));
+
+TEST(Feistel, DifferentKeysDifferentPerms) {
+  FeistelPermutation a(64, 1), b(64, 2);
+  int diff = 0;
+  for (std::uint64_t x = 0; x < 64; ++x)
+    if (a.apply(x) != b.apply(x)) ++diff;
+  EXPECT_GT(diff, 32);
+}
+
+}  // namespace
+}  // namespace oem::rng

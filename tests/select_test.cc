@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/select.h"
+#include "obliv/trace_check.h"
+#include "test_util.h"
+
+namespace oem::core {
+namespace {
+
+Record true_kth(std::vector<Record> v, std::uint64_t k) {
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k - 1), v.end(),
+                   RecordLess{});
+  return v[k - 1];
+}
+
+struct SelectCase {
+  std::uint64_t N;
+  std::uint64_t k;
+  std::size_t B;
+  std::uint64_t M;
+};
+
+class SelectTest : public ::testing::TestWithParam<SelectCase> {};
+
+TEST_P(SelectTest, FindsKthSmallest) {
+  const auto& p = GetParam();
+  Client client(test::params(p.B, p.M));
+  auto v = test::random_records(p.N, 31);
+  ExtArray a = client.alloc(p.N, Client::Init::kUninit);
+  client.poke(a, v);
+
+  SelectResult res = oblivious_select(client, a, p.k, /*seed=*/5);
+  ASSERT_TRUE(res.status.ok()) << res.status.message();
+  EXPECT_EQ(res.value, true_kth(v, p.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SelectTest,
+    ::testing::Values(SelectCase{100, 50, 4, 1024},     // base case (fits cache)
+                      SelectCase{4096, 1, 4, 256},      // min
+                      SelectCase{4096, 4096, 4, 256},   // max
+                      SelectCase{4096, 2048, 4, 256},   // median
+                      SelectCase{4096, 100, 4, 256},
+                      SelectCase{10000, 5000, 8, 512},
+                      SelectCase{10000, 9999, 8, 512},
+                      SelectCase{16384, 8192, 16, 2048},
+                      SelectCase{5000, 1234, 4, 256}));
+
+TEST(Select, HandlesDuplicateKeys) {
+  Client client(test::params(4, 256));
+  std::vector<Record> v(4096);
+  for (std::uint64_t i = 0; i < v.size(); ++i) v[i] = {i % 5, i};
+  ExtArray a = client.alloc(v.size(), Client::Init::kUninit);
+  client.poke(a, v);
+  for (std::uint64_t k : {1ull, 819ull, 820ull, 2048ull, 4096ull}) {
+    SelectResult res = oblivious_select(client, a, k, 77);
+    ASSERT_TRUE(res.status.ok()) << "k=" << k << ": " << res.status.message();
+    EXPECT_EQ(res.value, true_kth(v, k)) << "k=" << k;
+  }
+}
+
+TEST(Select, AllEqualKeys) {
+  Client client(test::params(4, 256));
+  std::vector<Record> v(4096);
+  for (std::uint64_t i = 0; i < v.size(); ++i) v[i] = {42, i};
+  ExtArray a = client.alloc(v.size(), Client::Init::kUninit);
+  client.poke(a, v);
+  SelectResult res = oblivious_select(client, a, 2000, 13);
+  ASSERT_TRUE(res.status.ok()) << res.status.message();
+  EXPECT_EQ(res.value.key, 42u);
+  EXPECT_EQ(res.value, true_kth(v, 2000));
+}
+
+TEST(Select, InvalidRank) {
+  Client client(test::params(4, 64));
+  ExtArray a = client.alloc(64, Client::Init::kUninit);
+  client.poke(a, test::iota_records(64));
+  EXPECT_EQ(oblivious_select(client, a, 0, 1).status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(oblivious_select(client, a, 65, 1).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Select, SucceedsAcrossSeeds) {
+  // The paper's w.h.p. claim: failures should be rare and, when they occur,
+  // reported (never a silent wrong answer).
+  Client client(test::params(4, 256));
+  auto v = test::random_records(4096, 55);
+  ExtArray a = client.alloc(v.size(), Client::Init::kUninit);
+  client.poke(a, v);
+  const Record truth = true_kth(v, 1000);
+  int failures = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SelectResult res = oblivious_select(client, a, 1000, seed);
+    if (!res.status.ok()) {
+      ++failures;
+    } else {
+      EXPECT_EQ(res.value, truth) << "silent wrong answer at seed " << seed;
+    }
+  }
+  EXPECT_LE(failures, 1);
+}
+
+TEST(Select, LinearIoShape) {
+  // I/Os per record should stay bounded as N grows (Theorem 13: O(N/B)).
+  // Uses the Chernoff-sized band: the paper's 8 N^{7/8} constant exceeds N
+  // at these sizes (see SelectOptions::paper_band).
+  std::vector<double> per_rec;
+  for (std::uint64_t N : {4096ull, 16384ull, 65536ull}) {
+    Client client(test::params(8, 1024));
+    ExtArray a = client.alloc(N, Client::Init::kUninit);
+    client.poke(a, test::random_records(N, 3));
+    client.reset_stats();
+    auto res = oblivious_select(client, a, N / 2, 9, practical_select_options());
+    ASSERT_TRUE(res.status.ok()) << res.status.message();
+    per_rec.push_back(static_cast<double>(client.stats().total()) /
+                      static_cast<double>(N));
+  }
+  EXPECT_LT(per_rec[2], per_rec[0] * 1.7)
+      << per_rec[0] << " " << per_rec[1] << " " << per_rec[2];
+}
+
+TEST(Select, PracticalOptionsCorrectAcrossRanks) {
+  Client client(test::params(8, 1024));
+  auto v = test::random_records(16384, 81);
+  ExtArray a = client.alloc(v.size(), Client::Init::kUninit);
+  client.poke(a, v);
+  for (std::uint64_t k : {1ull, 500ull, 8192ull, 16000ull, 16384ull}) {
+    auto res = oblivious_select(client, a, k, 6, practical_select_options());
+    ASSERT_TRUE(res.status.ok()) << "k=" << k << ": " << res.status.message();
+    EXPECT_EQ(res.value, true_kth(v, k)) << "k=" << k;
+  }
+}
+
+TEST(Select, IsOblivious) {
+  auto result = obliv::check_oblivious(
+      test::params(4, 256), 4096, obliv::canonical_inputs(10),
+      [](Client& c, const ExtArray& a) {
+        (void)oblivious_select(c, a, a.num_records() / 3, 5);
+      });
+  EXPECT_TRUE(result.oblivious) << result.diagnosis;
+}
+
+}  // namespace
+}  // namespace oem::core

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/math.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace oem {
+namespace {
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+}
+
+TEST(Math, Logs) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1 << 20), std::uint64_t{1} << 20);
+  EXPECT_EQ(next_pow2((1 << 20) + 1), std::uint64_t{1} << 21);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+}
+
+TEST(Math, IRoot) {
+  EXPECT_EQ(iroot(0, 2), 0u);
+  EXPECT_EQ(iroot(15, 2), 3u);
+  EXPECT_EQ(iroot(16, 2), 4u);
+  EXPECT_EQ(iroot(255, 4), 3u);
+  EXPECT_EQ(iroot(256, 4), 4u);
+  EXPECT_EQ(iroot(1'000'000, 2), 1000u);
+}
+
+TEST(Math, IPowFrac) {
+  EXPECT_EQ(ipow_frac(16, 3, 4), 8u);    // 16^{3/4}
+  EXPECT_EQ(ipow_frac(256, 1, 2), 16u);  // sqrt
+  EXPECT_EQ(ipow_frac(256, 3, 4), 64u);
+}
+
+TEST(Math, LogStar) {
+  EXPECT_EQ(log_star(1.0), 0u);
+  EXPECT_EQ(log_star(2.0), 1u);
+  EXPECT_EQ(log_star(4.0), 2u);
+  EXPECT_EQ(log_star(16.0), 3u);
+  EXPECT_EQ(log_star(65536.0), 4u);
+}
+
+TEST(Math, LogBase) {
+  EXPECT_DOUBLE_EQ(log_base(8.0, 2.0), 3.0);
+  EXPECT_GE(log_base(1.0, 16.0), 1.0);  // clamped
+  EXPECT_NEAR(log_base(4096.0, 16.0), 3.0, 1e-9);
+}
+
+TEST(Status, Basics) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Status::WhpFailure("boom");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kWhpFailure);
+  EXPECT_EQ(bad.message(), "boom");
+}
+
+TEST(Status, UpdateKeepsFirstError) {
+  Status s = Status::Ok();
+  s.Update(Status::WhpFailure("first"));
+  s.Update(Status::InvalidArgument("second"));
+  EXPECT_EQ(s.message(), "first");
+  EXPECT_EQ(s.code(), StatusCode::kWhpFailure);
+}
+
+TEST(Stats, Summary) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+}
+
+TEST(Stats, LinearFitExact) {
+  LinearFit f = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 1 + 2x
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, ChiSquareUniform) {
+  EXPECT_DOUBLE_EQ(chi_square_uniform({10, 10, 10, 10}), 0.0);
+  EXPECT_GT(chi_square_uniform({40, 0, 0, 0}), 100.0);
+}
+
+TEST(Stats, ChernoffBoundsMonotone) {
+  // Larger gamma => smaller tail.
+  const double a = chernoff_upper_tail(10.0, 8.0);
+  const double b = chernoff_upper_tail(10.0, 16.0);
+  EXPECT_LT(b, a);
+  EXPECT_LT(a, 1.0);
+}
+
+TEST(Stats, GeometricSumTailCases) {
+  // All five Lemma 23 cases produce sub-1 bounds and shrink with t.
+  const double p = 0.1, n = 100.0, alpha = 10.0;
+  double prev = 1.0;
+  for (double t : {alpha / 4, alpha / 2, alpha, 2 * alpha, 3 * alpha}) {
+    const double b = geometric_sum_tail(n, p, t);
+    EXPECT_LT(b, 1.0);
+    EXPECT_LE(b, prev + 1e-12);
+    prev = b;
+  }
+}
+
+TEST(Table, Renders) {
+  Table t({"n", "ios"});
+  t.add_row({"8", "123"});
+  t.add_row({"16", "456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| n  | ios |"), std::string::npos);
+  EXPECT_NE(out.find("| 16 | 456 |"), std::string::npos);
+}
+
+TEST(Flags, ParseTypes) {
+  const char* argv[] = {"prog", "--n=42", "--ratio=2.5", "--name=abc", "--flag"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(f.get("name", ""), "abc");
+  EXPECT_TRUE(f.get_bool("flag", false));
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+}
+
+}  // namespace
+}  // namespace oem
