@@ -48,8 +48,7 @@ void figure1() {
   bench::note("final positions 0..6: tight order-preserving compaction, no collisions (Lemma 5)");
 }
 
-void e3(const Flags& flags) {
-  const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
+void e3(std::size_t B) {
   bench::banner("E3", "Theorem 6 -- tight compaction I/O vs n and m");
   bench::note("claim: I/O ~ c * n * ceil(log n / log m); sort-based compaction pays log^2");
 
@@ -93,7 +92,10 @@ void e3(const Flags& flags) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
+  flags.validate_or_die({"backend"});
+  bench::set_backend_from_flags(flags);
   figure1();
-  e3(flags);
+  e3(B);
   return 0;
 }

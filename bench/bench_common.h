@@ -1,5 +1,9 @@
 // Shared helpers for the experiment harness.  Every bench binary prints
 // markdown tables whose rows are quoted in EXPERIMENTS.md.
+//
+// All benches accept --backend=mem|file|latency (where it matters the rows
+// say which one ran) and hard-fail on unknown/malformed flags via
+// Flags::validate_or_die.
 #pragma once
 
 #include <cstdint>
@@ -8,20 +12,51 @@
 #include <string>
 #include <vector>
 
+#include "extmem/backend.h"
 #include "extmem/client.h"
-#include "rng/random.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace oem::bench {
 
+/// Process-wide backend factory for this bench run, set from --backend by
+/// set_backend_from_flags below; null means MemBackend.
+inline BackendFactory& global_backend() {
+  static BackendFactory factory;
+  return factory;
+}
+
 inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 1) {
   ClientParams p;
   p.block_records = B;
   p.cache_records = M;
   p.seed = seed;
+  p.backend = global_backend();
   return p;
+}
+
+/// Backend factory selected by --backend=mem|file|latency (default mem).
+/// The latency profile models a fast LAN-attached store: 20us round trip +
+/// 10ns/word streaming.
+inline BackendFactory backend_from_flags(const Flags& flags) {
+  const std::string which = flags.get("backend", "mem");
+  if (which == "mem") return {};
+  if (which == "file") return file_backend();
+  if (which == "latency") {
+    LatencyProfile profile;
+    profile.per_op_ns = 20000;
+    profile.per_word_ns = 10;
+    return latency_backend({}, profile);
+  }
+  std::fprintf(stderr, "unknown --backend=%s (mem|file|latency)\n", which.c_str());
+  std::exit(2);
+}
+
+/// Call once at the top of main: every bench::params() Client in the binary
+/// then runs on the selected backend.
+inline void set_backend_from_flags(const Flags& flags) {
+  global_backend() = backend_from_flags(flags);
 }
 
 inline std::vector<Record> random_records(std::uint64_t n, std::uint64_t seed) {

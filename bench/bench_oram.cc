@@ -22,7 +22,8 @@ using namespace oem;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  (void)flags;
+  flags.validate_or_die({"backend"});
+  bench::set_backend_from_flags(flags);
 
   bench::banner("E9a", "sqrt-ORAM amortized I/O per access by reshuffle sort");
   Table t({"N items", "shuffle", "accesses", "access I/O/op", "reshuffle I/O/op",

@@ -9,6 +9,12 @@
 //        where the randomized sort's absolute win appears.
 //   E8c: correctness/success summary + non-oblivious external merge sort
 //        floor (the price of obliviousness).
+//   E8d: storage-backend reality check -- the batched read_many/write_many
+//        path vs per-block I/O on the file and latency backends, wall-clock.
+//
+// Flags: --records=N scales every view (default 524288); --backend selects
+// the storage for E8a-E8c (E8d always compares backends explicitly).
+#include <chrono>
 #include <cmath>
 
 #include "bench_common.h"
@@ -36,7 +42,7 @@ struct E8aResult {
 
 E8aResult g_e8a;
 
-void e8a() {
+void e8a(std::uint64_t n_max) {
   bench::banner("E8a", "randomized (Theorem 21) vs deterministic (Lemma 2): growth rates");
   bench::note("claim shape: rand per-block I/O ~ c1 * log_m(n) (one level per q-fold "
               "growth), det ~ c2 * log^2(n/m); growth columns show the gap");
@@ -45,7 +51,8 @@ void e8a() {
   Table t({"n (blocks)", "rand I/O/blk", "rand growth", "det I/O/blk", "det growth",
            "levels", "ok"});
   double prev_rand = 0, prev_det = 0;
-  for (std::uint64_t n : {4096ull, 16384ull, 65536ull}) {
+  for (std::uint64_t n : {n_max / 16, n_max / 4, n_max}) {
+    if (n == 0) continue;
     Client c(bench::params(B, m * B));
     ExtArray a = c.alloc(n * B, Client::Init::kUninit);
     c.poke(a, bench::random_records(n * B, 2));
@@ -106,7 +113,7 @@ void e8b() {
             << ")\n";
 }
 
-void e8c() {
+void e8c(std::uint64_t n_max) {
   bench::banner("E8c", "the price of obliviousness: non-oblivious merge-sort floor");
   bench::note("a non-oblivious external merge sort uses ~2n*ceil(log_m(n/m)+1) I/Os; both "
               "oblivious sorts pay a polylog factor over it (the paper's Theorem 21 "
@@ -115,7 +122,8 @@ void e8c() {
   Table t({"n (blocks)", "m", "merge-sort floor", "det oblivious", "rand oblivious",
            "det/floor", "rand/floor"});
   const std::uint64_t m = 256;
-  for (std::uint64_t n : {16384ull, 65536ull}) {
+  for (std::uint64_t n : {n_max / 4, n_max}) {
+    if (n == 0) continue;
     const double floor_io =
         2.0 * static_cast<double>(n) *
         (std::ceil(log_base(static_cast<double>(n) / static_cast<double>(m),
@@ -136,13 +144,76 @@ void e8c() {
   t.print(std::cout);
 }
 
+// E8d: the storage seam made measurable.  The identical deterministic
+// oblivious sort (same block I/Os, same trace) runs against a real backend
+// twice: once with the batch window forced to 1 block (per-block I/O, the
+// seed's behavior) and once with the default coalescing window (m/4 blocks).
+// On the file backend the win is syscall coalescing; on the latency backend
+// it is round-trip amortization.
+void e8d(std::uint64_t records) {
+  bench::banner("E8d", "batched read_many/write_many vs per-block I/O (real backends)");
+  bench::note("same sort, same trace, same block I/Os -- only the transfer granularity "
+              "changes; 'backend ops' counts coalesced backend calls");
+  const std::size_t B = 8;
+  const std::uint64_t m = 256;
+
+  struct Config {
+    std::string backend_name;
+    BackendFactory factory;
+    std::uint64_t n_blocks;
+  };
+  // The latency rows model a 2us-RTT store and sleep for real, so they run
+  // at a smaller n; the file rows exercise real syscalls at full size.
+  const std::uint64_t file_blocks = std::min<std::uint64_t>(records / B, 8192);
+  const std::uint64_t lat_blocks = std::min<std::uint64_t>(records / B, 1024);
+  LatencyProfile lan;
+  lan.per_op_ns = 2000;
+  lan.per_word_ns = 2;
+  std::vector<Config> configs = {
+      {"file", file_backend(), file_blocks},
+      {"latency(2us)", latency_backend({}, lan), lat_blocks},
+  };
+
+  Table t({"backend", "n (blocks)", "batch (blocks)", "block I/Os", "backend ops",
+           "wall ms", "speedup"});
+  for (const auto& cfg : configs) {
+    double per_block_ms = 0;
+    for (std::uint64_t batch : {std::uint64_t{1}, std::uint64_t{0}}) {  // 0 = auto
+      ClientParams p = bench::params(B, m * B);
+      p.backend = cfg.factory;
+      p.io_batch_blocks = batch;
+      Client c(p);
+      ExtArray a = c.alloc_blocks(cfg.n_blocks, Client::Init::kUninit);
+      c.poke(a, bench::random_records(cfg.n_blocks * B, 2));
+      c.reset_stats();
+      const auto t0 = std::chrono::steady_clock::now();
+      sortnet::ext_oblivious_sort(c, a);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+              .count();
+      if (batch == 1) per_block_ms = ms;
+      t.add_row({cfg.backend_name, std::to_string(cfg.n_blocks),
+                 batch == 1 ? "1 (per-block)" : std::to_string(c.io_batch_blocks()),
+                 std::to_string(c.stats().total()),
+                 std::to_string(c.stats().total_ops()), Table::fmt(ms, 1),
+                 batch == 1 ? "1.00x" : Table::fmt(per_block_ms / ms, 2) + "x"});
+    }
+  }
+  t.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  (void)flags;
-  e8a();
+  const std::uint64_t records = flags.get_u64("records", 524288);
+  flags.validate_or_die({"backend"});
+  bench::set_backend_from_flags(flags);
+  const std::uint64_t n_max = std::max<std::uint64_t>(records / 8, 16);  // B = 8
+  e8a(n_max);
   e8b();
-  e8c();
+  e8c(n_max);
+  e8d(records);
   return 0;
 }

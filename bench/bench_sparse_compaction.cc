@@ -116,7 +116,8 @@ void e2c() {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  (void)flags;
+  flags.validate_or_die({"backend"});
+  bench::set_backend_from_flags(flags);
   e2a();
   e2b();
   e2c();

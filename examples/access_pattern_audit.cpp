@@ -37,7 +37,9 @@ void show(const std::string& name, const obliv::CheckResult& result) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  (void)flags;
+  flags.validate_or_die();
+  // This example deliberately works below the oem::Session facade: it audits
+  // raw access patterns, including ones a Session would never issue.
   ClientParams params;
   params.block_records = 4;
   params.cache_records = 64;

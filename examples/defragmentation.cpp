@@ -3,17 +3,18 @@
 // defragmentation ... in an outsourced file system, since users of such
 // systems are charged for the space they use").
 //
-//   ./example_defragmentation [--blocks=512] [--live=0.4]
+//   ./example_defragmentation [--blocks=512] [--live=0.4] [--backend=mem|file]
 //
 // A fragmented volume (live file blocks scattered among deleted ones) is
-// compacted with Theorem 6's butterfly network: tight (pay for exactly the
-// live blocks afterwards), order-preserving (files stay contiguous in
-// order), and oblivious (the storage provider cannot tell which blocks were
-// live, i.e., cannot infer file sizes or deletion patterns).
+// compacted through oem::Session::compact (Lemma 3 consolidation + Theorem
+// 6's butterfly network): tight (pay for exactly the live blocks
+// afterwards), order-preserving (files stay contiguous in order), and
+// oblivious (the storage provider cannot tell which blocks were live, i.e.,
+// cannot infer file sizes or deletion patterns).
 #include <iostream>
 
+#include "api/session.h"
 #include "core/butterfly.h"
-#include "extmem/client.h"
 #include "obliv/trace_check.h"
 #include "util/flags.h"
 
@@ -23,18 +24,30 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t n = flags.get_u64("blocks", 512);
   const double live_frac = flags.get_double("live", 0.4);
+  const std::string backend = flags.get("backend", "mem");
+  flags.validate_or_die();
   const std::size_t B = 8;
 
-  ClientParams params;
-  params.block_records = B;
-  params.cache_records = 8 * 64;
-  Client client(params);
+  Session::Builder builder;
+  builder.block_records(B).cache_records(8 * 64);
+  if (backend == "file") {
+    builder.file_backed();
+  } else if (backend != "mem") {
+    std::cerr << "unknown --backend=" << backend << " (mem|file)\n";
+    return 2;
+  }
+  auto built = builder.build();
+  if (!built.ok()) {
+    std::cerr << "session setup failed: " << built.status() << "\n";
+    return 1;
+  }
+  Session session = std::move(built).value();
 
   std::cout << "== oblivious defragmentation ==\n";
-  std::cout << "volume: " << n << " blocks, ~" << live_frac * 100 << "% live\n\n";
+  std::cout << "volume: " << n << " blocks, ~" << live_frac * 100 << "% live ("
+            << session.backend_name() << " backend)\n\n";
 
   // Build a fragmented volume: live blocks carry (file id, offset) records.
-  ExtArray volume = client.alloc_blocks(n, Client::Init::kUninit);
   std::vector<Record> flat(n * B);
   rng::Xoshiro g(3);
   std::vector<std::uint64_t> live_order;
@@ -47,32 +60,47 @@ int main(int argc, char** argv) {
         flat[b * B + r] = {file, b * B + r};
     }
   }
-  client.poke(volume, flat);
+  auto volume = session.outsource(flat);
+  if (!volume.ok()) {
+    std::cerr << "outsource failed: " << volume.status() << "\n";
+    return 1;
+  }
   std::cout << "live blocks: " << live_order.size() << " scattered over " << n
             << " (" << file + 1 << " files)\n";
 
-  // Defragment: tight order-preserving compaction.
-  client.reset_stats();
-  core::TightCompactResult res =
-      core::tight_compact_blocks(client, volume, core::block_nonempty_pred());
-  std::cout << "defrag I/O: " << client.stats().total() << " block accesses ("
-            << static_cast<double>(client.stats().total()) / static_cast<double>(n)
+  // Defragment: tight order-preserving compaction of the live records.
+  session.reset_stats();
+  auto res = session.compact(*volume);
+  if (!res.ok()) {
+    std::cerr << "compact failed: " << res.status() << "\n";
+    return 1;
+  }
+  std::cout << "defrag I/O: " << res->ios << " block accesses ("
+            << static_cast<double>(res->ios) / static_cast<double>(n)
             << " per volume block)\n";
 
   // Verify: the live blocks form a dense prefix, files still contiguous.
-  auto out = client.peek(res.out);
-  bool ok = res.occupied == live_order.size();
+  auto out_res = session.retrieve(res->out);
+  if (!out_res.ok()) {
+    std::cerr << "retrieve failed: " << out_res.status() << "\n";
+    return 1;
+  }
+  const auto& out = *out_res;
+  bool ok = res->kept == live_order.size() * B;
   for (std::size_t i = 0; i < live_order.size() && ok; ++i)
     ok = out[i * B].value == live_order[i] * B;  // original position preserved
-  std::cout << "occupied prefix: " << res.occupied << " blocks; order preserved: "
+  const std::uint64_t live_blocks = (res->kept + B - 1) / B;
+  std::cout << "occupied prefix: " << live_blocks << " blocks; order preserved: "
             << (ok ? "yes" : "NO") << "\n";
-  std::cout << "storage bill after defrag: " << res.occupied << "/" << n
+  std::cout << "storage bill after defrag: " << live_blocks << "/" << n
             << " blocks\n\n";
 
   // Privacy: the provider cannot distinguish volumes with different live
-  // layouts (same size).
+  // layouts (same size).  The low-level harness runs the block-level
+  // butterfly with a layout-dependent predicate on fresh clients built from
+  // this session's parameters (same backend included).
   auto check = obliv::check_oblivious(
-      params, n * B, obliv::canonical_inputs(2),
+      session.params(), n * B, obliv::canonical_inputs(2),
       [](Client& c, const ExtArray& a) {
         core::tight_compact_blocks(c, a, [](std::uint64_t, const BlockBuf& blk) {
           return !blk[0].is_empty() && blk[0].key % 2 == 0;  // layout-dependent

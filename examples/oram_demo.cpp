@@ -3,14 +3,14 @@
 // application ("data-oblivious sorting is the bottleneck in the inner loop
 // of existing oblivious RAM simulations").
 //
-//   ./example_oram_demo [--items=1024] [--accesses=200]
+//   ./example_oram_demo [--items=1024] [--accesses=200] [--backend=mem|file]
 //
-// Runs a square-root ORAM, verifies every read, and shows the amortized
-// cost split (access protocol vs reshuffle inner loop) for both reshuffle
-// sorts.
+// Opens a square-root ORAM through the oem::Session facade, verifies every
+// read, and shows the amortized cost split (access protocol vs reshuffle
+// inner loop) for both reshuffle sorts.
 #include <iostream>
 
-#include "oram/sqrt_oram.h"
+#include "api/session.h"
 #include "util/flags.h"
 
 using namespace oem;
@@ -19,37 +19,57 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t items = flags.get_u64("items", 1024);
   const std::uint64_t accesses = flags.get_u64("accesses", 200);
+  const std::string backend = flags.get("backend", "mem");
+  flags.validate_or_die();
 
   std::cout << "== square-root ORAM demo ==\n";
   std::cout << items << " items, " << accesses << " random accesses\n\n";
 
   for (auto kind : {oram::ShuffleKind::kDeterministic, oram::ShuffleKind::kRandomized}) {
-    ClientParams params;
-    params.block_records = 8;
-    params.cache_records = 8 * 256;
-    Client client(params);
-    oram::SqrtOram o(client, items, kind, 5);
+    Session::Builder builder;
+    builder.block_records(8).cache_records(8 * 256);
+    if (backend == "file") {
+      builder.file_backed();
+    } else if (backend != "mem") {
+      std::cerr << "unknown --backend=" << backend << " (mem|file)\n";
+      return 2;
+    }
+    auto built = builder.build();
+    if (!built.ok()) {
+      std::cerr << "session setup failed: " << built.status() << "\n";
+      return 1;
+    }
+    Session session = std::move(built).value();
+    auto oram = session.open_oram(items, kind, 5);
+    if (!oram.ok()) {
+      std::cerr << "open_oram failed: " << oram.status() << "\n";
+      return 1;
+    }
 
     rng::Xoshiro g(17);
     std::uint64_t wrong = 0;
     for (std::uint64_t i = 0; i < accesses; ++i) {
       const std::uint64_t idx = g.below(items);
-      if (o.access(idx) != o.expected_value(idx)) ++wrong;
+      auto got = oram->access(idx);
+      if (!got.ok()) {
+        std::cerr << "access failed: " << got.status() << "\n";
+        return 1;
+      }
+      if (*got != oram->expected_value(idx)) ++wrong;
     }
-    const auto& s = o.stats();
+    const auto& s = oram->stats();
     std::cout << (kind == oram::ShuffleKind::kDeterministic
                       ? "inner loop: deterministic sort (Lemma 2)"
                       : "inner loop: randomized sort (Theorem 21)")
               << "\n";
-    std::cout << "  epoch length sqrt(N) = " << o.epoch_length() << ", reshuffles: "
+    std::cout << "  epoch length sqrt(N) = " << oram->epoch_length() << ", reshuffles: "
               << s.reshuffles << "\n";
     std::cout << "  amortized I/O per access: "
               << static_cast<double>(s.access_ios + s.reshuffle_ios) / s.accesses
               << " (access " << static_cast<double>(s.access_ios) / s.accesses
               << " + reshuffle " << static_cast<double>(s.reshuffle_ios) / s.accesses
               << ")\n";
-    std::cout << "  wrong reads: " << wrong << ", status: "
-              << (o.status().ok() ? "ok" : o.status().message()) << "\n\n";
+    std::cout << "  wrong reads: " << wrong << "\n\n";
     if (wrong) return 1;
   }
   std::cout << "every access touched a fresh pseudo-random position; repeated\n"

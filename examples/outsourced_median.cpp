@@ -2,17 +2,16 @@
 // sensitive data set (the paper's §1 motivation: health/financial records
 // whose access patterns leak as much as their contents).
 //
-//   ./example_outsourced_median [--records=16384]
+//   ./example_outsourced_median [--records=16384] [--backend=mem|file]
 //
 // Uses Theorem 13 (selection) for the median and Theorem 17 (quantiles) for
-// the quartiles, both at O(N/B) I/Os, and shows the I/O bill next to the
-// naive oblivious alternative (sort everything).
+// the quartiles, both at O(N/B) I/Os through the oem::Session facade, and
+// shows the I/O bill next to the naive oblivious alternative (sort
+// everything).
 #include <algorithm>
 #include <iostream>
 
-#include "core/quantiles.h"
-#include "core/select.h"
-#include "extmem/client.h"
+#include "api/session.h"
 #include "sortnet/external_sort.h"
 #include "util/flags.h"
 #include "util/math.h"
@@ -22,16 +21,28 @@ using namespace oem;
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t N = flags.get_u64("records", 16384);
+  const std::string backend = flags.get("backend", "mem");
+  flags.validate_or_die();
   const std::size_t B = 8;
+  const std::uint64_t M = 8 * 256;
 
-  ClientParams params;
-  params.block_records = B;
-  params.cache_records = 8 * 256;
-  Client client(params);
+  Session::Builder builder;
+  builder.block_records(B).cache_records(M);
+  if (backend == "file") {
+    builder.file_backed();
+  } else if (backend != "mem") {
+    std::cerr << "unknown --backend=" << backend << " (mem|file)\n";
+    return 2;
+  }
+  auto built = builder.build();
+  if (!built.ok()) {
+    std::cerr << "session setup failed: " << built.status() << "\n";
+    return 1;
+  }
+  Session session = std::move(built).value();
 
   std::cout << "== private median & quartiles over outsourced records ==\n";
   // Synthetic "lab results": log-normal-ish values.
-  ExtArray data = client.alloc(N, Client::Init::kUninit);
   std::vector<Record> v(N);
   rng::Xoshiro g(11);
   for (std::uint64_t i = 0; i < N; ++i) {
@@ -39,30 +50,33 @@ int main(int argc, char** argv) {
     x = x * (1 + g.below(20));  // skewed tail
     v[i] = {x, i};
   }
-  client.poke(data, v);
+  auto data = session.outsource(v);
+  if (!data.ok()) {
+    std::cerr << "outsource failed: " << data.status() << "\n";
+    return 1;
+  }
 
   // Ground truth (the analyst's own check; not part of the protocol).
   std::vector<Record> sorted = v;
   std::sort(sorted.begin(), sorted.end(), RecordLess{});
 
   // Median by Theorem 13.
-  client.reset_stats();
-  auto med = core::oblivious_select(client, data, N / 2, 5,
-                                    core::practical_select_options());
-  const std::uint64_t med_io = client.stats().total();
-  std::cout << "median: " << med.value.key << " ("
-            << (med.status.ok() ? "ok" : med.status.message()) << ", " << med_io
-            << " I/Os)  [truth: " << sorted[N / 2 - 1].key << "]\n";
+  session.reset_stats();
+  auto med = session.select(*data, N / 2, 5, core::practical_select_options());
+  const std::uint64_t med_io = session.stats().total();
+  std::cout << "median: " << (med.ok() ? std::to_string(med->key) : med.status().ToString())
+            << " (" << med_io << " I/Os)  [truth: " << sorted[N / 2 - 1].key << "]\n";
 
   // Quartiles by Theorem 17.
-  client.reset_stats();
+  session.reset_stats();
   core::QuantilesOptions qopts;
   qopts.paper_intervals = false;
-  auto quart = core::oblivious_quantiles(client, data, 3, 9, qopts);
-  const std::uint64_t quart_io = client.stats().total();
+  auto quart = session.quantiles(*data, 3, 9, qopts);
+  const std::uint64_t quart_io = session.stats().total();
   std::cout << "quartiles: ";
-  for (const auto& r : quart.quantiles) std::cout << r.key << " ";
-  std::cout << "(" << (quart.status.ok() ? "ok" : quart.status.message()) << ", "
+  if (quart.ok())
+    for (const auto& r : *quart) std::cout << r.key << " ";
+  std::cout << "(" << (quart.ok() ? "ok" : quart.status().ToString()) << ", "
             << quart_io << " I/Os)\n";
   auto truth_ranks = core::quantile_ranks(N, 3);
   std::cout << "truth:     ";
@@ -70,13 +84,17 @@ int main(int argc, char** argv) {
   std::cout << "\n\n";
 
   const std::uint64_t sort_io =
-      sortnet::ext_sort_predicted_ios(ceil_div(N, B), params.cache_records / B);
+      sortnet::ext_sort_predicted_ios(ceil_div(N, B), M / B);
   std::cout << "for reference, sorting the whole data set obliviously costs ~"
             << sort_io << " I/Os\n";
 
-  bool correct = med.status.ok() && med.value.key == sorted[N / 2 - 1].key;
-  for (std::size_t j = 0; j < quart.quantiles.size() && correct; ++j)
-    correct = quart.quantiles[j].key == sorted[truth_ranks[j] - 1].key;
+  bool correct = med.ok() && med->key == sorted[N / 2 - 1].key;
+  if (quart.ok()) {
+    for (std::size_t j = 0; j < quart->size() && correct; ++j)
+      correct = (*quart)[j].key == sorted[truth_ranks[j] - 1].key;
+  } else {
+    correct = false;
+  }
   std::cout << "all answers exact: " << (correct ? "yes" : "NO") << "\n";
   return correct ? 0 : 1;
 }

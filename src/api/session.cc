@@ -1,0 +1,254 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/butterfly.h"
+#include "core/consolidate.h"
+
+namespace oem {
+
+// Backend failures surface as std::runtime_error below the algorithm layer
+// (see device.cc); the facade converts them back into Status::kIo so callers
+// get a Result instead of a crash.
+
+// ---------------------------------------------------------------------------
+// Oram handle.
+
+Result<std::uint64_t> Oram::access(std::uint64_t index) {
+  std::uint64_t value = 0;
+  try {
+    value = impl_->access(index);
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+  if (!impl_->status().ok()) return impl_->status();
+  return value;
+}
+
+std::uint64_t Oram::expected_value(std::uint64_t index) const {
+  return impl_->expected_value(index);
+}
+
+// ---------------------------------------------------------------------------
+// Builder.
+
+Session::Builder& Session::Builder::block_records(std::size_t b) {
+  params_.block_records = b;
+  return *this;
+}
+
+Session::Builder& Session::Builder::cache_records(std::uint64_t m) {
+  params_.cache_records = m;
+  return *this;
+}
+
+Session::Builder& Session::Builder::seed(std::uint64_t s) {
+  params_.seed = s;
+  return *this;
+}
+
+Session::Builder& Session::Builder::strict_cache(bool on) {
+  params_.strict_cache = on;
+  return *this;
+}
+
+Session::Builder& Session::Builder::io_batch_blocks(std::uint64_t blocks) {
+  params_.io_batch_blocks = blocks;
+  return *this;
+}
+
+Session::Builder& Session::Builder::in_memory() {
+  params_.backend = mem_backend();
+  return *this;
+}
+
+Session::Builder& Session::Builder::file_backed(FileBackendOptions opts) {
+  params_.backend = file_backend(std::move(opts));
+  return *this;
+}
+
+Session::Builder& Session::Builder::backend(BackendFactory factory) {
+  params_.backend = std::move(factory);
+  return *this;
+}
+
+Session::Builder& Session::Builder::latency(LatencyProfile profile) {
+  wrap_latency_ = true;
+  profile_ = profile;
+  return *this;
+}
+
+Result<Session> Session::Builder::build() const {
+  ClientParams params = params_;
+  if (params.block_records < 1)
+    return Status::InvalidArgument("block_records (B) must be >= 1");
+  if (params.cache_records < 2 * params.block_records)
+    return Status::InvalidArgument(
+        "cache_records (M) must be >= 2 * block_records (B): the paper assumes "
+        "M >= 2B everywhere");
+  if (wrap_latency_) params.backend = latency_backend(params.backend, profile_);
+  Session session(params);
+  // Backend construction cannot throw usefully; probe its health so a bad
+  // file path comes back as a Status instead of failing the first I/O.
+  Status health = session.client_->device().backend().health();
+  if (!health.ok()) return health;
+  return session;
+}
+
+// ---------------------------------------------------------------------------
+// Session.
+
+Session::Session(const ClientParams& params)
+    : params_(params), client_(std::make_unique<Client>(params)) {}
+
+std::uint64_t Session::next_seed(std::uint64_t requested) {
+  if (requested != 0) return requested;
+  return rng::mix64(params_.seed ^ (0x9e3779b97f4a7c15ULL + ++op_counter_));
+}
+
+Result<ExtArray> Session::outsource(std::span<const Record> records) {
+  try {
+    ExtArray a = client_->alloc(records.size(), Client::Init::kUninit);
+    client_->poke(a, records);
+    return a;
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+}
+
+Result<std::vector<Record>> Session::retrieve(const ExtArray& a) const {
+  if (!a.valid() && a.num_records() > 0)
+    return Status::InvalidArgument("retrieve: invalid array handle");
+  try {
+    return client_->peek(a);
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+}
+
+Status Session::discard(const ExtArray& a) {
+  if (!a.valid()) return Status::InvalidArgument("discard: invalid array handle");
+  client_->release(a);
+  return Status::Ok();
+}
+
+Result<std::vector<Word>> Session::raw_block(const ExtArray& a, std::uint64_t i) const {
+  if (!a.valid() || i >= a.num_blocks())
+    return Status::InvalidArgument("raw_block: block index out of range");
+  try {
+    return client_->device().raw(a.device_block(i));
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+}
+
+Result<SortReport> Session::sort(const ExtArray& a, std::uint64_t seed,
+                                 const core::ObliviousSortOptions& opts) {
+  if (!a.valid()) return Status::InvalidArgument("sort: invalid array handle");
+  const std::uint64_t before = client_->stats().total();
+  core::ObliviousSortResult res;
+  try {
+    res = core::oblivious_sort(*client_, a, next_seed(seed), opts);
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+  if (!res.status.ok()) return res.status;
+  SortReport report;
+  report.stats = res.stats;
+  report.ios = client_->stats().total() - before;
+  return report;
+}
+
+Result<Record> Session::select(const ExtArray& a, std::uint64_t k, std::uint64_t seed,
+                               const core::SelectOptions& opts) {
+  if (!a.valid()) return Status::InvalidArgument("select: invalid array handle");
+  if (k < 1 || k > a.num_records())
+    return Status::InvalidArgument("select: rank k must be in [1, N]");
+  core::SelectResult res;
+  try {
+    res = core::oblivious_select(*client_, a, k, next_seed(seed), opts);
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+  if (!res.status.ok()) return res.status;
+  return res.value;
+}
+
+Result<std::vector<Record>> Session::quantiles(const ExtArray& a, std::uint64_t q,
+                                               std::uint64_t seed,
+                                               const core::QuantilesOptions& opts) {
+  if (!a.valid()) return Status::InvalidArgument("quantiles: invalid array handle");
+  if (q < 1 || q >= a.num_records())  // q+1 <= N, written overflow-safe
+    return Status::InvalidArgument("quantiles: need 1 <= q and q+1 <= N");
+  core::QuantilesResult res;
+  try {
+    res = core::oblivious_quantiles(*client_, a, q, next_seed(seed), opts);
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+  if (!res.status.ok()) return res.status;
+  return std::move(res.quantiles);
+}
+
+Result<CompactReport> Session::compact(const ExtArray& a) {
+  if (!a.valid()) return Status::InvalidArgument("compact: invalid array handle");
+  const std::uint64_t before = client_->stats().total();
+  try {
+    const std::size_t B = client_->B();
+    const std::uint64_t n1 = a.num_blocks() + 1;
+    // The result array is allocated before the scratch so that the scratch
+    // can be released LIFO afterwards -- a long-lived Session must not grow
+    // the backing storage on every compact call.
+    ExtArray result = client_->alloc_blocks(n1, Client::Init::kUninit);
+    // Lemma 3: full-or-empty blocks, order preserved.
+    core::ConsolidateResult cons =
+        core::consolidate(*client_, a, core::nonempty_pred());
+    // Theorem 6: route the full blocks (plus the final partial one) to a
+    // dense prefix, deterministically and obliviously.
+    core::TightCompactResult tight =
+        core::tight_compact_blocks(*client_, cons.out, core::block_nonempty_pred());
+    // Copy ALL n+1 blocks into the result (the copy size is public, so the
+    // trace stays independent of the private distinguished count), then
+    // reclaim the scratch.
+    {
+      const std::uint64_t W = std::max<std::uint64_t>(1, client_->io_batch_blocks());
+      CacheLease lease(client_->cache(), W * B);
+      std::vector<Record> buf;
+      for (std::uint64_t i = 0; i < n1; i += W) {
+        const std::uint64_t k = std::min(W, n1 - i);
+        buf.resize(static_cast<std::size_t>(k) * B);
+        client_->read_blocks(tight.out, i, k, buf);
+        client_->write_blocks(result, i, k, buf);
+      }
+    }
+    client_->release(tight.out);
+    client_->release(cons.out);
+    CompactReport report;
+    report.kept = cons.distinguished;
+    // The handle spans the whole n+1-block allocation (so discard() can
+    // reclaim it) but exposes only the `kept` records of the dense prefix.
+    report.out = ExtArray(result.extent(), cons.distinguished, B);
+    report.ios = client_->stats().total() - before;
+    return report;
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+}
+
+Result<Oram> Session::open_oram(std::uint64_t n_items, oram::ShuffleKind kind,
+                                std::uint64_t seed) {
+  if (n_items < 1) return Status::InvalidArgument("open_oram: need n_items >= 1");
+  try {
+    auto impl = std::make_unique<oram::SqrtOram>(*client_, n_items, kind,
+                                                 next_seed(seed));
+    if (!impl->status().ok()) return impl->status();
+    return Oram(std::move(impl));
+  } catch (const std::runtime_error& e) {
+    return Status::Io(e.what());
+  }
+}
+
+}  // namespace oem

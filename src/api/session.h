@@ -1,0 +1,158 @@
+// oem::Session -- the public facade of the library.
+//
+// A Session is Alice's end-to-end view of the protocol: it owns the client
+// (private cache, encryption, PRG) and the outsourced storage behind it, and
+// exposes the paper's algorithms as typed entry points returning Result<T>.
+// Callers never touch Client/BlockDevice internals:
+//
+//   auto built = oem::Session::Builder()
+//                    .block_records(8)        // B
+//                    .cache_records(512)      // M
+//                    .file_backed()           // or .in_memory() / .latency(...)
+//                    .build();
+//   if (!built.ok()) { ... built.status() ... }
+//   oem::Session session = std::move(built).value();
+//   auto data = session.outsource(records);
+//   auto report = session.sort(*data);
+//   auto sorted = session.retrieve(*data);
+//
+// Layering: api (this file) -> core (the paper's algorithms) -> extmem
+// (client/device/trace) -> StorageBackend (mem / file / latency).  The trace
+// Bob observes is a function of (algorithm, N, M, B, seed) only -- never of
+// the data and never of the storage backend.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/oblivious_sort.h"
+#include "core/quantiles.h"
+#include "core/select.h"
+#include "extmem/client.h"
+#include "oram/sqrt_oram.h"
+#include "util/status.h"
+
+namespace oem {
+
+struct SortReport {
+  core::SortStats stats;
+  std::uint64_t ios = 0;  // block I/Os spent by this call
+};
+
+struct CompactReport {
+  /// The kept records sit densely, in order, in the prefix of `out`; the
+  /// extent spans the full n+1-block allocation so Session::discard(out)
+  /// reclaims the storage.
+  ExtArray out;
+  std::uint64_t kept = 0;    // non-empty records compacted
+  std::uint64_t ios = 0;
+};
+
+/// Handle to a square-root ORAM opened through a Session.
+class Oram {
+ public:
+  Result<std::uint64_t> access(std::uint64_t index);
+  std::uint64_t expected_value(std::uint64_t index) const;
+  const oram::SqrtOramStats& stats() const { return impl_->stats(); }
+  std::uint64_t epoch_length() const { return impl_->epoch_length(); }
+
+ private:
+  friend class Session;
+  explicit Oram(std::unique_ptr<oram::SqrtOram> impl) : impl_(std::move(impl)) {}
+  std::unique_ptr<oram::SqrtOram> impl_;
+};
+
+class Session {
+ public:
+  class Builder {
+   public:
+    Builder& block_records(std::size_t b);     // B
+    Builder& cache_records(std::uint64_t m);   // M
+    Builder& seed(std::uint64_t s);
+    Builder& strict_cache(bool on);
+    /// Batch window for coalesced I/O (blocks); 0 = auto, 1 = per-block.
+    Builder& io_batch_blocks(std::uint64_t blocks);
+    /// Storage selection; the last call wins.  Default is in_memory().
+    Builder& in_memory();
+    Builder& file_backed(FileBackendOptions opts = {});
+    Builder& backend(BackendFactory factory);
+    /// Wrap whichever backend was selected in a LatencyBackend.
+    Builder& latency(LatencyProfile profile);
+
+    /// Validates parameters (kInvalidArgument) and opens the backend (kIo).
+    Result<Session> build() const;
+
+   private:
+    ClientParams params_;
+    bool wrap_latency_ = false;
+    LatencyProfile profile_;
+  };
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // --- data management ---
+
+  /// Upload records into a fresh outsourced array (uncounted setup path:
+  /// Alice encrypts and ships her input once).
+  Result<ExtArray> outsource(std::span<const Record> records);
+  /// Download and decrypt an array (uncounted; the analyst's own copy).
+  Result<std::vector<Record>> retrieve(const ExtArray& a) const;
+  /// Release a scratch/result array (stack discipline).
+  Status discard(const ExtArray& a);
+  /// Bob's view of one block: the raw ciphertext words.
+  Result<std::vector<Word>> raw_block(const ExtArray& a, std::uint64_t i) const;
+
+  // --- the paper's algorithms, typed ---
+  // seed = 0 draws a fresh deterministic per-call seed from the session seed.
+
+  /// Theorem 21: in-place randomized oblivious sort by key.  NOTE: the core
+  /// sort keeps its scratch arrays in the device arena until the Session is
+  /// destroyed (the algorithms allocate scratch append-only); a service
+  /// sorting indefinitely should recycle Sessions per batch of work.
+  Result<SortReport> sort(const ExtArray& a, std::uint64_t seed = 0,
+                          const core::ObliviousSortOptions& opts = {});
+  /// Theorem 13: k-th smallest record (1-based rank, all records non-empty).
+  Result<Record> select(const ExtArray& a, std::uint64_t k, std::uint64_t seed = 0,
+                        const core::SelectOptions& opts = {});
+  /// Theorem 17: the q quantiles (all records non-empty).
+  Result<std::vector<Record>> quantiles(const ExtArray& a, std::uint64_t q,
+                                        std::uint64_t seed = 0,
+                                        const core::QuantilesOptions& opts = {});
+  /// Lemma 3 + Theorem 6: dense order-preserving compaction of the non-empty
+  /// records of `a` into a fresh array.
+  Result<CompactReport> compact(const ExtArray& a);
+  /// §1 application: square-root ORAM over n_items, reshuffled by either
+  /// sort.  The Oram borrows this Session's client: keep the Session alive
+  /// and do not run other algorithms between accesses of a strict trace.
+  Result<Oram> open_oram(std::uint64_t n_items, oram::ShuffleKind kind,
+                         std::uint64_t seed = 0);
+
+  // --- introspection (what Bob saw) ---
+
+  const IoStats& stats() const { return client_->stats(); }
+  void reset_stats() { client_->reset_stats(); }
+  TraceRecorder& trace() { return client_->device().trace(); }
+  const TraceRecorder& trace() const { return client_->device().trace(); }
+  const char* backend_name() const { return client_->device().backend().name(); }
+
+  std::size_t block_records() const { return client_->B(); }
+  std::uint64_t cache_records() const { return client_->M(); }
+  const ClientParams& params() const { return params_; }
+
+  /// Escape hatch for benches/tests that need the raw protocol objects.
+  Client& client() { return *client_; }
+  const Client& client() const { return *client_; }
+
+ private:
+  explicit Session(const ClientParams& params);
+  std::uint64_t next_seed(std::uint64_t requested);
+
+  ClientParams params_;
+  std::unique_ptr<Client> client_;
+  std::uint64_t op_counter_ = 0;
+};
+
+}  // namespace oem

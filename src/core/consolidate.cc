@@ -1,5 +1,8 @@
 #include "core/consolidate.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace oem::core {
 
 RecordPred nonempty_pred() {
@@ -17,31 +20,41 @@ ConsolidateResult consolidate(Client& client, const ExtArray& a, const RecordPre
   res.out = client.alloc_blocks(n + 1, Client::Init::kUninit);
 
   // Alice's in-memory pending buffer x: fewer than B distinguished records,
-  // in input order.
-  CacheLease lease(client.cache(), 3 * B);
+  // in input order.  The scan runs in batch windows of W blocks (bounded by
+  // the client's io_batch_blocks, i.e. at most m/4 blocks of staging) so the
+  // backend can coalesce the I/O; the window size is a public parameter, so
+  // the trace is still data-independent: exactly n reads + (n+1) writes.
+  const std::uint64_t W = std::max<std::uint64_t>(1, std::min(client.io_batch_blocks(), n));
+  CacheLease lease(client.cache(), 2 * W * B + 2 * B);
   std::vector<Record> x;
   x.reserve(2 * B);
-  BlockBuf in, outblk(B);
+  std::vector<Record> in(static_cast<std::size_t>(W) * B);
+  std::vector<Record> outbuf(static_cast<std::size_t>(W) * B);
+  BlockBuf outblk(B);
   const BlockBuf empty = make_empty_block(B);
 
   std::uint64_t rec_index = 0;
-  for (std::uint64_t i = 0; i < n; ++i) {
-    client.read_block(a, i, in);
-    for (std::size_t r = 0; r < B; ++r, ++rec_index) {
-      if (pred(rec_index, in[r])) {
-        x.push_back(in[r]);
-        ++res.distinguished;
+  for (std::uint64_t chunk = 0; chunk < n; chunk += W) {
+    const std::uint64_t k = std::min(W, n - chunk);
+    in.resize(static_cast<std::size_t>(k) * B);
+    client.read_blocks(a, chunk, k, in);
+    outbuf.assign(static_cast<std::size_t>(k) * B, Record{});
+    for (std::uint64_t j = 0; j < k; ++j) {
+      for (std::size_t r = 0; r < B; ++r, ++rec_index) {
+        const Record& rec = in[j * B + r];
+        if (pred(rec_index, rec)) {
+          x.push_back(rec);
+          ++res.distinguished;
+        }
+      }
+      // One output block per input block: full if we can fill it, else empty.
+      if (x.size() >= B) {
+        for (std::size_t r = 0; r < B; ++r) outbuf[j * B + r] = x[r];
+        x.erase(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(B));
+        ++res.full_blocks;
       }
     }
-    // One output block per input block: full if we can fill it, else empty.
-    if (x.size() >= B) {
-      for (std::size_t r = 0; r < B; ++r) outblk[r] = x[r];
-      x.erase(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(B));
-      client.write_block(res.out, i, outblk);
-      ++res.full_blocks;
-    } else {
-      client.write_block(res.out, i, empty);
-    }
+    client.write_blocks(res.out, chunk, k, outbuf);
   }
   // Final flush of the pending partial block (position n).
   outblk = empty;

@@ -1,0 +1,201 @@
+// StorageBackend: the pluggable seam between the client and Bob's storage.
+//
+// The paper's model is a client with a small private cache operating on
+// *outsourced* storage; where the blocks physically live is orthogonal to
+// every obliviousness argument (Bob sees the access sequence either way).
+// This interface abstracts that choice:
+//
+//   * MemBackend     -- blocks in a flat in-RAM array (the seed's behavior);
+//   * FileBackend    -- blocks in a file, so data sets larger than RAM work
+//                       and I/O really hits the OS (pread/pwrite);
+//   * LatencyBackend -- a decorator injecting configurable per-op and
+//                       per-word delay, modeling a remote honest-but-curious
+//                       server across a network.
+//
+// Besides single-block read/write, backends implement *batched*
+// read_many/write_many so that implementations can coalesce work: FileBackend
+// merges runs of consecutive block ids into single syscalls, LatencyBackend
+// charges one round-trip for a whole batch.  Batching never changes the
+// adversary's view -- the BlockDevice layer above records the identical
+// per-block trace events in the identical order either way.
+//
+// Error handling: backends return Status (kInvalidArgument for out-of-range
+// accesses, kIo for storage failures) instead of asserting, so remote/file
+// failures are reportable through the oem::Session facade.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "extmem/record.h"
+#include "util/status.h"
+
+namespace oem {
+
+class StorageBackend {
+ public:
+  explicit StorageBackend(std::size_t block_words) : block_words_(block_words) {}
+  virtual ~StorageBackend() = default;
+  StorageBackend(const StorageBackend&) = delete;
+  StorageBackend& operator=(const StorageBackend&) = delete;
+
+  /// Words of ciphertext per block (payload + nonce header).
+  std::size_t block_words() const { return block_words_; }
+  /// Current capacity in blocks (set by resize).
+  std::uint64_t num_blocks() const { return num_blocks_; }
+  virtual const char* name() const = 0;
+
+  /// Backend construction cannot report errors; a backend that failed to set
+  /// itself up (e.g. FileBackend could not open its file) says so here, and
+  /// fails every operation with the same Status.
+  virtual Status health() const { return Status::Ok(); }
+
+  /// Grow or shrink the storage to exactly `nblocks` blocks.  Surviving
+  /// blocks keep their contents; fresh blocks read as all-zero words.
+  Status resize(std::uint64_t nblocks);
+
+  Status read(std::uint64_t block, std::span<Word> out);
+  Status write(std::uint64_t block, std::span<const Word> in);
+
+  /// Batched I/O: `blocks[i]` maps to the word range
+  /// [i*block_words, (i+1)*block_words) of the flat buffer.  Block ids need
+  /// not be distinct or sorted; semantics are exactly the sequential
+  /// single-block ops in order.
+  Status read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
+  Status write_many(std::span<const std::uint64_t> blocks, std::span<const Word> in);
+
+ protected:
+  virtual Status do_resize(std::uint64_t nblocks) = 0;
+  virtual Status do_read(std::uint64_t block, std::span<Word> out) = 0;
+  virtual Status do_write(std::uint64_t block, std::span<const Word> in) = 0;
+  /// Default batched implementations loop over the single-block ops;
+  /// backends override to coalesce.
+  virtual Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
+  virtual Status do_write_many(std::span<const std::uint64_t> blocks,
+                               std::span<const Word> in);
+
+ private:
+  Status check_blocks(std::span<const std::uint64_t> blocks, std::size_t words,
+                      const char* what) const;
+
+  std::size_t block_words_;
+  std::uint64_t num_blocks_ = 0;
+};
+
+/// Builds a backend for a given block size; how a Client (or Session) is told
+/// which storage to use.  A null factory means MemBackend.
+using BackendFactory = std::function<std::unique_ptr<StorageBackend>(std::size_t block_words)>;
+
+// ---------------------------------------------------------------------------
+// MemBackend: the seed's flat in-RAM array.
+
+class MemBackend : public StorageBackend {
+ public:
+  explicit MemBackend(std::size_t block_words) : StorageBackend(block_words) {}
+  const char* name() const override { return "mem"; }
+
+ protected:
+  Status do_resize(std::uint64_t nblocks) override;
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+
+ private:
+  std::vector<Word> storage_;
+};
+
+// ---------------------------------------------------------------------------
+// FileBackend: blocks live in a file; data sets larger than RAM.
+
+struct FileBackendOptions {
+  /// Backing file path; empty means a fresh temp file (deleted on destroy).
+  std::string path;
+  /// Keep the backing file on destruction (only honored for explicit paths).
+  bool keep_file = false;
+};
+
+class FileBackend : public StorageBackend {
+ public:
+  FileBackend(std::size_t block_words, FileBackendOptions opts = {});
+  ~FileBackend() override;
+  const char* name() const override { return "file"; }
+  Status health() const override { return init_status_; }
+
+  const std::string& path() const { return path_; }
+  /// pread/pwrite calls issued -- shows read_many/write_many coalescing.
+  std::uint64_t syscalls() const { return syscalls_; }
+
+ protected:
+  Status do_resize(std::uint64_t nblocks) override;
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  /// Coalesce maximal runs of consecutive block ids into single syscalls.
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+
+ private:
+  Status pread_words(std::span<Word> out, std::uint64_t first_block);
+  Status pwrite_words(std::span<const Word> in, std::uint64_t first_block);
+
+  std::string path_;
+  bool unlink_on_close_ = false;
+  int fd_ = -1;
+  Status init_status_;
+  std::uint64_t syscalls_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// LatencyBackend: decorator modeling a remote server.
+
+struct LatencyProfile {
+  std::uint64_t per_op_ns = 0;    // fixed round-trip cost per backend call
+  std::uint64_t per_word_ns = 0;  // streaming cost per word transferred
+  /// Actually sleep (wall-clock realism) vs. only account simulated time
+  /// (fast deterministic tests).
+  bool real_sleep = true;
+};
+
+class LatencyBackend : public StorageBackend {
+ public:
+  LatencyBackend(std::unique_ptr<StorageBackend> inner, LatencyProfile profile);
+  const char* name() const override { return "latency"; }
+  Status health() const override { return inner_->health(); }
+
+  StorageBackend& inner() { return *inner_; }
+  /// Backend calls observed and total simulated delay charged so far.
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t simulated_ns() const { return simulated_ns_; }
+
+ protected:
+  Status do_resize(std::uint64_t nblocks) override;
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+
+ private:
+  void pay(std::uint64_t words);
+
+  std::unique_ptr<StorageBackend> inner_;
+  LatencyProfile profile_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t simulated_ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Factory helpers.
+
+BackendFactory mem_backend();
+BackendFactory file_backend(FileBackendOptions opts = {});
+/// Wrap the backend produced by `inner` (null = mem) in a LatencyBackend.
+BackendFactory latency_backend(BackendFactory inner, LatencyProfile profile);
+
+}  // namespace oem

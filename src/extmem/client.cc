@@ -1,5 +1,6 @@
 #include "extmem/client.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -8,21 +9,29 @@ namespace oem {
 Client::Client(const ClientParams& params)
     : B_(params.block_records),
       M_(params.cache_records),
-      dev_(std::make_unique<BlockDevice>(1 + params.block_records * kWordsPerRecord)),
+      io_batch_(params.io_batch_blocks),
+      dev_(std::make_unique<BlockDevice>(1 + params.block_records * kWordsPerRecord,
+                                         params.backend)),
       enc_(rng::mix64(params.seed ^ 0x5bf0363546294ce7ULL), params.seed),
       meter_(params.cache_records, params.strict_cache),
       rng_(params.seed) {
   assert(B_ >= 1);
   assert(M_ >= 2 * B_ && "the paper assumes at least M >= 2B everywhere");
+  if (io_batch_ == 0) io_batch_ = std::max<std::uint64_t>(1, m() / 4);
   wire_.resize(dev_->block_words());
 }
 
 ExtArray Client::alloc(std::uint64_t num_records, Init init) {
   const std::uint64_t nblocks = num_records == 0 ? 0 : ceil_div(num_records, B_);
   ExtArray a(dev_->allocate(nblocks), num_records, B_);
-  if (init == Init::kEmpty) {
-    const BlockBuf empty = make_empty_block(B_);
-    for (std::uint64_t i = 0; i < nblocks; ++i) write_block(a, i, empty);
+  if (init == Init::kEmpty && nblocks > 0) {
+    // Batched counted initialization: same writes, same trace order.
+    const std::uint64_t chunk = std::min<std::uint64_t>(io_batch_, nblocks);
+    const std::vector<Record> empty(static_cast<std::size_t>(chunk) * B_);
+    for (std::uint64_t i = 0; i < nblocks; i += chunk) {
+      const std::uint64_t k = std::min(chunk, nblocks - i);
+      write_blocks(a, i, k, std::span<const Record>(empty).subspan(0, k * B_));
+    }
   }
   return a;
 }
@@ -33,7 +42,7 @@ ExtArray Client::alloc_blocks(std::uint64_t num_blocks, Init init) {
 
 void Client::release(const ExtArray& a) { dev_->release(a.extent()); }
 
-void Client::serialize(const BlockBuf& in, std::span<Word> out_words) const {
+void Client::serialize(std::span<const Record> in, std::span<Word> out_words) const {
   assert(in.size() == B_);
   assert(out_words.size() == 1 + B_ * kWordsPerRecord);
   // out_words[0] is the nonce slot, filled by the caller.
@@ -43,9 +52,9 @@ void Client::serialize(const BlockBuf& in, std::span<Word> out_words) const {
   }
 }
 
-void Client::deserialize(std::span<const Word> in_words, BlockBuf& out) const {
+void Client::deserialize(std::span<const Word> in_words, std::span<Record> out) const {
   assert(in_words.size() == 1 + B_ * kWordsPerRecord);
-  out.resize(B_);
+  assert(out.size() == B_);
   for (std::size_t r = 0; r < B_; ++r) {
     out[r].key = in_words[1 + 2 * r];
     out[r].value = in_words[2 + 2 * r];
@@ -58,17 +67,62 @@ void Client::read_block(const ExtArray& a, std::uint64_t i, BlockBuf& out) {
   dev_->read(dev_blk, wire_);
   const Word nonce = wire_[0];
   enc_.apply_keystream(dev_blk, nonce, std::span<Word>(wire_).subspan(1));
+  out.resize(B_);
   deserialize(wire_, out);
 }
 
 void Client::write_block(const ExtArray& a, std::uint64_t i, const BlockBuf& in) {
   assert(i < a.num_blocks());
+  assert(in.size() == B_);
   const std::uint64_t dev_blk = a.device_block(i);
   const Word nonce = enc_.fresh_nonce();
   wire_[0] = nonce;
   serialize(in, wire_);
   enc_.apply_keystream(dev_blk, nonce, std::span<Word>(wire_).subspan(1));
   dev_->write(dev_blk, wire_);
+}
+
+void Client::read_blocks(const ExtArray& a, std::uint64_t first, std::uint64_t count,
+                         std::span<Record> out) {
+  assert(first + count <= a.num_blocks());
+  assert(out.size() == count * B_);
+  const std::size_t bw = dev_->block_words();
+  for (std::uint64_t done = 0; done < count;) {
+    const std::uint64_t k = std::min<std::uint64_t>(io_batch_, count - done);
+    ids_.resize(k);
+    for (std::uint64_t j = 0; j < k; ++j) ids_[j] = a.device_block(first + done + j);
+    wire_many_.resize(static_cast<std::size_t>(k) * bw);
+    dev_->read_many(ids_, wire_many_);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      std::span<Word> w(wire_many_.data() + j * bw, bw);
+      enc_.apply_keystream(ids_[j], w[0], w.subspan(1));
+      deserialize(w, out.subspan((done + j) * B_, B_));
+    }
+    done += k;
+  }
+}
+
+void Client::write_blocks(const ExtArray& a, std::uint64_t first, std::uint64_t count,
+                          std::span<const Record> in) {
+  assert(first + count <= a.num_blocks());
+  assert(in.size() == count * B_);
+  const std::size_t bw = dev_->block_words();
+  for (std::uint64_t done = 0; done < count;) {
+    const std::uint64_t k = std::min<std::uint64_t>(io_batch_, count - done);
+    ids_.resize(k);
+    wire_many_.resize(static_cast<std::size_t>(k) * bw);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      const std::uint64_t dev_blk = a.device_block(first + done + j);
+      ids_[j] = dev_blk;
+      std::span<Word> w(wire_many_.data() + j * bw, bw);
+      const Word nonce = enc_.fresh_nonce();
+      w[0] = nonce;
+      serialize(in.subspan((done + j) * B_, B_), w);
+      enc_.apply_keystream(dev_blk, nonce, w.subspan(1));
+    }
+    dev_->write_many(ids_, wire_many_);
+    done += k;
+  }
 }
 
 void Client::touch_block(const ExtArray& a, std::uint64_t i) {
@@ -83,14 +137,27 @@ void Client::read_records(const ExtArray& a, std::uint64_t start, std::span<Reco
   BlockBuf buf;
   std::uint64_t pos = start;
   std::size_t done = 0;
-  while (done < out.size()) {
-    const std::uint64_t blk = pos / B_;
+  // Leading partial block.
+  if (pos % B_ != 0 && done < out.size()) {
     const std::size_t off = static_cast<std::size_t>(pos % B_);
     const std::size_t take = std::min(out.size() - done, B_ - off);
-    read_block(a, blk, buf);
+    read_block(a, pos / B_, buf);
     for (std::size_t i = 0; i < take; ++i) out[done + i] = buf[off + i];
     pos += take;
     done += take;
+  }
+  // Aligned full blocks, batched.
+  const std::uint64_t mid = (out.size() - done) / B_;
+  if (mid > 0) {
+    read_blocks(a, pos / B_, mid, out.subspan(done, mid * B_));
+    pos += mid * B_;
+    done += static_cast<std::size_t>(mid) * B_;
+  }
+  // Trailing partial block.
+  if (done < out.size()) {
+    const std::size_t take = out.size() - done;
+    read_block(a, pos / B_, buf);
+    for (std::size_t i = 0; i < take; ++i) out[done + i] = buf[i];
   }
 }
 
@@ -100,56 +167,78 @@ void Client::write_records(const ExtArray& a, std::uint64_t start,
   BlockBuf buf;
   std::uint64_t pos = start;
   std::size_t done = 0;
-  while (done < in.size()) {
-    const std::uint64_t blk = pos / B_;
+  // Leading partial block: read-modify-write.
+  if (pos % B_ != 0 && done < in.size()) {
     const std::size_t off = static_cast<std::size_t>(pos % B_);
     const std::size_t take = std::min(in.size() - done, B_ - off);
-    if (off != 0 || take != B_) {
-      read_block(a, blk, buf);  // read-modify-write for partial coverage
-    } else {
-      buf.assign(B_, Record{});
-    }
+    read_block(a, pos / B_, buf);
     for (std::size_t i = 0; i < take; ++i) buf[off + i] = in[done + i];
-    write_block(a, blk, buf);
+    write_block(a, pos / B_, buf);
     pos += take;
     done += take;
+  }
+  // Aligned full blocks, batched (write-only, like the per-block path).
+  const std::uint64_t mid = (in.size() - done) / B_;
+  if (mid > 0) {
+    write_blocks(a, pos / B_, mid, in.subspan(done, mid * B_));
+    pos += mid * B_;
+    done += static_cast<std::size_t>(mid) * B_;
+  }
+  // Trailing partial block: read-modify-write.
+  if (done < in.size()) {
+    const std::size_t take = in.size() - done;
+    read_block(a, pos / B_, buf);
+    for (std::size_t i = 0; i < take; ++i) buf[i] = in[done + i];
+    write_block(a, pos / B_, buf);
   }
 }
 
 std::vector<Record> Client::peek(const ExtArray& a) const {
   std::vector<Record> out;
   out.reserve(a.num_records());
-  std::vector<Word> wire(dev_->block_words());
-  BlockBuf buf;
-  for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
-    const std::uint64_t dev_blk = a.device_block(i);
-    std::memcpy(wire.data(), dev_->raw(dev_blk).data(), wire.size() * sizeof(Word));
-    enc_.apply_keystream(dev_blk, wire[0], std::span<Word>(wire).subspan(1));
-    deserialize(wire, buf);
-    for (std::size_t r = 0; r < B_ && out.size() < a.num_records(); ++r)
-      out.push_back(buf[r]);
+  const std::size_t bw = dev_->block_words();
+  BlockBuf buf(B_);
+  std::vector<Word> wire;
+  // Bulk download in batch windows (uncounted; the backend coalesces).
+  for (std::uint64_t i = 0; i < a.num_blocks(); i += io_batch_) {
+    const std::uint64_t k = std::min<std::uint64_t>(io_batch_, a.num_blocks() - i);
+    wire.resize(static_cast<std::size_t>(k) * bw);
+    dev_->read_raw_range(a.device_block(i), k, wire);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      const std::uint64_t dev_blk = a.device_block(i + j);
+      std::span<Word> w(wire.data() + j * bw, bw);
+      enc_.apply_keystream(dev_blk, w[0], w.subspan(1));
+      deserialize(w, buf);
+      for (std::size_t r = 0; r < B_ && out.size() < a.num_records(); ++r)
+        out.push_back(buf[r]);
+    }
   }
   return out;
 }
 
 void Client::poke(const ExtArray& a, std::span<const Record> records) {
   assert(records.size() <= a.num_blocks() * B_);
-  std::vector<Word> wire(dev_->block_words());
+  const std::size_t bw = dev_->block_words();
   BlockBuf buf(B_);
+  std::vector<Word> wire;
   std::size_t idx = 0;
-  for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
-    for (std::size_t r = 0; r < B_; ++r) {
-      buf[r] = idx < records.size() ? records[idx] : Record{};
-      ++idx;
+  // Bulk upload in batch windows; bypasses counters/trace (setup only).
+  for (std::uint64_t i = 0; i < a.num_blocks(); i += io_batch_) {
+    const std::uint64_t k = std::min<std::uint64_t>(io_batch_, a.num_blocks() - i);
+    wire.resize(static_cast<std::size_t>(k) * bw);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      for (std::size_t r = 0; r < B_; ++r) {
+        buf[r] = idx < records.size() ? records[idx] : Record{};
+        ++idx;
+      }
+      const std::uint64_t dev_blk = a.device_block(i + j);
+      std::span<Word> w(wire.data() + j * bw, bw);
+      const Word nonce = enc_.fresh_nonce();
+      w[0] = nonce;
+      serialize(buf, w);
+      enc_.apply_keystream(dev_blk, nonce, w.subspan(1));
     }
-    const std::uint64_t dev_blk = a.device_block(i);
-    const Word nonce = enc_.fresh_nonce();
-    wire[0] = nonce;
-    serialize(buf, wire);
-    enc_.apply_keystream(dev_blk, nonce, std::span<Word>(wire).subspan(1));
-    // Bypass counters/trace: direct poke into Bob's storage (setup only).
-    std::memcpy(const_cast<Word*>(dev_->raw(dev_blk).data()), wire.data(),
-                wire.size() * sizeof(Word));
+    dev_->write_raw_range(a.device_block(i), k, wire);
   }
 }
 

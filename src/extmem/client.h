@@ -2,8 +2,12 @@
 //
 // Owns the (simulated) remote BlockDevice, the encryption state, the private
 // cache meter, and the master PRG.  All algorithm I/O flows through
-// read_block/write_block, which (de/en)crypt and are counted + traced by the
-// device -- exactly the adversary's view in the paper's model.
+// read_block/write_block (or their batched read_blocks/write_blocks
+// counterparts), which (de/en)crypt and are counted + traced by the device --
+// exactly the adversary's view in the paper's model.  Which physical storage
+// backs the device (RAM, file, latency-modeled remote) is chosen via
+// ClientParams::backend and is invisible to both the algorithms and Bob's
+// trace.
 //
 // Parameter naming follows the paper: B = records per block, M = records of
 // private cache, N = records in an input, n = ceil(N/B) blocks,
@@ -15,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "extmem/backend.h"
 #include "extmem/cache_meter.h"
 #include "extmem/device.h"
 #include "extmem/encryption.h"
@@ -30,6 +35,13 @@ struct ClientParams {
   std::uint64_t cache_records = 1024;  // M
   std::uint64_t seed = 1;
   bool strict_cache = false;  // strict: throw when a lease exceeds M
+  /// Storage backend factory; null means MemBackend (in-RAM simulation).
+  BackendFactory backend;
+  /// Batch window for the batched I/O helpers, in blocks.  0 = auto
+  /// (max(1, m/4), so the in-flight ciphertext staging stays well under M);
+  /// 1 degenerates every batched helper to the per-block path (useful for
+  /// baseline benchmarks).
+  std::uint64_t io_batch_blocks = 0;
 };
 
 class Client {
@@ -40,6 +52,8 @@ class Client {
   std::uint64_t M() const { return M_; }
   /// Cache capacity in blocks, m = floor(M/B).
   std::uint64_t m() const { return M_ / B_; }
+  /// Effective batch window (blocks) used by the batched I/O helpers.
+  std::uint64_t io_batch_blocks() const { return io_batch_; }
 
   BlockDevice& device() { return *dev_; }
   const BlockDevice& device() const { return *dev_; }
@@ -64,13 +78,23 @@ class Client {
   void read_block(const ExtArray& a, std::uint64_t i, BlockBuf& out);
   void write_block(const ExtArray& a, std::uint64_t i, const BlockBuf& in);
 
+  /// Batched block-range I/O: blocks [first, first+count) of `a` to/from a
+  /// contiguous record buffer of count*B records.  Trace events and block
+  /// counters are identical to the per-block loop; the device coalesces the
+  /// transfer into one backend call per batch window (io_batch_blocks).
+  void read_blocks(const ExtArray& a, std::uint64_t first, std::uint64_t count,
+                   std::span<Record> out);
+  void write_blocks(const ExtArray& a, std::uint64_t first, std::uint64_t count,
+                    std::span<const Record> in);
+
   /// Re-encrypt block i in place without changing its contents.  To Bob this
   /// is indistinguishable from a content-changing write (1 read + 1 write).
   void touch_block(const ExtArray& a, std::uint64_t i);
 
   /// Read/write a record range that may straddle block boundaries.  Writes
   /// that partially cover a block do read-modify-write (counted).  The access
-  /// pattern depends only on (start, count) -- never on data.
+  /// pattern depends only on (start, count) -- never on data.  Full blocks in
+  /// the middle of the range go through the batched path.
   void read_records(const ExtArray& a, std::uint64_t start, std::span<Record> out);
   void write_records(const ExtArray& a, std::uint64_t start, std::span<const Record> in);
 
@@ -86,17 +110,21 @@ class Client {
   void reset_stats() { dev_->reset_stats(); }
 
  private:
-  void serialize(const BlockBuf& in, std::span<Word> out_words) const;
-  void deserialize(std::span<const Word> in_words, BlockBuf& out) const;
+  void serialize(std::span<const Record> in, std::span<Word> out_words) const;
+  void deserialize(std::span<const Word> in_words, std::span<Record> out) const;
 
   std::size_t B_;
   std::uint64_t M_;
+  std::uint64_t io_batch_;
   std::unique_ptr<BlockDevice> dev_;
   Encryptor enc_;
   CacheMeter meter_;
   rng::Xoshiro rng_;
   // Reused scratch to avoid per-I/O allocation; sized block_words().
   mutable std::vector<Word> wire_;
+  // Staging for batched I/O: ciphertext words and block ids for one window.
+  std::vector<Word> wire_many_;
+  std::vector<std::uint64_t> ids_;
 };
 
 }  // namespace oem

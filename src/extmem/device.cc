@@ -1,18 +1,34 @@
 #include "extmem/device.h"
 
 #include <cassert>
-#include <cstring>
+#include <stdexcept>
 
 namespace oem {
 
-BlockDevice::BlockDevice(std::size_t block_words) : block_words_(block_words) {
+namespace {
+
+/// Backend failures are storage-layer exceptions from the algorithms' point
+/// of view (the algorithms' own Status channel is reserved for whp events);
+/// the Session facade catches and converts them back into Status::Io.
+[[noreturn]] void backend_fail(const char* op, const Status& st) {
+  throw std::runtime_error(std::string("storage backend ") + op + " failed: " +
+                           st.ToString());
+}
+
+}  // namespace
+
+BlockDevice::BlockDevice(std::size_t block_words, BackendFactory factory)
+    : backend_(factory ? factory(block_words)
+                       : std::make_unique<MemBackend>(block_words)) {
   assert(block_words >= 1);
+  assert(backend_ && backend_->block_words() == block_words);
 }
 
 Extent BlockDevice::allocate(std::uint64_t nblocks) {
   Extent e{num_blocks_, nblocks};
   num_blocks_ += nblocks;
-  storage_.resize(static_cast<std::size_t>(num_blocks_) * block_words_);
+  Status st = backend_->resize(num_blocks_);
+  if (!st.ok()) backend_fail("allocate", st);
   return e;
 }
 
@@ -20,7 +36,8 @@ void BlockDevice::release(const Extent& e) {
   if (e.num_blocks == 0) return;
   if (e.first_block + e.num_blocks == num_blocks_) {
     num_blocks_ = e.first_block;
-    storage_.resize(static_cast<std::size_t>(num_blocks_) * block_words_);
+    Status st = backend_->resize(num_blocks_);
+    if (!st.ok()) backend_fail("release", st);
   }
   // Non-LIFO releases are ignored: the arena is reclaimed wholesale when the
   // Client is destroyed.  Algorithms allocate scratch LIFO, so in practice
@@ -29,25 +46,85 @@ void BlockDevice::release(const Extent& e) {
 
 void BlockDevice::read(std::uint64_t block, std::span<Word> out) {
   assert(block < num_blocks_);
-  assert(out.size() == block_words_);
+  assert(out.size() == block_words());
   stats_.reads++;
+  stats_.read_ops++;
   trace_.on_access(IoOp::kRead, block);
-  std::memcpy(out.data(), storage_.data() + block * block_words_,
-              block_words_ * sizeof(Word));
+  Status st = backend_->read(block, out);
+  if (!st.ok()) backend_fail("read", st);
 }
 
 void BlockDevice::write(std::uint64_t block, std::span<const Word> in) {
   assert(block < num_blocks_);
-  assert(in.size() == block_words_);
+  assert(in.size() == block_words());
   stats_.writes++;
+  stats_.write_ops++;
   trace_.on_access(IoOp::kWrite, block);
-  std::memcpy(storage_.data() + block * block_words_, in.data(),
-              block_words_ * sizeof(Word));
+  Status st = backend_->write(block, in);
+  if (!st.ok()) backend_fail("write", st);
 }
 
-std::span<const Word> BlockDevice::raw(std::uint64_t block) const {
+void BlockDevice::read_many(std::span<const std::uint64_t> blocks,
+                            std::span<Word> out) {
+  if (blocks.empty()) return;
+  assert(out.size() == blocks.size() * block_words());
+  stats_.reads += blocks.size();
+  stats_.read_ops++;
+  for (std::uint64_t b : blocks) {
+    assert(b < num_blocks_);
+    trace_.on_access(IoOp::kRead, b);
+  }
+  Status st = backend_->read_many(blocks, out);
+  if (!st.ok()) backend_fail("read_many", st);
+}
+
+void BlockDevice::write_many(std::span<const std::uint64_t> blocks,
+                             std::span<const Word> in) {
+  if (blocks.empty()) return;
+  assert(in.size() == blocks.size() * block_words());
+  stats_.writes += blocks.size();
+  stats_.write_ops++;
+  for (std::uint64_t b : blocks) {
+    assert(b < num_blocks_);
+    trace_.on_access(IoOp::kWrite, b);
+  }
+  Status st = backend_->write_many(blocks, in);
+  if (!st.ok()) backend_fail("write_many", st);
+}
+
+std::vector<Word> BlockDevice::raw(std::uint64_t block) const {
   assert(block < num_blocks_);
-  return {storage_.data() + block * block_words_, block_words_};
+  std::vector<Word> out(block_words());
+  Status st = backend_->read(block, out);
+  if (!st.ok()) backend_fail("raw read", st);
+  return out;
+}
+
+void BlockDevice::write_raw(std::uint64_t block, std::span<const Word> in) {
+  assert(block < num_blocks_);
+  assert(in.size() == block_words());
+  Status st = backend_->write(block, in);
+  if (!st.ok()) backend_fail("raw write", st);
+}
+
+void BlockDevice::read_raw_range(std::uint64_t first_block, std::uint64_t count,
+                                 std::span<Word> out) const {
+  assert(first_block + count <= num_blocks_);
+  assert(out.size() == count * block_words());
+  std::vector<std::uint64_t> ids(count);
+  for (std::uint64_t i = 0; i < count; ++i) ids[i] = first_block + i;
+  Status st = backend_->read_many(ids, out);
+  if (!st.ok()) backend_fail("raw range read", st);
+}
+
+void BlockDevice::write_raw_range(std::uint64_t first_block, std::uint64_t count,
+                                  std::span<const Word> in) {
+  assert(first_block + count <= num_blocks_);
+  assert(in.size() == count * block_words());
+  std::vector<std::uint64_t> ids(count);
+  for (std::uint64_t i = 0; i < count; ++i) ids[i] = first_block + i;
+  Status st = backend_->write_many(ids, in);
+  if (!st.ok()) backend_fail("raw range write", st);
 }
 
 }  // namespace oem

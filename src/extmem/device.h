@@ -1,16 +1,25 @@
-// BlockDevice: Bob's outsourced storage.
+// BlockDevice: Bob's outsourced storage, as the adversary sees it.
 //
-// A flat array of fixed-size blocks of Words.  Every read/write increments
-// I/O counters and is reported to the TraceRecorder -- this is precisely the
-// view the honest-but-curious server gets (sequence + location of accesses,
-// ciphertext contents).  Allocation is arena style: arrays of blocks are
-// carved off the end; a stack-discipline `release` supports scratch arrays.
+// A flat arena of fixed-size blocks of Words whose bytes physically live in a
+// pluggable StorageBackend (RAM, a file, a latency-modeled remote -- see
+// extmem/backend.h).  Every counted read/write increments I/O counters and is
+// reported to the TraceRecorder -- this is precisely the view the
+// honest-but-curious server gets (sequence + location of accesses, ciphertext
+// contents), and it is byte-identical regardless of which backend holds the
+// blocks.  Allocation is arena style: arrays of blocks are carved off the
+// end; a stack-discipline `release` supports scratch arrays.
+//
+// Batched read_many/write_many issue one backend call for a whole set of
+// blocks (backends coalesce syscalls / round trips) while recording the same
+// per-block trace events, in the same order, as the sequential loop would.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "extmem/backend.h"
 #include "extmem/record.h"
 #include "extmem/trace.h"
 
@@ -25,18 +34,30 @@ struct Extent {
 class BlockDevice {
  public:
   /// block_words: words of ciphertext per block (payload + nonce header).
-  explicit BlockDevice(std::size_t block_words);
+  /// A null factory means MemBackend (the seed's in-RAM behavior).
+  explicit BlockDevice(std::size_t block_words, BackendFactory factory = nullptr);
 
-  std::size_t block_words() const { return block_words_; }
+  std::size_t block_words() const { return backend_->block_words(); }
   std::uint64_t num_blocks() const { return num_blocks_; }
+
+  StorageBackend& backend() { return *backend_; }
+  const StorageBackend& backend() const { return *backend_; }
 
   Extent allocate(std::uint64_t nblocks);
   /// Stack-discipline release: frees the extent iff it is at the end of the
   /// arena (scratch arrays are allocated/released LIFO by the algorithms).
   void release(const Extent& e);
 
+  // --- counted, traced I/O (the adversary sees these) ---
+
   void read(std::uint64_t block, std::span<Word> out);
   void write(std::uint64_t block, std::span<const Word> in);
+
+  /// Batched I/O: semantically identical to the per-block loop (same trace
+  /// events in the same order, `blocks.size()` added to the block counters)
+  /// but issued as a single backend call, counted once in read_ops/write_ops.
+  void read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
+  void write_many(std::span<const std::uint64_t> blocks, std::span<const Word> in);
 
   const IoStats& stats() const { return stats_; }
   void reset_stats() { stats_ = IoStats{}; }
@@ -44,13 +65,22 @@ class BlockDevice {
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
 
-  /// Raw ciphertext view, for tests that check Bob cannot see plaintext.
-  std::span<const Word> raw(std::uint64_t block) const;
+  // --- uncounted raw ciphertext access (tests and the omniscient harness) ---
+
+  /// Raw ciphertext copy, for tests that check Bob cannot see plaintext.
+  std::vector<Word> raw(std::uint64_t block) const;
+  /// Uncounted, untraced write into Bob's storage (test/workload setup only).
+  void write_raw(std::uint64_t block, std::span<const Word> in);
+  /// Batched raw access over a contiguous block range (uncounted; the bulk
+  /// upload/download path of peek/poke) -- backends coalesce the transfer.
+  void read_raw_range(std::uint64_t first_block, std::uint64_t count,
+                      std::span<Word> out) const;
+  void write_raw_range(std::uint64_t first_block, std::uint64_t count,
+                       std::span<const Word> in);
 
  private:
-  std::size_t block_words_;
+  std::unique_ptr<StorageBackend> backend_;
   std::uint64_t num_blocks_ = 0;
-  std::vector<Word> storage_;
   IoStats stats_;
   TraceRecorder trace_;
 };

@@ -24,9 +24,12 @@ struct TraceEvent {
 };
 
 struct IoStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;       // blocks read (what the paper's bounds count)
+  std::uint64_t writes = 0;      // blocks written
+  std::uint64_t read_ops = 0;    // backend calls: a batched read_many is one op
+  std::uint64_t write_ops = 0;   // backend calls: a batched write_many is one op
   std::uint64_t total() const { return reads + writes; }
+  std::uint64_t total_ops() const { return read_ops + write_ops; }
 };
 
 class TraceRecorder {

@@ -15,21 +15,16 @@ namespace {
 /// Read `count` blocks of `a` starting at `first` into `out` (appended).
 void read_run(Client& c, const ExtArray& a, std::uint64_t first, std::uint64_t count,
               std::vector<Record>& out) {
-  BlockBuf buf;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    c.read_block(a, first + i, buf);
-    out.insert(out.end(), buf.begin(), buf.end());
-  }
+  const std::size_t old = out.size();
+  out.resize(old + static_cast<std::size_t>(count) * c.B());
+  c.read_blocks(a, first, count, std::span<Record>(out).subspan(old));
 }
 
 void write_run(Client& c, const ExtArray& a, std::uint64_t first, std::uint64_t count,
                const std::vector<Record>& data, std::size_t offset) {
-  const std::size_t B = c.B();
-  BlockBuf buf(B);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    for (std::size_t r = 0; r < B; ++r) buf[r] = data[offset + i * B + r];
-    c.write_block(a, first + i, buf);
-  }
+  c.write_blocks(a, first, count,
+                 std::span<const Record>(data).subspan(
+                     offset, static_cast<std::size_t>(count) * c.B()));
 }
 
 /// Merge-split comparator on two runs of `run_blocks` blocks each: read both,

@@ -1,49 +1,110 @@
 #include "util/flags.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace oem {
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
-    arg = arg.substr(2);
-    auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      kv_[arg] = "true";
-    } else {
-      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      parse_errors_.push_back("unexpected argument '" + arg +
+                              "' (flags are --name or --name=value)");
+      continue;
     }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    const std::string key = eq == std::string::npos ? body : body.substr(0, eq);
+    if (key.empty()) {
+      parse_errors_.push_back("malformed argument '" + arg + "'");
+      continue;
+    }
+    kv_[key] = eq == std::string::npos ? "true" : body.substr(eq + 1);
   }
 }
 
-bool Flags::has(const std::string& name) const { return kv_.count(name) > 0; }
+bool Flags::has(const std::string& name) const {
+  consumed_.insert(name);
+  return kv_.count(name) > 0;
+}
 
 std::string Flags::get(const std::string& name, const std::string& def) const {
+  consumed_.insert(name);
   auto it = kv_.find(name);
   return it == kv_.end() ? def : it->second;
 }
 
 std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  consumed_.insert(name);
   auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+  if (end == it->second.c_str() || *end != '\0')
+    value_errors_.push_back("--" + name + "=" + it->second + " is not an integer");
+  return v;
 }
 
 std::uint64_t Flags::get_u64(const std::string& name, std::uint64_t def) const {
+  consumed_.insert(name);
   auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+  if (end == it->second.c_str() || *end != '\0')
+    value_errors_.push_back("--" + name + "=" + it->second + " is not an integer");
+  return v;
 }
 
 double Flags::get_double(const std::string& name, double def) const {
+  consumed_.insert(name);
   auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    value_errors_.push_back("--" + name + "=" + it->second + " is not a number");
+  return v;
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {
+  consumed_.insert(name);
   auto it = kv_.find(name);
   if (it == kv_.end()) return def;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  if (it->second == "true" || it->second == "1" || it->second == "yes") return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no") return false;
+  value_errors_.push_back("--" + name + "=" + it->second + " is not a boolean");
+  return def;
+}
+
+Status Flags::validate(std::initializer_list<const char*> also_allowed) const {
+  std::string err;
+  for (const std::string& e : parse_errors_) err += (err.empty() ? "" : "; ") + e;
+  for (const std::string& e : value_errors_) err += (err.empty() ? "" : "; ") + e;
+  std::set<std::string> allowed = consumed_;
+  for (const char* name : also_allowed) allowed.insert(name);
+  for (const auto& [key, value] : kv_) {
+    if (!allowed.count(key))
+      err += (err.empty() ? "" : "; ") + ("unknown flag --" + key);
+  }
+  if (err.empty()) return Status::Ok();
+  return Status::InvalidArgument(err);
+}
+
+void Flags::validate_or_die(std::initializer_list<const char*> also_allowed) const {
+  const Status st = validate(also_allowed);
+  if (st.ok()) return;
+  std::fprintf(stderr, "flag error: %s\n", st.message().c_str());
+  std::set<std::string> allowed = consumed_;
+  for (const char* name : also_allowed) allowed.insert(name);
+  if (!allowed.empty()) {
+    std::string known;
+    for (const std::string& name : allowed)
+      known += (known.empty() ? "--" : ", --") + name;
+    std::fprintf(stderr, "known flags: %s\n", known.c_str());
+  }
+  std::exit(2);
 }
 
 }  // namespace oem

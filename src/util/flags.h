@@ -1,11 +1,20 @@
 // Minimal command-line flag parsing for bench and example binaries:
-// --name=value pairs with typed getters and defaults.  Unknown flags are
-// ignored so that binaries also accept google-benchmark's own flags.
+// --name=value pairs with typed getters and defaults.
+//
+// Unknown or malformed arguments are hard errors: every binary calls
+// validate_or_die() after reading its flags (getters mark a key as
+// consumed), so a typo like --record=4096 fails fast instead of silently
+// running with defaults.  Malformed numeric values are also reported.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
+
+#include "util/status.h"
 
 namespace oem {
 
@@ -20,8 +29,19 @@ class Flags {
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
 
+  /// Non-ok iff any argument was malformed (not --key or --key=value, or a
+  /// numeric getter hit a non-numeric value) or a parsed key was neither
+  /// consumed by a getter nor listed in `also_allowed`.
+  Status validate(std::initializer_list<const char*> also_allowed = {}) const;
+  /// Prints the validation error + the known flags to stderr and exits(2).
+  void validate_or_die(std::initializer_list<const char*> also_allowed = {}) const;
+
  private:
   std::map<std::string, std::string> kv_;
+  std::vector<std::string> parse_errors_;
+  // Getters are const by design; consumption tracking is bookkeeping.
+  mutable std::set<std::string> consumed_;
+  mutable std::vector<std::string> value_errors_;
 };
 
 }  // namespace oem

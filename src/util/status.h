@@ -1,4 +1,4 @@
-// Status type for the randomized algorithms.
+// Status / Result types for the randomized algorithms and the storage layer.
 //
 // Every algorithm in the paper succeeds "with (very) high probability"; the
 // residual failure events (an IBLT decode that does not fully peel, a
@@ -6,8 +6,14 @@
 // capacity bound) are surfaced to callers as a non-ok Status instead of being
 // hidden.  Benchmarks report measured failure rates against the paper's
 // 1 - (N/B)^{-d} claims.
+//
+// Result<T> is the status-or-value companion used by the oem::Session facade:
+// a call either yields a T or a non-ok Status, never both.
 #pragma once
 
+#include <cassert>
+#include <optional>
+#include <ostream>
 #include <string>
 #include <utility>
 
@@ -18,7 +24,19 @@ enum class StatusCode {
   kWhpFailure,        // a low-probability randomized step failed; retry with a new seed
   kInvalidArgument,   // caller violated a precondition (a bug, not bad luck)
   kCapacityExceeded,  // private-cache budget M would be exceeded
+  kIo,                // the storage backend failed (file error, short read, ...)
 };
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kWhpFailure: return "WHP_FAILURE";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kCapacityExceeded: return "CAPACITY_EXCEEDED";
+    case StatusCode::kIo: return "IO";
+  }
+  return "UNKNOWN";
+}
 
 class Status {
  public:
@@ -35,10 +53,21 @@ class Status {
   static Status CapacityExceeded(std::string msg) {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
   }
+  static Status Io(std::string msg) { return Status(StatusCode::kIo, std::move(msg)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
 
   /// Keep the first error when combining step statuses.
   Status& Update(const Status& other) {
@@ -46,9 +75,57 @@ class Status {
     return *this;
   }
 
+  friend std::ostream& operator<<(std::ostream& os, const Status& st) {
+    return os << st.ToString();
+  }
+
  private:
   StatusCode code_;
   std::string msg_;
+};
+
+/// Status-or-value.  Exactly one of the two is present: a Result constructed
+/// from a T is ok(); a Result constructed from a non-ok Status carries the
+/// error (constructing one from an ok Status is a caller bug and asserts).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "Result<T> from an ok Status carries no value");
+    if (status_.ok())
+      status_ = Status::InvalidArgument("Result constructed from ok Status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  template <typename U>
+  T value_or(U&& def) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(def));
+  }
+
+ private:
+  Status status_;  // ok() when a value is present
+  std::optional<T> value_;
 };
 
 #define OEM_RETURN_IF_ERROR(expr)                 \

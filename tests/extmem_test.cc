@@ -74,9 +74,9 @@ TEST(Client, ReencryptionChangesCiphertext) {
   ExtArray a = c.alloc(4, Client::Init::kUninit);
   BlockBuf blk(4);
   c.write_block(a, 0, blk);
-  std::vector<Word> first(c.device().raw(0).begin(), c.device().raw(0).end());
+  std::vector<Word> first = c.device().raw(0);
   c.touch_block(a, 0);  // same contents, fresh nonce
-  std::vector<Word> second(c.device().raw(0).begin(), c.device().raw(0).end());
+  std::vector<Word> second = c.device().raw(0);
   EXPECT_NE(first, second) << "re-encryption must be indistinguishable from a new write";
   BlockBuf got;
   c.read_block(a, 0, got);

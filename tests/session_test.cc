@@ -1,0 +1,218 @@
+// oem::Session facade tests: builder validation, Result<T> plumbing, and the
+// typed algorithm entry points on all three backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "api/session.h"
+#include "test_util.h"
+
+namespace oem {
+namespace {
+
+Session make_session(std::size_t B = 4, std::uint64_t M = 64) {
+  auto built = Session::Builder().block_records(B).cache_records(M).seed(3).build();
+  EXPECT_TRUE(built.ok()) << built.status();
+  return std::move(built).value();
+}
+
+TEST(SessionBuilder, RejectsInvalidParameters) {
+  auto no_b = Session::Builder().block_records(0).cache_records(64).build();
+  ASSERT_FALSE(no_b.ok());
+  EXPECT_EQ(no_b.status().code(), StatusCode::kInvalidArgument);
+
+  auto small_m = Session::Builder().block_records(16).cache_records(16).build();
+  ASSERT_FALSE(small_m.ok());
+  EXPECT_EQ(small_m.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(small_m.status().message().find("M >= 2B"), std::string::npos);
+}
+
+TEST(SessionBuilder, SurfacesBackendOpenFailureAsIo) {
+  FileBackendOptions opts;
+  opts.path = "/nonexistent-dir-oem/blocks.bin";
+  auto built =
+      Session::Builder().block_records(4).cache_records(32).file_backed(opts).build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kIo);
+}
+
+TEST(SessionBuilder, BuildsOnAllBackends) {
+  for (int kind = 0; kind < 3; ++kind) {
+    Session::Builder b;
+    b.block_records(4).cache_records(64);
+    if (kind == 1) b.file_backed();
+    if (kind == 2) {
+      LatencyProfile p;
+      p.per_op_ns = 10;
+      p.real_sleep = false;
+      b.latency(p);
+    }
+    auto built = b.build();
+    ASSERT_TRUE(built.ok()) << built.status();
+    EXPECT_STREQ(built->backend_name(), kind == 1 ? "file" : kind == 2 ? "latency" : "mem");
+  }
+}
+
+TEST(Session, OutsourceSortRetrieveRoundTrip) {
+  Session session = make_session();
+  const auto input = test::random_records(256, 9);
+  auto data = session.outsource(input);
+  ASSERT_TRUE(data.ok()) << data.status();
+
+  session.reset_stats();
+  auto report = session.sort(*data, /*seed=*/11);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->ios, 0u);
+  EXPECT_EQ(report->ios, session.stats().total());
+
+  auto sorted = session.retrieve(*data);
+  ASSERT_TRUE(sorted.ok());
+  std::vector<Record> expect = input;
+  std::sort(expect.begin(), expect.end(), RecordLess{});
+  // Theorem 21 sorts by key (ties in arbitrary value order).
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ((*sorted)[i].key, expect[i].key);
+}
+
+TEST(Session, SelectAndQuantilesAgreeWithSortedTruth) {
+  Session session = make_session(4, 256);
+  const std::uint64_t N = 512;
+  const auto input = test::random_records(N, 21);
+  auto data = session.outsource(input);
+  ASSERT_TRUE(data.ok());
+
+  std::vector<Record> truth = input;
+  std::sort(truth.begin(), truth.end(), RecordLess{});
+
+  auto med = session.select(*data, N / 2, /*seed=*/5, core::practical_select_options());
+  ASSERT_TRUE(med.ok()) << med.status();
+  EXPECT_EQ(med->key, truth[N / 2 - 1].key);
+
+  core::QuantilesOptions qopts;
+  qopts.paper_intervals = false;
+  auto quarts = session.quantiles(*data, 3, /*seed=*/7, qopts);
+  ASSERT_TRUE(quarts.ok()) << quarts.status();
+  const auto ranks = core::quantile_ranks(N, 3);
+  ASSERT_EQ(quarts->size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_EQ((*quarts)[j].key, truth[ranks[j] - 1].key);
+
+  EXPECT_EQ(session.select(*data, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.select(*data, N + 1).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.quantiles(*data, 0).status().code(), StatusCode::kInvalidArgument);
+  // q = 2^64-1 must not overflow the q+1 <= N precondition check.
+  EXPECT_EQ(session.quantiles(*data, ~std::uint64_t{0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Session, CompactKeepsNonEmptyRecordsInOrder) {
+  Session session = make_session();
+  std::vector<Record> input(256);
+  std::vector<Record> expect;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (i % 3 == 0) {
+      input[i] = {i, i * 10};
+      expect.push_back(input[i]);
+    }  // else: empty record
+  }
+  auto data = session.outsource(input);
+  ASSERT_TRUE(data.ok());
+  const std::uint64_t arena_before = session.client().device().num_blocks();
+  auto report = session.compact(*data);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // compact must reclaim its scratch: only the result array (n+1 blocks)
+  // may remain in the arena, call after call.
+  EXPECT_EQ(session.client().device().num_blocks(),
+            arena_before + data->num_blocks() + 1);
+  EXPECT_EQ(report->kept, expect.size());
+  EXPECT_EQ(report->out.num_records(), expect.size());
+  auto dense = session.retrieve(report->out);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_EQ(dense->size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ((*dense)[i], expect[i]) << "order must be preserved at " << i;
+  // The result handle spans its whole allocation, so discard reclaims it.
+  EXPECT_TRUE(session.discard(report->out).ok());
+  EXPECT_EQ(session.client().device().num_blocks(), arena_before);
+}
+
+TEST(Session, OramAccessesVerifyOnFileBackend) {
+  auto built = Session::Builder()
+                   .block_records(8)
+                   .cache_records(8 * 64)
+                   .file_backed()
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  Session session = std::move(built).value();
+  auto oram = session.open_oram(256, oram::ShuffleKind::kDeterministic, 5);
+  ASSERT_TRUE(oram.ok()) << oram.status();
+  rng::Xoshiro g(13);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t idx = g.below(256);
+    auto got = oram->access(idx);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, oram->expected_value(idx));
+  }
+  EXPECT_GE(oram->stats().reshuffles, 64u / oram->epoch_length());
+}
+
+TEST(Session, SortIdenticalAcrossBackendsViaFacade) {
+  const auto input = test::random_records(192, 4);
+  std::vector<std::uint64_t> hashes;
+  std::vector<std::vector<Record>> outputs;
+  for (int kind = 0; kind < 3; ++kind) {
+    Session::Builder b;
+    b.block_records(4).cache_records(64).seed(3);
+    if (kind == 1) b.file_backed();
+    if (kind == 2) {
+      LatencyProfile p;
+      p.per_word_ns = 1;
+      p.real_sleep = false;
+      b.latency(p);
+    }
+    auto built = b.build();
+    ASSERT_TRUE(built.ok());
+    Session session = std::move(built).value();
+    auto data = session.outsource(input);
+    ASSERT_TRUE(data.ok());
+    session.trace().reset();
+    auto report = session.sort(*data, /*seed=*/11);
+    ASSERT_TRUE(report.ok()) << report.status();
+    hashes.push_back(session.trace().hash());
+    outputs.push_back(std::move(session.retrieve(*data)).value());
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(ResultType, CarriesValueOrStatus) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+  EXPECT_EQ(ok_result.value_or(0), 42);
+
+  Result<int> err_result(Status::Io("disk on fire"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kIo);
+  EXPECT_EQ(err_result.value_or(-1), -1);
+}
+
+TEST(StatusType, IoCodeAndPrinting) {
+  const Status st = Status::Io("pread failed");
+  EXPECT_EQ(st.code(), StatusCode::kIo);
+  EXPECT_EQ(st.ToString(), "IO: pread failed");
+  std::ostringstream os;
+  os << st;
+  EXPECT_EQ(os.str(), "IO: pread failed");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  std::ostringstream os2;
+  os2 << Status::WhpFailure("unlucky");
+  EXPECT_EQ(os2.str(), "WHP_FAILURE: unlucky");
+}
+
+}  // namespace
+}  // namespace oem

@@ -152,6 +152,41 @@ TEST(Flags, ParseTypes) {
   EXPECT_EQ(f.get("name", ""), "abc");
   EXPECT_TRUE(f.get_bool("flag", false));
   EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_TRUE(f.validate().ok()) << f.validate();
+}
+
+TEST(Flags, UnknownFlagFailsValidation) {
+  const char* argv[] = {"prog", "--records=64", "--record=128"};  // typo
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_u64("records", 0), 64u);
+  const Status st = f.validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("--record"), std::string::npos);
+  // ...unless the binary declares it as known.
+  EXPECT_TRUE(f.validate({"record"}).ok());
+}
+
+TEST(Flags, MalformedArgumentsFailValidation) {
+  const char* argv[] = {"prog", "-records=64", "positional", "--=3"};
+  Flags f(4, const_cast<char**>(argv));
+  const Status st = f.validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("-records=64"), std::string::npos);
+  EXPECT_NE(st.message().find("positional"), std::string::npos);
+}
+
+TEST(Flags, MalformedValuesFailValidation) {
+  const char* argv[] = {"prog", "--n=twelve", "--ratio=fast", "--on=maybe"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_u64("n", 5), 0u);         // reported, returns parse result
+  EXPECT_EQ(f.get_double("ratio", 1.0), 0.0);
+  EXPECT_FALSE(f.get_bool("on", false));    // bad bool keeps the default
+  const Status st = f.validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--n=twelve"), std::string::npos);
+  EXPECT_NE(st.message().find("--ratio=fast"), std::string::npos);
+  EXPECT_NE(st.message().find("--on=maybe"), std::string::npos);
 }
 
 }  // namespace
