@@ -93,8 +93,8 @@ void e3(std::size_t B) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
   figure1();
   e3(B);
   return 0;

@@ -14,6 +14,7 @@
 
 #include "extmem/backend.h"
 #include "extmem/client.h"
+#include "extmem/io_engine.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -36,21 +37,43 @@ inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 
   return p;
 }
 
-/// Backend factory selected by --backend=mem|file|latency (default mem).
-/// The latency profile models a fast LAN-attached store: 20us round trip +
-/// 10ns/word streaming.
+/// Backend factory selected by --backend=mem|file|latency (default mem),
+/// composed with the I/O-engine flags: --shards=K stripes blocks over K
+/// independent stores and --prefetch wraps the stack in an AsyncBackend so
+/// the algorithms' pipelined hot loops overlap compute with storage I/O.
+/// For latency the composition is latency(sharded(mem x K)) with
+/// profile.lanes = K -- the parallel-disk model, where a striped batch
+/// streams over K links at once (per-word time divides by K on the calling
+/// thread) while the round trip stays whole.  The profile models a fast
+/// LAN-attached store: 20us round trip + 10ns/word streaming.
 inline BackendFactory backend_from_flags(const Flags& flags) {
   const std::string which = flags.get("backend", "mem");
-  if (which == "mem") return {};
-  if (which == "file") return file_backend();
-  if (which == "latency") {
+  const std::size_t shards = static_cast<std::size_t>(flags.get_u64("shards", 1));
+  const bool prefetch = flags.get_bool("prefetch", false);
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    std::exit(2);
+  }
+  BackendFactory f;
+  if (which == "mem" || which == "file") {
+    if (which == "file") f = file_backend();
+    if (shards > 1) f = sharded_backend(std::move(f), shards);
+  } else if (which == "latency") {
+    // Latency wraps the striped store with `lanes = shards` (the parallel-
+    // disk model): a batch striped over K stores streams over K links at
+    // once, while the round trip stays whole.
     LatencyProfile profile;
     profile.per_op_ns = 20000;
     profile.per_word_ns = 10;
-    return latency_backend({}, profile);
+    profile.lanes = shards;
+    if (shards > 1) f = sharded_backend(std::move(f), shards);
+    f = latency_backend(std::move(f), profile);
+  } else {
+    std::fprintf(stderr, "unknown --backend=%s (mem|file|latency)\n", which.c_str());
+    std::exit(2);
   }
-  std::fprintf(stderr, "unknown --backend=%s (mem|file|latency)\n", which.c_str());
-  std::exit(2);
+  if (prefetch) f = async_backend(std::move(f));
+  return f;
 }
 
 /// Call once at the top of main: every bench::params() Client in the binary

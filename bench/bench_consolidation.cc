@@ -9,8 +9,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 16));
   const std::uint64_t M = flags.get_u64("M", 4096);
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
 
   bench::banner("E1", "Lemma 3 -- consolidation scan cost");
   bench::note("claim: exactly n block reads + (n+1) block writes, independent of density");

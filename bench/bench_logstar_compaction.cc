@@ -12,8 +12,8 @@ using namespace oem;
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 4));
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
 
   bench::banner("E5a", "Theorem 9 -- log* compaction with only M >= 2B");
   bench::note("claim: O(n log* n) I/Os; phases column is the tower-of-twos count "

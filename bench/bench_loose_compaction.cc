@@ -10,8 +10,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
   const std::uint64_t M = flags.get_u64("M", 8 * 128);
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
 
   bench::banner("E4a", "Theorem 8 -- loose compaction I/O linearity");
   bench::note("claim: O(N/B) I/Os total (flat I/O-per-block column), output 5R");

@@ -33,8 +33,8 @@ struct AlgoCase {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
 
   bench::banner("E10", "obliviousness audit -- trace hashes across adversarial inputs");
   bench::note("inputs: all-equal, sorted, reverse, random, one-low, half-half; same seed "

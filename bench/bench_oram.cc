@@ -22,8 +22,8 @@ using namespace oem;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
 
   bench::banner("E9a", "sqrt-ORAM amortized I/O per access by reshuffle sort");
   Table t({"N items", "shuffle", "accesses", "access I/O/op", "reshuffle I/O/op",

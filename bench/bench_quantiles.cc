@@ -11,8 +11,8 @@ using namespace oem;
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
 
   bench::banner("E7a", "Theorem 17 -- quantile cost: dense rule vs forced sparse pipeline");
   bench::note("dense ((M/B)^4 > N/B, all lab scales): cost == Lemma-2 sort + scans;"

@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::size_t B = static_cast<std::size_t>(flags.get_u64("B", 8));
   const std::uint64_t M = flags.get_u64("M", 8 * 512);
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
 
   bench::banner("E6a", "Theorem 13 -- selection I/O linearity vs sort-then-scan baseline");
   bench::note("claim: O(N/B) selection vs O((N/B) log^2) sort-then-scan: the "

@@ -11,8 +11,8 @@ using namespace oem;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
   const std::size_t B = 8;
   const std::uint64_t n = 2048;
   const unsigned colors = 4;

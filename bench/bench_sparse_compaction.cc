@@ -116,8 +116,8 @@ void e2c() {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  flags.validate_or_die({"backend"});
-  bench::set_backend_from_flags(flags);
+  bench::set_backend_from_flags(flags);  // consumes --backend, --shards, --prefetch
+  flags.validate_or_die();
   e2a();
   e2b();
   e2c();

@@ -7,8 +7,30 @@
 
 #include "core/butterfly.h"
 #include "core/consolidate.h"
+#include "extmem/io_engine.h"
 
 namespace oem {
+
+namespace {
+
+/// Everything a sort/select/quantiles call allocates above the entry
+/// watermark is scratch the moment the call returns (results are in-place or
+/// plain values); record it as discarded so compact_arena() can reclaim it.
+class ArenaScratchGuard {
+ public:
+  explicit ArenaScratchGuard(BlockDevice& dev)
+      : dev_(dev), watermark_(dev.num_blocks()) {}
+  ~ArenaScratchGuard() {
+    if (dev_.num_blocks() > watermark_)
+      dev_.mark_discarded({watermark_, dev_.num_blocks() - watermark_});
+  }
+
+ private:
+  BlockDevice& dev_;
+  std::uint64_t watermark_;
+};
+
+}  // namespace
 
 // Backend failures surface as std::runtime_error below the algorithm layer
 // (see device.cc); the facade converts them back into Status::kIo so callers
@@ -61,23 +83,35 @@ Session::Builder& Session::Builder::io_batch_blocks(std::uint64_t blocks) {
 }
 
 Session::Builder& Session::Builder::in_memory() {
-  params_.backend = mem_backend();
+  storage_ = Storage::kMem;
   return *this;
 }
 
 Session::Builder& Session::Builder::file_backed(FileBackendOptions opts) {
-  params_.backend = file_backend(std::move(opts));
+  storage_ = Storage::kFile;
+  file_opts_ = std::move(opts);
   return *this;
 }
 
 Session::Builder& Session::Builder::backend(BackendFactory factory) {
-  params_.backend = std::move(factory);
+  storage_ = Storage::kCustom;
+  custom_ = std::move(factory);
   return *this;
 }
 
 Session::Builder& Session::Builder::latency(LatencyProfile profile) {
   wrap_latency_ = true;
   profile_ = profile;
+  return *this;
+}
+
+Session::Builder& Session::Builder::sharded(std::size_t k) {
+  shards_ = k;
+  return *this;
+}
+
+Session::Builder& Session::Builder::async_prefetch(bool on) {
+  prefetch_ = on;
   return *this;
 }
 
@@ -89,7 +123,45 @@ Result<Session> Session::Builder::build() const {
     return Status::InvalidArgument(
         "cache_records (M) must be >= 2 * block_records (B): the paper assumes "
         "M >= 2B everywhere");
-  if (wrap_latency_) params.backend = latency_backend(params.backend, profile_);
+  if (shards_ < 1 || shards_ > 1024)
+    return Status::InvalidArgument("sharded(k) needs 1 <= k <= 1024");
+
+  // Compose the storage stack inside-out: per-shard base stores, striping,
+  // one latency model over the striped store (lanes = k, the parallel-disk
+  // model: simulated round trips to different shards overlap by
+  // construction), async submission -- async(latency(sharded(base x k))).
+  ShardFactory per_shard =
+      [storage = storage_, file_opts = file_opts_, custom = custom_,
+       shards = shards_](std::size_t block_words,
+                         std::size_t shard) -> std::unique_ptr<StorageBackend> {
+    BackendFactory base;
+    switch (storage) {
+      case Storage::kFile: {
+        FileBackendOptions opts = file_opts;
+        if (!opts.path.empty() && shards > 1)
+          opts.path += ".shard" + std::to_string(shard);
+        base = file_backend(std::move(opts));
+        break;
+      }
+      case Storage::kCustom:
+        base = custom;
+        break;
+      case Storage::kMem:
+        base = mem_backend();
+        break;
+    }
+    if (!base) base = mem_backend();  // backend(nullptr) means in-memory
+    return base(block_words);
+  };
+  BackendFactory factory = sharded_backend(std::move(per_shard), shards_);
+  if (wrap_latency_) {
+    LatencyProfile profile = profile_;
+    if (shards_ > 1) profile.lanes = shards_;
+    factory = latency_backend(std::move(factory), profile);
+  }
+  if (prefetch_) factory = async_backend(std::move(factory));
+  params.backend = std::move(factory);
+
   Session session(params);
   // Backend construction cannot throw usefully; probe its health so a bad
   // file path comes back as a Status instead of failing the first I/O.
@@ -149,6 +221,7 @@ Result<SortReport> Session::sort(const ExtArray& a, std::uint64_t seed,
                                  const core::ObliviousSortOptions& opts) {
   if (!a.valid()) return Status::InvalidArgument("sort: invalid array handle");
   const std::uint64_t before = client_->stats().total();
+  ArenaScratchGuard scratch(client_->device());
   core::ObliviousSortResult res;
   try {
     res = core::oblivious_sort(*client_, a, next_seed(seed), opts);
@@ -167,6 +240,7 @@ Result<Record> Session::select(const ExtArray& a, std::uint64_t k, std::uint64_t
   if (!a.valid()) return Status::InvalidArgument("select: invalid array handle");
   if (k < 1 || k > a.num_records())
     return Status::InvalidArgument("select: rank k must be in [1, N]");
+  ArenaScratchGuard scratch(client_->device());
   core::SelectResult res;
   try {
     res = core::oblivious_select(*client_, a, k, next_seed(seed), opts);
@@ -183,6 +257,7 @@ Result<std::vector<Record>> Session::quantiles(const ExtArray& a, std::uint64_t 
   if (!a.valid()) return Status::InvalidArgument("quantiles: invalid array handle");
   if (q < 1 || q >= a.num_records())  // q+1 <= N, written overflow-safe
     return Status::InvalidArgument("quantiles: need 1 <= q and q+1 <= N");
+  ArenaScratchGuard scratch(client_->device());
   core::QuantilesResult res;
   try {
     res = core::oblivious_quantiles(*client_, a, q, next_seed(seed), opts);

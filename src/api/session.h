@@ -78,16 +78,35 @@ class Session {
     Builder& in_memory();
     Builder& file_backed(FileBackendOptions opts = {});
     Builder& backend(BackendFactory factory);
-    /// Wrap whichever backend was selected in a LatencyBackend.
+    /// Wrap the (possibly striped) store in a LatencyBackend.  With
+    /// sharding, the profile's `lanes` is set to the shard count: the
+    /// parallel-disk model, where striping divides streaming time but not
+    /// the round trip, so simulated delays to different shards overlap.
     Builder& latency(LatencyProfile profile);
+    /// Stripe blocks round-robin over k independent stores with parallel
+    /// batch dispatch (k = 1 disables).  File-backed sessions with an
+    /// explicit path get per-shard ".shard<i>" files; custom factories are
+    /// invoked once per shard and must yield independent stores.
+    Builder& sharded(std::size_t k);
+    /// Overlap storage I/O with computation: algorithms prefetch the next
+    /// I/O window through an AsyncBackend while the current one computes.
+    /// Never changes the recorded trace -- only when the bytes move.
+    Builder& async_prefetch(bool on = true);
 
     /// Validates parameters (kInvalidArgument) and opens the backend (kIo).
     Result<Session> build() const;
 
    private:
+    enum class Storage { kMem, kFile, kCustom };
+
     ClientParams params_;
+    Storage storage_ = Storage::kMem;
+    FileBackendOptions file_opts_;
+    BackendFactory custom_;
     bool wrap_latency_ = false;
     LatencyProfile profile_;
+    std::size_t shards_ = 1;
+    bool prefetch_ = false;
   };
 
   Session(Session&&) = default;
@@ -108,10 +127,11 @@ class Session {
   // --- the paper's algorithms, typed ---
   // seed = 0 draws a fresh deterministic per-call seed from the session seed.
 
-  /// Theorem 21: in-place randomized oblivious sort by key.  NOTE: the core
-  /// sort keeps its scratch arrays in the device arena until the Session is
-  /// destroyed (the algorithms allocate scratch append-only); a service
-  /// sorting indefinitely should recycle Sessions per batch of work.
+  /// Theorem 21: in-place randomized oblivious sort by key.  The core sort
+  /// allocates scratch append-only in the device arena; when the call
+  /// returns, that scratch is recorded as discarded, and compact_arena()
+  /// releases it back to the backend -- a service sorting indefinitely
+  /// should call compact_arena() between batches of work.
   Result<SortReport> sort(const ExtArray& a, std::uint64_t seed = 0,
                           const core::ObliviousSortOptions& opts = {});
   /// Theorem 13: k-th smallest record (1-based rank, all records non-empty).
@@ -141,6 +161,16 @@ class Session {
   std::size_t block_records() const { return client_->B(); }
   std::uint64_t cache_records() const { return client_->M(); }
   const ClientParams& params() const { return params_; }
+
+  // --- storage arena management ---
+
+  /// Blocks currently held by the backend: live arrays plus scratch that
+  /// completed algorithm calls have discarded but not yet compacted.
+  std::uint64_t arena_blocks() const { return client_->device().num_blocks(); }
+  /// Release trailing discarded extents back to the backend; returns the
+  /// number of blocks freed.  With compact_arena() between calls, a sort
+  /// loop's storage footprint stays bounded instead of growing per call.
+  std::uint64_t compact_arena() { return client_->device().trim(); }
 
   /// Escape hatch for benches/tests that need the raw protocol objects.
   Client& client() { return *client_; }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "extmem/pipeline.h"
 #include "sortnet/external_sort.h"
 #include "util/math.h"
 
@@ -14,55 +15,37 @@ namespace {
 
 // Working representation: each network cell occupies two consecutive blocks
 // of the scratch array W -- payload (block 2c) and metadata (block 2c+1,
-// record 0 = {occupied, remaining distance in cells}).
+// record 0 = {occupied, remaining distance in cells}).  In a pipeline pass a
+// window of cells is gathered as [payload(c0), meta(c0), payload(c1), ...];
+// cell q's payload therefore sits at records [2q*B, (2q+1)*B) of the pass
+// buffer and its metadata record at buf[(2q+1)*B].
 
-struct CellSlot {
-  bool occupied = false;
-  std::uint64_t dist = 0;
-  BlockBuf payload;
+/// Encode one cell's metadata block in the pass buffer.
+void put_meta(std::span<Record> buf, std::size_t q, std::size_t B, bool occupied,
+              std::uint64_t dist) {
+  std::span<Record> meta = buf.subspan((2 * q + 1) * B, B);
+  std::fill(meta.begin(), meta.end(), Record{0, 0});
+  meta[0] = {occupied ? std::uint64_t{1} : std::uint64_t{0}, dist};
+}
+
+/// A window position of the sliding-window sweep: one pipeline pass.
+struct RouteWindow {
+  std::uint64_t s = 1;     // stride in cells
+  unsigned g_t = 0;        // levels routed inside this super-level
+  std::uint64_t rho = 0;   // residue class
+  std::uint64_t a0 = 0;    // window start in the virtual subarray
+  std::uint64_t win = 0;   // window length in cells
 };
 
-class CellIo {
- public:
-  CellIo(Client& c, const ExtArray& w)
-      : c_(c), w_(w), empty_(make_empty_block(c.B())) {}
-
-  void read(std::uint64_t cell, CellSlot& slot) {
-    c_.read_block(w_, 2 * cell, slot.payload);
-    c_.read_block(w_, 2 * cell + 1, meta_);
-    slot.occupied = meta_[0].key != 0;
-    slot.dist = meta_[0].value;
-  }
-
-  void write(std::uint64_t cell, const CellSlot& slot) {
-    // Unoccupied slots may have had their payload moved out during routing;
-    // either way one payload write + one metadata write happen (trace is the
-    // same for both cases).
-    c_.write_block(w_, 2 * cell, slot.occupied ? slot.payload : empty_);
-    meta_.assign(c_.B(), Record{0, 0});
-    meta_[0] = {slot.occupied ? std::uint64_t{1} : std::uint64_t{0}, slot.dist};
-    c_.write_block(w_, 2 * cell + 1, meta_);
-  }
-
- private:
-  Client& c_;
-  const ExtArray& w_;
-  BlockBuf meta_;
-  const BlockBuf empty_;
-};
-
-/// Routes the scratch array W of n_p2 cells through the full butterfly.
+/// Enumerate the windows of the full butterfly in execution order.
 /// direction=+1: leftward compaction (levels LSB->MSB).
 /// direction=-1: rightward expansion (levels MSB->LSB).
-/// Distances are in cells; at (global) level i an occupied cell moves by
-/// 0 or 2^i, with Lemma 5 ruling out collisions.
-void route(Client& client, const ExtArray& w, std::uint64_t n_p2, int direction) {
-  if (n_p2 <= 1) return;
+std::vector<RouteWindow> route_windows(std::uint64_t n_p2, std::uint64_t m,
+                                       int direction) {
+  std::vector<RouteWindow> out;
+  if (n_p2 <= 1) return out;
   const unsigned L = floor_log2(n_p2);
-  const std::uint64_t m = client.m();
   const unsigned g = std::max<unsigned>(1, floor_log2(std::max<std::uint64_t>(2, m / 8)));
-  CellIo io(client, w);
-
   const unsigned num_super = (L + g - 1) / g;
   for (unsigned st = 0; st < num_super; ++st) {
     // Super-level index in execution order depends on direction.
@@ -79,47 +62,9 @@ void route(Client& client, const ExtArray& w, std::uint64_t n_p2, int direction)
       // Sliding-window sweep over the virtual array V[q] = cell rho + q*s.
       // Compaction sweeps left-to-right (receivers are to the left of
       // senders); expansion sweeps right-to-left.
-      std::vector<CellSlot> cur(win), nxt(win);
-      CacheLease lease(client.cache(), 2 * win * (client.B() + 1));
-
       std::uint64_t a0 = direction > 0 ? 0 : len - win;
       for (;;) {
-        for (std::uint64_t q = 0; q < win; ++q) io.read(rho + (a0 + q) * s, cur[q]);
-
-        for (unsigned l = 0; l < g_t; ++l) {
-          const std::uint64_t step_cells = s << l;
-          for (auto& slot : nxt) {
-            slot.occupied = false;
-            slot.dist = 0;
-          }
-          for (std::uint64_t q = 0; q < win; ++q) {
-            if (!cur[q].occupied) continue;
-            std::uint64_t delta;
-            if (direction > 0) {
-              delta = cur[q].dist % (step_cells << 1);  // 0 or 2^i (Lemma 5 invariant)
-            } else {
-              delta = cur[q].dist & step_cells;  // bit i of the total displacement
-            }
-            assert(delta == 0 || delta == step_cells);
-            const std::uint64_t move = delta / s;
-            const std::uint64_t q_new =
-                direction > 0 ? q - move : q + move;  // underflow caught below
-            if (q_new >= win) {
-              // Lemma 5 + window invariants make this unreachable; if it
-              // trips, it is an implementation bug, not bad luck.
-              throw std::logic_error("butterfly: cell routed outside window");
-            }
-            if (nxt[q_new].occupied)
-              throw std::logic_error("butterfly: collision (violates Lemma 5)");
-            nxt[q_new].occupied = true;
-            nxt[q_new].dist = cur[q].dist - delta;
-            nxt[q_new].payload = std::move(cur[q].payload);
-          }
-          std::swap(cur, nxt);
-        }
-
-        for (std::uint64_t q = 0; q < win; ++q) io.write(rho + (a0 + q) * s, cur[q]);
-
+        out.push_back({s, g_t, rho, a0, win});
         if (win >= len) break;
         if (direction > 0) {
           if (a0 + win >= len) break;
@@ -129,6 +74,156 @@ void route(Client& client, const ExtArray& w, std::uint64_t n_p2, int direction)
           a0 = a0 > (win - span) ? a0 - (win - span) : 0;
         }
       }
+    }
+  }
+  return out;
+}
+
+/// Route one window's cells through its g_t levels, in place in the pass
+/// buffer.  Payload movement is tracked as an index permutation and
+/// materialized once at the end.
+void route_window(const RouteWindow& wd, std::span<Record> buf, std::size_t B,
+                  int direction, const BlockBuf& empty) {
+  struct Slot {
+    bool occupied = false;
+    std::uint64_t dist = 0;
+    std::uint32_t src = 0;  // window cell whose payload this slot holds
+  };
+  const std::uint64_t win = wd.win;
+  std::vector<Slot> cur(win), nxt(win);
+  for (std::uint64_t q = 0; q < win; ++q) {
+    const Record meta = buf[(2 * q + 1) * B];
+    cur[q] = {meta.key != 0, meta.value, static_cast<std::uint32_t>(q)};
+  }
+
+  for (unsigned l = 0; l < wd.g_t; ++l) {
+    const std::uint64_t step_cells = wd.s << l;
+    for (auto& slot : nxt) {
+      slot.occupied = false;
+      slot.dist = 0;
+    }
+    for (std::uint64_t q = 0; q < win; ++q) {
+      if (!cur[q].occupied) continue;
+      std::uint64_t delta;
+      if (direction > 0) {
+        delta = cur[q].dist % (step_cells << 1);  // 0 or 2^i (Lemma 5 invariant)
+      } else {
+        delta = cur[q].dist & step_cells;  // bit i of the total displacement
+      }
+      assert(delta == 0 || delta == step_cells);
+      const std::uint64_t move = delta / wd.s;
+      const std::uint64_t q_new =
+          direction > 0 ? q - move : q + move;  // underflow caught below
+      if (q_new >= win) {
+        // Lemma 5 + window invariants make this unreachable; if it trips,
+        // it is an implementation bug, not bad luck.
+        throw std::logic_error("butterfly: cell routed outside window");
+      }
+      if (nxt[q_new].occupied)
+        throw std::logic_error("butterfly: collision (violates Lemma 5)");
+      nxt[q_new].occupied = true;
+      nxt[q_new].dist = cur[q].dist - delta;
+      nxt[q_new].src = cur[q].src;
+    }
+    std::swap(cur, nxt);
+  }
+
+  // Materialize: snapshot the original payloads, then place each slot's
+  // payload (or an empty block -- unoccupied slots may have had their
+  // payload moved out during routing; either way one payload write + one
+  // metadata write happen, so the trace is the same for both cases).
+  std::vector<Record> payloads(win * B);
+  for (std::uint64_t q = 0; q < win; ++q)
+    std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(2 * q * B), B,
+                payloads.begin() + static_cast<std::ptrdiff_t>(q * B));
+  for (std::uint64_t q = 0; q < win; ++q) {
+    if (cur[q].occupied) {
+      std::copy_n(payloads.begin() + static_cast<std::ptrdiff_t>(cur[q].src * B), B,
+                  buf.begin() + static_cast<std::ptrdiff_t>(2 * q * B));
+    } else {
+      std::copy_n(empty.begin(), B, buf.begin() + static_cast<std::ptrdiff_t>(2 * q * B));
+    }
+    put_meta(buf, q, B, cur[q].occupied, cur[q].dist);
+  }
+}
+
+/// Routes the scratch array W of n_p2 cells through the full butterfly as a
+/// pipeline over window positions.  Successive windows overlap, so the next
+/// read is never prefetched early; the write still retires asynchronously
+/// (FIFO execution makes the overlap-hazard impossible), and the whole
+/// window moves as two batched transfers instead of 4*win single-block ops.
+void route(Client& client, const ExtArray& w, std::uint64_t n_p2, int direction) {
+  if (n_p2 <= 1) return;
+  const std::size_t B = client.B();
+  const BlockBuf empty = make_empty_block(B);
+  const std::vector<RouteWindow> wins = route_windows(n_p2, client.m(), direction);
+  run_block_pipeline(
+      client, wins.size(),
+      [&](std::uint64_t t, PipelinePass& io) {
+        const RouteWindow& wd = wins[t];
+        io.read_from = &w;
+        io.write_to = &w;
+        for (std::uint64_t q = 0; q < wd.win; ++q) {
+          const std::uint64_t cell = wd.rho + (wd.a0 + q) * wd.s;
+          io.reads.push_back(2 * cell);
+          io.reads.push_back(2 * cell + 1);
+        }
+        io.writes = io.reads;
+      },
+      [&](std::uint64_t t, std::span<Record> buf) {
+        // route_window's payload snapshot + slot bookkeeping hold another
+        // ~win*B records of private memory beyond the pipeline's lease;
+        // meter them so the M-budget accounting stays honest.
+        CacheLease extra(client.cache(), wins[t].win * (B + 2));
+        route_window(wins[t], buf, B, direction, empty);
+      });
+}
+
+/// Chunk width (in cells) for the copy-in/copy-out scans: half the batch
+/// window, since every cell is two blocks.
+std::uint64_t scan_chunk_cells(const Client& c) {
+  return std::max<std::uint64_t>(1, c.io_batch_blocks() / 2);
+}
+
+/// Copy-in expansion, shared by both routing directions: turn a pass buffer
+/// whose prefix holds `real` gathered input blocks into k payload+metadata
+/// cell pairs described by `cells` (occupied, dist).  Materializes backward
+/// so no payload is overwritten before it moves to its cell slot; occupied
+/// cells keep their payload, everything else stores an empty block.
+void expand_cells_backward(std::span<Record> buf, std::uint64_t k, std::uint64_t real,
+                           std::size_t B, const BlockBuf& empty,
+                           std::span<const std::pair<bool, std::uint64_t>> cells) {
+  for (std::uint64_t c = k; c-- > 0;) {
+    if (c < real && cells[c].first) {
+      if (c > 0)  // cell 0's payload is already in place
+        std::copy_backward(buf.begin() + static_cast<std::ptrdiff_t>(c * B),
+                           buf.begin() + static_cast<std::ptrdiff_t>((c + 1) * B),
+                           buf.begin() + static_cast<std::ptrdiff_t>((2 * c + 1) * B));
+    } else {
+      std::copy_n(empty.begin(), B, buf.begin() + static_cast<std::ptrdiff_t>(2 * c * B));
+    }
+    put_meta(buf, c, B, cells[c].first, cells[c].second);
+  }
+}
+
+/// Copy-out contraction, shared by both routing directions: collapse k
+/// routed payload+metadata cell pairs into k output blocks (occupied cells
+/// keep their payload, the rest read empty).  Contracts forward: out block c
+/// comes from cell c's payload, so the write position never passes the
+/// unread payload/meta positions.
+void contract_cells_forward(std::span<Record> buf, std::uint64_t k, std::size_t B,
+                            const BlockBuf& empty) {
+  for (std::uint64_t c = 0; c < k; ++c) {
+    const Record meta = buf[(2 * c + 1) * B];
+    const bool occupied = meta.key != 0;
+    assert(!occupied || meta.value == 0);
+    (void)meta;
+    if (occupied) {
+      if (c > 0)
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(2 * c * B), B,
+                    buf.begin() + static_cast<std::ptrdiff_t>(c * B));
+    } else {
+      std::copy_n(empty.begin(), B, buf.begin() + static_cast<std::ptrdiff_t>(c * B));
     }
   }
 }
@@ -144,47 +239,80 @@ BlockPredFn block_nonempty_pred() {
 TightCompactResult tight_compact_blocks(Client& client, const ExtArray& a,
                                         const BlockPredFn& pred) {
   const std::uint64_t n = a.num_blocks();
+  const std::size_t B = client.B();
   TightCompactResult res;
   res.out = client.alloc_blocks(n, Client::Init::kUninit);
   if (n == 0) return res;
   const std::uint64_t n_p2 = next_pow2(n);
 
   ExtArray w = client.alloc_blocks(2 * n_p2, Client::Init::kUninit);
-  CellIo io(client, w);
+  const BlockBuf empty = make_empty_block(B);
 
   // Copy-in scan: label occupied cells with "number of empty cells to my
-  // left" (their leftward routing distance); final position = rank.
+  // left" (their leftward routing distance); final position = rank.  Each
+  // pass expands a chunk of input blocks into payload+metadata cell pairs.
   {
-    CacheLease lease(client.cache(), 2 * client.B() + 2);
-    CellSlot slot;
+    const std::uint64_t C = scan_chunk_cells(client);
+    const std::uint64_t chunks = ceil_div(n_p2, C);
     std::uint64_t empties = 0;
-    for (std::uint64_t i = 0; i < n_p2; ++i) {
-      if (i < n) {
-        client.read_block(a, i, slot.payload);
-        slot.occupied = pred(i, slot.payload);
-      } else {
-        slot.payload = make_empty_block(client.B());
-        slot.occupied = false;
-      }
-      slot.dist = slot.occupied ? empties : 0;
-      if (!slot.occupied) ++empties;
-      if (slot.occupied) ++res.occupied;
-      io.write(i, slot);
-    }
+    BlockBuf blk(B);
+    run_block_pipeline(
+        client, chunks,
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &a;
+          io.write_to = &w;
+          const std::uint64_t first = t * C;
+          const std::uint64_t k = std::min(C, n_p2 - first);
+          for (std::uint64_t c = 0; c < k; ++c) {
+            if (first + c < n) io.reads.push_back(first + c);
+            io.writes.push_back(2 * (first + c));
+            io.writes.push_back(2 * (first + c) + 1);
+          }
+        },
+        [&](std::uint64_t t, std::span<Record> buf) {
+          const std::uint64_t first = t * C;
+          const std::uint64_t k = buf.size() / (2 * B);
+          const std::uint64_t real = first < n ? std::min<std::uint64_t>(k, n - first) : 0;
+          // Evaluate the predicate forward (the gathered payloads sit in the
+          // buffer prefix), recording each cell's occupancy and distance.
+          std::vector<std::pair<bool, std::uint64_t>> cells(k);
+          for (std::uint64_t c = 0; c < k; ++c) {
+            bool occ = false;
+            if (c < real) {
+              blk.assign(buf.begin() + static_cast<std::ptrdiff_t>(c * B),
+                         buf.begin() + static_cast<std::ptrdiff_t>((c + 1) * B));
+              occ = pred(first + c, blk);
+            }
+            cells[c] = {occ, occ ? empties : 0};
+            if (!occ) ++empties;
+            if (occ) ++res.occupied;
+          }
+          expand_cells_backward(buf, k, real, B, empty, cells);
+        });
   }
 
   route(client, w, n_p2, /*direction=*/+1);
 
   // Copy-out scan: occupied cells now form the prefix, in original order.
   {
-    CacheLease lease(client.cache(), 2 * client.B() + 2);
-    CellSlot slot;
-    const BlockBuf empty = make_empty_block(client.B());
-    for (std::uint64_t i = 0; i < n; ++i) {
-      io.read(i, slot);
-      assert(!slot.occupied || slot.dist == 0);
-      client.write_block(res.out, i, slot.occupied ? slot.payload : empty);
-    }
+    const std::uint64_t C = scan_chunk_cells(client);
+    const std::uint64_t chunks = ceil_div(n, C);
+    run_block_pipeline(
+        client, chunks,
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &w;
+          io.write_to = &res.out;
+          const std::uint64_t first = t * C;
+          const std::uint64_t k = std::min(C, n - first);
+          for (std::uint64_t c = 0; c < k; ++c) {
+            io.reads.push_back(2 * (first + c));
+            io.reads.push_back(2 * (first + c) + 1);
+          }
+          for (std::uint64_t c = 0; c < k; ++c) io.writes.push_back(first + c);
+        },
+        [&](std::uint64_t, std::span<Record> buf) {
+          contract_cells_forward(buf, buf.size() / (2 * B), B, empty);
+        });
   }
   client.release(w);
   return res;
@@ -193,46 +321,71 @@ TightCompactResult tight_compact_blocks(Client& client, const ExtArray& a,
 ExtArray expand_blocks(Client& client, const ExtArray& a, std::uint64_t count,
                        std::uint64_t out_blocks,
                        const std::function<std::uint64_t(std::uint64_t)>& target) {
+  const std::size_t B = client.B();
   ExtArray out = client.alloc_blocks(out_blocks, Client::Init::kUninit);
   if (out_blocks == 0) return out;
   const std::uint64_t n_p2 = next_pow2(out_blocks);
   ExtArray w = client.alloc_blocks(2 * n_p2, Client::Init::kUninit);
-  CellIo io(client, w);
+  const BlockBuf empty = make_empty_block(B);
 
   // Copy-in: block i gets rightward distance target(i) - i.
   {
-    CacheLease lease(client.cache(), 2 * client.B() + 2);
-    CellSlot slot;
+    const std::uint64_t C = scan_chunk_cells(client);
+    const std::uint64_t chunks = ceil_div(n_p2, C);
     std::uint64_t prev_target = 0;
-    for (std::uint64_t i = 0; i < n_p2; ++i) {
-      if (i < count) {
-        client.read_block(a, i, slot.payload);
-        const std::uint64_t t = target(i);
-        assert(t >= i && t < out_blocks);
-        assert(i == 0 || t > prev_target);
-        prev_target = t;
-        slot.occupied = true;
-        slot.dist = t - i;
-      } else {
-        slot.payload = make_empty_block(client.B());
-        slot.occupied = false;
-        slot.dist = 0;
-      }
-      io.write(i, slot);
-    }
+    run_block_pipeline(
+        client, chunks,
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &a;
+          io.write_to = &w;
+          const std::uint64_t first = t * C;
+          const std::uint64_t k = std::min(C, n_p2 - first);
+          for (std::uint64_t c = 0; c < k; ++c) {
+            if (first + c < count) io.reads.push_back(first + c);
+            io.writes.push_back(2 * (first + c));
+            io.writes.push_back(2 * (first + c) + 1);
+          }
+        },
+        [&](std::uint64_t t, std::span<Record> buf) {
+          const std::uint64_t first = t * C;
+          const std::uint64_t k = buf.size() / (2 * B);
+          const std::uint64_t real =
+              first < count ? std::min<std::uint64_t>(k, count - first) : 0;
+          // Every real cell is occupied; its rightward distance is target-i.
+          std::vector<std::pair<bool, std::uint64_t>> cells(k, {false, 0});
+          for (std::uint64_t c = 0; c < real; ++c) {
+            const std::uint64_t i = first + c;
+            const std::uint64_t tgt = target(i);
+            assert(tgt >= i && tgt < out_blocks);
+            assert(i == 0 || tgt > prev_target);
+            prev_target = tgt;
+            cells[c] = {true, tgt - i};
+          }
+          expand_cells_backward(buf, k, real, B, empty, cells);
+        });
   }
 
   route(client, w, n_p2, /*direction=*/-1);
 
   {
-    CacheLease lease(client.cache(), 2 * client.B() + 2);
-    CellSlot slot;
-    const BlockBuf empty = make_empty_block(client.B());
-    for (std::uint64_t i = 0; i < out_blocks; ++i) {
-      io.read(i, slot);
-      assert(!slot.occupied || slot.dist == 0);
-      client.write_block(out, i, slot.occupied ? slot.payload : empty);
-    }
+    const std::uint64_t C = scan_chunk_cells(client);
+    const std::uint64_t chunks = ceil_div(out_blocks, C);
+    run_block_pipeline(
+        client, chunks,
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &w;
+          io.write_to = &out;
+          const std::uint64_t first = t * C;
+          const std::uint64_t k = std::min(C, out_blocks - first);
+          for (std::uint64_t c = 0; c < k; ++c) {
+            io.reads.push_back(2 * (first + c));
+            io.reads.push_back(2 * (first + c) + 1);
+          }
+          for (std::uint64_t c = 0; c < k; ++c) io.writes.push_back(first + c);
+        },
+        [&](std::uint64_t, std::span<Record> buf) {
+          contract_cells_forward(buf, buf.size() / (2 * B), B, empty);
+        });
   }
   client.release(w);
   return out;
@@ -274,7 +427,8 @@ TightCompactResult tight_compact_by_sort(Client& client, const ExtArray& a,
     }
   }
   // `units` cannot be released LIFO (res.out was allocated after it); the
-  // arena reclaims it with the client.
+  // device records it as discarded and trim() reclaims it later.
+  client.release(units);
   return res;
 }
 

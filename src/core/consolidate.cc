@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "extmem/pipeline.h"
+#include "util/math.h"
+
 namespace oem::core {
 
 RecordPred nonempty_pred() {
@@ -20,46 +23,62 @@ ConsolidateResult consolidate(Client& client, const ExtArray& a, const RecordPre
   res.out = client.alloc_blocks(n + 1, Client::Init::kUninit);
 
   // Alice's in-memory pending buffer x: fewer than B distinguished records,
-  // in input order.  The scan runs in batch windows of W blocks (bounded by
-  // the client's io_batch_blocks, i.e. at most m/4 blocks of staging) so the
-  // backend can coalesce the I/O; the window size is a public parameter, so
-  // the trace is still data-independent: exactly n reads + (n+1) writes.
-  const std::uint64_t W = std::max<std::uint64_t>(1, std::min(client.io_batch_blocks(), n));
-  CacheLease lease(client.cache(), 2 * W * B + 2 * B);
+  // in input order.  The scan runs as a double-buffered pipeline in windows
+  // of W blocks (bounded by the client's io_batch_blocks): pass t reads
+  // window t of A and writes window t of A'; the final pass flushes the
+  // pending partial block.  Window size and pass layout are public
+  // parameters, so the trace is still data-independent: exactly n reads +
+  // (n+1) writes.  Reading from A while writing to A' means the next window
+  // always prefetches during the current window's predicate scan.
+  const std::uint64_t W =
+      std::max<std::uint64_t>(1, std::min(client.io_batch_blocks(),
+                                          std::max<std::uint64_t>(n, 1)));
+  const std::uint64_t chunks = n == 0 ? 0 : ceil_div(n, W);
   std::vector<Record> x;
   x.reserve(2 * B);
-  std::vector<Record> in(static_cast<std::size_t>(W) * B);
-  std::vector<Record> outbuf(static_cast<std::size_t>(W) * B);
-  BlockBuf outblk(B);
-  const BlockBuf empty = make_empty_block(B);
-
   std::uint64_t rec_index = 0;
-  for (std::uint64_t chunk = 0; chunk < n; chunk += W) {
-    const std::uint64_t k = std::min(W, n - chunk);
-    in.resize(static_cast<std::size_t>(k) * B);
-    client.read_blocks(a, chunk, k, in);
-    outbuf.assign(static_cast<std::size_t>(k) * B, Record{});
-    for (std::uint64_t j = 0; j < k; ++j) {
-      for (std::size_t r = 0; r < B; ++r, ++rec_index) {
-        const Record& rec = in[j * B + r];
-        if (pred(rec_index, rec)) {
-          x.push_back(rec);
-          ++res.distinguished;
+
+  run_block_pipeline(
+      client, chunks + 1,
+      [&](std::uint64_t t, PipelinePass& io) {
+        io.read_from = &a;
+        io.write_to = &res.out;
+        if (t == chunks) {  // final flush of the pending partial block
+          io.writes.push_back(n);
+          return;
         }
-      }
-      // One output block per input block: full if we can fill it, else empty.
-      if (x.size() >= B) {
-        for (std::size_t r = 0; r < B; ++r) outbuf[j * B + r] = x[r];
-        x.erase(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(B));
-        ++res.full_blocks;
-      }
-    }
-    client.write_blocks(res.out, chunk, k, outbuf);
-  }
-  // Final flush of the pending partial block (position n).
-  outblk = empty;
-  for (std::size_t r = 0; r < x.size(); ++r) outblk[r] = x[r];
-  client.write_block(res.out, n, outblk);
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = std::min(W, n - first);
+        for (std::uint64_t j = 0; j < k; ++j) {
+          io.reads.push_back(first + j);
+          io.writes.push_back(first + j);
+        }
+      },
+      [&](std::uint64_t t, std::span<Record> buf) {
+        if (t == chunks) {
+          for (std::size_t r = 0; r < B; ++r) buf[r] = r < x.size() ? x[r] : Record{};
+          return;
+        }
+        const std::uint64_t k = buf.size() / B;
+        for (std::uint64_t j = 0; j < k; ++j) {
+          for (std::size_t r = 0; r < B; ++r, ++rec_index) {
+            const Record& rec = buf[j * B + r];
+            if (pred(rec_index, rec)) {
+              x.push_back(rec);
+              ++res.distinguished;
+            }
+          }
+          // One output block per input block: full if we can fill it, else
+          // empty (overwriting the input block's slot, already consumed).
+          if (x.size() >= B) {
+            for (std::size_t r = 0; r < B; ++r) buf[j * B + r] = x[r];
+            x.erase(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(B));
+            ++res.full_blocks;
+          } else {
+            for (std::size_t r = 0; r < B; ++r) buf[j * B + r] = Record{};
+          }
+        }
+      });
   return res;
 }
 

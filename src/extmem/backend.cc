@@ -2,7 +2,11 @@
 
 #include <fcntl.h>
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -252,12 +256,31 @@ LatencyBackend::LatencyBackend(std::unique_ptr<StorageBackend> inner,
       inner_(std::move(inner)),
       profile_(profile) {}
 
-void LatencyBackend::pay(std::uint64_t words) {
-  ++ops_;
-  const std::uint64_t ns = profile_.per_op_ns + profile_.per_word_ns * words;
-  simulated_ns_ += ns;
-  if (profile_.real_sleep && ns > 0)
+void LatencyBackend::pay(std::uint64_t words, std::uint64_t nblocks) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  // A round-robin-striped op can use at most one lane per block it touches:
+  // a single-block read streams over exactly one link no matter how many
+  // lanes the store has.
+  const std::uint64_t lanes = std::min<std::uint64_t>(
+      std::max<std::size_t>(1, profile_.lanes), std::max<std::uint64_t>(1, nblocks));
+  const std::uint64_t ns =
+      profile_.per_op_ns + profile_.per_word_ns * ((words + lanes - 1) / lanes);
+  simulated_ns_.fetch_add(ns, std::memory_order_relaxed);
+  // The sleep happens on the calling thread; per-shard LatencyBackends driven
+  // by ShardedBackend workers therefore sleep concurrently, modeling K
+  // independent stores instead of one serial queue.  Linux pads sleeps with
+  // ~50us of timer slack by default, which would drown microsecond-scale
+  // round trips; request 1us slack once per sleeping thread.
+  if (profile_.real_sleep && ns > 0) {
+#ifdef __linux__
+    static thread_local bool slack_tightened = false;
+    if (!slack_tightened) {
+      ::prctl(PR_SET_TIMERSLACK, 1000, 0, 0, 0);
+      slack_tightened = true;
+    }
+#endif
     std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  }
 }
 
 Status LatencyBackend::do_resize(std::uint64_t nblocks) {
@@ -265,24 +288,24 @@ Status LatencyBackend::do_resize(std::uint64_t nblocks) {
 }
 
 Status LatencyBackend::do_read(std::uint64_t block, std::span<Word> out) {
-  pay(out.size());
+  pay(out.size(), 1);
   return inner_->read(block, out);
 }
 
 Status LatencyBackend::do_write(std::uint64_t block, std::span<const Word> in) {
-  pay(in.size());
+  pay(in.size(), 1);
   return inner_->write(block, in);
 }
 
 Status LatencyBackend::do_read_many(std::span<const std::uint64_t> blocks,
                                     std::span<Word> out) {
-  pay(out.size());  // one round trip for the whole batch
+  pay(out.size(), blocks.size());  // one round trip for the whole batch
   return inner_->read_many(blocks, out);
 }
 
 Status LatencyBackend::do_write_many(std::span<const std::uint64_t> blocks,
                                      std::span<const Word> in) {
-  pay(in.size());
+  pay(in.size(), blocks.size());
   return inner_->write_many(blocks, in);
 }
 

@@ -24,6 +24,7 @@
 // failures are reportable through the oem::Session facade.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -129,7 +130,9 @@ class FileBackend : public StorageBackend {
 
   const std::string& path() const { return path_; }
   /// pread/pwrite calls issued -- shows read_many/write_many coalescing.
-  std::uint64_t syscalls() const { return syscalls_; }
+  /// Atomic: shard workers and the async I/O thread bump it concurrently
+  /// with a main-thread reader.
+  std::uint64_t syscalls() const { return syscalls_.load(std::memory_order_relaxed); }
 
  protected:
   Status do_resize(std::uint64_t nblocks) override;
@@ -148,7 +151,7 @@ class FileBackend : public StorageBackend {
   bool unlink_on_close_ = false;
   int fd_ = -1;
   Status init_status_;
-  std::uint64_t syscalls_ = 0;
+  std::atomic<std::uint64_t> syscalls_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -157,6 +160,13 @@ class FileBackend : public StorageBackend {
 struct LatencyProfile {
   std::uint64_t per_op_ns = 0;    // fixed round-trip cost per backend call
   std::uint64_t per_word_ns = 0;  // streaming cost per word transferred
+  /// Parallel transfer lanes (the Vitter-Shriver parallel-disk model): a
+  /// batch striped over `lanes` independent links streams in words/lanes
+  /// time while the round trip stays whole.  Wrap a ShardedBackend of K
+  /// stores in a LatencyBackend with lanes = K and the simulated sleeps of
+  /// the shards overlap by construction instead of serializing -- on any
+  /// host, single-core included.
+  std::size_t lanes = 1;
   /// Actually sleep (wall-clock realism) vs. only account simulated time
   /// (fast deterministic tests).
   bool real_sleep = true;
@@ -170,8 +180,13 @@ class LatencyBackend : public StorageBackend {
 
   StorageBackend& inner() { return *inner_; }
   /// Backend calls observed and total simulated delay charged so far.
-  std::uint64_t ops() const { return ops_; }
-  std::uint64_t simulated_ns() const { return simulated_ns_; }
+  /// Atomic: a LatencyBackend inside a ShardedBackend/AsyncBackend is driven
+  /// from worker threads while the main thread reads the counters; sleeps on
+  /// different shards overlap instead of serializing.
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+  std::uint64_t simulated_ns() const {
+    return simulated_ns_.load(std::memory_order_relaxed);
+  }
 
  protected:
   Status do_resize(std::uint64_t nblocks) override;
@@ -182,12 +197,12 @@ class LatencyBackend : public StorageBackend {
                        std::span<const Word> in) override;
 
  private:
-  void pay(std::uint64_t words);
+  void pay(std::uint64_t words, std::uint64_t nblocks);
 
   std::unique_ptr<StorageBackend> inner_;
   LatencyProfile profile_;
-  std::uint64_t ops_ = 0;
-  std::uint64_t simulated_ns_ = 0;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> simulated_ns_{0};
 };
 
 // ---------------------------------------------------------------------------

@@ -125,6 +125,34 @@ void Client::write_blocks(const ExtArray& a, std::uint64_t first, std::uint64_t 
   }
 }
 
+void Client::decrypt_blocks(std::span<const std::uint64_t> dev_ids,
+                            std::span<const Word> wire, std::span<Record> out) {
+  const std::size_t bw = dev_->block_words();
+  assert(wire.size() == dev_ids.size() * bw);
+  assert(out.size() == dev_ids.size() * B_);
+  // The keystream is applied into a scratch copy per block so `wire` (the
+  // pipeline's reusable staging) is left untouched.
+  for (std::size_t j = 0; j < dev_ids.size(); ++j) {
+    std::copy_n(wire.data() + j * bw, bw, wire_.begin());
+    enc_.apply_keystream(dev_ids[j], wire_[0], std::span<Word>(wire_).subspan(1));
+    deserialize(wire_, out.subspan(j * B_, B_));
+  }
+}
+
+void Client::encrypt_blocks(std::span<const std::uint64_t> dev_ids,
+                            std::span<const Record> in, std::span<Word> wire) {
+  const std::size_t bw = dev_->block_words();
+  assert(wire.size() == dev_ids.size() * bw);
+  assert(in.size() == dev_ids.size() * B_);
+  for (std::size_t j = 0; j < dev_ids.size(); ++j) {
+    std::span<Word> w = wire.subspan(j * bw, bw);
+    const Word nonce = enc_.fresh_nonce();
+    w[0] = nonce;
+    serialize(in.subspan(j * B_, B_), w);
+    enc_.apply_keystream(dev_ids[j], nonce, w.subspan(1));
+  }
+}
+
 void Client::touch_block(const ExtArray& a, std::uint64_t i) {
   BlockBuf buf;
   CacheLease lease(meter_, B_);

@@ -91,6 +91,18 @@ class Client {
   /// is indistinguishable from a content-changing write (1 read + 1 write).
   void touch_block(const ExtArray& a, std::uint64_t i);
 
+  // --- ciphertext staging for the I/O-engine pipeline (extmem/pipeline.h) ---
+
+  /// Decrypt a wire buffer of `dev_ids.size()` blocks (gather order, as
+  /// returned by a completed device read) into records.
+  void decrypt_blocks(std::span<const std::uint64_t> dev_ids,
+                      std::span<const Word> wire, std::span<Record> out);
+  /// Serialize + encrypt records into a wire buffer (fresh nonce per block,
+  /// drawn in scatter order on the calling thread, so ciphertexts are
+  /// deterministic regardless of how the transfer is dispatched).
+  void encrypt_blocks(std::span<const std::uint64_t> dev_ids,
+                      std::span<const Record> in, std::span<Word> wire);
+
   /// Read/write a record range that may straddle block boundaries.  Writes
   /// that partially cover a block do read-modify-write (counted).  The access
   /// pattern depends only on (start, count) -- never on data.  Full blocks in

@@ -1,7 +1,11 @@
 #include "extmem/device.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
+
+#include "extmem/io_engine.h"
 
 namespace oem {
 
@@ -22,6 +26,7 @@ BlockDevice::BlockDevice(std::size_t block_words, BackendFactory factory)
                        : std::make_unique<MemBackend>(block_words)) {
   assert(block_words >= 1);
   assert(backend_ && backend_->block_words() == block_words);
+  async_ = dynamic_cast<AsyncBackend*>(backend_.get());
 }
 
 Extent BlockDevice::allocate(std::uint64_t nblocks) {
@@ -38,10 +43,58 @@ void BlockDevice::release(const Extent& e) {
     num_blocks_ = e.first_block;
     Status st = backend_->resize(num_blocks_);
     if (!st.ok()) backend_fail("release", st);
+    return;
   }
-  // Non-LIFO releases are ignored: the arena is reclaimed wholesale when the
-  // Client is destroyed.  Algorithms allocate scratch LIFO, so in practice
-  // everything is reclaimed.
+  // Non-LIFO release: the extent is dead but interior; remember it so trim()
+  // can reclaim it once everything above is released too.
+  mark_discarded(e);
+}
+
+void BlockDevice::mark_discarded(const Extent& e) {
+  if (e.num_blocks == 0) return;
+  assert(e.first_block + e.num_blocks <= num_blocks_);
+  // Sorted insert + local coalescing: the list stays sorted by first_block
+  // and free of adjacent/overlapping extents, so each call is O(k) moves at
+  // worst, without rebuilding the whole list.
+  auto it = std::upper_bound(
+      discarded_.begin(), discarded_.end(), e,
+      [](const Extent& a, const Extent& b) { return a.first_block < b.first_block; });
+  it = discarded_.insert(it, e);
+  // Merge backward into the predecessor, then forward over any successors
+  // the (possibly grown) extent now touches.
+  if (it != discarded_.begin()) {
+    auto prev = it - 1;
+    if (it->first_block <= prev->first_block + prev->num_blocks) {
+      const std::uint64_t end = std::max(prev->first_block + prev->num_blocks,
+                                         it->first_block + it->num_blocks);
+      prev->num_blocks = end - prev->first_block;
+      it = discarded_.erase(it);
+      --it;
+    }
+  }
+  auto next = it + 1;
+  while (next != discarded_.end() &&
+         next->first_block <= it->first_block + it->num_blocks) {
+    const std::uint64_t end = std::max(it->first_block + it->num_blocks,
+                                       next->first_block + next->num_blocks);
+    it->num_blocks = end - it->first_block;
+    next = discarded_.erase(next);
+  }
+}
+
+std::uint64_t BlockDevice::trim() {
+  const std::uint64_t before = num_blocks_;
+  while (!discarded_.empty()) {
+    const Extent& tail = discarded_.back();
+    if (tail.first_block + tail.num_blocks < num_blocks_) break;  // live tail above
+    num_blocks_ = std::min(num_blocks_, tail.first_block);
+    discarded_.pop_back();
+  }
+  if (num_blocks_ != before) {
+    Status st = backend_->resize(num_blocks_);
+    if (!st.ok()) backend_fail("trim", st);
+  }
+  return before - num_blocks_;
 }
 
 void BlockDevice::read(std::uint64_t block, std::span<Word> out) {
@@ -64,16 +117,21 @@ void BlockDevice::write(std::uint64_t block, std::span<const Word> in) {
   if (!st.ok()) backend_fail("write", st);
 }
 
+void BlockDevice::record(IoOp op, std::span<const std::uint64_t> blocks) {
+  for (std::uint64_t b : blocks) {
+    assert(b < num_blocks_);
+    (void)b;
+    trace_.on_access(op, b);
+  }
+}
+
 void BlockDevice::read_many(std::span<const std::uint64_t> blocks,
                             std::span<Word> out) {
   if (blocks.empty()) return;
   assert(out.size() == blocks.size() * block_words());
   stats_.reads += blocks.size();
   stats_.read_ops++;
-  for (std::uint64_t b : blocks) {
-    assert(b < num_blocks_);
-    trace_.on_access(IoOp::kRead, b);
-  }
+  record(IoOp::kRead, blocks);
   Status st = backend_->read_many(blocks, out);
   if (!st.ok()) backend_fail("read_many", st);
 }
@@ -84,12 +142,49 @@ void BlockDevice::write_many(std::span<const std::uint64_t> blocks,
   assert(in.size() == blocks.size() * block_words());
   stats_.writes += blocks.size();
   stats_.write_ops++;
-  for (std::uint64_t b : blocks) {
-    assert(b < num_blocks_);
-    trace_.on_access(IoOp::kWrite, b);
-  }
+  record(IoOp::kWrite, blocks);
   Status st = backend_->write_many(blocks, in);
   if (!st.ok()) backend_fail("write_many", st);
+}
+
+BlockDevice::IoTicket BlockDevice::submit_read_many(
+    std::span<const std::uint64_t> blocks, std::span<Word> out) {
+  if (blocks.empty()) return 0;
+  assert(out.size() == blocks.size() * block_words());
+  stats_.reads += blocks.size();
+  stats_.read_ops++;
+  record(IoOp::kRead, blocks);
+  if (async_) return async_->submit_read_many(blocks, out);
+  Status st = backend_->read_many(blocks, out);
+  if (!st.ok()) backend_fail("read_many", st);
+  return 0;
+}
+
+BlockDevice::IoTicket BlockDevice::submit_write_many(
+    std::span<const std::uint64_t> blocks, std::vector<Word>&& in) {
+  if (blocks.empty()) return 0;
+  assert(in.size() == blocks.size() * block_words());
+  stats_.writes += blocks.size();
+  stats_.write_ops++;
+  record(IoOp::kWrite, blocks);
+  if (async_)
+    return async_->submit_write_many(
+        std::vector<std::uint64_t>(blocks.begin(), blocks.end()), std::move(in));
+  Status st = backend_->write_many(blocks, in);
+  if (!st.ok()) backend_fail("write_many", st);
+  return 0;
+}
+
+void BlockDevice::wait(IoTicket t) {
+  if (t == 0 || !async_) return;
+  Status st = async_->wait(t);
+  if (!st.ok()) backend_fail("async wait", st);
+}
+
+void BlockDevice::drain() {
+  if (!async_) return;
+  Status st = async_->drain();
+  if (!st.ok()) backend_fail("async drain", st);
 }
 
 std::vector<Word> BlockDevice::raw(std::uint64_t block) const {

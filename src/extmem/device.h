@@ -12,6 +12,13 @@
 // Batched read_many/write_many issue one backend call for a whole set of
 // blocks (backends coalesce syscalls / round trips) while recording the same
 // per-block trace events, in the same order, as the sequential loop would.
+//
+// The submit_* / wait / drain API is the async face of the same contract:
+// counters and trace events are recorded at SUBMIT time, in program order,
+// and the physical transfer may complete later on an AsyncBackend's I/O
+// thread.  The adversary's view is therefore a function of the submission
+// sequence only -- identical whether the backend is synchronous, sharded,
+// or asynchronous.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,8 @@
 #include "extmem/trace.h"
 
 namespace oem {
+
+class AsyncBackend;  // extmem/io_engine.h; device.cc probes for it
 
 /// A contiguous run of blocks on the device.
 struct Extent {
@@ -46,7 +55,17 @@ class BlockDevice {
   Extent allocate(std::uint64_t nblocks);
   /// Stack-discipline release: frees the extent iff it is at the end of the
   /// arena (scratch arrays are allocated/released LIFO by the algorithms).
+  /// Non-LIFO releases are recorded as discarded so trim() can reclaim them
+  /// once everything above is released too.
   void release(const Extent& e);
+
+  /// Record an extent as dead without freeing it (e.g. scratch a completed
+  /// algorithm call abandoned mid-arena).  Adjacent/overlapping discarded
+  /// extents are coalesced.
+  void mark_discarded(const Extent& e);
+  /// Shrink the arena while its tail is covered by discarded extents;
+  /// returns the number of blocks released back to the backend.
+  std::uint64_t trim();
 
   // --- counted, traced I/O (the adversary sees these) ---
 
@@ -58,6 +77,28 @@ class BlockDevice {
   /// but issued as a single backend call, counted once in read_ops/write_ops.
   void read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
   void write_many(std::span<const std::uint64_t> blocks, std::span<const Word> in);
+
+  // --- async batched I/O (the I/O-engine pipeline) ---
+
+  /// 0 means the op already completed synchronously (non-async backend).
+  using IoTicket = std::uint64_t;
+
+  /// True when the backend supports overlapped submission (an AsyncBackend
+  /// is in the decorator chain).
+  bool async_io() const { return async_ != nullptr; }
+
+  /// Counters and trace are recorded now, in program order; the transfer may
+  /// complete later.  `out` must stay valid until wait(ticket).
+  IoTicket submit_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
+  /// Takes ownership of the ciphertext so the caller's staging buffer is
+  /// immediately reusable.
+  IoTicket submit_write_many(std::span<const std::uint64_t> blocks,
+                             std::vector<Word>&& in);
+  /// Block until the ticketed op (and all ops submitted before it) executed.
+  void wait(IoTicket t);
+  /// Block until every submitted op executed (writes are durable in the
+  /// backend).  Call before reading through a non-submit path.
+  void drain();
 
   const IoStats& stats() const { return stats_; }
   void reset_stats() { stats_ = IoStats{}; }
@@ -79,8 +120,12 @@ class BlockDevice {
                        std::span<const Word> in);
 
  private:
+  void record(IoOp op, std::span<const std::uint64_t> blocks);
+
   std::unique_ptr<StorageBackend> backend_;
+  AsyncBackend* async_ = nullptr;  // borrowed view into backend_ when async
   std::uint64_t num_blocks_ = 0;
+  std::vector<Extent> discarded_;  // sorted by first_block, coalesced
   IoStats stats_;
   TraceRecorder trace_;
 };

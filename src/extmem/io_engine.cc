@@ -1,0 +1,367 @@
+#include "extmem/io_engine.h"
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace oem {
+
+namespace {
+
+/// Blocks held by shard `s` of `k` when the striped capacity is `nblocks`:
+/// the count of ids in [0, nblocks) congruent to s mod k.
+std::uint64_t shard_capacity(std::uint64_t nblocks, std::size_t s, std::size_t k) {
+  if (nblocks <= s) return 0;
+  return (nblocks - s + k - 1) / k;
+}
+
+/// Brief busy-wait before parking on a condition variable: batch latencies
+/// are microseconds, so a futex sleep/wake per dispatch would dominate.
+constexpr int kSpinIters = 2048;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedBackend.
+
+ShardedBackend::ShardedBackend(std::size_t block_words,
+                               std::vector<std::unique_ptr<StorageBackend>> shards,
+                               bool parallel_dispatch)
+    : StorageBackend(block_words),
+      shards_(std::move(shards)),
+      sub_(shards_.size()),
+      parallel_(parallel_dispatch && shards_.size() > 1) {
+  assert(!shards_.empty());
+  for ([[maybe_unused]] const auto& s : shards_)
+    assert(s && s->block_words() == block_words);
+  if (parallel_) {
+    workers_.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ShardedBackend::~ShardedBackend() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      gen_.fetch_add(1, std::memory_order_release);
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+Status ShardedBackend::health() const {
+  for (const auto& s : shards_) OEM_RETURN_IF_ERROR(s->health());
+  return Status::Ok();
+}
+
+Status ShardedBackend::do_resize(std::uint64_t nblocks) {
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    OEM_RETURN_IF_ERROR(shards_[s]->resize(shard_capacity(nblocks, s, shards_.size())));
+  return Status::Ok();
+}
+
+Status ShardedBackend::do_read(std::uint64_t block, std::span<Word> out) {
+  return shards_[block % shards_.size()]->read(block / shards_.size(), out);
+}
+
+Status ShardedBackend::do_write(std::uint64_t block, std::span<const Word> in) {
+  return shards_[block % shards_.size()]->write(block / shards_.size(), in);
+}
+
+void ShardedBackend::partition(std::span<const std::uint64_t> blocks) {
+  const std::size_t k = shards_.size();
+  for (auto& sb : sub_) {
+    sb.inner_ids.clear();
+    sb.flat.clear();
+    sb.status = Status::Ok();
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    SubBatch& sb = sub_[blocks[i] % k];
+    sb.inner_ids.push_back(blocks[i] / k);
+    sb.flat.push_back(i);
+  }
+}
+
+void ShardedBackend::run_shard(std::size_t s) {
+  SubBatch& sb = sub_[s];
+  const std::size_t bw = block_words();
+  sb.staging.resize(sb.inner_ids.size() * bw);
+  if (job_is_write_) {
+    for (std::size_t j = 0; j < sb.flat.size(); ++j)
+      std::memcpy(sb.staging.data() + j * bw, job_win_.data() + sb.flat[j] * bw,
+                  bw * sizeof(Word));
+    sb.status = shards_[s]->write_many(sb.inner_ids, sb.staging);
+  } else {
+    sb.status = shards_[s]->read_many(sb.inner_ids, sb.staging);
+    if (sb.status.ok())
+      for (std::size_t j = 0; j < sb.flat.size(); ++j)
+        std::memcpy(job_rout_.data() + sb.flat[j] * bw, sb.staging.data() + j * bw,
+                    bw * sizeof(Word));
+  }
+}
+
+void ShardedBackend::worker_loop(std::size_t s) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    for (int i = 0; i < kSpinIters && gen_.load(std::memory_order_acquire) == seen; ++i)
+      cpu_relax();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return gen_.load(std::memory_order_relaxed) != seen || stop_;
+      });
+      if (stop_) return;
+      seen = gen_.load(std::memory_order_relaxed);
+    }
+    if (s != inline_shard_ && !sub_[s].inner_ids.empty()) run_shard(s);
+    // EVERY worker checks in on every generation -- also the ones with an
+    // empty slice.  run_batch() cannot return (and the caller cannot start
+    // repartitioning sub_ for the next batch) until all workers have caught
+    // up to this generation, so no stale worker can ever observe a newer
+    // batch's state or run a slice twice.
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+Status ShardedBackend::run_batch(bool is_write, std::span<Word> rout,
+                                 std::span<const Word> win) {
+  std::size_t involved = 0, last = 0;
+  for (std::size_t s = 0; s < sub_.size(); ++s)
+    if (!sub_[s].inner_ids.empty()) {
+      ++involved;
+      last = s;
+    }
+  if (involved == 0) return Status::Ok();
+
+  job_is_write_ = is_write;
+  job_rout_ = rout;
+  job_win_ = win;
+  inline_shard_ = last;
+
+  if (!parallel_) {
+    for (std::size_t s = 0; s < sub_.size(); ++s)
+      if (!sub_[s].inner_ids.empty()) run_shard(s);
+    Status st;
+    for (const auto& sb : sub_) st.Update(sb.status);
+    return st;
+  }
+
+  if (involved > 1) {
+    dispatches_.fetch_add(1, std::memory_order_relaxed);
+    pending_.store(workers_.size(), std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      gen_.fetch_add(1, std::memory_order_release);
+    }
+    work_cv_.notify_all();
+  }
+  // The main thread always contributes one slice instead of idling.
+  run_shard(inline_shard_);
+  if (involved > 1) {
+    for (int i = 0; i < kSpinIters && pending_.load(std::memory_order_acquire) != 0; ++i)
+      cpu_relax();
+    if (pending_.load(std::memory_order_acquire) != 0) {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return pending_.load(std::memory_order_relaxed) == 0; });
+    }
+  }
+  Status st;
+  for (const auto& sb : sub_) st.Update(sb.status);
+  return st;
+}
+
+Status ShardedBackend::do_read_many(std::span<const std::uint64_t> blocks,
+                                    std::span<Word> out) {
+  partition(blocks);
+  return run_batch(/*is_write=*/false, out, {});
+}
+
+Status ShardedBackend::do_write_many(std::span<const std::uint64_t> blocks,
+                                     std::span<const Word> in) {
+  partition(blocks);
+  return run_batch(/*is_write=*/true, {}, in);
+}
+
+// ---------------------------------------------------------------------------
+// AsyncBackend.
+
+AsyncBackend::AsyncBackend(std::unique_ptr<StorageBackend> inner)
+    : StorageBackend(inner->block_words()), inner_(std::move(inner)) {
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+AsyncBackend::~AsyncBackend() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  io_thread_.join();  // the loop flushes the queue before exiting
+}
+
+void AsyncBackend::io_loop() {
+  for (;;) {
+    Op op;
+    {
+      for (int i = 0;
+           i < kSpinIters && queued_.load(std::memory_order_acquire) == 0; ++i)
+        cpu_relax();
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [&] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) return;  // stop requested and everything flushed
+      op = std::move(queue_.front());
+      queue_.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    Status st = op.is_write
+                    ? inner_->write_many(op.blocks, op.wdata)
+                    : inner_->read_many(op.blocks, std::span<Word>(op.rdest, op.rlen));
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!st.ok()) error_ = true;
+      sticky_.Update(st);
+      completed_.fetch_add(1, std::memory_order_release);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+AsyncBackend::Ticket AsyncBackend::submit_read_many(
+    std::span<const std::uint64_t> blocks, std::span<Word> out) {
+  Op op;
+  op.is_write = false;
+  op.blocks.assign(blocks.begin(), blocks.end());
+  op.rdest = out.data();
+  op.rlen = out.size();
+  const Ticket t = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(op));
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  queue_cv_.notify_one();
+  // Hand the core to the I/O thread so it can *start* the transfer (or its
+  // simulated sleep) before the caller's compute claims the CPU -- without
+  // this, a single-core host serializes prefetch behind compute.
+  std::this_thread::yield();
+  return t;
+}
+
+AsyncBackend::Ticket AsyncBackend::submit_write_many(std::vector<std::uint64_t> blocks,
+                                                     std::vector<Word> in) {
+  Op op;
+  op.is_write = true;
+  op.blocks = std::move(blocks);
+  op.wdata = std::move(in);
+  const Ticket t = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(op));
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  queue_cv_.notify_one();
+  std::this_thread::yield();  // see submit_read_many
+  return t;
+}
+
+Status AsyncBackend::wait(Ticket t) {
+  for (int i = 0; i < kSpinIters && completed_.load(std::memory_order_acquire) < t; ++i)
+    cpu_relax();
+  if (completed_.load(std::memory_order_acquire) >= t) {
+    // Fast path: the op already retired; a brief uncontended lock fetches
+    // the (rare) sticky error without a futex sleep.
+    std::lock_guard<std::mutex> lk(mu_);
+    return error_ ? sticky_ : Status::Ok();
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return completed_.load(std::memory_order_relaxed) >= t; });
+  return error_ ? sticky_ : Status::Ok();
+}
+
+Status AsyncBackend::drain() {
+  return wait(submitted_.load(std::memory_order_relaxed));
+}
+
+Status AsyncBackend::do_resize(std::uint64_t nblocks) {
+  OEM_RETURN_IF_ERROR(drain());
+  return inner_->resize(nblocks);
+}
+
+Status AsyncBackend::do_read(std::uint64_t block, std::span<Word> out) {
+  OEM_RETURN_IF_ERROR(drain());
+  return inner_->read(block, out);
+}
+
+Status AsyncBackend::do_write(std::uint64_t block, std::span<const Word> in) {
+  OEM_RETURN_IF_ERROR(drain());
+  return inner_->write(block, in);
+}
+
+Status AsyncBackend::do_read_many(std::span<const std::uint64_t> blocks,
+                                  std::span<Word> out) {
+  OEM_RETURN_IF_ERROR(drain());
+  return inner_->read_many(blocks, out);
+}
+
+Status AsyncBackend::do_write_many(std::span<const std::uint64_t> blocks,
+                                   std::span<const Word> in) {
+  OEM_RETURN_IF_ERROR(drain());
+  return inner_->write_many(blocks, in);
+}
+
+// ---------------------------------------------------------------------------
+// Factories.
+
+BackendFactory sharded_backend(BackendFactory inner, std::size_t shards,
+                               int parallel_dispatch) {
+  ShardFactory per_shard = [inner = std::move(inner)](std::size_t block_words,
+                                                      std::size_t) {
+    return inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
+  };
+  return sharded_backend(std::move(per_shard), shards, parallel_dispatch);
+}
+
+BackendFactory sharded_backend(ShardFactory inner, std::size_t shards,
+                               int parallel_dispatch) {
+  assert(shards >= 1);
+  return [inner = std::move(inner), shards,
+          parallel_dispatch](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
+    if (shards == 1)
+      return inner ? inner(block_words, 0) : std::make_unique<MemBackend>(block_words);
+    std::vector<std::unique_ptr<StorageBackend>> v;
+    v.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+      v.push_back(inner ? inner(block_words, s)
+                        : std::make_unique<MemBackend>(block_words));
+    const bool parallel = parallel_dispatch < 0
+                              ? ShardedBackend::default_parallel_dispatch()
+                              : parallel_dispatch != 0;
+    return std::make_unique<ShardedBackend>(block_words, std::move(v), parallel);
+  };
+}
+
+BackendFactory async_backend(BackendFactory inner) {
+  return [inner = std::move(inner)](std::size_t block_words)
+             -> std::unique_ptr<StorageBackend> {
+    auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
+    return std::make_unique<AsyncBackend>(std::move(base));
+  };
+}
+
+}  // namespace oem

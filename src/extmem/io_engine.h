@@ -1,0 +1,210 @@
+// IoEngine: the parallel storage layer behind the BlockDevice.
+//
+// The paper's client/outsourced-storage model makes block *placement*
+// orthogonal to obliviousness: Bob sees the same access sequence whether the
+// blocks live on one store or are striped across many, so parallel storage is
+// free leverage on wall-clock.  Two composable decorators exploit that:
+//
+//   * ShardedBackend -- stripes blocks round-robin over K inner backends
+//     (block b lives on shard b mod K at inner index b div K) and dispatches
+//     the per-shard slices of a read_many/write_many batch to persistent
+//     worker threads, so K stores transfer -- and K LatencyBackends sleep --
+//     in parallel.
+//
+//   * AsyncBackend -- a decorator exposing submit_read_many/submit_write_many
+//     tickets executed by a single background I/O thread in FIFO submission
+//     order.  Callers overlap compute with storage I/O; FIFO execution keeps
+//     read-after-write and write-after-write hazards impossible by
+//     construction.  Synchronous StorageBackend calls drain the queue first,
+//     so non-pipelined code paths stay correct unchanged.  AsyncBackend must
+//     be the OUTERMOST decorator: the BlockDevice detects it at the top of
+//     the stack only, and an AsyncBackend buried under another decorator is
+//     driven through the (correct but blocking) synchronous path, losing all
+//     overlap.  Session::Builder and bench_common always compose it last.
+//
+// Neither decorator is visible in the adversary's view: the BlockDevice above
+// records the per-block trace at submission time, in program order, and that
+// order is a deterministic function of the algorithm's public parameters --
+// never of where or when the bytes physically move (see the cross-backend
+// trace-equivalence suite in tests/io_engine_test.cc).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "extmem/backend.h"
+
+namespace oem {
+
+// ---------------------------------------------------------------------------
+// ShardedBackend.
+
+class ShardedBackend : public StorageBackend {
+ public:
+  /// Takes ownership of `shards` (all with the same block_words).
+  /// `parallel_dispatch`: use per-shard worker threads for multi-shard
+  /// batches.  Defaults to hardware_concurrency() > 1 -- on a single
+  /// hardware thread the wake cascade costs more than shard-serial
+  /// execution saves, so sub-batches run inline instead (identical
+  /// semantics, identical trace).
+  ShardedBackend(std::size_t block_words,
+                 std::vector<std::unique_ptr<StorageBackend>> shards,
+                 bool parallel_dispatch = default_parallel_dispatch());
+  static bool default_parallel_dispatch() {
+    return std::thread::hardware_concurrency() > 1;
+  }
+  ~ShardedBackend() override;
+  const char* name() const override { return "sharded"; }
+  Status health() const override;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  StorageBackend& shard(std::size_t s) { return *shards_[s]; }
+  const StorageBackend& shard(std::size_t s) const { return *shards_[s]; }
+  /// Batches dispatched to the worker pool (vs. run inline because only one
+  /// shard was involved); shows the parallel path is actually exercised.
+  std::uint64_t parallel_dispatches() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  Status do_resize(std::uint64_t nblocks) override;
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+
+ private:
+  /// One shard's slice of the current batch (reused across calls).
+  struct SubBatch {
+    std::vector<std::uint64_t> inner_ids;  // block ids on the shard
+    std::vector<std::size_t> flat;         // position in the caller's batch
+    std::vector<Word> staging;             // contiguous per-shard transfer buffer
+    Status status;
+  };
+
+  void partition(std::span<const std::uint64_t> blocks);
+  Status run_batch(bool is_write, std::span<Word> rout, std::span<const Word> win);
+  void run_shard(std::size_t s);
+  void worker_loop(std::size_t s);
+
+  std::vector<std::unique_ptr<StorageBackend>> shards_;
+  std::vector<SubBatch> sub_;
+
+  // Dispatch state: the main thread publishes a batch under mu_ and bumps
+  // gen_; workers with a non-empty slice run it and decrement pending_.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::size_t> pending_{0};
+  bool stop_ = false;             // guarded by mu_
+  bool job_is_write_ = false;     // published before gen_ bump
+  std::span<Word> job_rout_;
+  std::span<const Word> job_win_;
+  std::size_t inline_shard_ = 0;  // slice the main thread runs itself
+  bool parallel_ = true;
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::vector<std::thread> workers_;
+};
+
+// ---------------------------------------------------------------------------
+// AsyncBackend.
+
+class AsyncBackend : public StorageBackend {
+ public:
+  explicit AsyncBackend(std::unique_ptr<StorageBackend> inner);
+  ~AsyncBackend() override;
+  const char* name() const override { return "async"; }
+  Status health() const override { return inner_->health(); }
+
+  StorageBackend& inner() { return *inner_; }
+  const StorageBackend& inner() const { return *inner_; }
+
+  /// Tickets are 1-based submission sequence numbers; ops execute on the I/O
+  /// thread strictly in ticket order.
+  using Ticket = std::uint64_t;
+
+  /// `out` must stay valid until wait(ticket) returns.
+  Ticket submit_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
+  /// Takes ownership of the id list and ciphertext, so the caller's staging
+  /// buffers are immediately reusable.
+  Ticket submit_write_many(std::vector<std::uint64_t> blocks, std::vector<Word> in);
+
+  /// Blocks until every op with ticket <= t has executed.  Returns the first
+  /// error any completed op hit (sticky until the backend is destroyed).
+  Status wait(Ticket t);
+  /// wait() for everything submitted so far.
+  Status drain();
+
+  std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+
+ protected:
+  // Synchronous calls drain the queue first so they observe (and are ordered
+  // against) every submitted op, then forward to the inner backend.
+  Status do_resize(std::uint64_t nblocks) override;
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+
+ private:
+  struct Op {
+    bool is_write = false;
+    std::vector<std::uint64_t> blocks;
+    std::vector<Word> wdata;  // writes: owned ciphertext
+    Word* rdest = nullptr;    // reads: caller-owned destination
+    std::size_t rlen = 0;
+  };
+
+  void io_loop();
+
+  std::unique_ptr<StorageBackend> inner_;
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable done_cv_;
+  std::deque<Op> queue_;  // guarded by mu_
+  // Modified under mu_ (so the cv waits are race-free) but also read
+  // lock-free by brief spin loops that avoid a futex round trip per op.
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::size_t> queued_{0};
+  Status sticky_;      // guarded by mu_: first error wins
+  bool error_ = false; // guarded by mu_
+  bool stop_ = false;  // guarded by mu_
+  std::atomic<std::uint64_t> submitted_{0};
+  std::thread io_thread_;
+};
+
+// ---------------------------------------------------------------------------
+// Factory helpers.
+
+/// Per-shard construction: receives (block_words, shard index) so shards that
+/// need distinct resources (e.g. file paths) can derive them.
+using ShardFactory =
+    std::function<std::unique_ptr<StorageBackend>(std::size_t block_words,
+                                                  std::size_t shard)>;
+
+/// Stripe over `shards` instances produced by `inner` (null = mem).  An
+/// explicit-path file backend must NOT be sharded through this overload (all
+/// shards would open the same file); use the ShardFactory overload or
+/// Session::Builder, which derives per-shard paths.  `parallel_dispatch` < 0
+/// means the hardware-concurrency default; tests pass 1 to force the worker
+/// pool on any host.
+BackendFactory sharded_backend(BackendFactory inner, std::size_t shards,
+                               int parallel_dispatch = -1);
+BackendFactory sharded_backend(ShardFactory inner, std::size_t shards,
+                               int parallel_dispatch = -1);
+
+/// Wrap the backend produced by `inner` (null = mem) in an AsyncBackend.
+BackendFactory async_backend(BackendFactory inner);
+
+}  // namespace oem

@@ -1,0 +1,145 @@
+#include "extmem/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oem {
+
+namespace {
+
+/// True when the two sorted-copy id sets share no element.
+bool disjoint_ids(std::vector<std::uint64_t> a, std::vector<std::uint64_t> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) ++i;
+    else if (b[j] < a[i]) ++j;
+    else return false;
+  }
+  return true;
+}
+
+struct Slot {
+  PipelinePass io;
+  std::vector<std::uint64_t> dev_reads;   // device-absolute gather ids
+  std::vector<std::uint64_t> dev_writes;  // device-absolute scatter ids
+  std::vector<Word> wire;                 // read ciphertext staging
+  BlockDevice::IoTicket ticket = 0;
+};
+
+/// Exception safety: an in-flight async read holds a raw pointer into a
+/// Slot's wire buffer.  If compute() (a user predicate, a whp guard) throws
+/// mid-pass, the device must be flushed BEFORE the slots unwind, or the I/O
+/// thread would complete into freed memory.  Best-effort on the unwind path:
+/// a drain failure must not turn the in-flight exception into terminate().
+struct DrainOnUnwind {
+  BlockDevice& dev;
+  bool active = true;
+  ~DrainOnUnwind() {
+    if (!active) return;
+    try {
+      dev.drain();
+    } catch (...) {
+    }
+  }
+};
+
+}  // namespace
+
+void run_block_pipeline(Client& client, std::uint64_t passes,
+                        const PassDescribeFn& describe, const PassComputeFn& compute) {
+  if (passes == 0) return;
+  BlockDevice& dev = client.device();
+  const std::size_t bw = dev.block_words();
+  const std::size_t B = client.B();
+
+  Slot slots[2];
+  auto prepare = [&](std::uint64_t t, Slot& s) {
+    s.io.read_from = s.io.write_to = nullptr;
+    s.io.reads.clear();
+    s.io.writes.clear();
+    describe(t, s.io);
+    s.dev_reads.resize(s.io.reads.size());
+    for (std::size_t i = 0; i < s.io.reads.size(); ++i) {
+      assert(s.io.read_from != nullptr);
+      s.dev_reads[i] = s.io.read_from->device_block(s.io.reads[i]);
+    }
+    s.dev_writes.resize(s.io.writes.size());
+    for (std::size_t i = 0; i < s.io.writes.size(); ++i) {
+      assert(s.io.write_to != nullptr);
+      s.dev_writes[i] = s.io.write_to->device_block(s.io.writes[i]);
+    }
+  };
+  // Transfers honor the client's coalescing window (io_batch_blocks): a pass
+  // is submitted as ceil(blocks/W) backend ops.  W = 1 degenerates to
+  // per-block ops (the baseline benchmarks measure against); the default
+  // window keeps staging bounded by m/4 blocks per op.
+  const std::size_t W = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, client.io_batch_blocks()));
+  auto submit_read = [&](Slot& s) {
+    s.wire.resize(s.dev_reads.size() * bw);
+    s.ticket = 0;
+    for (std::size_t i = 0; i < s.dev_reads.size(); i += W) {
+      const std::size_t k = std::min(W, s.dev_reads.size() - i);
+      // FIFO execution means waiting on the last window's ticket covers all.
+      s.ticket = dev.submit_read_many(
+          std::span<const std::uint64_t>(s.dev_reads).subspan(i, k),
+          std::span<Word>(s.wire).subspan(i * bw, k * bw));
+    }
+  };
+
+  CacheLease lease(client.cache(), 0);
+  std::vector<Record> buf;
+  std::vector<Word> sync_wire;  // reused write staging for sync backends
+  DrainOnUnwind unwind_guard{dev};
+
+  prepare(0, slots[0]);
+  submit_read(slots[0]);
+  for (std::uint64_t t = 0; t < passes; ++t) {
+    Slot& cur = slots[t & 1];
+    Slot& nxt = slots[(t + 1) & 1];
+    if (t + 1 < passes) prepare(t + 1, nxt);
+
+    dev.wait(cur.ticket);
+    const std::size_t nblocks = std::max(cur.dev_reads.size(), cur.dev_writes.size());
+    lease.resize(nblocks * B);
+    buf.resize(nblocks * B);
+    client.decrypt_blocks(cur.dev_reads, cur.wire,
+                          std::span<Record>(buf).first(cur.dev_reads.size() * B));
+
+    // Prefetch the next pass's read while this pass computes whenever the
+    // read set cannot observe this pass's pending write.  The decision is a
+    // public function of the pass descriptions, so the submission order --
+    // and with it the trace -- is identical with and without an async
+    // backend; only the overlap changes.
+    const bool early =
+        t + 1 < passes && disjoint_ids(nxt.dev_reads, cur.dev_writes);
+    if (early) submit_read(nxt);
+
+    compute(t, std::span<Record>(buf).first(nblocks * B));
+
+    for (std::size_t i = 0; i < cur.dev_writes.size(); i += W) {
+      const std::size_t k = std::min(W, cur.dev_writes.size() - i);
+      std::span<const std::uint64_t> ids(cur.dev_writes);
+      const std::span<const Record> recs(buf);
+      if (dev.async_io()) {
+        // The async path takes ownership of the ciphertext (it outlives
+        // this pass); the sync path executes immediately, so a reused
+        // staging buffer avoids a heap allocation per window.
+        std::vector<Word> out_wire(k * bw);
+        client.encrypt_blocks(ids.subspan(i, k), recs.subspan(i * B, k * B), out_wire);
+        dev.submit_write_many(ids.subspan(i, k), std::move(out_wire));
+      } else {
+        sync_wire.resize(k * bw);
+        client.encrypt_blocks(ids.subspan(i, k), recs.subspan(i * B, k * B), sync_wire);
+        dev.write_many(ids.subspan(i, k), sync_wire);
+      }
+    }
+    if (t + 1 < passes && !early) submit_read(nxt);
+  }
+  unwind_guard.active = false;
+  dev.drain();  // writes are durable before the caller touches other paths
+}
+
+}  // namespace oem

@@ -1,0 +1,57 @@
+// The I/O-engine hot-loop driver: a double-buffered read->compute->write
+// pipeline over a sequence of passes.
+//
+// Every batched hot loop in the library (external-sort run formation and
+// merge-split network, butterfly routing sweeps, consolidation scans) has the
+// same shape: pass t gathers a list of blocks, computes privately on the
+// decrypted records, and scatters a list of blocks.  run_block_pipeline
+// factors that shape out once and layers prefetch on top: when the storage
+// backend is asynchronous (Session::Builder::async_prefetch), pass t+1's read
+// is submitted while pass t computes -- but only when it is disjoint from
+// pass t's write set; otherwise it is submitted after the write, and the
+// AsyncBackend's FIFO execution makes the read-after-write hazard impossible.
+//
+// Obliviousness: the logical submission order (hence the device trace) is a
+// deterministic function of the pass descriptions alone -- the SAME whether
+// the backend is synchronous or asynchronous, mem or sharded.  Prefetch
+// changes when bytes move, never what Bob observes.
+//
+// Private-memory accounting: the pipeline leases the current pass's record
+// buffer (max(reads, writes) blocks) against the cache meter, like the loops
+// it replaced.  Ciphertext staging in flight is not metered, consistent with
+// the Client's existing wire buffers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "extmem/client.h"
+
+namespace oem {
+
+/// One pass's I/O description.  `reads`/`writes` are array-relative block
+/// ids; gather/scatter order is the trace order.  Either list may be empty.
+struct PipelinePass {
+  const ExtArray* read_from = nullptr;
+  const ExtArray* write_to = nullptr;
+  std::vector<std::uint64_t> reads;
+  std::vector<std::uint64_t> writes;
+};
+
+/// Fills `io` for pass t (the vectors arrive empty).  Called once per pass,
+/// one pass ahead of compute; must depend only on public parameters.
+using PassDescribeFn = std::function<void(std::uint64_t t, PipelinePass& io)>;
+
+/// Computes pass t in place on `buf` (max(reads, writes) blocks of records).
+/// On entry the first reads*B records hold the gathered plaintext; on return
+/// the first writes*B records must hold the scatter plaintext.  Records
+/// beyond the gathered prefix are unspecified on entry.  Called strictly in
+/// pass order, so stateful scans (running counters, pending buffers) work.
+using PassComputeFn = std::function<void(std::uint64_t t, std::span<Record> buf)>;
+
+void run_block_pipeline(Client& client, std::uint64_t passes,
+                        const PassDescribeFn& describe, const PassComputeFn& compute);
+
+}  // namespace oem

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "extmem/pipeline.h"
 #include "sortnet/networks.h"
 #include "util/math.h"
 
@@ -27,28 +28,115 @@ void write_run(Client& c, const ExtArray& a, std::uint64_t first, std::uint64_t 
                      offset, static_cast<std::size_t>(count) * c.B()));
 }
 
-/// Merge-split comparator on two runs of `run_blocks` blocks each: read both,
-/// merge privately, write lower half to run `lo` and upper half to run `hi`
-/// (swapped when descending).
-void merge_split(Client& c, const ExtArray& a, std::uint64_t run_blocks,
-                 std::uint64_t run_i, std::uint64_t run_j, bool ascending) {
+/// One comparator of the run-level sorting network.
+struct RunComparator {
+  std::uint64_t i = 0, j = 0;
+  bool asc = true;
+};
+
+/// Materialize the network as an explicit schedule so the pipeline can look
+/// one comparator ahead (the schedule is a public function of the run count).
+std::vector<RunComparator> run_schedule(std::uint64_t runs_p2, bool odd_even) {
+  std::vector<RunComparator> s;
+  auto push = [&](std::uint64_t i, std::uint64_t j, bool asc) {
+    s.push_back({i, j, asc});
+  };
+  if (odd_even) odd_even_schedule(runs_p2, push);
+  else bitonic_schedule(runs_p2, push);
+  return s;
+}
+
+/// Copy blocks [0, n) of `src` into `dst` and pad dst[n, padded) with empty
+/// blocks -- the scratch copy-in of the padded sort, as a chunked pipeline.
+void copy_pad_blocks(Client& c, const ExtArray& src, std::uint64_t n,
+                     const ExtArray& dst, std::uint64_t padded) {
   const std::size_t B = c.B();
-  const std::size_t run_records = static_cast<std::size_t>(run_blocks) * B;
-  CacheLease lease(c.cache(), 2 * run_records);
-  std::vector<Record> buf;
-  buf.reserve(2 * run_records);
-  read_run(c, a, run_i * run_blocks, run_blocks, buf);
-  read_run(c, a, run_j * run_blocks, run_blocks, buf);
-  // Both runs are individually sorted; a single in-place merge suffices.
-  std::inplace_merge(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(run_records),
-                     buf.end(), RecordLess{});
-  if (ascending) {
-    write_run(c, a, run_i * run_blocks, run_blocks, buf, 0);
-    write_run(c, a, run_j * run_blocks, run_blocks, buf, run_records);
-  } else {
-    write_run(c, a, run_j * run_blocks, run_blocks, buf, 0);
-    write_run(c, a, run_i * run_blocks, run_blocks, buf, run_records);
-  }
+  const std::uint64_t W = std::max<std::uint64_t>(1, c.io_batch_blocks());
+  const std::uint64_t chunks = padded == 0 ? 0 : ceil_div(padded, W);
+  run_block_pipeline(
+      c, chunks,
+      [&](std::uint64_t t, PipelinePass& io) {
+        io.read_from = &src;
+        io.write_to = &dst;
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = std::min(W, padded - first);
+        for (std::uint64_t j = 0; j < k; ++j) {
+          if (first + j < n) io.reads.push_back(first + j);
+          io.writes.push_back(first + j);
+        }
+      },
+      [&](std::uint64_t t, std::span<Record> buf) {
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = buf.size() / B;
+        const std::uint64_t copied = first < n ? std::min<std::uint64_t>(k, n - first) : 0;
+        std::fill(buf.begin() + static_cast<std::ptrdiff_t>(copied * B), buf.end(),
+                  Record{});  // padding blocks sort last (empty sentinel)
+      });
+}
+
+/// Copy blocks [0, n) of `src` into `dst` (same-size chunked pipeline scan).
+void copy_back_blocks(Client& c, const ExtArray& src, const ExtArray& dst,
+                      std::uint64_t n) {
+  const std::uint64_t W = std::max<std::uint64_t>(1, c.io_batch_blocks());
+  const std::uint64_t chunks = n == 0 ? 0 : ceil_div(n, W);
+  run_block_pipeline(
+      c, chunks,
+      [&](std::uint64_t t, PipelinePass& io) {
+        io.read_from = &src;
+        io.write_to = &dst;
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = std::min(W, n - first);
+        for (std::uint64_t j = 0; j < k; ++j) {
+          io.reads.push_back(first + j);
+          io.writes.push_back(first + j);
+        }
+      },
+      [](std::uint64_t, std::span<Record>) {});
+}
+
+/// Phase 1 of both sorts: privately sort every run of `run_blocks` blocks of
+/// `work`, pipelined so run r+1 streams in while run r sorts.
+void sort_runs(Client& c, const ExtArray& work, std::uint64_t runs,
+               std::uint64_t run_blocks,
+               const std::function<void(std::span<Record>)>& sort_buf) {
+  run_block_pipeline(
+      c, runs,
+      [&](std::uint64_t r, PipelinePass& io) {
+        io.read_from = &work;
+        io.write_to = &work;
+        for (std::uint64_t j = 0; j < run_blocks; ++j) {
+          io.reads.push_back(r * run_blocks + j);
+          io.writes.push_back(r * run_blocks + j);
+        }
+      },
+      [&](std::uint64_t, std::span<Record> buf) { sort_buf(buf); });
+}
+
+/// Phase 2: drive the comparator schedule through the pipeline.  Each pass
+/// gathers both runs, merges privately (in place, leaving the buffer in
+/// merged order), and scatters the lower half to the ascending target run --
+/// encoding the comparator direction purely in the scatter list.
+void run_network(Client& c, const ExtArray& work, std::uint64_t run_blocks,
+                 const std::vector<RunComparator>& schedule,
+                 const std::function<void(std::span<Record>)>& merge_buf) {
+  run_block_pipeline(
+      c, schedule.size(),
+      [&](std::uint64_t t, PipelinePass& io) {
+        const RunComparator& cmp = schedule[t];
+        io.read_from = &work;
+        io.write_to = &work;
+        for (std::uint64_t b = 0; b < run_blocks; ++b)
+          io.reads.push_back(cmp.i * run_blocks + b);
+        for (std::uint64_t b = 0; b < run_blocks; ++b)
+          io.reads.push_back(cmp.j * run_blocks + b);
+        const std::uint64_t lo = cmp.asc ? cmp.i : cmp.j;
+        const std::uint64_t hi = cmp.asc ? cmp.j : cmp.i;
+        for (std::uint64_t b = 0; b < run_blocks; ++b)
+          io.writes.push_back(lo * run_blocks + b);
+        for (std::uint64_t b = 0; b < run_blocks; ++b)
+          io.writes.push_back(hi * run_blocks + b);
+      },
+      [&](std::uint64_t, std::span<Record> buf) { merge_buf(buf); });
 }
 
 }  // namespace
@@ -74,40 +162,26 @@ void ext_oblivious_sort(Client& client, const ExtArray& a, const ExtSortOptions&
   if (padded_blocks != n) {
     scratch = true;
     work = client.alloc_blocks(padded_blocks, Client::Init::kUninit);
-    BlockBuf buf;
-    CacheLease lease(client.cache(), client.B());
-    const BlockBuf empty = make_empty_block(client.B());
-    for (std::uint64_t i = 0; i < padded_blocks; ++i) {
-      if (i < n) {
-        client.read_block(a, i, buf);
-        client.write_block(work, i, buf);
-      } else {
-        client.write_block(work, i, empty);
-      }
-    }
+    copy_pad_blocks(client, a, n, work, padded_blocks);
   }
 
   // Phase 1: sort each run privately.
-  for (std::uint64_t r = 0; r < runs_p2; ++r)
-    sort_region_in_cache(client, work, r * run_blocks, run_blocks);
+  const std::size_t run_records = static_cast<std::size_t>(run_blocks) * client.B();
+  sort_runs(client, work, runs_p2, run_blocks, [](std::span<Record> buf) {
+    std::stable_sort(buf.begin(), buf.end(), RecordLess{});
+  });
 
-  // Phase 2: sorting network over runs with merge-split comparators.
-  auto comparator = [&](std::uint64_t i, std::uint64_t j, bool asc) {
-    merge_split(client, work, run_blocks, i, j, asc);
-  };
-  if (opts.odd_even) {
-    odd_even_schedule(runs_p2, comparator);
-  } else {
-    bitonic_schedule(runs_p2, comparator);
-  }
+  // Phase 2: sorting network over runs with merge-split comparators.  Both
+  // runs are individually sorted; a single in-place merge suffices.
+  run_network(client, work, run_blocks, run_schedule(runs_p2, opts.odd_even),
+              [&](std::span<Record> buf) {
+                std::inplace_merge(buf.begin(),
+                                   buf.begin() + static_cast<std::ptrdiff_t>(run_records),
+                                   buf.end(), RecordLess{});
+              });
 
   if (scratch) {
-    BlockBuf buf;
-    CacheLease lease(client.cache(), client.B());
-    for (std::uint64_t i = 0; i < n; ++i) {
-      client.read_block(work, i, buf);
-      client.write_block(a, i, buf);
-    }
+    copy_back_blocks(client, work, a, n);
     client.release(work);
   }
 }
@@ -136,7 +210,7 @@ namespace {
 
 /// Sort the units inside an in-cache buffer of whole units by their first
 /// record (RecordLess).  Stable so that differential tests are deterministic.
-void sort_units_in_buffer(std::vector<Record>& buf, std::size_t unit_records) {
+void sort_units_in_buffer(std::span<Record> buf, std::size_t unit_records) {
   const std::size_t units = buf.size() / unit_records;
   std::vector<std::size_t> order(units);
   for (std::size_t u = 0; u < units; ++u) order[u] = u;
@@ -149,45 +223,32 @@ void sort_units_in_buffer(std::vector<Record>& buf, std::size_t unit_records) {
               buf.begin() + static_cast<std::ptrdiff_t>((order[u] + 1) * unit_records),
               out.begin() + static_cast<std::ptrdiff_t>(u * unit_records));
   }
-  buf = std::move(out);
+  std::copy(out.begin(), out.end(), buf.begin());
 }
 
-/// Merge two sorted runs of units into lower/upper halves.
-void unit_merge_split(Client& c, const ExtArray& a, std::uint64_t run_blocks,
-                      std::size_t unit_records, std::uint64_t run_i,
-                      std::uint64_t run_j, bool ascending) {
-  const std::size_t B = c.B();
-  const std::size_t run_records = static_cast<std::size_t>(run_blocks) * B;
-  CacheLease lease(c.cache(), 2 * run_records);
-  std::vector<Record> lo, hi;
-  lo.reserve(run_records);
-  hi.reserve(run_records);
-  read_run(c, a, run_i * run_blocks, run_blocks, lo);
-  read_run(c, a, run_j * run_blocks, run_blocks, hi);
-  // Merge at unit granularity (both runs unit-sorted).
-  std::vector<Record> merged(2 * run_records);
+/// Merge two unit-sorted runs held back-to-back in `buf` (both runs
+/// unit-sorted), leaving merged order in place.
+void unit_merge_in_buffer(std::span<Record> buf, std::size_t unit_records) {
+  const std::size_t run_records = buf.size() / 2;
   const std::size_t units = run_records / unit_records;
+  std::vector<Record> merged(buf.size());
   std::size_t x = 0, y = 0, o = 0;
-  auto take = [&](std::vector<Record>& src, std::size_t& idx) {
-    std::copy(src.begin() + static_cast<std::ptrdiff_t>(idx * unit_records),
-              src.begin() + static_cast<std::ptrdiff_t>((idx + 1) * unit_records),
+  auto take = [&](std::size_t base, std::size_t& idx) {
+    std::copy(buf.begin() + static_cast<std::ptrdiff_t>(base + idx * unit_records),
+              buf.begin() + static_cast<std::ptrdiff_t>(base + (idx + 1) * unit_records),
               merged.begin() + static_cast<std::ptrdiff_t>(o * unit_records));
     ++idx;
     ++o;
   };
   while (x < units && y < units) {
-    if (RecordLess{}(hi[y * unit_records], lo[x * unit_records])) take(hi, y);
-    else take(lo, x);
+    if (RecordLess{}(buf[run_records + y * unit_records], buf[x * unit_records]))
+      take(run_records, y);
+    else
+      take(0, x);
   }
-  while (x < units) take(lo, x);
-  while (y < units) take(hi, y);
-  if (ascending) {
-    write_run(c, a, run_i * run_blocks, run_blocks, merged, 0);
-    write_run(c, a, run_j * run_blocks, run_blocks, merged, run_records);
-  } else {
-    write_run(c, a, run_j * run_blocks, run_blocks, merged, 0);
-    write_run(c, a, run_i * run_blocks, run_blocks, merged, run_records);
-  }
+  while (x < units) take(0, x);
+  while (y < units) take(run_records, y);
+  std::copy(merged.begin(), merged.end(), buf.begin());
 }
 
 }  // namespace
@@ -217,46 +278,20 @@ void ext_oblivious_unit_sort(Client& client, const ExtArray& a,
   if (padded_blocks != n) {
     scratch = true;
     work = client.alloc_blocks(padded_blocks, Client::Init::kUninit);
-    BlockBuf buf;
-    CacheLease lease(client.cache(), B);
-    const BlockBuf empty = make_empty_block(B);  // empty key: pads sort last
-    for (std::uint64_t i = 0; i < padded_blocks; ++i) {
-      if (i < n) {
-        client.read_block(a, i, buf);
-        client.write_block(work, i, buf);
-      } else {
-        client.write_block(work, i, empty);
-      }
-    }
+    copy_pad_blocks(client, a, n, work, padded_blocks);  // empty key: pads sort last
   }
 
   // Phase 1: unit-sort each run privately.
-  for (std::uint64_t r = 0; r < runs_p2; ++r) {
-    CacheLease lease(client.cache(), run_blocks * B);
-    std::vector<Record> buf;
-    buf.reserve(static_cast<std::size_t>(run_blocks) * B);
-    read_run(client, work, r * run_blocks, run_blocks, buf);
+  sort_runs(client, work, runs_p2, run_blocks, [&](std::span<Record> buf) {
     sort_units_in_buffer(buf, unit_records);
-    write_run(client, work, r * run_blocks, run_blocks, buf, 0);
-  }
+  });
 
   // Phase 2: network over runs with unit-granularity merge-split.
-  auto comparator = [&](std::uint64_t i, std::uint64_t j, bool asc) {
-    unit_merge_split(client, work, run_blocks, unit_records, i, j, asc);
-  };
-  if (opts.odd_even) {
-    odd_even_schedule(runs_p2, comparator);
-  } else {
-    bitonic_schedule(runs_p2, comparator);
-  }
+  run_network(client, work, run_blocks, run_schedule(runs_p2, opts.odd_even),
+              [&](std::span<Record> buf) { unit_merge_in_buffer(buf, unit_records); });
 
   if (scratch) {
-    BlockBuf buf;
-    CacheLease lease(client.cache(), B);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      client.read_block(work, i, buf);
-      client.write_block(a, i, buf);
-    }
+    copy_back_blocks(client, work, a, n);
     client.release(work);
   }
 }

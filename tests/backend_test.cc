@@ -14,6 +14,7 @@
 #include "core/oblivious_sort.h"
 #include "extmem/backend.h"
 #include "extmem/client.h"
+#include "extmem/io_engine.h"
 #include "test_util.h"
 
 namespace oem {
@@ -38,6 +39,11 @@ std::vector<BackendCase> conformance_cases() {
       {"file", file_backend()},
       {"latency_mem", latency_backend(mem_backend(), fast_profile())},
       {"latency_file", latency_backend(file_backend(), fast_profile())},
+      {"sharded4_mem", sharded_backend(mem_backend(), 4)},
+      {"sharded3_file", sharded_backend(file_backend(), 3)},
+      {"sharded4_latency", sharded_backend(latency_backend(mem_backend(), fast_profile()), 4)},
+      {"async_mem", async_backend(mem_backend())},
+      {"async_sharded4", async_backend(sharded_backend(mem_backend(), 4))},
   };
 }
 
@@ -139,7 +145,7 @@ TEST_P(BackendConformance, RejectsBadArguments) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
-                         ::testing::Range(0, 4), [](const auto& info) {
+                         ::testing::Range(0, 9), [](const auto& info) {
                            return conformance_cases()[info.param].name;
                          });
 

@@ -1,0 +1,350 @@
+// IoEngine suite: ShardedBackend striping/parallel dispatch, AsyncBackend
+// FIFO submission semantics, and the tentpole guarantee -- for every
+// algorithm the recorded per-block trace is byte-identical across
+// {mem, sharded(4), sharded(4)+prefetch}: parallel placement and overlapped
+// dispatch never change what Bob observes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "extmem/io_engine.h"
+#include "extmem/pipeline.h"
+#include "test_util.h"
+
+namespace oem {
+namespace {
+
+LatencyProfile fast_profile() {
+  LatencyProfile p;
+  p.per_op_ns = 1000;
+  p.per_word_ns = 10;
+  p.real_sleep = false;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedBackend.
+
+TEST(ShardedBackend, StripesRoundRobinAcrossShards) {
+  constexpr std::size_t kBw = 4;
+  auto factory = sharded_backend(mem_backend(), 4);
+  auto backend = factory(kBw);
+  auto* sharded = dynamic_cast<ShardedBackend*>(backend.get());
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_TRUE(backend->resize(10).ok());
+
+  // Capacity splits as ceil((10 - s) / 4) per shard.
+  EXPECT_EQ(sharded->shard(0).num_blocks(), 3u);  // 0, 4, 8
+  EXPECT_EQ(sharded->shard(1).num_blocks(), 3u);  // 1, 5, 9
+  EXPECT_EQ(sharded->shard(2).num_blocks(), 2u);  // 2, 6
+  EXPECT_EQ(sharded->shard(3).num_blocks(), 2u);  // 3, 7
+
+  // Block b lands on shard b mod 4 at inner index b div 4.
+  for (std::uint64_t b = 0; b < 10; ++b) {
+    std::vector<Word> in(kBw, 100 + b);
+    ASSERT_TRUE(backend->write(b, in).ok());
+  }
+  for (std::uint64_t b = 0; b < 10; ++b) {
+    std::vector<Word> out(kBw);
+    ASSERT_TRUE(sharded->shard(b % 4).read(b / 4, out).ok());
+    EXPECT_EQ(out[0], 100 + b) << "block " << b;
+  }
+}
+
+TEST(ShardedBackend, BatchesDispatchToWorkersInParallel) {
+  constexpr std::size_t kBw = 4;
+  // Force the worker pool on so the parallel path is exercised (and raced
+  // under TSan) even on single-core CI hosts.
+  auto factory = sharded_backend(latency_backend(mem_backend(), fast_profile()), 4,
+                                 /*parallel_dispatch=*/1);
+  auto backend = factory(kBw);
+  auto* sharded = dynamic_cast<ShardedBackend*>(backend.get());
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_TRUE(backend->resize(64).ok());
+
+  std::vector<std::uint64_t> ids(32);
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  std::vector<Word> buf(ids.size() * kBw, 7);
+  ASSERT_TRUE(backend->write_many(ids, buf).ok());
+  ASSERT_TRUE(backend->read_many(ids, buf).ok());
+  EXPECT_EQ(sharded->parallel_dispatches(), 2u)
+      << "a multi-shard batch must take the worker-pool path";
+
+  // Each shard's LatencyBackend saw exactly one op per batch: round trips to
+  // different shards are charged (and slept) in parallel, not serialized.
+  for (std::size_t s = 0; s < 4; ++s) {
+    auto* lat = dynamic_cast<LatencyBackend*>(&sharded->shard(s));
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->ops(), 2u) << "shard " << s;
+    EXPECT_EQ(lat->simulated_ns(), 2 * (1000u + 10u * 8 * kBw)) << "shard " << s;
+  }
+
+  // A single-shard batch runs inline (no dispatch overhead).
+  const std::vector<std::uint64_t> one_shard = {0, 4, 8};
+  std::vector<Word> small(one_shard.size() * kBw);
+  ASSERT_TRUE(backend->read_many(one_shard, small).ok());
+  EXPECT_EQ(sharded->parallel_dispatches(), 2u);
+}
+
+TEST(ShardedBackend, AlternatingPartialBatchesStressTheWorkerPool) {
+  // Regression: a worker woken with an EMPTY slice used to skip the
+  // completion count, so run_batch could return while the worker was still
+  // between "observe generation" and "read my slice" -- racing the next
+  // batch's partition() and occasionally running a slice twice (deadlock).
+  // Alternate batches that touch disjoint shard subsets back-to-back.
+  constexpr std::size_t kBw = 2;
+  auto backend = sharded_backend(mem_backend(), 4, /*parallel_dispatch=*/1)(kBw);
+  ASSERT_TRUE(backend->resize(64).ok());
+  std::vector<Word> buf(2 * kBw);
+  for (int iter = 0; iter < 5000; ++iter) {
+    // Shards {0, 1} then shards {2, 3}.
+    const std::vector<std::uint64_t> a = {0, 1}, b = {2, 3};
+    buf.assign(2 * kBw, static_cast<Word>(iter));
+    ASSERT_TRUE(backend->write_many(a, buf).ok());
+    ASSERT_TRUE(backend->write_many(b, buf).ok());
+  }
+  std::vector<Word> out(kBw);
+  ASSERT_TRUE(backend->read(3, out).ok());
+  EXPECT_EQ(out[0], 4999u);
+}
+
+TEST(ShardedBackend, DuplicateIdsInOneBatchKeepSequentialSemantics) {
+  constexpr std::size_t kBw = 2;
+  auto backend = sharded_backend(mem_backend(), 4)(kBw);
+  ASSERT_TRUE(backend->resize(8).ok());
+  // Same block written twice in one batch: the later entry must win, exactly
+  // like the sequential per-block loop.
+  const std::vector<std::uint64_t> ids = {5, 2, 5};
+  const std::vector<Word> in = {1, 1, 2, 2, 3, 3};
+  ASSERT_TRUE(backend->write_many(ids, in).ok());
+  std::vector<Word> out(kBw);
+  ASSERT_TRUE(backend->read(5, out).ok());
+  EXPECT_EQ(out, (std::vector<Word>{3, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// AsyncBackend.
+
+TEST(AsyncBackend, ExecutesSubmissionsInFifoOrder) {
+  constexpr std::size_t kBw = 2;
+  auto backend_owner = async_backend(mem_backend())(kBw);
+  auto* async = dynamic_cast<AsyncBackend*>(backend_owner.get());
+  ASSERT_NE(async, nullptr);
+  ASSERT_TRUE(backend_owner->resize(4).ok());
+
+  // write -> read -> write -> read on the same block: each read must observe
+  // exactly the preceding write (FIFO makes the hazard impossible).
+  std::vector<Word> r1(kBw), r2(kBw);
+  async->submit_write_many({0}, {11, 11});
+  auto t1 = async->submit_read_many(std::vector<std::uint64_t>{0}, r1);
+  async->submit_write_many({0}, {22, 22});
+  auto t2 = async->submit_read_many(std::vector<std::uint64_t>{0}, r2);
+  ASSERT_TRUE(async->wait(t2).ok());
+  ASSERT_TRUE(async->wait(t1).ok());  // waiting out of order is fine
+  EXPECT_EQ(r1, (std::vector<Word>{11, 11}));
+  EXPECT_EQ(r2, (std::vector<Word>{22, 22}));
+  EXPECT_EQ(async->submitted(), 4u);
+}
+
+TEST(AsyncBackend, SynchronousOpsDrainTheQueueFirst) {
+  constexpr std::size_t kBw = 2;
+  auto backend_owner = async_backend(mem_backend())(kBw);
+  auto* async = dynamic_cast<AsyncBackend*>(backend_owner.get());
+  ASSERT_TRUE(backend_owner->resize(4).ok());
+
+  for (Word v = 0; v < 64; ++v) async->submit_write_many({1}, {v, v});
+  // A plain read must see the last submitted write.
+  std::vector<Word> out(kBw);
+  ASSERT_TRUE(backend_owner->read(1, out).ok());
+  EXPECT_EQ(out, (std::vector<Word>{63, 63}));
+  ASSERT_TRUE(async->drain().ok());
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole guarantee: for every algorithm the event-level trace is
+// byte-identical across {mem, sharded(4), sharded(4)+prefetch}.
+
+struct EngineCase {
+  std::string name;
+  std::size_t shards;
+  bool prefetch;
+};
+
+std::vector<EngineCase> engine_cases() {
+  return {{"mem", 1, false}, {"sharded4", 4, false}, {"sharded4_prefetch", 4, true}};
+}
+
+struct AlgoRun {
+  std::vector<TraceEvent> events;
+  std::vector<Record> result;
+};
+
+template <typename AlgoFn>
+void expect_trace_invariant(const char* what, std::uint64_t n_records, AlgoFn&& algo) {
+  std::vector<AlgoRun> runs;
+  const auto input = test::random_records(n_records, 29);
+  for (const auto& ec : engine_cases()) {
+    auto built = Session::Builder()
+                     .block_records(4)
+                     .cache_records(64)
+                     .seed(5)
+                     .sharded(ec.shards)
+                     .async_prefetch(ec.prefetch)
+                     .build();
+    ASSERT_TRUE(built.ok()) << ec.name << ": " << built.status();
+    Session session = std::move(built).value();
+    auto data = session.outsource(input);
+    ASSERT_TRUE(data.ok()) << ec.name;
+    session.trace().set_record_events(true);
+    session.trace().reset();
+    AlgoRun run;
+    algo(session, *data, &run.result);
+    run.events = session.trace().events();
+    runs.push_back(std::move(run));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].events.size(), runs[0].events.size())
+        << what << ": " << engine_cases()[i].name;
+    EXPECT_TRUE(runs[i].events == runs[0].events)
+        << what << ": " << engine_cases()[i].name
+        << " trace diverged from mem -- sharding/prefetch leaked into Bob's view";
+    EXPECT_EQ(runs[i].result, runs[0].result) << what << ": " << engine_cases()[i].name;
+  }
+}
+
+TEST(IoEngineTraceEquivalence, Sort) {
+  expect_trace_invariant("sort", 48 * 4, [](Session& s, const ExtArray& a,
+                                            std::vector<Record>* out) {
+    auto rep = s.sort(a, /*seed=*/11);
+    ASSERT_TRUE(rep.ok()) << rep.status();
+    auto data = s.retrieve(a);
+    ASSERT_TRUE(data.ok());
+    *out = std::move(*data);
+  });
+}
+
+TEST(IoEngineTraceEquivalence, Select) {
+  expect_trace_invariant("select", 40 * 4, [](Session& s, const ExtArray& a,
+                                              std::vector<Record>* out) {
+    auto r = s.select(a, a.num_records() / 2, /*seed=*/11);
+    ASSERT_TRUE(r.ok()) << r.status();
+    *out = {*r};
+  });
+}
+
+TEST(IoEngineTraceEquivalence, Quantiles) {
+  expect_trace_invariant("quantiles", 40 * 4, [](Session& s, const ExtArray& a,
+                                                 std::vector<Record>* out) {
+    auto r = s.quantiles(a, 3, /*seed=*/11);
+    ASSERT_TRUE(r.ok()) << r.status();
+    *out = std::move(*r);
+  });
+}
+
+TEST(IoEngineTraceEquivalence, Compact) {
+  expect_trace_invariant("compact", 32 * 4, [](Session& s, const ExtArray& a,
+                                               std::vector<Record>* out) {
+    auto r = s.compact(a);
+    ASSERT_TRUE(r.ok()) << r.status();
+    auto data = s.retrieve(r->out);
+    ASSERT_TRUE(data.ok());
+    *out = std::move(*data);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline helper itself, driven directly.
+
+TEST(BlockPipeline, OverlappingWindowsStayCoherentUnderPrefetch) {
+  // A chain of passes where pass t reads the block pass t-1 wrote (never
+  // eligible for early prefetch): FIFO submission must keep every pass
+  // reading the freshest data, sync and async alike.
+  for (bool prefetch : {false, true}) {
+    ClientParams params = test::params(4, 64);
+    if (prefetch) params.backend = async_backend(mem_backend());
+    Client client(params);
+    ExtArray a = client.alloc_blocks(9, Client::Init::kEmpty);
+    run_block_pipeline(
+        client, 8,
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &a;
+          io.write_to = &a;
+          io.reads.push_back(t);
+          io.writes.push_back(t + 1);
+        },
+        [&](std::uint64_t, std::span<Record> buf) {
+          for (Record& r : buf) r.value += 1;  // increment the running block
+        });
+    auto all = client.peek(a);
+    // Block 8's records carry 8 increments each.
+    for (std::size_t r = 0; r < 4; ++r)
+      EXPECT_EQ(all[8 * 4 + r].value, 8u) << (prefetch ? "async" : "sync");
+  }
+}
+
+TEST(BlockPipeline, ComputeThrowWithPrefetchInFlightIsSafe) {
+  // Regression: a compute() exception used to unwind the pipeline's wire
+  // buffers while the async I/O thread still held a pointer into them
+  // (write-after-free).  The pipeline must flush the device before its
+  // buffers die, propagate the exception, and leave the client usable.
+  ClientParams params = test::params(4, 64);
+  params.backend = async_backend(mem_backend());
+  Client client(params);
+  ExtArray a = client.alloc_blocks(32, Client::Init::kEmpty);
+  struct Boom {};
+  EXPECT_THROW(
+      run_block_pipeline(
+          client, 8,
+          [&](std::uint64_t t, PipelinePass& io) {
+            io.read_from = &a;
+            io.write_to = &a;
+            for (std::uint64_t j = 0; j < 4; ++j) {
+              io.reads.push_back(t * 4 + j);
+              io.writes.push_back(t * 4 + j);
+            }
+          },
+          [&](std::uint64_t t, std::span<Record>) {
+            if (t == 2) throw Boom{};  // while pass 3's prefetch is in flight
+          }),
+      Boom);
+  // The device drained on unwind: normal synchronous access still works.
+  auto all = client.peek(a);
+  EXPECT_EQ(all.size(), 32u * 4);
+}
+
+TEST(BlockPipeline, DisjointPassesPrefetchWithIdenticalTrace) {
+  // Trace (and results) must not depend on whether the backend is async.
+  std::vector<std::uint64_t> hashes;
+  std::vector<std::vector<Record>> outs;
+  for (bool prefetch : {false, true}) {
+    ClientParams params = test::params(4, 64);
+    if (prefetch) params.backend = async_backend(mem_backend());
+    Client client(params);
+    ExtArray src = client.alloc_blocks(16, Client::Init::kUninit);
+    ExtArray dst = client.alloc_blocks(16, Client::Init::kUninit);
+    client.poke(src, test::random_records(16 * 4, 3));
+    client.device().trace().reset();
+    run_block_pipeline(
+        client, 4,
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &src;
+          io.write_to = &dst;
+          for (std::uint64_t j = 0; j < 4; ++j) {
+            io.reads.push_back(t * 4 + j);
+            io.writes.push_back(t * 4 + j);
+          }
+        },
+        [](std::uint64_t, std::span<Record>) {});
+    hashes.push_back(client.device().trace().hash());
+    outs.push_back(client.peek(dst));
+  }
+  EXPECT_EQ(hashes[0], hashes[1]) << "prefetch changed the adversary's view";
+  EXPECT_EQ(outs[0], outs[1]);
+}
+
+}  // namespace
+}  // namespace oem

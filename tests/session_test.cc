@@ -189,6 +189,66 @@ TEST(Session, SortIdenticalAcrossBackendsViaFacade) {
   EXPECT_EQ(outputs[0], outputs[2]);
 }
 
+TEST(Session, CompactArenaBoundsStorageAcrossSortLoop) {
+  // The sort allocates scratch append-only; once the call returns that
+  // scratch is discarded, and compact_arena() hands it back to the backend.
+  // A service sorting in a loop therefore keeps a bounded footprint instead
+  // of growing per call.
+  auto built = Session::Builder().block_records(4).cache_records(64).seed(9).build();
+  ASSERT_TRUE(built.ok());
+  Session session = std::move(built).value();
+  auto data = session.outsource(test::random_records(160, 6));
+  ASSERT_TRUE(data.ok());
+  const std::uint64_t baseline = session.arena_blocks();
+
+  std::uint64_t after_first_compact = 0;
+  for (int iter = 0; iter < 4; ++iter) {
+    auto report = session.sort(*data);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_GT(session.arena_blocks(), baseline)
+        << "sort scratch should show up before compaction";
+    const std::uint64_t freed = session.compact_arena();
+    EXPECT_GT(freed, 0u);
+    if (iter == 0) {
+      after_first_compact = session.arena_blocks();
+    } else {
+      EXPECT_EQ(session.arena_blocks(), after_first_compact)
+          << "iteration " << iter << ": the sort loop must not grow storage";
+    }
+  }
+  EXPECT_EQ(session.arena_blocks(), baseline)
+      << "all sort scratch is trailing and must be reclaimed";
+
+  // The data is still intact and sorted after compaction.
+  auto out = session.retrieve(*data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(test::padded_sorted(*out));
+}
+
+TEST(Session, ShardedPrefetchSessionSortsCorrectly) {
+  auto built = Session::Builder()
+                   .block_records(4)
+                   .cache_records(64)
+                   .seed(3)
+                   .sharded(4)
+                   .async_prefetch(true)
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  Session session = std::move(built).value();
+  EXPECT_STREQ(session.backend_name(), "async");
+  auto input = test::random_records(192, 8);
+  auto data = session.outsource(input);
+  ASSERT_TRUE(data.ok());
+  auto report = session.sort(*data);
+  ASSERT_TRUE(report.ok()) << report.status();
+  auto out = session.retrieve(*data);
+  ASSERT_TRUE(out.ok());
+  std::sort(input.begin(), input.end(), RecordLess{});
+  input.resize(out->size(), Record{});
+  std::sort(input.begin(), input.end(), RecordLess{});
+  EXPECT_EQ(*out, input);
+}
+
 TEST(ResultType, CarriesValueOrStatus) {
   Result<int> ok_result(42);
   ASSERT_TRUE(ok_result.ok());
