@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,13 +30,49 @@ inline BackendFactory& global_backend() {
   return factory;
 }
 
+/// Retry attempts paired with the backend (4 when --faults is on, else 1).
+inline unsigned& global_retry_attempts() {
+  static unsigned attempts = 1;
+  return attempts;
+}
+
 inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 1) {
   ClientParams p;
   p.block_records = B;
   p.cache_records = M;
   p.seed = seed;
   p.backend = global_backend();
+  p.io_retry_attempts = global_retry_attempts();
   return p;
+}
+
+/// Strict --faults=seed:rate parsing (like --shards: malformed input is a
+/// hard error).  Returns true iff faults were requested; fills `profile`.
+inline bool fault_profile_from_flags(const Flags& flags, FaultProfile* profile) {
+  const std::string spec = flags.get("faults", "");
+  if (spec.empty()) return false;
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    std::fprintf(stderr, "--faults must be seed:rate (e.g. --faults=7:0.02)\n");
+    std::exit(2);
+  }
+  char* end = nullptr;
+  const std::string seed_str = spec.substr(0, colon);
+  const std::string rate_str = spec.substr(colon + 1);
+  const unsigned long long seed = std::strtoull(seed_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "--faults seed '%s' is not an integer\n", seed_str.c_str());
+    std::exit(2);
+  }
+  const double rate = std::strtod(rate_str.c_str(), &end);
+  if (end == nullptr || *end != '\0' || rate < 0.0 || rate > 1.0) {
+    std::fprintf(stderr, "--faults rate '%s' must be a number in [0, 1]\n",
+                 rate_str.c_str());
+    std::exit(2);
+  }
+  profile->seed = seed;
+  profile->fail_rate = rate;
+  return rate > 0.0;
 }
 
 /// Backend factory selected by --backend=mem|file|latency (default mem),
@@ -46,19 +84,50 @@ inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 
 /// streams over K links at once (per-word time divides by K on the calling
 /// thread) while the round trip stays whole.  The profile models a fast
 /// LAN-attached store: 20us round trip + 10ns/word streaming.
-inline BackendFactory backend_from_flags(const Flags& flags) {
+/// Backend composition from flags.  `retry_attempts`, when non-null,
+/// receives the retry budget paired with the composed stack (4 when faults
+/// are injected, else 1) -- one parse decides both, so injection and
+/// recovery cannot drift apart.
+inline BackendFactory backend_from_flags(const Flags& flags,
+                                         unsigned* retry_attempts = nullptr) {
   const std::string which = flags.get("backend", "mem");
   const std::size_t shards = static_cast<std::size_t>(flags.get_u64("shards", 1));
   const bool prefetch = flags.get_bool("prefetch", false);
+  FaultProfile fault_profile;
+  const bool inject = fault_profile_from_flags(flags, &fault_profile);
+  if (retry_attempts != nullptr) *retry_attempts = inject ? 4 : 1;
   if (shards < 1) {
     std::fprintf(stderr, "--shards must be >= 1\n");
     std::exit(2);
   }
+  // Per-shard base store, optionally wrapped in a FaultyBackend with a
+  // distinct sub-seed per shard (per-shard failures, like Session::Builder).
+  auto faulted = [inject, fault_profile](BackendFactory base, std::size_t shard) {
+    if (!inject) return base;
+    FaultProfile p = fault_profile;
+    p.seed = rng::mix64(fault_profile.seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+    return faulty_backend(std::move(base), p);
+  };
   BackendFactory f;
-  if (which == "mem" || which == "file") {
-    if (which == "file") f = file_backend();
-    if (shards > 1) f = sharded_backend(std::move(f), shards);
-  } else if (which == "latency") {
+  const bool known = which == "mem" || which == "file" || which == "latency";
+  if (!known) {
+    std::fprintf(stderr, "unknown --backend=%s (mem|file|latency)\n", which.c_str());
+    std::exit(2);
+  }
+  BackendFactory base;
+  if (which == "file") base = file_backend();
+  if (shards > 1) {
+    ShardFactory per_shard = [base, faulted](std::size_t block_words,
+                                             std::size_t shard)
+        -> std::unique_ptr<StorageBackend> {
+      BackendFactory fb = faulted(base, shard);
+      return fb ? fb(block_words) : std::make_unique<MemBackend>(block_words);
+    };
+    f = sharded_backend(std::move(per_shard), shards);
+  } else {
+    f = faulted(std::move(base), 0);
+  }
+  if (which == "latency") {
     // Latency wraps the striped store with `lanes = shards` (the parallel-
     // disk model): a batch striped over K stores streams over K links at
     // once, while the round trip stays whole.
@@ -66,20 +135,19 @@ inline BackendFactory backend_from_flags(const Flags& flags) {
     profile.per_op_ns = 20000;
     profile.per_word_ns = 10;
     profile.lanes = shards;
-    if (shards > 1) f = sharded_backend(std::move(f), shards);
     f = latency_backend(std::move(f), profile);
-  } else {
-    std::fprintf(stderr, "unknown --backend=%s (mem|file|latency)\n", which.c_str());
-    std::exit(2);
   }
   if (prefetch) f = async_backend(std::move(f));
   return f;
 }
 
 /// Call once at the top of main: every bench::params() Client in the binary
-/// then runs on the selected backend.
+/// then runs on the selected backend, with bounded retries when --faults is
+/// on (so seeded fail-once faults are absorbed below the measured counters).
 inline void set_backend_from_flags(const Flags& flags) {
-  global_backend() = backend_from_flags(flags);
+  unsigned attempts = 1;
+  global_backend() = backend_from_flags(flags, &attempts);
+  global_retry_attempts() = attempts;
 }
 
 inline std::vector<Record> random_records(std::uint64_t n, std::uint64_t seed) {

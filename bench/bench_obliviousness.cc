@@ -106,7 +106,12 @@ int main(int argc, char** argv) {
                      c.read_block(a, blk[0].key % a.num_blocks(), blk);
                    }});
 
-  Table t({"algorithm", "distinct trace hashes", "trace length", "oblivious"});
+  // Trace events and the read/write totals below are recorded at SUBMIT time
+  // in program order, so rows are identical with --prefetch on or off (the
+  // trace-invariance suite pins this; here it keeps the table comparable
+  // across engine configurations).
+  Table t({"algorithm", "distinct trace hashes", "trace length", "block I/Os",
+           "oblivious"});
   for (const auto& cs : cases) {
     auto result = obliv::check_oblivious(cs.params, cs.records,
                                          obliv::canonical_inputs(1), cs.run);
@@ -114,6 +119,7 @@ int main(int argc, char** argv) {
     for (const auto& run : result.runs) hashes.insert(run.trace_hash);
     t.add_row({cs.name, std::to_string(hashes.size()),
                std::to_string(result.runs[0].trace_len),
+               std::to_string(result.runs[0].reads + result.runs[0].writes),
                result.oblivious ? "yes" : "NO (expected for the control)"});
   }
   t.print(std::cout);

@@ -115,6 +115,24 @@ Session::Builder& Session::Builder::async_prefetch(bool on) {
   return *this;
 }
 
+Session::Builder& Session::Builder::fault_injection(std::uint64_t seed, double rate) {
+  FaultProfile profile;
+  profile.seed = seed;
+  profile.fail_rate = rate;
+  return fault_injection(profile);
+}
+
+Session::Builder& Session::Builder::fault_injection(FaultProfile profile) {
+  inject_faults_ = profile.fail_rate > 0.0 || profile.slow_ns > 0;
+  fault_profile_ = profile;
+  return *this;
+}
+
+Session::Builder& Session::Builder::io_retries(unsigned attempts) {
+  io_retries_ = attempts;
+  return *this;
+}
+
 Result<Session> Session::Builder::build() const {
   ClientParams params = params_;
   if (params.block_records < 1)
@@ -125,15 +143,22 @@ Result<Session> Session::Builder::build() const {
         "M >= 2B everywhere");
   if (shards_ < 1 || shards_ > 1024)
     return Status::InvalidArgument("sharded(k) needs 1 <= k <= 1024");
+  if (fault_profile_.fail_rate < 0.0 || fault_profile_.fail_rate > 1.0)
+    return Status::InvalidArgument("fault_injection rate must be in [0, 1]");
+  params.io_retry_attempts =
+      io_retries_ != 0 ? io_retries_ : (inject_faults_ ? 4u : 1u);
 
-  // Compose the storage stack inside-out: per-shard base stores, striping,
-  // one latency model over the striped store (lanes = k, the parallel-disk
-  // model: simulated round trips to different shards overlap by
-  // construction), async submission -- async(latency(sharded(base x k))).
+  // Compose the storage stack inside-out: per-shard base stores (each
+  // optionally wrapped in a FaultyBackend with its own sub-seed, so failures
+  // hit individual shards), striping, one latency model over the striped
+  // store (lanes = k, the parallel-disk model: simulated round trips to
+  // different shards overlap by construction), async submission --
+  // async(latency(sharded(faulty(base) x k))).
   ShardFactory per_shard =
       [storage = storage_, file_opts = file_opts_, custom = custom_,
-       shards = shards_](std::size_t block_words,
-                         std::size_t shard) -> std::unique_ptr<StorageBackend> {
+       shards = shards_, inject = inject_faults_,
+       fault = fault_profile_](std::size_t block_words,
+                               std::size_t shard) -> std::unique_ptr<StorageBackend> {
     BackendFactory base;
     switch (storage) {
       case Storage::kFile: {
@@ -151,6 +176,11 @@ Result<Session> Session::Builder::build() const {
         break;
     }
     if (!base) base = mem_backend();  // backend(nullptr) means in-memory
+    if (inject) {
+      FaultProfile p = fault;
+      p.seed = rng::mix64(fault.seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+      return std::make_unique<FaultyBackend>(base(block_words), p);
+    }
     return base(block_words);
   };
   BackendFactory factory = sharded_backend(std::move(per_shard), shards_);

@@ -31,6 +31,7 @@
 #include "core/quantiles.h"
 #include "core/select.h"
 #include "extmem/client.h"
+#include "extmem/io_engine.h"
 #include "oram/sqrt_oram.h"
 #include "util/status.h"
 
@@ -92,6 +93,18 @@ class Session {
     /// I/O window through an AsyncBackend while the current one computes.
     /// Never changes the recorded trace -- only when the bytes move.
     Builder& async_prefetch(bool on = true);
+    /// Inject deterministic, seed-reproducible storage faults: each shard's
+    /// base store is wrapped in a FaultyBackend (distinct per-shard sub-seed
+    /// derived from `seed`) failing ops with probability `rate`, and the
+    /// device gets a bounded retry policy (io_retries below).  Fault firing
+    /// and recovery are invisible in the recorded trace; an unrecovered
+    /// failure surfaces as StatusCode::kIo through Result<T>.  rate = 0
+    /// disables.  Fine-grained control (fail-N, slow shards): pass a profile.
+    Builder& fault_injection(std::uint64_t seed, double rate);
+    Builder& fault_injection(FaultProfile profile);
+    /// Total attempts per backend call before kIo surfaces (default 4 when
+    /// fault injection is on, else 1 = no retry).
+    Builder& io_retries(unsigned attempts);
 
     /// Validates parameters (kInvalidArgument) and opens the backend (kIo).
     Result<Session> build() const;
@@ -107,6 +120,9 @@ class Session {
     LatencyProfile profile_;
     std::size_t shards_ = 1;
     bool prefetch_ = false;
+    bool inject_faults_ = false;
+    FaultProfile fault_profile_;
+    unsigned io_retries_ = 0;  // 0 = auto (4 with faults, else 1)
   };
 
   Session(Session&&) = default;

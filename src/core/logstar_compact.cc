@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "extmem/pipeline.h"
 #include "sortnet/external_sort.h"
 #include "util/math.h"
 
@@ -11,22 +12,35 @@ namespace oem::core {
 namespace {
 
 /// One thinning pass from `src` (its first `src_len` blocks) into the cell
-/// range [dst_first, dst_first + dst_cells) of `dst`.  Every step costs
-/// exactly 4 I/Os; the probe index is a data-independent coin.
+/// range [dst_first, dst_first + dst_cells) of `dst`, as a pipeline of
+/// mixed-array steps: step i gathers (src[i], dst[j]) and scatters
+/// (dst[j], src[i]).  Every step costs exactly 4 I/Os; the probe index is a
+/// data-independent coin drawn in the describe stage, preserving the
+/// per-block loop's coin sequence and trace.
 void thinning_pass(Client& client, const ExtArray& src, std::uint64_t src_len,
                    const ExtArray& dst, std::uint64_t dst_first,
                    std::uint64_t dst_cells, rng::Xoshiro& coins) {
-  CacheLease lease(client.cache(), 2 * client.B());
-  BlockBuf blk, slot;
-  const BlockBuf empty = make_empty_block(client.B());
-  for (std::uint64_t i = 0; i < src_len; ++i) {
-    client.read_block(src, i, blk);
-    const std::uint64_t j = dst_first + coins.below(dst_cells);
-    client.read_block(dst, j, slot);
-    const bool move = !blk[0].is_empty() && slot[0].is_empty();
-    client.write_block(dst, j, move ? blk : slot);
-    client.write_block(src, i, move ? empty : blk);
-  }
+  const std::size_t B = client.B();
+  run_block_pipeline(
+      client, src_len,
+      [&](std::uint64_t i, PipelinePass& io) {
+        const std::uint64_t j = dst_first + coins.below(dst_cells);
+        io.read(src, i);
+        io.read(dst, j);
+        io.write(dst, j);
+        io.write(src, i);
+      },
+      [&](std::uint64_t, std::span<Record> buf) {
+        // Entry: buf = [blk, slot]; scatter order is [dst, src].
+        auto blk = buf.subspan(0, B);
+        auto slot = buf.subspan(B, B);
+        const bool move = !blk[0].is_empty() && slot[0].is_empty();
+        if (move) {
+          std::fill(slot.begin(), slot.end(), Record{});  // source cell empties
+        } else {
+          std::swap_ranges(blk.begin(), blk.end(), slot.begin());  // both keep
+        }
+      });
 }
 
 }  // namespace
@@ -39,6 +53,7 @@ LogstarCompactResult logstar_compact_blocks(Client& client, const ExtArray& a,
   LogstarCompactResult res;
   const std::uint64_t n0 = a.num_blocks();
   const std::size_t B = client.B();
+  const std::uint64_t W = std::max<std::uint64_t>(1, client.io_batch_blocks());
   r_capacity = std::max<std::uint64_t>(1, r_capacity);
   const std::uint64_t out_blocks = 4 * r_capacity + ceil_div(r_capacity, 4);
   const std::uint64_t main_cells = 4 * r_capacity;
@@ -65,17 +80,7 @@ LogstarCompactResult logstar_compact_blocks(Client& client, const ExtArray& a,
     res.distinguished = sc.distinguished;
     res.status = sc.status;
     res.out = client.alloc_blocks(out_blocks, Client::Init::kUninit);
-    CacheLease lease(client.cache(), B);
-    BlockBuf blk;
-    const BlockBuf empty = make_empty_block(B);
-    for (std::uint64_t i = 0; i < out_blocks; ++i) {
-      if (i < sc.out.num_blocks()) {
-        client.read_block(sc.out, i, blk);
-        client.write_block(res.out, i, blk);
-      } else {
-        client.write_block(res.out, i, empty);
-      }
-    }
+    pipelined_copy_pad(client, sc.out, 0, res.out, 0, out_blocks);
     return res;
   }
 
@@ -89,16 +94,36 @@ LogstarCompactResult logstar_compact_blocks(Client& client, const ExtArray& a,
   std::uint64_t work_len = n0;
   std::uint64_t work_cap = a_cap;
   {
-    CacheLease lease(client.cache(), B);
-    BlockBuf blk;
-    const BlockBuf empty = make_empty_block(B);
-    for (std::uint64_t i = 0; i < n0; ++i) {
-      client.read_block(a, i, blk);
-      const bool dist = pred(i, blk);
-      if (dist) ++res.distinguished;
-      client.write_block(work, i, dist ? blk : empty);
-    }
-    for (std::uint64_t i = n0; i < a_cap; ++i) client.write_block(work, i, empty);
+    // Normalize scan (pipelined): distinguished blocks keep their content,
+    // everything else -- including the headroom -- becomes explicitly empty.
+    BlockBuf scratch(B);
+    run_block_pipeline(
+        client, ceil_div(a_cap, W),
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &a;
+          io.write_to = &work;
+          const std::uint64_t first = t * W;
+          const std::uint64_t k = std::min(W, a_cap - first);
+          for (std::uint64_t j = 0; j < k; ++j) {
+            if (first + j < n0) io.reads.push_back(first + j);
+            io.writes.push_back(first + j);
+          }
+        },
+        [&](std::uint64_t t, std::span<Record> buf) {
+          const std::uint64_t first = t * W;
+          const std::uint64_t k = buf.size() / B;
+          for (std::uint64_t j = 0; j < k; ++j) {
+            const auto blk = buf.subspan(j * B, B);
+            if (first + j < n0) {
+              scratch.assign(blk.begin(), blk.end());
+              if (pred(first + j, scratch)) {
+                ++res.distinguished;
+                continue;
+              }
+            }
+            std::fill(blk.begin(), blk.end(), Record{});
+          }
+        });
   }
   res.status = res.distinguished <= r_capacity
                    ? Status::Ok()
@@ -125,12 +150,7 @@ LogstarCompactResult logstar_compact_blocks(Client& client, const ExtArray& a,
           client, work.slice_blocks(0, work_len), reserve_cells, block_nonempty_pred(),
           seed ^ (0x9e37ULL + phase), opts.sparse);
       res.status.Update(sc.status);
-      CacheLease lease(client.cache(), B);
-      BlockBuf blk;
-      for (std::uint64_t i = 0; i < reserve_cells; ++i) {
-        client.read_block(sc.out, i, blk);
-        client.write_block(d_arr, main_cells + i, blk);
-      }
+      pipelined_copy_pad(client, sc.out, 0, d_arr, main_cells, reserve_cells);
       break;
     }
     res.phases = phase;
@@ -146,12 +166,10 @@ LogstarCompactResult logstar_compact_blocks(Client& client, const ExtArray& a,
       thinning_pass(client, c_arr, c_cells, d_arr, 0, main_cells, coins);
     // Grow A by concatenating C_i (some items may be stuck there).
     {
-      CacheLease lease(client.cache(), B);
-      BlockBuf blk;
-      for (std::uint64_t i = 0; i < c_cells && work_len < work_cap; ++i) {
-        client.read_block(c_arr, i, blk);
-        client.write_block(work, work_len++, blk);
-      }
+      const std::uint64_t append =
+          std::min<std::uint64_t>(c_cells, work_cap - work_len);
+      pipelined_copy_pad(client, c_arr, 0, work, work_len, append);
+      work_len += append;
     }
     client.release(c_arr);  // not trailing; reclaimed with the client
 
@@ -180,19 +198,21 @@ LogstarCompactResult logstar_compact_blocks(Client& client, const ExtArray& a,
       for (std::uint64_t p = 0; p < passes; ++p)
         thinning_pass(client, sc.out, r_i, d_arr, 0, main_cells, coins);
       // Whatever remains joins the next round's array.
-      CacheLease lease(client.cache(), B);
-      BlockBuf blk;
-      for (std::uint64_t i = 0; i < r_i; ++i) {
-        client.read_block(sc.out, i, blk);
-        client.write_block(next, g * r_i + i, blk);
-      }
+      pipelined_copy_pad(client, sc.out, 0, next, g * r_i, r_i);
     }
     {
       // Blank the headroom so later appends land on explicit empty blocks.
-      CacheLease lease(client.cache(), B);
-      const BlockBuf empty = make_empty_block(B);
-      for (std::uint64_t i = regions * r_i; i < next_cap; ++i)
-        client.write_block(next, i, empty);
+      run_block_pipeline(
+          client, ceil_div(next_cap - regions * r_i, W),
+          [&](std::uint64_t tw, PipelinePass& io) {
+            io.write_to = &next;
+            const std::uint64_t first = regions * r_i + tw * W;
+            const std::uint64_t k = std::min(W, next_cap - first);
+            for (std::uint64_t j = 0; j < k; ++j) io.writes.push_back(first + j);
+          },
+          [](std::uint64_t, std::span<Record> buf) {
+            std::fill(buf.begin(), buf.end(), Record{});
+          });
     }
     work = next;
     work_len = regions * r_i;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "extmem/pipeline.h"
 #include "sortnet/external_sort.h"
 #include "util/math.h"
 
@@ -15,6 +16,7 @@ LooseCompactResult loose_compact_blocks(Client& client, const ExtArray& a,
   LooseCompactResult res;
   const std::uint64_t n0 = a.num_blocks();
   const std::size_t B = client.B();
+  const std::uint64_t W = std::max<std::uint64_t>(1, client.io_batch_blocks());
   r_capacity = std::max<std::uint64_t>(1, r_capacity);
   if (r_capacity * 4 > n0) {
     res.status = Status::InvalidArgument("loose compaction requires R < N/4");
@@ -23,19 +25,67 @@ LooseCompactResult loose_compact_blocks(Client& client, const ExtArray& a,
   }
   rng::Xoshiro coins(seed ^ 0x10053c0a3ac7ULL);
 
+  // One thinning pass from `src` (its first `src_len` blocks) into the first
+  // `dst_cells` cells of `dst`, as a pipeline of mixed-array steps: step i
+  // gathers (src[i], dst[j]) and scatters (dst[j], src[i]); j is a
+  // data-independent coin drawn in the describe stage, so the coin sequence
+  // (hence the trace) is exactly the per-block loop's.  Per-step cost stays
+  // 2 reads + 2 writes.
+  auto thinning_pass = [&](const ExtArray& src, std::uint64_t src_len,
+                           const ExtArray& dst, std::uint64_t dst_cells) {
+    run_block_pipeline(
+        client, src_len,
+        [&](std::uint64_t i, PipelinePass& io) {
+          const std::uint64_t j = coins.below(dst_cells);
+          io.read(src, i);
+          io.read(dst, j);
+          io.write(dst, j);
+          io.write(src, i);
+        },
+        [&](std::uint64_t, std::span<Record> buf) {
+          // Entry: buf = [blk, slot]; scatter order is [dst, src], so the
+          // first block becomes the collector cell and the second the source.
+          auto blk = buf.subspan(0, B);
+          auto slot = buf.subspan(B, B);
+          const bool move = !blk[0].is_empty() && slot[0].is_empty();
+          if (move) {
+            std::fill(slot.begin(), slot.end(), Record{});  // source cell empties
+          } else {
+            std::swap_ranges(blk.begin(), blk.end(), slot.begin());  // both keep
+          }
+        });
+  };
+
   // 1. Normalize: distinguished blocks keep their content, everything else
-  // becomes an explicitly empty block.  One scan.
+  // becomes an explicitly empty block.  One pipelined scan.
   ExtArray cur = client.alloc_blocks(n0, Client::Init::kUninit);
   {
-    CacheLease lease(client.cache(), B);
-    BlockBuf blk;
-    const BlockBuf empty = make_empty_block(B);
-    for (std::uint64_t i = 0; i < n0; ++i) {
-      client.read_block(a, i, blk);
-      const bool d = pred(i, blk);
-      if (d) ++res.distinguished;
-      client.write_block(cur, i, d ? blk : empty);
-    }
+    BlockBuf scratch(B);
+    run_block_pipeline(
+        client, n0 == 0 ? 0 : ceil_div(n0, W),
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &a;
+          io.write_to = &cur;
+          const std::uint64_t first = t * W;
+          const std::uint64_t k = std::min(W, n0 - first);
+          for (std::uint64_t j = 0; j < k; ++j) {
+            io.reads.push_back(first + j);
+            io.writes.push_back(first + j);
+          }
+        },
+        [&](std::uint64_t t, std::span<Record> buf) {
+          const std::uint64_t first = t * W;
+          const std::uint64_t k = buf.size() / B;
+          for (std::uint64_t j = 0; j < k; ++j) {
+            const auto blk = buf.subspan(j * B, B);
+            scratch.assign(blk.begin(), blk.end());
+            if (pred(first + j, scratch)) {
+              ++res.distinguished;
+            } else {
+              std::fill(blk.begin(), blk.end(), Record{});
+            }
+          }
+        });
   }
   res.status = res.distinguished <= r_capacity
                    ? Status::Ok()
@@ -52,23 +102,12 @@ LooseCompactResult loose_compact_blocks(Client& client, const ExtArray& a,
                               n0 / std::max<std::uint64_t>(1, log_n * log_n));
 
   std::uint64_t n_cur = n0;
-  CacheLease lease(client.cache(), 2 * B);
-  BlockBuf blk, slot;
-  const BlockBuf empty = make_empty_block(B);
 
   while (n_cur > tail_threshold) {
     // 2a. c0 thinning passes: trace is (R cur[i], R C[j], W C[j], W cur[i])
     // for every i; j is a data-independent coin.
-    for (unsigned pass = 0; pass < opts.thinning_rounds; ++pass) {
-      for (std::uint64_t i = 0; i < n_cur; ++i) {
-        client.read_block(cur, i, blk);
-        const std::uint64_t j = coins.below(c_cells);
-        client.read_block(c_arr, j, slot);
-        const bool move = !blk[0].is_empty() && slot[0].is_empty();
-        client.write_block(c_arr, j, move ? blk : slot);
-        client.write_block(cur, i, move ? empty : blk);
-      }
-    }
+    for (unsigned pass = 0; pass < opts.thinning_rounds; ++pass)
+      thinning_pass(cur, n_cur, c_arr, c_cells);
 
     // 2b. Region halving: survivors are sparse w.h.p. (Lemma 7).
     // Region must fit in cache alongside the scan buffers (hence m - 2).
@@ -81,30 +120,40 @@ LooseCompactResult loose_compact_blocks(Client& client, const ExtArray& a,
     const std::uint64_t half = (region_len + 1) / 2;
     const std::uint64_t regions = ceil_div(n_cur, region_len);
     ExtArray next = client.alloc_blocks(regions * half, Client::Init::kUninit);
-    {
-      CacheLease region_lease(client.cache(), region_len * B);
-      std::vector<BlockBuf> region;
-      for (std::uint64_t g = 0; g < regions; ++g) {
-        const std::uint64_t base = g * region_len;
-        const std::uint64_t len = std::min(region_len, n_cur - base);
-        region.clear();
-        std::vector<BlockBuf> survivors;
-        for (std::uint64_t b = 0; b < len; ++b) {
-          client.read_block(cur, base + b, blk);
-          if (!blk[0].is_empty()) survivors.push_back(blk);
-        }
-        if (survivors.size() > half) {
-          // Overcrowded region (Lemma 7 tail event): blocks beyond `half`
-          // are lost; flag it, keep the trace unchanged.
-          res.status.Update(Status::WhpFailure("overcrowded region in halving step"));
-          survivors.resize(half);
-        }
-        for (std::uint64_t b = 0; b < half; ++b) {
-          client.write_block(next, g * half + b,
-                             b < survivors.size() ? survivors[b] : empty);
-        }
-      }
-    }
+    // One pass per region: gather the region, privately compact the survivor
+    // blocks to the front, scatter the halved region.
+    run_block_pipeline(
+        client, regions,
+        [&](std::uint64_t g, PipelinePass& io) {
+          io.read_from = &cur;
+          io.write_to = &next;
+          const std::uint64_t base = g * region_len;
+          const std::uint64_t len = std::min(region_len, n_cur - base);
+          for (std::uint64_t b = 0; b < len; ++b) io.reads.push_back(base + b);
+          for (std::uint64_t b = 0; b < half; ++b) io.writes.push_back(g * half + b);
+        },
+        [&](std::uint64_t g, std::span<Record> buf) {
+          const std::uint64_t base = g * region_len;
+          const std::uint64_t len = std::min(region_len, n_cur - base);
+          std::uint64_t kept = 0;
+          for (std::uint64_t b = 0; b < len; ++b) {
+            if (buf[b * B].is_empty()) continue;
+            if (kept == half) {
+              // Overcrowded region (Lemma 7 tail event): blocks beyond `half`
+              // are lost; flag it, keep the trace unchanged.
+              res.status.Update(
+                  Status::WhpFailure("overcrowded region in halving step"));
+              break;
+            }
+            if (kept != b)
+              std::copy(buf.begin() + static_cast<std::ptrdiff_t>(b * B),
+                        buf.begin() + static_cast<std::ptrdiff_t>((b + 1) * B),
+                        buf.begin() + static_cast<std::ptrdiff_t>(kept * B));
+            ++kept;
+          }
+          std::fill(buf.begin() + static_cast<std::ptrdiff_t>(kept * B),
+                    buf.begin() + static_cast<std::ptrdiff_t>(half * B), Record{});
+        });
     // `cur`'s old extent is abandoned to the arena (reclaimed with the
     // client); the halved array becomes the new working array.
     cur = next;
@@ -115,27 +164,25 @@ LooseCompactResult loose_compact_blocks(Client& client, const ExtArray& a,
   // keyed by their first record, move to the front).
   sortnet::ext_oblivious_unit_sort(client, cur, /*unit_blocks=*/1);
   std::uint64_t tail_real = 0;
-  for (std::uint64_t i = 0; i < n_cur; ++i) {  // unconditional overflow scan
-    client.read_block(cur, i, blk);
-    if (!blk[0].is_empty()) ++tail_real;
-  }
+  run_block_pipeline(  // unconditional overflow scan
+      client, n_cur == 0 ? 0 : ceil_div(n_cur, W),
+      [&](std::uint64_t t, PipelinePass& io) {
+        io.read_from = &cur;
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = std::min(W, n_cur - first);
+        for (std::uint64_t j = 0; j < k; ++j) io.reads.push_back(first + j);
+      },
+      [&](std::uint64_t, std::span<Record> buf) {
+        for (std::uint64_t j = 0; j < buf.size() / B; ++j)
+          if (!buf[j * B].is_empty()) ++tail_real;
+      });
   if (tail_real > r_capacity)
     res.status.Update(Status::WhpFailure("thinning survivors exceed capacity r"));
 
   // 4. Assemble out = C (4r cells) ++ first r survivor blocks.
   res.out = client.alloc_blocks(5 * r_capacity, Client::Init::kUninit);
-  for (std::uint64_t i = 0; i < c_cells; ++i) {
-    client.read_block(c_arr, i, blk);
-    client.write_block(res.out, i, blk);
-  }
-  for (std::uint64_t i = 0; i < r_capacity; ++i) {
-    if (i < n_cur) {
-      client.read_block(cur, i, blk);
-      client.write_block(res.out, c_cells + i, blk);
-    } else {
-      client.write_block(res.out, c_cells + i, empty);
-    }
-  }
+  pipelined_copy_pad(client, c_arr, 0, res.out, 0, c_cells);
+  pipelined_copy_pad(client, cur, 0, res.out, c_cells, r_capacity);  // pads past n_cur
   return res;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/butterfly.h"
 #include "core/consolidate.h"
+#include "extmem/pipeline.h"
 #include "hash/hashing.h"
 #include "sortnet/external_sort.h"
 #include "util/math.h"
@@ -28,20 +29,11 @@ struct Ctx {
 };
 
 /// Copy `count` blocks from src[0..] to dst[dst_first..], padding with empty
-/// blocks when src runs out.  One scan.
+/// blocks when src runs out.  One chunked pipeline scan; per-block I/O counts
+/// are identical to the per-block loop this replaced.
 void copy_blocks(Client& c, const ExtArray& src, const ExtArray& dst,
                  std::uint64_t dst_first, std::uint64_t count) {
-  CacheLease lease(c.cache(), c.B());
-  BlockBuf blk;
-  const BlockBuf empty = make_empty_block(c.B());
-  for (std::uint64_t i = 0; i < count; ++i) {
-    if (i < src.num_blocks()) {
-      c.read_block(src, i, blk);
-      c.write_block(dst, dst_first + i, blk);
-    } else {
-      c.write_block(dst, dst_first + i, empty);
-    }
-  }
+  pipelined_copy_pad(c, src, 0, dst, dst_first, count);
 }
 
 /// Deterministic base case: copy + private sort or Lemma 2 sort.  Output has
@@ -104,13 +96,21 @@ Status sort_node(Ctx& ctx, const ExtArray& in, ExtArray* out,
   // arithmetic inside the quantile algorithm (see QuantilesOptions).
   std::uint64_t real_records = 0;
   {
-    CacheLease lease(client.cache(), B);
-    BlockBuf blk;
-    for (std::uint64_t i = 0; i < n; ++i) {
-      client.read_block(in, i, blk);
-      for (const Record& r : blk)
-        if (!r.is_empty()) ++real_records;
-    }
+    // Read-only pipelined scan: the occupancy count is private state in the
+    // compute stage; the read schedule is n blocks regardless of data.
+    const std::uint64_t W = std::max<std::uint64_t>(1, client.io_batch_blocks());
+    run_block_pipeline(
+        client, n == 0 ? 0 : ceil_div(n, W),
+        [&](std::uint64_t t, PipelinePass& io) {
+          io.read_from = &in;
+          const std::uint64_t first = t * W;
+          const std::uint64_t k = std::min(W, n - first);
+          for (std::uint64_t j = 0; j < k; ++j) io.reads.push_back(first + j);
+        },
+        [&](std::uint64_t, std::span<Record> buf) {
+          for (const Record& r : buf)
+            if (!r.is_empty()) ++real_records;
+        });
   }
   QuantilesOptions qopts = ctx.opts.quantiles;
   qopts.real_records = std::max<std::uint64_t>(real_records, colors + 1);
@@ -243,44 +243,69 @@ Status sort_node(Ctx& ctx, const ExtArray& in, ExtArray* out,
   // Sweep slots start explicitly empty (counted writes, fixed pattern).
   ExtArray sweep = client.alloc_blocks(slice * slots, Client::Init::kEmpty);
   {
-    // Conditional copy-in of failed children's INPUTS (still intact).
-    CacheLease lease(client.cache(), 2 * B);
-    BlockBuf src, dst;
-    const BlockBuf empty = make_empty_block(B);
-    for (unsigned c = 0; c < colors; ++c) {
-      for (unsigned t = 0; t < slots; ++t) {
-        const bool mine = slot_of[c] == static_cast<int>(t);
-        for (std::uint64_t i = 0; i < slice; ++i) {
-          if (i < child_inputs[c].num_blocks()) {
-            client.read_block(child_inputs[c], i, src);
-          } else {
-            src = empty;
-          }
-          client.read_block(sweep, t * slice + i, dst);
-          client.write_block(sweep, t * slice + i, mine ? src : dst);
-        }
-      }
-    }
+    // Conditional copy-in of failed children's INPUTS (still intact), as a
+    // pipeline of mixed-array steps: each step gathers the source block (when
+    // the child has one -- a public size test) and the sweep slot, and
+    // scatters the slot.  `mine` steers only the plaintext, never the I/O.
+    run_block_pipeline(
+        client, static_cast<std::uint64_t>(colors) * slots * slice,
+        [&](std::uint64_t step, PipelinePass& io) {
+          const unsigned c = static_cast<unsigned>(step / (slots * slice));
+          const std::uint64_t rem = step % (slots * slice);
+          const unsigned t = static_cast<unsigned>(rem / slice);
+          const std::uint64_t i = rem % slice;
+          if (i < child_inputs[c].num_blocks()) io.read(child_inputs[c], i);
+          io.read(sweep, t * slice + i);
+          io.write(sweep, t * slice + i);
+        },
+        [&](std::uint64_t step, std::span<Record> buf) {
+          const unsigned c = static_cast<unsigned>(step / (slots * slice));
+          const std::uint64_t rem = step % (slots * slice);
+          const unsigned t = static_cast<unsigned>(rem / slice);
+          const std::uint64_t i = rem % slice;
+          const bool mine = slot_of[c] == static_cast<int>(t);
+          const bool have_src = i < child_inputs[c].num_blocks();
+          std::span<Record> out = buf.first(B);
+          if (have_src) {
+            // buf = [src, slot]; keep src if mine, else restore the slot.
+            if (!mine)
+              std::copy(buf.begin() + static_cast<std::ptrdiff_t>(B),
+                        buf.begin() + static_cast<std::ptrdiff_t>(2 * B), out.begin());
+          } else if (mine) {
+            std::fill(out.begin(), out.end(), Record{});  // pad block
+          }  // else: buf = [slot] already in place
+        });
   }
   // Deterministic sort of every slot; an unused slot is all-empty and sorts
   // with an identical trace.
   for (unsigned t = 0; t < slots; ++t)
     sortnet::ext_oblivious_sort(client, sweep.slice_blocks(t * slice, slice));
+  for (unsigned c = 0; c < colors; ++c)
+    for (unsigned t = 0; t < slots; ++t)
+      if (slot_of[c] == static_cast<int>(t)) ++ctx.stats.sweep_repairs;
   {
-    // Conditional copy-back into the failed children's level slices.
-    CacheLease lease(client.cache(), 2 * B);
-    BlockBuf src, dst;
-    for (unsigned c = 0; c < colors; ++c) {
-      for (unsigned t = 0; t < slots; ++t) {
-        const bool mine = slot_of[c] == static_cast<int>(t);
-        if (mine) ++ctx.stats.sweep_repairs;
-        for (std::uint64_t i = 0; i < slice; ++i) {
-          client.read_block(sweep, t * slice + i, src);
-          client.read_block(level, c * slice + i, dst);
-          client.write_block(level, c * slice + i, mine ? src : dst);
-        }
-      }
-    }
+    // Conditional copy-back into the failed children's level slices (same
+    // mixed-array pipeline shape as the copy-in).
+    run_block_pipeline(
+        client, static_cast<std::uint64_t>(colors) * slots * slice,
+        [&](std::uint64_t step, PipelinePass& io) {
+          const unsigned c = static_cast<unsigned>(step / (slots * slice));
+          const std::uint64_t rem = step % (slots * slice);
+          const unsigned t = static_cast<unsigned>(rem / slice);
+          const std::uint64_t i = rem % slice;
+          io.read(sweep, t * slice + i);
+          io.read(level, c * slice + i);
+          io.write(level, c * slice + i);
+        },
+        [&](std::uint64_t step, std::span<Record> buf) {
+          const unsigned c = static_cast<unsigned>(step / (slots * slice));
+          const unsigned t = static_cast<unsigned>((step % (slots * slice)) / slice);
+          const bool mine = slot_of[c] == static_cast<int>(t);
+          // buf = [sweep, level]; the scatter takes the first block.
+          if (!mine)
+            std::copy(buf.begin() + static_cast<std::ptrdiff_t>(B),
+                      buf.begin() + static_cast<std::ptrdiff_t>(2 * B), buf.begin());
+        });
   }
 
   if (!st.ok() && std::getenv("OBLIVEM_DEBUG") != nullptr) {
@@ -318,19 +343,7 @@ ObliviousSortResult oblivious_sort(Client& client, const ExtArray& a,
       tight_compact_blocks(client, cons.out, block_nonempty_pred());
   if (tight.occupied > a.num_blocks())
     res.status.Update(Status::WhpFailure("records were lost or duplicated"));
-  {
-    CacheLease lease(client.cache(), client.B());
-    BlockBuf blk;
-    const BlockBuf empty = make_empty_block(client.B());
-    for (std::uint64_t i = 0; i < a.num_blocks(); ++i) {
-      if (i < tight.out.num_blocks()) {
-        client.read_block(tight.out, i, blk);
-      } else {
-        blk = empty;
-      }
-      client.write_block(a, i, blk);
-    }
-  }
+  copy_blocks(client, tight.out, a, 0, a.num_blocks());
   return res;
 }
 

@@ -42,6 +42,10 @@ struct ClientParams {
   /// 1 degenerates every batched helper to the per-block path (useful for
   /// baseline benchmarks).
   std::uint64_t io_batch_blocks = 0;
+  /// Total attempts per backend call before a storage failure surfaces as
+  /// StatusCode::kIo (1 = no retry).  See BlockDevice's RetryPolicy: retries
+  /// are below the counters and the trace.
+  unsigned io_retry_attempts = 1;
 };
 
 class Client {

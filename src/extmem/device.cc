@@ -21,18 +21,31 @@ namespace {
 
 }  // namespace
 
-BlockDevice::BlockDevice(std::size_t block_words, BackendFactory factory)
+BlockDevice::BlockDevice(std::size_t block_words, BackendFactory factory,
+                         RetryPolicy retry)
     : backend_(factory ? factory(block_words)
-                       : std::make_unique<MemBackend>(block_words)) {
+                       : std::make_unique<MemBackend>(block_words)),
+      retry_(retry) {
   assert(block_words >= 1);
   assert(backend_ && backend_->block_words() == block_words);
+  if (retry_.max_attempts < 1) retry_.max_attempts = 1;
   async_ = dynamic_cast<AsyncBackend*>(backend_.get());
+  // Submitted ops execute on the I/O thread; it applies the same bounded
+  // retry there so prefetch and fault recovery compose.
+  if (async_) async_->set_retry_attempts(retry_.max_attempts);
+}
+
+Status BlockDevice::consume_parked_async_error() const {
+  if (async_ == nullptr) return Status::Ok();
+  // drain() also reports-and-clears the first error of any op that already
+  // retired; with an empty queue this is the uncontended fast path.
+  return async_->drain();
 }
 
 Extent BlockDevice::allocate(std::uint64_t nblocks) {
   Extent e{num_blocks_, nblocks};
   num_blocks_ += nblocks;
-  Status st = backend_->resize(num_blocks_);
+  Status st = with_retry([&] { return backend_->resize(num_blocks_); });
   if (!st.ok()) backend_fail("allocate", st);
   return e;
 }
@@ -41,7 +54,7 @@ void BlockDevice::release(const Extent& e) {
   if (e.num_blocks == 0) return;
   if (e.first_block + e.num_blocks == num_blocks_) {
     num_blocks_ = e.first_block;
-    Status st = backend_->resize(num_blocks_);
+    Status st = with_retry([&] { return backend_->resize(num_blocks_); });
     if (!st.ok()) backend_fail("release", st);
     return;
   }
@@ -91,7 +104,7 @@ std::uint64_t BlockDevice::trim() {
     discarded_.pop_back();
   }
   if (num_blocks_ != before) {
-    Status st = backend_->resize(num_blocks_);
+    Status st = with_retry([&] { return backend_->resize(num_blocks_); });
     if (!st.ok()) backend_fail("trim", st);
   }
   return before - num_blocks_;
@@ -103,7 +116,7 @@ void BlockDevice::read(std::uint64_t block, std::span<Word> out) {
   stats_.reads++;
   stats_.read_ops++;
   trace_.on_access(IoOp::kRead, block);
-  Status st = backend_->read(block, out);
+  Status st = with_retry([&] { return backend_->read(block, out); });
   if (!st.ok()) backend_fail("read", st);
 }
 
@@ -113,7 +126,7 @@ void BlockDevice::write(std::uint64_t block, std::span<const Word> in) {
   stats_.writes++;
   stats_.write_ops++;
   trace_.on_access(IoOp::kWrite, block);
-  Status st = backend_->write(block, in);
+  Status st = with_retry([&] { return backend_->write(block, in); });
   if (!st.ok()) backend_fail("write", st);
 }
 
@@ -132,7 +145,7 @@ void BlockDevice::read_many(std::span<const std::uint64_t> blocks,
   stats_.reads += blocks.size();
   stats_.read_ops++;
   record(IoOp::kRead, blocks);
-  Status st = backend_->read_many(blocks, out);
+  Status st = with_retry([&] { return backend_->read_many(blocks, out); });
   if (!st.ok()) backend_fail("read_many", st);
 }
 
@@ -143,7 +156,7 @@ void BlockDevice::write_many(std::span<const std::uint64_t> blocks,
   stats_.writes += blocks.size();
   stats_.write_ops++;
   record(IoOp::kWrite, blocks);
-  Status st = backend_->write_many(blocks, in);
+  Status st = with_retry([&] { return backend_->write_many(blocks, in); });
   if (!st.ok()) backend_fail("write_many", st);
 }
 
@@ -155,7 +168,7 @@ BlockDevice::IoTicket BlockDevice::submit_read_many(
   stats_.read_ops++;
   record(IoOp::kRead, blocks);
   if (async_) return async_->submit_read_many(blocks, out);
-  Status st = backend_->read_many(blocks, out);
+  Status st = with_retry([&] { return backend_->read_many(blocks, out); });
   if (!st.ok()) backend_fail("read_many", st);
   return 0;
 }
@@ -170,7 +183,7 @@ BlockDevice::IoTicket BlockDevice::submit_write_many(
   if (async_)
     return async_->submit_write_many(
         std::vector<std::uint64_t>(blocks.begin(), blocks.end()), std::move(in));
-  Status st = backend_->write_many(blocks, in);
+  Status st = with_retry([&] { return backend_->write_many(blocks, in); });
   if (!st.ok()) backend_fail("write_many", st);
   return 0;
 }
@@ -190,7 +203,7 @@ void BlockDevice::drain() {
 std::vector<Word> BlockDevice::raw(std::uint64_t block) const {
   assert(block < num_blocks_);
   std::vector<Word> out(block_words());
-  Status st = backend_->read(block, out);
+  Status st = with_retry([&] { return backend_->read(block, out); });
   if (!st.ok()) backend_fail("raw read", st);
   return out;
 }
@@ -198,7 +211,7 @@ std::vector<Word> BlockDevice::raw(std::uint64_t block) const {
 void BlockDevice::write_raw(std::uint64_t block, std::span<const Word> in) {
   assert(block < num_blocks_);
   assert(in.size() == block_words());
-  Status st = backend_->write(block, in);
+  Status st = with_retry([&] { return backend_->write(block, in); });
   if (!st.ok()) backend_fail("raw write", st);
 }
 
@@ -208,7 +221,7 @@ void BlockDevice::read_raw_range(std::uint64_t first_block, std::uint64_t count,
   assert(out.size() == count * block_words());
   std::vector<std::uint64_t> ids(count);
   for (std::uint64_t i = 0; i < count; ++i) ids[i] = first_block + i;
-  Status st = backend_->read_many(ids, out);
+  Status st = with_retry([&] { return backend_->read_many(ids, out); });
   if (!st.ok()) backend_fail("raw range read", st);
 }
 
@@ -218,7 +231,7 @@ void BlockDevice::write_raw_range(std::uint64_t first_block, std::uint64_t count
   assert(in.size() == count * block_words());
   std::vector<std::uint64_t> ids(count);
   for (std::uint64_t i = 0; i < count; ++i) ids[i] = first_block + i;
-  Status st = backend_->write_many(ids, in);
+  Status st = with_retry([&] { return backend_->write_many(ids, in); });
   if (!st.ok()) backend_fail("raw range write", st);
 }
 

@@ -40,11 +40,23 @@ struct Extent {
   std::uint64_t num_blocks = 0;
 };
 
+/// Bounded recovery from transient storage failures (a FaultyBackend shard, a
+/// flaky file store): every backend call that returns StatusCode::kIo is
+/// re-issued up to max_attempts times in total before the failure surfaces.
+/// Retries live BELOW the counters and the trace -- both are recorded once,
+/// before the first attempt, so fault recovery is invisible to Bob and never
+/// perturbs the block-I/O accounting the paper's bounds are pinned against.
+/// Only kIo is retryable; kInvalidArgument is a caller bug and fails fast.
+struct RetryPolicy {
+  unsigned max_attempts = 1;  // 1 = no retry
+};
+
 class BlockDevice {
  public:
   /// block_words: words of ciphertext per block (payload + nonce header).
   /// A null factory means MemBackend (the seed's in-RAM behavior).
-  explicit BlockDevice(std::size_t block_words, BackendFactory factory = nullptr);
+  explicit BlockDevice(std::size_t block_words, BackendFactory factory = nullptr,
+                       RetryPolicy retry = {});
 
   std::size_t block_words() const { return backend_->block_words(); }
   std::uint64_t num_blocks() const { return num_blocks_; }
@@ -103,6 +115,12 @@ class BlockDevice {
   const IoStats& stats() const { return stats_; }
   void reset_stats() { stats_ = IoStats{}; }
 
+  const RetryPolicy& retry_policy() const { return retry_; }
+  /// Synchronous backend calls re-issued after a kIo failure.  Retries of
+  /// submitted async ops happen on the AsyncBackend's I/O thread and are
+  /// counted there (AsyncBackend::retries()).
+  std::uint64_t retries() const { return retries_; }
+
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
 
@@ -122,8 +140,33 @@ class BlockDevice {
  private:
   void record(IoOp op, std::span<const std::uint64_t> blocks);
 
+  /// A parked AsyncBackend error describes a PRIOR submitted op (e.g. a
+  /// write the I/O thread could not land); non-ok means that loss must fail
+  /// the current call.  Ok when the backend is not async.
+  Status consume_parked_async_error() const;
+
+  /// Run a backend call under the retry policy (kIo only).  const because
+  /// the uncounted raw paths (peek/poke) retry too; the counter is metering.
+  template <typename Fn>
+  Status with_retry(Fn&& fn) const {
+    // Surface a parked async error UNRETRIED: it belongs to an earlier op,
+    // so re-running the current call would drain a now-clean backend and
+    // swallow the loss (the op would return Ok over corrupted storage).
+    Status prior = consume_parked_async_error();
+    if (!prior.ok()) return prior;
+    Status st = fn();
+    for (unsigned a = 1; a < retry_.max_attempts && st.code() == StatusCode::kIo;
+         ++a) {
+      ++retries_;
+      st = fn();
+    }
+    return st;
+  }
+
   std::unique_ptr<StorageBackend> backend_;
   AsyncBackend* async_ = nullptr;  // borrowed view into backend_ when async
+  RetryPolicy retry_;
+  mutable std::uint64_t retries_ = 0;
   std::uint64_t num_blocks_ = 0;
   std::vector<Extent> discarded_;  // sorted by first_block, coalesced
   IoStats stats_;

@@ -1,9 +1,12 @@
 #include "extmem/io_engine.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <utility>
+
+#include "rng/random.h"
 
 namespace oem {
 
@@ -229,9 +232,20 @@ void AsyncBackend::io_loop() {
       queue_.pop_front();
       queued_.fetch_sub(1, std::memory_order_relaxed);
     }
-    Status st = op.is_write
-                    ? inner_->write_many(op.blocks, op.wdata)
-                    : inner_->read_many(op.blocks, std::span<Word>(op.rdest, op.rlen));
+    auto run_op = [&] {
+      return op.is_write
+                 ? inner_->write_many(op.blocks, op.wdata)
+                 : inner_->read_many(op.blocks, std::span<Word>(op.rdest, op.rlen));
+    };
+    Status st = run_op();
+    // Bounded retry of transient storage failures (the BlockDevice's retry
+    // policy, installed via set_retry_attempts): only kIo is retryable, and
+    // retries never touch the trace -- it was recorded at submit time.
+    const unsigned attempts = retry_attempts_.load(std::memory_order_relaxed);
+    for (unsigned a = 1; a < attempts && st.code() == StatusCode::kIo; ++a) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      st = run_op();
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (!st.ok()) error_ = true;
@@ -281,17 +295,25 @@ AsyncBackend::Ticket AsyncBackend::submit_write_many(std::vector<std::uint64_t> 
 }
 
 Status AsyncBackend::wait(Ticket t) {
+  // Reporting consumes the error (see the header): take it under mu_.
+  auto take_error = [&]() -> Status {
+    if (!error_) return Status::Ok();
+    error_ = false;
+    Status st = std::move(sticky_);
+    sticky_ = Status::Ok();
+    return st;
+  };
   for (int i = 0; i < kSpinIters && completed_.load(std::memory_order_acquire) < t; ++i)
     cpu_relax();
   if (completed_.load(std::memory_order_acquire) >= t) {
     // Fast path: the op already retired; a brief uncontended lock fetches
-    // the (rare) sticky error without a futex sleep.
+    // the (rare) error without a futex sleep.
     std::lock_guard<std::mutex> lk(mu_);
-    return error_ ? sticky_ : Status::Ok();
+    return take_error();
   }
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] { return completed_.load(std::memory_order_relaxed) >= t; });
-  return error_ ? sticky_ : Status::Ok();
+  return take_error();
 }
 
 Status AsyncBackend::drain() {
@@ -322,6 +344,76 @@ Status AsyncBackend::do_read_many(std::span<const std::uint64_t> blocks,
 Status AsyncBackend::do_write_many(std::span<const std::uint64_t> blocks,
                                    std::span<const Word> in) {
   OEM_RETURN_IF_ERROR(drain());
+  return inner_->write_many(blocks, in);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyBackend.
+
+FaultyBackend::FaultyBackend(std::unique_ptr<StorageBackend> inner,
+                             FaultProfile profile)
+    : StorageBackend(inner->block_words()),
+      inner_(std::move(inner)),
+      profile_(profile) {
+  assert(profile_.fail_rate >= 0.0 && profile_.fail_rate <= 1.0);
+  if (profile_.fail_times < 1) profile_.fail_times = 1;
+}
+
+Status FaultyBackend::gate(bool is_write) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  if (profile_.slow_ns > 0)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(profile_.slow_ns));
+  const bool eligible = is_write ? profile_.fail_writes : profile_.fail_reads;
+  if (!eligible || profile_.fail_rate <= 0.0) return Status::Ok();
+  std::lock_guard<std::mutex> lk(mu_);
+  // A spent fault guarantees the very next attempt goes through: fail-once
+  // means the immediate retry succeeds, fail-N means a retry budget >= N+1
+  // attempts always recovers -- deterministically, not just in expectation.
+  if (recovering_) {
+    recovering_ = false;
+    return Status::Ok();
+  }
+  if (pending_fails_ > 0) {
+    if (--pending_fails_ == 0) recovering_ = true;
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Io("injected fault (consecutive)");
+  }
+  // One decision per fresh op: a 53-bit uniform draw from (seed, index).
+  const std::uint64_t h =
+      rng::mix64(profile_.seed ^ (0x9e3779b97f4a7c15ULL * ++decisions_));
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(std::uint64_t{1} << 53);
+  if (u < profile_.fail_rate) {
+    if (profile_.fail_times == 1) {
+      recovering_ = true;
+    } else {
+      pending_fails_ = profile_.fail_times - 1;
+    }
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Io("injected fault");
+  }
+  return Status::Ok();
+}
+
+Status FaultyBackend::do_read(std::uint64_t block, std::span<Word> out) {
+  OEM_RETURN_IF_ERROR(gate(/*is_write=*/false));
+  return inner_->read(block, out);
+}
+
+Status FaultyBackend::do_write(std::uint64_t block, std::span<const Word> in) {
+  OEM_RETURN_IF_ERROR(gate(/*is_write=*/true));
+  return inner_->write(block, in);
+}
+
+Status FaultyBackend::do_read_many(std::span<const std::uint64_t> blocks,
+                                   std::span<Word> out) {
+  OEM_RETURN_IF_ERROR(gate(/*is_write=*/false));
+  return inner_->read_many(blocks, out);
+}
+
+Status FaultyBackend::do_write_many(std::span<const std::uint64_t> blocks,
+                                    std::span<const Word> in) {
+  OEM_RETURN_IF_ERROR(gate(/*is_write=*/true));
   return inner_->write_many(blocks, in);
 }
 
@@ -361,6 +453,14 @@ BackendFactory async_backend(BackendFactory inner) {
              -> std::unique_ptr<StorageBackend> {
     auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
     return std::make_unique<AsyncBackend>(std::move(base));
+  };
+}
+
+BackendFactory faulty_backend(BackendFactory inner, FaultProfile profile) {
+  return [inner = std::move(inner),
+          profile](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
+    auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
+    return std::make_unique<FaultyBackend>(std::move(base), profile);
   };
 }
 

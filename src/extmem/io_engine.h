@@ -140,12 +140,24 @@ class AsyncBackend : public StorageBackend {
   Ticket submit_write_many(std::vector<std::uint64_t> blocks, std::vector<Word> in);
 
   /// Blocks until every op with ticket <= t has executed.  Returns the first
-  /// error any completed op hit (sticky until the backend is destroyed).
+  /// error any completed op hit since the last report; reporting clears it,
+  /// so one failed op does not poison the backend forever -- the caller that
+  /// observes the error aborts its computation, and unrelated later work
+  /// (arena compaction, a fresh algorithm call) proceeds normally.
   Status wait(Ticket t);
   /// wait() for everything submitted so far.
   Status drain();
 
   std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+
+  /// Bounded retry of kIo failures on the I/O thread, so submitted ops get
+  /// the same recovery as synchronous ones.  The BlockDevice installs its
+  /// retry policy here at construction; 1 means no retry.
+  void set_retry_attempts(unsigned attempts) {
+    retry_attempts_.store(attempts < 1 ? 1 : attempts, std::memory_order_relaxed);
+  }
+  /// Retries performed by the I/O thread (for tests and introspection).
+  std::uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
 
  protected:
   // Synchronous calls drain the queue first so they observe (and are ordered
@@ -177,11 +189,87 @@ class AsyncBackend : public StorageBackend {
   // lock-free by brief spin loops that avoid a futex round trip per op.
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::size_t> queued_{0};
-  Status sticky_;      // guarded by mu_: first error wins
+  /// First unreported error (guarded by mu_); cleared when wait()/drain()
+  /// hands it to a caller.
+  Status sticky_;
   bool error_ = false; // guarded by mu_
   bool stop_ = false;  // guarded by mu_
   std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<unsigned> retry_attempts_{1};
+  std::atomic<std::uint64_t> retries_{0};
   std::thread io_thread_;
+};
+
+// ---------------------------------------------------------------------------
+// FaultyBackend.
+
+/// Deterministic, seed-reproducible fault injection.  Every data-path op
+/// (read/write, single or batched) rolls one pseudo-random decision from
+/// (seed, decision index); the sequence of decisions -- hence which ops fail
+/// -- is a pure function of the seed and the call sequence, so a faulty run
+/// is exactly replayable.
+struct FaultProfile {
+  std::uint64_t seed = 1;
+  /// Probability that an op fires a fault (evaluated once per *fresh* op;
+  /// the consecutive failures of a fired fault don't roll new decisions).
+  double fail_rate = 0.0;
+  /// Consecutive failures per fired fault; the attempt after the N-th
+  /// failure is guaranteed to succeed.  1 = fail-once (the immediate retry
+  /// recovers), N = fail-N (recovers with >= N+1 attempts, exhausts
+  /// smaller retry budgets).
+  unsigned fail_times = 1;
+  /// "Slow shard": added real delay per op, modeling a degraded store.
+  /// Never affects results or the recorded trace -- only wall-clock.
+  std::uint64_t slow_ns = 0;
+  bool fail_reads = true;
+  bool fail_writes = true;
+};
+
+/// Decorator injecting per-shard storage failures behind the StorageBackend
+/// seam.  Wrap each shard's base store (Session::Builder::fault_injection and
+/// bench --faults=seed:rate derive a distinct sub-seed per shard) so failures
+/// hit individual shards, exactly like a real striped deployment.  A fired
+/// fault rejects the op with StatusCode::kIo BEFORE forwarding, so a failed
+/// batch leaves the inner store untouched -- no partial writes.  resize() is
+/// never faulted: arena management is Alice-side bookkeeping, not a transfer.
+class FaultyBackend : public StorageBackend {
+ public:
+  FaultyBackend(std::unique_ptr<StorageBackend> inner, FaultProfile profile);
+  const char* name() const override { return "faulty"; }
+  Status health() const override { return inner_->health(); }
+
+  StorageBackend& inner() { return *inner_; }
+  const StorageBackend& inner() const { return *inner_; }
+  const FaultProfile& profile() const { return profile_; }
+
+  /// Data-path ops observed and faults injected (counting every failed
+  /// attempt).  Atomic: a FaultyBackend under an AsyncBackend or a shard
+  /// worker is driven off-thread while the main thread reads the counters.
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+  std::uint64_t injected_faults() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  Status do_resize(std::uint64_t nblocks) override { return inner_->resize(nblocks); }
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+
+ private:
+  /// Rolls the fault decision for one op; non-ok means the op must fail now.
+  Status gate(bool is_write);
+
+  std::unique_ptr<StorageBackend> inner_;
+  FaultProfile profile_;
+  std::mutex mu_;                 // serializes the decision stream
+  std::uint64_t decisions_ = 0;   // fresh-op decisions rolled (guarded by mu_)
+  unsigned pending_fails_ = 0;    // consecutive failures left (guarded by mu_)
+  bool recovering_ = false;       // next attempt passes for free (guarded by mu_)
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -206,5 +294,10 @@ BackendFactory sharded_backend(ShardFactory inner, std::size_t shards,
 
 /// Wrap the backend produced by `inner` (null = mem) in an AsyncBackend.
 BackendFactory async_backend(BackendFactory inner);
+
+/// Wrap the backend produced by `inner` (null = mem) in a FaultyBackend.
+/// Compose UNDER sharding (wrap each shard's base) for per-shard failures;
+/// Session::Builder::fault_injection does that and derives per-shard seeds.
+BackendFactory faulty_backend(BackendFactory inner, FaultProfile profile);
 
 }  // namespace oem

@@ -59,16 +59,28 @@ void run_block_pipeline(Client& client, std::uint64_t passes,
     s.io.read_from = s.io.write_to = nullptr;
     s.io.reads.clear();
     s.io.writes.clear();
+    s.io.read_refs.clear();
+    s.io.write_refs.clear();
     describe(t, s.io);
-    s.dev_reads.resize(s.io.reads.size());
+    s.dev_reads.resize(s.io.reads.size() + s.io.read_refs.size());
     for (std::size_t i = 0; i < s.io.reads.size(); ++i) {
       assert(s.io.read_from != nullptr);
       s.dev_reads[i] = s.io.read_from->device_block(s.io.reads[i]);
     }
-    s.dev_writes.resize(s.io.writes.size());
+    for (std::size_t i = 0; i < s.io.read_refs.size(); ++i) {
+      const PipelinePass::Ref& r = s.io.read_refs[i];
+      assert(r.array != nullptr);
+      s.dev_reads[s.io.reads.size() + i] = r.array->device_block(r.block);
+    }
+    s.dev_writes.resize(s.io.writes.size() + s.io.write_refs.size());
     for (std::size_t i = 0; i < s.io.writes.size(); ++i) {
       assert(s.io.write_to != nullptr);
       s.dev_writes[i] = s.io.write_to->device_block(s.io.writes[i]);
+    }
+    for (std::size_t i = 0; i < s.io.write_refs.size(); ++i) {
+      const PipelinePass::Ref& r = s.io.write_refs[i];
+      assert(r.array != nullptr);
+      s.dev_writes[s.io.writes.size() + i] = r.array->device_block(r.block);
     }
   };
   // Transfers honor the client's coalescing window (io_batch_blocks): a pass
@@ -140,6 +152,36 @@ void run_block_pipeline(Client& client, std::uint64_t passes,
   }
   unwind_guard.active = false;
   dev.drain();  // writes are durable before the caller touches other paths
+}
+
+void pipelined_copy_pad(Client& client, const ExtArray& src, std::uint64_t src_first,
+                        const ExtArray& dst, std::uint64_t dst_first,
+                        std::uint64_t count) {
+  const std::size_t B = client.B();
+  const std::uint64_t W = std::max<std::uint64_t>(1, client.io_batch_blocks());
+  const std::uint64_t avail =
+      src.num_blocks() > src_first ? src.num_blocks() - src_first : 0;
+  const std::uint64_t chunks = count == 0 ? 0 : (count + W - 1) / W;
+  run_block_pipeline(
+      client, chunks,
+      [&](std::uint64_t t, PipelinePass& io) {
+        io.read_from = &src;
+        io.write_to = &dst;
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = std::min(W, count - first);
+        for (std::uint64_t j = 0; j < k; ++j) {
+          if (first + j < avail) io.reads.push_back(src_first + first + j);
+          io.writes.push_back(dst_first + first + j);
+        }
+      },
+      [&](std::uint64_t t, std::span<Record> buf) {
+        const std::uint64_t first = t * W;
+        const std::uint64_t copied =
+            first < avail ? std::min<std::uint64_t>(buf.size() / B, avail - first)
+                          : 0;
+        std::fill(buf.begin() + static_cast<std::ptrdiff_t>(copied * B), buf.end(),
+                  Record{});  // past-the-source blocks pad as explicit empties
+      });
 }
 
 }  // namespace oem

@@ -33,11 +33,27 @@ namespace oem {
 
 /// One pass's I/O description.  `reads`/`writes` are array-relative block
 /// ids; gather/scatter order is the trace order.  Either list may be empty.
+///
+/// Passes that touch more than one array per direction (the thinning loops
+/// read a working array and a collector in the same step) use the ref lists
+/// instead: each entry names its array explicitly.  Within a direction the
+/// read_from/write_to ids are gathered first, then the refs, in order --
+/// call sites use one style per pass.
 struct PipelinePass {
   const ExtArray* read_from = nullptr;
   const ExtArray* write_to = nullptr;
   std::vector<std::uint64_t> reads;
   std::vector<std::uint64_t> writes;
+
+  /// An (array, array-relative block) pair for mixed-array passes.
+  struct Ref {
+    const ExtArray* array = nullptr;
+    std::uint64_t block = 0;
+  };
+  std::vector<Ref> read_refs;
+  std::vector<Ref> write_refs;
+  void read(const ExtArray& a, std::uint64_t block) { read_refs.push_back({&a, block}); }
+  void write(const ExtArray& a, std::uint64_t block) { write_refs.push_back({&a, block}); }
 };
 
 /// Fills `io` for pass t (the vectors arrive empty).  Called once per pass,
@@ -53,5 +69,14 @@ using PassComputeFn = std::function<void(std::uint64_t t, std::span<Record> buf)
 
 void run_block_pipeline(Client& client, std::uint64_t passes,
                         const PassDescribeFn& describe, const PassComputeFn& compute);
+
+/// The algorithm layer's common copy/assembly scan, pipelined: copy `count`
+/// blocks src[src_first..] -> dst[dst_first..] in io_batch windows, writing
+/// explicit empty blocks where src runs out.  Exactly
+/// min(count, available-src) block reads + count block writes -- identical
+/// to the per-block loop it factors out.
+void pipelined_copy_pad(Client& client, const ExtArray& src, std::uint64_t src_first,
+                        const ExtArray& dst, std::uint64_t dst_first,
+                        std::uint64_t count);
 
 }  // namespace oem

@@ -1,7 +1,9 @@
 #include "oram/sqrt_oram.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "extmem/pipeline.h"
 #include "hash/hashing.h"
 #include "sortnet/external_sort.h"
 #include "util/math.h"
@@ -85,24 +87,29 @@ void SqrtOram::reshuffle() {
   // Retag pass: cell for virtual index v gets sort key pi_{e}(v).  Real
   // cells carry the stored value, dummies carry junk.  (Read-oriented demo:
   // contents are regenerated; a full RW ORAM would merge the stash here,
-  // with identical I/O shape.)
-  {
-    CacheLease lease(client_.cache(), client_.B());
-    const std::size_t B = client_.B();
-    BlockBuf blk(B);
-    const std::uint64_t total = n_ + sqrt_n_;
-    for (std::uint64_t b = 0; b < main_.num_blocks(); ++b) {
-      for (std::size_t r = 0; r < B; ++r) {
-        const std::uint64_t v = b * B + r;
-        if (v < total) {
-          blk[r] = {prp_.apply(v), v < n_ ? expected_value(v) : 0};
-        } else {
-          blk[r] = Record{};
+  // with identical I/O shape.)  Write-only pipelined scan: window t+1's
+  // ciphertext is staged while window t transfers.
+  const std::size_t B = client_.B();
+  const std::uint64_t W = std::max<std::uint64_t>(1, client_.io_batch_blocks());
+  const std::uint64_t nb = main_.num_blocks();
+  const std::uint64_t total = n_ + sqrt_n_;
+  run_block_pipeline(
+      client_, nb == 0 ? 0 : ceil_div(nb, W),
+      [&](std::uint64_t t, PipelinePass& io) {
+        io.write_to = &main_;
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = std::min(W, nb - first);
+        for (std::uint64_t j = 0; j < k; ++j) io.writes.push_back(first + j);
+      },
+      [&](std::uint64_t t, std::span<Record> buf) {
+        const std::uint64_t first = t * W;
+        for (std::size_t idx = 0; idx < buf.size(); ++idx) {
+          const std::uint64_t v = first * B + idx;
+          buf[idx] = v < total
+                         ? Record{prp_.apply(v), v < n_ ? expected_value(v) : 0}
+                         : Record{};
         }
-      }
-      client_.write_block(main_, b, blk);
-    }
-  }
+      });
 
   // The pluggable inner loop: oblivious sort by tag.
   if (kind_ == ShuffleKind::kDeterministic) {
@@ -114,31 +121,41 @@ void SqrtOram::reshuffle() {
   }
 
   // Rewrite tags back to virtual indices: after sorting by tag, position p
-  // holds the cell with tag p, i.e. virtual index pi^{-1}(p).
-  {
-    CacheLease lease(client_.cache(), client_.B());
-    const std::size_t B = client_.B();
-    BlockBuf blk;
-    const std::uint64_t total = n_ + sqrt_n_;
-    for (std::uint64_t b = 0; b < main_.num_blocks(); ++b) {
-      client_.read_block(main_, b, blk);
-      for (std::size_t r = 0; r < B; ++r) {
-        const std::uint64_t p = b * B + r;
-        if (p < total) {
-          blk[r].key = prp_.inverse(p);  // restore the virtual index as key
+  // holds the cell with tag p, i.e. virtual index pi^{-1}(p).  In-place
+  // pipelined scan; window t+1 is disjoint from window t's write set, so it
+  // prefetches during the PRP inversion.
+  run_block_pipeline(
+      client_, nb == 0 ? 0 : ceil_div(nb, W),
+      [&](std::uint64_t t, PipelinePass& io) {
+        io.read_from = &main_;
+        io.write_to = &main_;
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = std::min(W, nb - first);
+        for (std::uint64_t j = 0; j < k; ++j) {
+          io.reads.push_back(first + j);
+          io.writes.push_back(first + j);
         }
-      }
-      client_.write_block(main_, b, blk);
-    }
-  }
+      },
+      [&](std::uint64_t t, std::span<Record> buf) {
+        const std::uint64_t first = t * W;
+        for (std::size_t idx = 0; idx < buf.size(); ++idx) {
+          const std::uint64_t p = first * B + idx;
+          if (p < total) buf[idx].key = prp_.inverse(p);  // restore virtual index
+        }
+      });
 
-  // Clear the stash.
-  {
-    CacheLease lease(client_.cache(), client_.B());
-    const BlockBuf empty = make_empty_block(client_.B());
-    for (std::uint64_t b = 0; b < stash_.num_blocks(); ++b)
-      client_.write_block(stash_, b, empty);
-  }
+  // Clear the stash (write-only pipelined scan).
+  run_block_pipeline(
+      client_, stash_.num_blocks() == 0 ? 0 : ceil_div(stash_.num_blocks(), W),
+      [&](std::uint64_t t, PipelinePass& io) {
+        io.write_to = &stash_;
+        const std::uint64_t first = t * W;
+        const std::uint64_t k = std::min(W, stash_.num_blocks() - first);
+        for (std::uint64_t j = 0; j < k; ++j) io.writes.push_back(first + j);
+      },
+      [](std::uint64_t, std::span<Record> buf) {
+        std::fill(buf.begin(), buf.end(), Record{});
+      });
 
   used_ = 0;
   ++stats_.reshuffles;
