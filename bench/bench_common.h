@@ -17,6 +17,7 @@
 #include "extmem/backend.h"
 #include "extmem/client.h"
 #include "extmem/io_engine.h"
+#include "extmem/remote.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -36,6 +37,30 @@ inline unsigned& global_retry_attempts() {
   return attempts;
 }
 
+/// Pipeline depth from --depth (2 = the double-buffer default).
+inline std::size_t& global_pipeline_depth() {
+  static std::size_t depth = 2;
+  return depth;
+}
+
+/// The process-wide loopback RemoteServer behind --remote; started on first
+/// use, lives for the whole bench run (its stores persist across Clients).
+inline RemoteServer* global_remote_server(BackendFactory store_factory = nullptr,
+                                          std::uint64_t response_delay_ns = 0) {
+  static std::unique_ptr<RemoteServer> server;
+  if (!server) {
+    RemoteServerOptions opts;
+    opts.store_factory = std::move(store_factory);
+    opts.response_delay_ns = response_delay_ns;
+    server = std::make_unique<RemoteServer>(std::move(opts));
+    if (!server->health().ok()) {
+      std::fprintf(stderr, "--remote: %s\n", server->health().ToString().c_str());
+      std::exit(2);
+    }
+  }
+  return server.get();
+}
+
 inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 1) {
   ClientParams p;
   p.block_records = B;
@@ -43,6 +68,7 @@ inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 
   p.seed = seed;
   p.backend = global_backend();
   p.io_retry_attempts = global_retry_attempts();
+  p.pipeline_depth = global_pipeline_depth();
   return p;
 }
 
@@ -93,6 +119,19 @@ inline BackendFactory backend_from_flags(const Flags& flags,
   const std::string which = flags.get("backend", "mem");
   const std::size_t shards = static_cast<std::size_t>(flags.get_u64("shards", 1));
   const bool prefetch = flags.get_bool("prefetch", false);
+  // --remote serves the chosen base store from an in-process loopback
+  // RemoteServer (one per bench run; per-shard store namespaces) and talks
+  // to it through RemoteBackend connections, so every bench can put its
+  // workload behind a real TCP round trip.  --remote-rtt-us adds simulated
+  // propagation delay per response (the pipelined wire still streams).
+  const bool remote = flags.get_bool("remote", false);
+  const std::uint64_t remote_rtt_us = flags.get_u64("remote-rtt-us", 0);
+  global_pipeline_depth() =
+      static_cast<std::size_t>(flags.get_u64("depth", 2));
+  if (global_pipeline_depth() < 1) {
+    std::fprintf(stderr, "--depth must be >= 1\n");
+    std::exit(2);
+  }
   FaultProfile fault_profile;
   const bool inject = fault_profile_from_flags(flags, &fault_profile);
   if (retry_attempts != nullptr) *retry_attempts = inject ? 4 : 1;
@@ -116,7 +155,27 @@ inline BackendFactory backend_from_flags(const Flags& flags,
   }
   BackendFactory base;
   if (which == "file") base = file_backend();
-  if (shards > 1) {
+  if (remote) {
+    // The server keeps the (mem or file) store; the client stack sees a
+    // RemoteBackend per shard.  Store ids namespace by geometry too, so one
+    // server survives a bench that runs several block sizes.
+    RemoteServer* server =
+        global_remote_server(std::move(base), remote_rtt_us * 1000);
+    const std::string host = server->host();
+    const std::uint16_t port = server->port();
+    base = nullptr;
+    ShardFactory per_shard = [host, port, faulted](std::size_t block_words,
+                                                   std::size_t shard)
+        -> std::unique_ptr<StorageBackend> {
+      RemoteBackendOptions opts;
+      opts.host = host;
+      opts.port = port;
+      opts.store_id = (static_cast<std::uint64_t>(block_words) << 16) | shard;
+      BackendFactory fb = faulted(remote_backend(opts), shard);
+      return fb(block_words);
+    };
+    f = sharded_backend(std::move(per_shard), shards);
+  } else if (shards > 1) {
     ShardFactory per_shard = [base, faulted](std::size_t block_words,
                                              std::size_t shard)
         -> std::unique_ptr<StorageBackend> {

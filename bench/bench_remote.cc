@@ -1,0 +1,162 @@
+// E12 -- the remote block store, measured over localhost TCP.  An in-process
+// RemoteServer holds the blocks behind the wire protocol with a configurable
+// simulated propagation delay (--rtt-us, default 100us -- a fast datacenter
+// round trip; the real loopback stack adds its own microseconds on top), and
+// the same workloads run against it in a ladder of engine configurations:
+//
+//   per_block        io_batch=1, depth 1: one synchronous frame round trip
+//                    per block -- the naive client pays RTT per block.
+//   batched_depth1   windowed read_many/write_many frames, still one
+//                    synchronous round trip at a time: RTT per window edge.
+//   depth{2,4,8}     + async prefetch: K windows in flight, the AsyncBackend
+//                    streams begin/complete frames on the wire, so the round
+//                    trips overlap and the RTT amortizes across the ring.
+//
+// Block I/O counts must be IDENTICAL across configurations -- depth and
+// batching change when bytes move, never what Bob sees or how many blocks
+// move.  The headline claim (ISSUE 4 acceptance): depth 4 is >= 2x faster
+// than depth 1 on a >= 100us-RTT connection.  --json=PATH writes the grid as
+// a CI artifact (BENCH_remote.json).
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/oblivious_sort.h"
+#include "extmem/pipeline.h"
+#include "extmem/remote.h"
+
+using namespace oem;
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(b - a)
+      .count();
+}
+
+struct WorkCase {
+  std::string name;
+  /// Sets up input (uncounted), resets stats, runs, returns algorithm-only ms.
+  std::function<double(Client&, std::uint64_t n_blocks)> run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::uint64_t n_blocks = flags.get_u64("blocks", 256);
+  const std::uint64_t rtt_us = flags.get_u64("rtt-us", 100);
+  const std::string json_path = flags.get("json", "");
+  flags.validate_or_die();
+
+  bench::banner("E12", "remote block store over localhost TCP (" +
+                           std::to_string(rtt_us) + "us simulated RTT)");
+  bench::note("per-block vs batched vs depth-K wire pipelining; identical block "
+              "I/Os by construction, only when the bytes cross the wire changes");
+
+  RemoteServerOptions sopts;
+  sopts.response_delay_ns = rtt_us * 1000;
+  RemoteServer server(sopts);
+  if (!server.health().ok()) {
+    std::fprintf(stderr, "remote server: %s\n", server.health().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<WorkCase> works;
+  works.push_back({"stream_copy", [](Client& c, std::uint64_t n) {
+                     ExtArray src = c.alloc_blocks(n, Client::Init::kUninit);
+                     ExtArray dst = c.alloc_blocks(n, Client::Init::kUninit);
+                     c.poke(src, bench::random_records(n * c.B(), 7));
+                     c.reset_stats();
+                     const auto t0 = std::chrono::steady_clock::now();
+                     pipelined_copy_pad(c, src, 0, dst, 0, n);
+                     return ms_between(t0, std::chrono::steady_clock::now());
+                   }});
+  works.push_back({"oblivious_sort", [](Client& c, std::uint64_t n) {
+                     ExtArray a = c.alloc_blocks(n, Client::Init::kUninit);
+                     c.poke(a, bench::random_records(n * c.B(), 2));
+                     c.reset_stats();
+                     const auto t0 = std::chrono::steady_clock::now();
+                     core::oblivious_sort(c, a, 7);
+                     return ms_between(t0, std::chrono::steady_clock::now());
+                   }});
+
+  struct Cfg {
+    const char* name;
+    std::uint64_t io_batch;  // 0 = default window
+    std::size_t depth;
+    bool prefetch;
+  };
+  const std::vector<Cfg> cfgs = {{"per_block", 1, 1, false},
+                                 {"batched_depth1", 0, 1, false},
+                                 {"depth2_prefetch", 0, 2, true},
+                                 {"depth4_prefetch", 0, 4, true},
+                                 {"depth8_prefetch", 0, 8, true}};
+
+  Table t({"work", "config", "block I/Os", "frames", "wall ms", "vs depth1"});
+  std::string json_rows;
+  bool claim_met = true;
+  std::uint64_t next_store = 0;
+  for (const WorkCase& work : works) {
+    double depth1_ms = 0;
+    std::uint64_t base_ios = 0;
+    for (const Cfg& cfg : cfgs) {
+      ClientParams p;
+      p.block_records = 4;
+      p.cache_records = 4 * 64;
+      p.seed = 1;
+      p.io_batch_blocks = cfg.io_batch;
+      p.pipeline_depth = cfg.depth;
+      RemoteBackendOptions ropts;
+      ropts.host = server.host();
+      ropts.port = server.port();
+      ropts.store_id = next_store++;  // fresh namespace per run
+      BackendFactory f = remote_backend(ropts);
+      if (cfg.prefetch) f = async_backend(std::move(f));
+      p.backend = std::move(f);
+      Client c(p);
+      const std::uint64_t frames_before = server.frames_served();
+      const double ms = work.run(c, n_blocks);
+      const std::uint64_t ios = c.stats().total();
+      const std::uint64_t frames = server.frames_served() - frames_before;
+      if (cfg.depth == 1 && cfg.io_batch == 0) {
+        depth1_ms = ms;
+        base_ios = ios;
+      } else if (cfg.io_batch == 1) {
+        base_ios = ios;
+      } else if (ios != base_ios) {
+        bench::note("WARNING: " + work.name + "/" + cfg.name +
+                    " changed the block I/O count (" + std::to_string(ios) +
+                    " vs " + std::to_string(base_ios) + ")");
+      }
+      const double speedup = depth1_ms > 0 ? depth1_ms / ms : 0.0;
+      if (std::string(cfg.name) == "depth4_prefetch" && speedup < 2.0)
+        claim_met = false;
+      t.add_row({work.name, cfg.name, std::to_string(ios), std::to_string(frames),
+                 Table::fmt(ms, 1),
+                 depth1_ms > 0 ? Table::fmt(speedup, 2) + "x" : "--"});
+      if (!json_rows.empty()) json_rows += ",";
+      json_rows += "{\"work\":\"" + work.name + "\",\"config\":\"" + cfg.name +
+                   "\",\"block_ios\":" + std::to_string(ios) +
+                   ",\"frames\":" + std::to_string(frames) +
+                   ",\"wall_ms\":" + Table::fmt(ms, 3) +
+                   ",\"speedup_vs_depth1\":" + Table::fmt(speedup, 3) + "}";
+    }
+  }
+  t.print(std::cout);
+  bench::note(claim_met
+                  ? "depth-4 pipelining >= 2x over depth-1 at this RTT: MET"
+                  : "depth-4 pipelining >= 2x over depth-1 at this RTT: NOT MET");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\"bench\":\"remote\",\"rtt_us\":" << rtt_us
+        << ",\"blocks\":" << n_blocks << ",\"claim_depth4_ge_2x\":"
+        << (claim_met ? "true" : "false") << ",\"rows\":[" << json_rows << "]}\n";
+    bench::note("wrote " + json_path);
+  }
+  return claim_met ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "api/session.h"
 
 #include <algorithm>
+#include <random>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "core/butterfly.h"
 #include "core/consolidate.h"
 #include "extmem/io_engine.h"
+#include "extmem/remote.h"
 
 namespace oem {
 
@@ -84,18 +86,40 @@ Session::Builder& Session::Builder::io_batch_blocks(std::uint64_t blocks) {
 
 Session::Builder& Session::Builder::in_memory() {
   storage_ = Storage::kMem;
+  local_storage_seen_ = true;
   return *this;
 }
 
 Session::Builder& Session::Builder::file_backed(FileBackendOptions opts) {
   storage_ = Storage::kFile;
   file_opts_ = std::move(opts);
+  local_storage_seen_ = true;
   return *this;
 }
 
 Session::Builder& Session::Builder::backend(BackendFactory factory) {
   storage_ = Storage::kCustom;
   custom_ = std::move(factory);
+  local_storage_seen_ = true;
+  return *this;
+}
+
+Session::Builder& Session::Builder::remote(const std::string& host, std::uint16_t port) {
+  storage_ = Storage::kRemote;
+  remote_seen_ = true;
+  remote_host_ = host;
+  remote_port_ = port;
+  return *this;
+}
+
+Session::Builder& Session::Builder::pipeline_depth(std::size_t k) {
+  params_.pipeline_depth = k;
+  return *this;
+}
+
+Session::Builder& Session::Builder::encrypted(Word key) {
+  encrypted_ = true;
+  encryption_key_ = key;
   return *this;
 }
 
@@ -145,20 +169,47 @@ Result<Session> Session::Builder::build() const {
     return Status::InvalidArgument("sharded(k) needs 1 <= k <= 1024");
   if (fault_profile_.fail_rate < 0.0 || fault_profile_.fail_rate > 1.0)
     return Status::InvalidArgument("fault_injection rate must be in [0, 1]");
+  if (params.pipeline_depth < 1 || params.pipeline_depth > 64)
+    return Status::InvalidArgument(
+        "pipeline_depth(k) needs 1 <= k <= 64 (1 = sequential windows, "
+        "2 = double buffer)");
+  if (remote_seen_ && local_storage_seen_)
+    return Status::InvalidArgument(
+        "remote() cannot be combined with in_memory()/file_backed()/"
+        "backend(...): the server's store_factory decides where the bytes "
+        "live");
+  if (remote_seen_ && (remote_host_.empty() || remote_port_ == 0))
+    return Status::InvalidArgument(
+        "remote() needs a non-empty host and a non-zero port");
   params.io_retry_attempts =
       io_retries_ != 0 ? io_retries_ : (inject_faults_ ? 4u : 1u);
 
-  // Compose the storage stack inside-out: per-shard base stores (each
-  // optionally wrapped in a FaultyBackend with its own sub-seed, so failures
-  // hit individual shards), striping, one latency model over the striped
-  // store (lanes = k, the parallel-disk model: simulated round trips to
-  // different shards overlap by construction), async submission --
-  // async(latency(sharded(faulty(base) x k))).
+  // Each built session claims a fresh random namespace of server store ids
+  // (low bits carry the shard index; sharded(k) caps at 1024 = 10 bits), so
+  // two Sessions pointed at one RemoteServer can never alias -- and
+  // therefore never silently overwrite -- each other's stores.
+  std::uint64_t store_namespace = 0;
+  if (storage_ == Storage::kRemote) {
+    std::random_device rd;
+    store_namespace =
+        ((static_cast<std::uint64_t>(rd()) << 32) ^ rd()) & ~std::uint64_t{0x3ff};
+  }
+
+  // Compose the storage stack inside-out: per-shard base stores (remote
+  // shards get their own store namespace + connection; each optionally
+  // re-encrypted at the seam, then optionally wrapped in a FaultyBackend
+  // with its own sub-seed, so failures hit individual shards), striping, one
+  // latency model over the striped store (lanes = k, the parallel-disk
+  // model: simulated round trips to different shards overlap by
+  // construction), async submission --
+  // async(latency(sharded(faulty(encrypted(base)) x k))).
   ShardFactory per_shard =
       [storage = storage_, file_opts = file_opts_, custom = custom_,
-       shards = shards_, inject = inject_faults_,
-       fault = fault_profile_](std::size_t block_words,
-                               std::size_t shard) -> std::unique_ptr<StorageBackend> {
+       host = remote_host_, port = remote_port_, store_namespace,
+       shards = shards_, inject = inject_faults_, fault = fault_profile_,
+       encrypted = encrypted_,
+       key = encryption_key_](std::size_t block_words,
+                              std::size_t shard) -> std::unique_ptr<StorageBackend> {
     BackendFactory base;
     switch (storage) {
       case Storage::kFile: {
@@ -171,11 +222,20 @@ Result<Session> Session::Builder::build() const {
       case Storage::kCustom:
         base = custom;
         break;
+      case Storage::kRemote: {
+        RemoteBackendOptions opts;
+        opts.host = host;
+        opts.port = port;
+        opts.store_id = store_namespace | shard;
+        base = remote_backend(opts);
+        break;
+      }
       case Storage::kMem:
         base = mem_backend();
         break;
     }
     if (!base) base = mem_backend();  // backend(nullptr) means in-memory
+    if (encrypted) base = encrypted_backend(std::move(base), key);
     if (inject) {
       FaultProfile p = fault;
       p.seed = rng::mix64(fault.seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));

@@ -79,6 +79,34 @@ class Session {
     Builder& in_memory();
     Builder& file_backed(FileBackendOptions opts = {});
     Builder& backend(BackendFactory factory);
+    /// Outsource the blocks to a RemoteServer (extmem/remote.h) over
+    /// loopback/LAN TCP -- the paper's Bob as a real process boundary.
+    /// Every build() draws a fresh private namespace of server store ids
+    /// (store id = namespace | shard, one store and one connection per
+    /// shard), so concurrent Sessions against one server never alias each
+    /// other's blocks.  Combining remote() with any other storage selection
+    /// (in_memory()/file_backed()/backend()) is rejected at build(): where
+    /// the server keeps the bytes is the server's choice
+    /// (RemoteServerOptions::store_factory), not the client's.  A dropped
+    /// connection surfaces as StatusCode::kIo and is retried by reconnect
+    /// under io_retries().
+    Builder& remote(const std::string& host, std::uint16_t port);
+    /// In-flight window ring size for the hot-loop pipeline (1 = strictly
+    /// sequential windows, 2 = double buffer, default).  With remote() +
+    /// async_prefetch() and no intervening decorator, depth K amortizes the
+    /// wire round trip across K windows (the AsyncBackend streams frames on
+    /// the split-phase remote connection).  Under sharded(k)/latency()/
+    /// fault_injection() the round trips of ONE batch still overlap across
+    /// shards, but successive windows execute round trip at a time -- those
+    /// decorators do not forward the split-phase seam (yet; see ROADMAP).
+    /// Depth is a public scheduling parameter: the recorded trace is a
+    /// function of (algorithm, N, M, B, seed, depth), never of data.
+    Builder& pipeline_depth(std::size_t k);
+    /// Re-encrypt blocks at the backend seam (EncryptedBackend, fresh nonce
+    /// per write) so the store below -- in particular a remote server --
+    /// only ever holds ciphertext of this session's making, even for raw
+    /// uploads.  Defense in depth under the Client's own encryption.
+    Builder& encrypted(Word key);
     /// Wrap the (possibly striped) store in a LatencyBackend.  With
     /// sharding, the profile's `lanes` is set to the shard count: the
     /// parallel-disk model, where striping divides streaming time but not
@@ -110,18 +138,24 @@ class Session {
     Result<Session> build() const;
 
    private:
-    enum class Storage { kMem, kFile, kCustom };
+    enum class Storage { kMem, kFile, kCustom, kRemote };
 
     ClientParams params_;
     Storage storage_ = Storage::kMem;
     FileBackendOptions file_opts_;
     BackendFactory custom_;
+    bool local_storage_seen_ = false;  // explicit in_memory/file_backed/backend
+    bool remote_seen_ = false;
+    std::string remote_host_;
+    std::uint16_t remote_port_ = 0;
     bool wrap_latency_ = false;
     LatencyProfile profile_;
     std::size_t shards_ = 1;
     bool prefetch_ = false;
     bool inject_faults_ = false;
     FaultProfile fault_profile_;
+    bool encrypted_ = false;
+    Word encryption_key_ = 0;
     unsigned io_retries_ = 0;  // 0 = auto (4 with faults, else 1)
   };
 

@@ -7,11 +7,16 @@
 #endif
 
 #include <algorithm>
+#include <cassert>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 #include <thread>
+
+#include "extmem/encryption.h"
+#include "rng/random.h"
 
 namespace oem {
 
@@ -74,6 +79,22 @@ Status StorageBackend::write_many(std::span<const std::uint64_t> blocks,
   OEM_RETURN_IF_ERROR(check_blocks(blocks, in.size(), "write_many"));
   if (blocks.empty()) return Status::Ok();
   return do_write_many(blocks, in);
+}
+
+Status StorageBackend::begin_read_many(std::span<const std::uint64_t> blocks,
+                                       std::span<Word> out) {
+  OEM_RETURN_IF_ERROR(health());
+  OEM_RETURN_IF_ERROR(check_blocks(blocks, out.size(), "begin_read_many"));
+  if (blocks.empty()) return Status::Ok();
+  return do_begin_read_many(blocks, out);
+}
+
+Status StorageBackend::begin_write_many(std::span<const std::uint64_t> blocks,
+                                        std::span<const Word> in) {
+  OEM_RETURN_IF_ERROR(health());
+  OEM_RETURN_IF_ERROR(check_blocks(blocks, in.size(), "begin_write_many"));
+  if (blocks.empty()) return Status::Ok();
+  return do_begin_write_many(blocks, in);
 }
 
 Status StorageBackend::do_read_many(std::span<const std::uint64_t> blocks,
@@ -310,6 +331,135 @@ Status LatencyBackend::do_write_many(std::span<const std::uint64_t> blocks,
 }
 
 // ---------------------------------------------------------------------------
+// EncryptedBackend.
+
+EncryptedBackend::EncryptedBackend(std::size_t block_words,
+                                   std::unique_ptr<StorageBackend> inner, Word key)
+    : StorageBackend(block_words), inner_(std::move(inner)) {
+  assert(inner_ && inner_->block_words() == block_words + 1);
+  // Distinct per-instance nonce streams: two shards wrapping the same key
+  // must never reuse a (block, nonce) pair for different plaintexts.  The
+  // per-process entropy matters too -- a deterministic stream would repeat
+  // the same nonces after a client restart against a PERSISTENT remote
+  // store, handing Bob an XOR of old and new plaintext for rewritten
+  // blocks.  Nonces are not part of any reproducibility contract (the
+  // Client's own Encryptor draws per-session), so real randomness is free.
+  static std::atomic<std::uint64_t> instance{0};
+  static const std::uint64_t process_entropy = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  enc_ = std::make_unique<Encryptor>(
+      key, rng::mix64(key ^ process_entropy ^
+                      (0xd1b54a32d192ed03ULL *
+                       (instance.fetch_add(1, std::memory_order_relaxed) + 1))));
+  staging_.resize(block_words + 1);
+}
+
+EncryptedBackend::~EncryptedBackend() = default;
+
+Word EncryptedBackend::fresh_nonce() {
+  Word nonce = enc_->fresh_nonce();
+  while (nonce == 0) nonce = enc_->fresh_nonce();  // 0 marks "never written"
+  return nonce;
+}
+
+void EncryptedBackend::seal(std::uint64_t block, std::span<const Word> plain,
+                            std::span<Word> sealed) {
+  sealed[0] = fresh_nonce();
+  std::copy(plain.begin(), plain.end(), sealed.begin() + 1);
+  enc_->apply_keystream(block, sealed[0], sealed.subspan(1));
+}
+
+void EncryptedBackend::open(std::uint64_t block, std::span<Word> sealed_to_plain) const {
+  // A zero nonce is an inner block no write ever touched (fresh/shrunk-away
+  // storage reads as zero); its plaintext is all-zero words by contract.
+  const Word nonce = sealed_to_plain[0];
+  if (nonce != 0) enc_->apply_keystream(block, nonce, sealed_to_plain.subspan(1));
+  std::copy(sealed_to_plain.begin() + 1, sealed_to_plain.end(),
+            sealed_to_plain.begin());
+}
+
+Status EncryptedBackend::do_read(std::uint64_t block, std::span<Word> out) {
+  const std::uint64_t ids[1] = {block};
+  return do_read_many(std::span<const std::uint64_t>(ids, 1), out);
+}
+
+Status EncryptedBackend::do_write(std::uint64_t block, std::span<const Word> in) {
+  const std::uint64_t ids[1] = {block};
+  return do_write_many(std::span<const std::uint64_t>(ids, 1), in);
+}
+
+Status EncryptedBackend::do_read_many(std::span<const std::uint64_t> blocks,
+                                      std::span<Word> out) {
+  const std::size_t bw = block_words(), ibw = bw + 1;
+  staging_.resize(blocks.size() * ibw);
+  OEM_RETURN_IF_ERROR(inner_->read_many(blocks, staging_));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    std::span<Word> sealed(staging_.data() + i * ibw, ibw);
+    open(blocks[i], sealed);
+    std::copy_n(sealed.begin(), bw, out.begin() + i * bw);
+  }
+  return Status::Ok();
+}
+
+Status EncryptedBackend::do_write_many(std::span<const std::uint64_t> blocks,
+                                       std::span<const Word> in) {
+  const std::size_t bw = block_words(), ibw = bw + 1;
+  staging_.resize(blocks.size() * ibw);
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    seal(blocks[i], in.subspan(i * bw, bw),
+         std::span<Word>(staging_.data() + i * ibw, ibw));
+  return inner_->write_many(blocks, staging_);
+}
+
+Status EncryptedBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
+                                            std::span<Word> out) {
+  Pending p;
+  p.is_write = false;
+  p.blocks.assign(blocks.begin(), blocks.end());
+  p.staging.resize(blocks.size() * (block_words() + 1));
+  p.dest = out.data();
+  Status st = inner_->begin_read_many(p.blocks, p.staging);
+  if (st.ok()) pending_.push_back(std::move(p));
+  return st;
+}
+
+Status EncryptedBackend::do_begin_write_many(std::span<const std::uint64_t> blocks,
+                                             std::span<const Word> in) {
+  const std::size_t bw = block_words(), ibw = bw + 1;
+  Pending p;
+  p.is_write = true;
+  p.blocks.assign(blocks.begin(), blocks.end());
+  p.staging.resize(blocks.size() * ibw);
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    seal(blocks[i], in.subspan(i * bw, bw),
+         std::span<Word>(p.staging.data() + i * ibw, ibw));
+  // The sealed staging must outlive the wire transfer (an inner
+  // RemoteBackend only borrows the buffer until its frame is sent, but a
+  // default-synchronous inner consumes it right here either way).
+  Status st = inner_->begin_write_many(p.blocks, p.staging);
+  if (st.ok()) pending_.push_back(std::move(p));
+  return st;
+}
+
+Status EncryptedBackend::do_complete_oldest() {
+  if (pending_.empty()) return inner_->complete_oldest();
+  Pending p = std::move(pending_.front());
+  pending_.pop_front();
+  Status st = inner_->complete_oldest();
+  if (st.ok() && !p.is_write) {
+    const std::size_t bw = block_words(), ibw = bw + 1;
+    for (std::size_t i = 0; i < p.blocks.size(); ++i) {
+      std::span<Word> sealed(p.staging.data() + i * ibw, ibw);
+      open(p.blocks[i], sealed);
+      std::copy_n(sealed.begin(), bw, p.dest + i * bw);
+    }
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
 // Factories.
 
 BackendFactory mem_backend() {
@@ -327,6 +477,15 @@ BackendFactory latency_backend(BackendFactory inner, LatencyProfile profile) {
              -> std::unique_ptr<StorageBackend> {
     auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
     return std::make_unique<LatencyBackend>(std::move(base), profile);
+  };
+}
+
+BackendFactory encrypted_backend(BackendFactory inner, Word key) {
+  return [inner = std::move(inner), key](std::size_t block_words)
+             -> std::unique_ptr<StorageBackend> {
+    auto base = inner ? inner(block_words + 1)
+                      : std::make_unique<MemBackend>(block_words + 1);
+    return std::make_unique<EncryptedBackend>(block_words, std::move(base), key);
   };
 }
 

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
@@ -69,6 +70,31 @@ class StorageBackend {
   Status read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
   Status write_many(std::span<const std::uint64_t> blocks, std::span<const Word> in);
 
+  // --- split-phase batched I/O (protocol pipelining) ---
+  //
+  // A backend whose op is a request/response round trip (RemoteBackend) can
+  // keep several requests in flight on the wire: begin_* issues the request
+  // without waiting and complete_oldest() blocks for the OLDEST outstanding
+  // response.  Completion order is strictly begin order, and the transport
+  // applies ops in begin order, so the sequential read/write semantics --
+  // including read-after-write on the same block -- are preserved for any
+  // number of outstanding ops.  Backends with nothing to overlap keep the
+  // defaults: max_inflight() == 1 and begin_* that executes synchronously
+  // (complete_oldest is then a no-op), so callers can use the split API
+  // uniformly.  AsyncBackend drives this when its inner backend reports
+  // max_inflight() > 1; that is what makes pipeline depth > 2 pay on a
+  // high-RTT store.
+
+  /// Requests the backend can usefully keep in flight (1 = synchronous).
+  std::size_t max_inflight() const { return do_max_inflight(); }
+  /// `out` must stay valid until the matching complete_oldest() returns.
+  Status begin_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
+  /// `in` is consumed before begin_write_many returns (staged or sent).
+  Status begin_write_many(std::span<const std::uint64_t> blocks,
+                          std::span<const Word> in);
+  /// Completes the oldest outstanding begun op; Ok when none is outstanding.
+  Status complete_oldest() { return do_complete_oldest(); }
+
  protected:
   virtual Status do_resize(std::uint64_t nblocks) = 0;
   virtual Status do_read(std::uint64_t block, std::span<Word> out) = 0;
@@ -78,6 +104,17 @@ class StorageBackend {
   virtual Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out);
   virtual Status do_write_many(std::span<const std::uint64_t> blocks,
                                std::span<const Word> in);
+  /// Split-phase defaults: execute at begin time, complete immediately.
+  virtual std::size_t do_max_inflight() const { return 1; }
+  virtual Status do_begin_read_many(std::span<const std::uint64_t> blocks,
+                                    std::span<Word> out) {
+    return do_read_many(blocks, out);
+  }
+  virtual Status do_begin_write_many(std::span<const std::uint64_t> blocks,
+                                     std::span<const Word> in) {
+    return do_write_many(blocks, in);
+  }
+  virtual Status do_complete_oldest() { return Status::Ok(); }
 
  private:
   Status check_blocks(std::span<const std::uint64_t> blocks, std::size_t words,
@@ -206,11 +243,77 @@ class LatencyBackend : public StorageBackend {
 };
 
 // ---------------------------------------------------------------------------
+// EncryptedBackend: decorator keeping the store below it ciphertext-only.
+
+class Encryptor;  // extmem/encryption.h
+
+/// Re-encrypts every block at the StorageBackend seam with its own key and a
+/// fresh nonce per write, so whatever store sits below -- in particular a
+/// RemoteBackend's server -- only ever holds ciphertext, and rewriting the
+/// same plaintext yields unrelated bytes.  The Client already encrypts at the
+/// protocol layer; this is defense in depth for the backend stack itself
+/// (raw-path writes, benches driving backends directly, a remote server that
+/// must hold nothing decryptable).  Each stored block grows by one word (the
+/// nonce header), so the inner backend is created with block_words + 1.
+class EncryptedBackend : public StorageBackend {
+ public:
+  /// `inner` must have block_words() == block_words + 1.
+  EncryptedBackend(std::size_t block_words, std::unique_ptr<StorageBackend> inner,
+                   Word key);
+  ~EncryptedBackend() override;
+  const char* name() const override { return "encrypted"; }
+  Status health() const override { return inner_->health(); }
+
+  StorageBackend& inner() { return *inner_; }
+  const StorageBackend& inner() const { return *inner_; }
+
+ protected:
+  Status do_resize(std::uint64_t nblocks) override { return inner_->resize(nblocks); }
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+  /// Split-phase forwarding: encryption happens at begin (writes) /
+  /// completion (reads) in this decorator's staging buffers, so an inner
+  /// RemoteBackend keeps its wire pipelining through the encryption layer.
+  std::size_t do_max_inflight() const override { return inner_->max_inflight(); }
+  Status do_begin_read_many(std::span<const std::uint64_t> blocks,
+                            std::span<Word> out) override;
+  Status do_begin_write_many(std::span<const std::uint64_t> blocks,
+                             std::span<const Word> in) override;
+  Status do_complete_oldest() override;
+
+ private:
+  /// Draws a nonzero nonce (0 marks a never-written inner block, which must
+  /// keep reading back as all-zero plaintext).
+  Word fresh_nonce();
+  void seal(std::uint64_t block, std::span<const Word> plain, std::span<Word> sealed);
+  void open(std::uint64_t block, std::span<Word> sealed_to_plain) const;
+
+  /// One outstanding split-phase op's staging (inner-sized blocks).
+  struct Pending {
+    bool is_write = false;
+    std::vector<std::uint64_t> blocks;
+    std::vector<Word> staging;
+    Word* dest = nullptr;  // reads: caller's plaintext destination
+  };
+
+  std::unique_ptr<StorageBackend> inner_;
+  std::unique_ptr<Encryptor> enc_;
+  std::vector<Word> staging_;  // reused synchronous transfer buffer
+  std::deque<Pending> pending_;
+};
+
+// ---------------------------------------------------------------------------
 // Factory helpers.
 
 BackendFactory mem_backend();
 BackendFactory file_backend(FileBackendOptions opts = {});
 /// Wrap the backend produced by `inner` (null = mem) in a LatencyBackend.
 BackendFactory latency_backend(BackendFactory inner, LatencyProfile profile);
+/// Wrap the backend produced by `inner` (null = mem) in an EncryptedBackend;
+/// `inner` is built one word wider to hold the nonce header.
+BackendFactory encrypted_backend(BackendFactory inner, Word key);
 
 }  // namespace oem

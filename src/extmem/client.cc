@@ -12,7 +12,8 @@ Client::Client(const ClientParams& params)
       io_batch_(params.io_batch_blocks),
       dev_(std::make_unique<BlockDevice>(1 + params.block_records * kWordsPerRecord,
                                          params.backend,
-                                         RetryPolicy{params.io_retry_attempts})),
+                                         RetryPolicy{params.io_retry_attempts},
+                                         params.pipeline_depth)),
       enc_(rng::mix64(params.seed ^ 0x5bf0363546294ce7ULL), params.seed),
       meter_(params.cache_records, params.strict_cache),
       rng_(params.seed) {

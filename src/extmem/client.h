@@ -46,6 +46,12 @@ struct ClientParams {
   /// StatusCode::kIo (1 = no retry).  See BlockDevice's RetryPolicy: retries
   /// are below the counters and the trace.
   unsigned io_retry_attempts = 1;
+  /// In-flight window ring size for run_block_pipeline (extmem/pipeline.h):
+  /// 1 = strictly sequential windows, 2 = the classic double buffer
+  /// (default), K = up to K-1 windows' reads prefetched ahead of the one
+  /// computing.  A public scheduling parameter like B: the submission order
+  /// (hence the trace) is a function of (passes, depth), never of the data.
+  std::size_t pipeline_depth = 2;
 };
 
 class Client {

@@ -22,10 +22,11 @@ namespace {
 }  // namespace
 
 BlockDevice::BlockDevice(std::size_t block_words, BackendFactory factory,
-                         RetryPolicy retry)
+                         RetryPolicy retry, std::size_t pipeline_depth)
     : backend_(factory ? factory(block_words)
                        : std::make_unique<MemBackend>(block_words)),
-      retry_(retry) {
+      retry_(retry),
+      pipeline_depth_(pipeline_depth < 1 ? 1 : pipeline_depth) {
   assert(block_words >= 1);
   assert(backend_ && backend_->block_words() == block_words);
   if (retry_.max_attempts < 1) retry_.max_attempts = 1;

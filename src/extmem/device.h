@@ -55,11 +55,17 @@ class BlockDevice {
  public:
   /// block_words: words of ciphertext per block (payload + nonce header).
   /// A null factory means MemBackend (the seed's in-RAM behavior).
+  /// pipeline_depth: the in-flight window ring size the block pipeline runs
+  /// with by default (see extmem/pipeline.h); 2 = the classic double buffer.
   explicit BlockDevice(std::size_t block_words, BackendFactory factory = nullptr,
-                       RetryPolicy retry = {});
+                       RetryPolicy retry = {}, std::size_t pipeline_depth = 2);
 
   std::size_t block_words() const { return backend_->block_words(); }
   std::uint64_t num_blocks() const { return num_blocks_; }
+
+  /// Default ring size for run_block_pipeline (>= 1; a public scheduling
+  /// parameter like B: the trace is a function of it, never of the data).
+  std::size_t pipeline_depth() const { return pipeline_depth_; }
 
   StorageBackend& backend() { return *backend_; }
   const StorageBackend& backend() const { return *backend_; }
@@ -166,6 +172,7 @@ class BlockDevice {
   std::unique_ptr<StorageBackend> backend_;
   AsyncBackend* async_ = nullptr;  // borrowed view into backend_ when async
   RetryPolicy retry_;
+  std::size_t pipeline_depth_ = 2;
   mutable std::uint64_t retries_ = 0;
   std::uint64_t num_blocks_ = 0;
   std::vector<Extent> discarded_;  // sorted by first_block, coalesced

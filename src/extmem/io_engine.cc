@@ -219,33 +219,28 @@ AsyncBackend::~AsyncBackend() {
 }
 
 void AsyncBackend::io_loop() {
-  for (;;) {
-    Op op;
-    {
-      for (int i = 0;
-           i < kSpinIters && queued_.load(std::memory_order_acquire) == 0; ++i)
-        cpu_relax();
-      std::unique_lock<std::mutex> lk(mu_);
-      queue_cv_.wait(lk, [&] { return !queue_.empty() || stop_; });
-      if (queue_.empty()) return;  // stop requested and everything flushed
-      op = std::move(queue_.front());
-      queue_.pop_front();
-      queued_.fetch_sub(1, std::memory_order_relaxed);
-    }
-    auto run_op = [&] {
-      return op.is_write
-                 ? inner_->write_many(op.blocks, op.wdata)
-                 : inner_->read_many(op.blocks, std::span<Word>(op.rdest, op.rlen));
-    };
-    Status st = run_op();
-    // Bounded retry of transient storage failures (the BlockDevice's retry
-    // policy, installed via set_retry_attempts): only kIo is retryable, and
-    // retries never touch the trace -- it was recorded at submit time.
+  // Wire-pipelining window: how many ops may be begun-but-incomplete on the
+  // inner backend at once (1 = the classic blocking loop).
+  const std::size_t cap = inner_->max_inflight();
+  std::deque<Op> inflight;
+
+  auto run_op = [&](Op& op) {
+    return op.is_write
+               ? inner_->write_many(op.blocks, op.wdata)
+               : inner_->read_many(op.blocks, std::span<Word>(op.rdest, op.rlen));
+  };
+  // Bounded retry of transient storage failures (the BlockDevice's retry
+  // policy, installed via set_retry_attempts): only kIo is retryable, and
+  // retries never touch the trace -- it was recorded at submit time.
+  auto run_with_retry = [&](Op& op, Status st) {
     const unsigned attempts = retry_attempts_.load(std::memory_order_relaxed);
     for (unsigned a = 1; a < attempts && st.code() == StatusCode::kIo; ++a) {
       retries_.fetch_add(1, std::memory_order_relaxed);
-      st = run_op();
+      st = run_op(op);
     }
+    return st;
+  };
+  auto finish = [&](const Status& st) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (!st.ok()) error_ = true;
@@ -253,6 +248,72 @@ void AsyncBackend::io_loop() {
       completed_.fetch_add(1, std::memory_order_release);
     }
     done_cv_.notify_all();
+  };
+  // Completes the oldest in-flight op.  A kIo completion means the transport
+  // likely died, losing every later in-flight response with it -- and even a
+  // server-reported failure leaves later in-flight ops having observed state
+  // from BEFORE this op's recovery.  Either way the whole window is drained
+  // and every op replayed synchronously IN ORDER under the retry budget (the
+  // inner backend reconnects on the replay).  Replay is idempotent: the
+  // server's applied state is always a prefix of the sent frames, and
+  // re-applying a prefix in order converges to the same final state.
+  auto complete_front = [&] {
+    auto drained_status = [&](Op& op) {
+      if (op.noop) return Status::Ok();
+      return op.begun.ok() ? inner_->complete_oldest() : op.begun;
+    };
+    Status front = drained_status(inflight.front());
+    if (front.code() != StatusCode::kIo) {
+      finish(front);
+      inflight.pop_front();
+      return;
+    }
+    std::vector<Status> drained;
+    drained.push_back(std::move(front));
+    for (std::size_t j = 1; j < inflight.size(); ++j)
+      drained.push_back(drained_status(inflight[j]));
+    for (std::size_t j = 0; j < inflight.size(); ++j) {
+      Status st = drained[j].code() == StatusCode::kIo ? drained[j]
+                                                       : run_op(inflight[j]);
+      finish(run_with_retry(inflight[j], std::move(st)));
+    }
+    inflight.clear();
+  };
+
+  for (;;) {
+    Op op;
+    bool have_op = false;
+    {
+      if (inflight.empty())
+        for (int i = 0;
+             i < kSpinIters && queued_.load(std::memory_order_acquire) == 0; ++i)
+          cpu_relax();
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [&] { return !queue_.empty() || stop_ || !inflight.empty(); });
+      if (queue_.empty() && inflight.empty()) return;  // stopped and flushed
+      if (!queue_.empty()) {
+        op = std::move(queue_.front());
+        queue_.pop_front();
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        have_op = true;
+      }
+    }
+    if (!have_op) {
+      complete_front();  // no new work: retire the oldest round trip
+      continue;
+    }
+    if (cap <= 1) {
+      finish(run_with_retry(op, run_op(op)));
+      continue;
+    }
+    while (inflight.size() >= cap) complete_front();
+    op.noop = op.blocks.empty();
+    op.begun = op.noop ? Status::Ok()
+               : op.is_write
+                   ? inner_->begin_write_many(op.blocks, op.wdata)
+                   : inner_->begin_read_many(op.blocks,
+                                             std::span<Word>(op.rdest, op.rlen));
+    inflight.push_back(std::move(op));
   }
 }
 

@@ -22,6 +22,22 @@
 //     driven through the (correct but blocking) synchronous path, losing all
 //     overlap.  Session::Builder and bench_common always compose it last.
 //
+//     When the inner backend supports split-phase I/O (max_inflight() > 1 --
+//     a RemoteBackend, possibly under an EncryptedBackend), the I/O thread
+//     keeps up to that many ops begun-but-incomplete at once instead of
+//     waiting out each round trip: requests stream onto the wire and
+//     responses are completed strictly in submission order, so the FIFO
+//     semantics (and every hazard argument built on them) are untouched
+//     while the round trips overlap.  This is what turns pipeline depth
+//     (PipelineOptions::depth) into wall-clock on a high-RTT store: a
+//     serial round trip per window costs 2*RTT/window no matter how many
+//     windows are queued, a pipelined wire amortizes the RTT across all
+//     in-flight windows.  A kIo completion (a dropped connection loses every
+//     later in-flight response with it) drains the whole window and replays
+//     each op synchronously in order under the retry budget -- replay is
+//     idempotent because the server's applied state is always a prefix of
+//     the sent frames.
+//
 // Neither decorator is visible in the adversary's view: the BlockDevice above
 // records the per-block trace at submission time, in program order, and that
 // order is a deterministic function of the algorithm's public parameters --
@@ -176,6 +192,9 @@ class AsyncBackend : public StorageBackend {
     std::vector<Word> wdata;  // writes: owned ciphertext
     Word* rdest = nullptr;    // reads: caller-owned destination
     std::size_t rlen = 0;
+    // Wire-pipelined execution state (inner max_inflight() > 1).
+    bool noop = false;  // empty batch: completes without touching the inner
+    Status begun;       // begin_* result; non-ok ops skip complete_oldest
   };
 
   void io_loop();

@@ -7,10 +7,11 @@ namespace oem {
 
 namespace {
 
-/// True when the two sorted-copy id sets share no element.
-bool disjoint_ids(std::vector<std::uint64_t> a, std::vector<std::uint64_t> b) {
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
+/// True when two SORTED id lists share no element (linear merge, no copies:
+/// the hazard loop re-checks blocked windows every advance() call, so the
+/// per-check cost must not include a sort).
+bool disjoint_sorted(const std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b) {
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] < b[j]) ++i;
@@ -24,6 +25,9 @@ struct Slot {
   PipelinePass io;
   std::vector<std::uint64_t> dev_reads;   // device-absolute gather ids
   std::vector<std::uint64_t> dev_writes;  // device-absolute scatter ids
+  // Sorted copies, built once per describe() for the hazard checks.
+  std::vector<std::uint64_t> sorted_reads;
+  std::vector<std::uint64_t> sorted_writes;
   std::vector<Word> wire;                 // read ciphertext staging
   BlockDevice::IoTicket ticket = 0;
 };
@@ -48,13 +52,19 @@ struct DrainOnUnwind {
 }  // namespace
 
 void run_block_pipeline(Client& client, std::uint64_t passes,
-                        const PassDescribeFn& describe, const PassComputeFn& compute) {
+                        const PassDescribeFn& describe, const PassComputeFn& compute,
+                        PipelineOptions options) {
   if (passes == 0) return;
   BlockDevice& dev = client.device();
   const std::size_t bw = dev.block_words();
   const std::size_t B = client.B();
+  // Ring size K: window t computes while the reads of up to K-1 later
+  // windows are in flight.  Slot u % K is reusable from window u-K's end, so
+  // the prefetch horizon t+K-1 never clobbers live staging.
+  const std::size_t K = std::max<std::size_t>(
+      1, options.depth != 0 ? options.depth : dev.pipeline_depth());
 
-  Slot slots[2];
+  std::vector<Slot> slots(K);
   auto prepare = [&](std::uint64_t t, Slot& s) {
     s.io.read_from = s.io.write_to = nullptr;
     s.io.reads.clear();
@@ -82,6 +92,10 @@ void run_block_pipeline(Client& client, std::uint64_t passes,
       assert(r.array != nullptr);
       s.dev_writes[s.io.writes.size() + i] = r.array->device_block(r.block);
     }
+    s.sorted_reads = s.dev_reads;
+    std::sort(s.sorted_reads.begin(), s.sorted_reads.end());
+    s.sorted_writes = s.dev_writes;
+    std::sort(s.sorted_writes.begin(), s.sorted_writes.end());
   };
   // Transfers honor the client's coalescing window (io_batch_blocks): a pass
   // is submitted as ceil(blocks/W) backend ops.  W = 1 degenerates to
@@ -106,28 +120,42 @@ void run_block_pipeline(Client& client, std::uint64_t passes,
   std::vector<Word> sync_wire;  // reused write staging for sync backends
   DrainOnUnwind unwind_guard{dev};
 
-  prepare(0, slots[0]);
-  submit_read(slots[0]);
-  for (std::uint64_t t = 0; t < passes; ++t) {
-    Slot& cur = slots[t & 1];
-    Slot& nxt = slots[(t + 1) & 1];
-    if (t + 1 < passes) prepare(t + 1, nxt);
+  std::uint64_t described = 0;  // windows [0, described) have run describe()
+  std::uint64_t submitted = 0;  // windows [0, submitted) have their read submitted
 
+  // Describe + submit window reads strictly in order, up to `horizon`
+  // (inclusive), stopping at the first read that could observe a write not
+  // yet handed to the device.  `first_unwritten` is the oldest window whose
+  // write set is still unsubmitted; a window never hazards against itself
+  // (its read precedes its write in program order).  The decision is a
+  // public function of the pass descriptions and the depth, so the
+  // submission order -- and with it the trace -- is identical with and
+  // without an async backend; only the overlap changes.
+  auto advance = [&](std::uint64_t horizon, std::uint64_t first_unwritten) {
+    while (submitted < passes && submitted <= horizon) {
+      if (described == submitted) {
+        prepare(described, slots[described % K]);
+        ++described;
+      }
+      Slot& s = slots[submitted % K];
+      bool hazard = false;
+      for (std::uint64_t v = first_unwritten; v < submitted && !hazard; ++v)
+        hazard = !disjoint_sorted(s.sorted_reads, slots[v % K].sorted_writes);
+      if (hazard) break;
+      submit_read(s);
+      ++submitted;
+    }
+  };
+
+  for (std::uint64_t t = 0; t < passes; ++t) {
+    advance(t + K - 1, t);  // r(t) at the latest; prefetch across the ring
+    Slot& cur = slots[t % K];
     dev.wait(cur.ticket);
     const std::size_t nblocks = std::max(cur.dev_reads.size(), cur.dev_writes.size());
     lease.resize(nblocks * B);
     buf.resize(nblocks * B);
     client.decrypt_blocks(cur.dev_reads, cur.wire,
                           std::span<Record>(buf).first(cur.dev_reads.size() * B));
-
-    // Prefetch the next pass's read while this pass computes whenever the
-    // read set cannot observe this pass's pending write.  The decision is a
-    // public function of the pass descriptions, so the submission order --
-    // and with it the trace -- is identical with and without an async
-    // backend; only the overlap changes.
-    const bool early =
-        t + 1 < passes && disjoint_ids(nxt.dev_reads, cur.dev_writes);
-    if (early) submit_read(nxt);
 
     compute(t, std::span<Record>(buf).first(nblocks * B));
 
@@ -148,7 +176,9 @@ void run_block_pipeline(Client& client, std::uint64_t passes,
         dev.write_many(ids.subspan(i, k), sync_wire);
       }
     }
-    if (t + 1 < passes && !early) submit_read(nxt);
+    // Writes of window t are on the device: reads they were blocking (the
+    // classic "late" prefetch at depth 2) can go now.
+    advance(t + K - 1, t + 1);
   }
   unwind_guard.active = false;
   dev.drain();  // writes are durable before the caller touches other paths

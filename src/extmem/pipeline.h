@@ -1,20 +1,26 @@
-// The I/O-engine hot-loop driver: a double-buffered read->compute->write
-// pipeline over a sequence of passes.
+// The I/O-engine hot-loop driver: a ring of K in-flight windows over a
+// sequence of read->compute->write passes.
 //
 // Every batched hot loop in the library (external-sort run formation and
 // merge-split network, butterfly routing sweeps, consolidation scans) has the
 // same shape: pass t gathers a list of blocks, computes privately on the
 // decrypted records, and scatters a list of blocks.  run_block_pipeline
-// factors that shape out once and layers prefetch on top: when the storage
-// backend is asynchronous (Session::Builder::async_prefetch), pass t+1's read
-// is submitted while pass t computes -- but only when it is disjoint from
-// pass t's write set; otherwise it is submitted after the write, and the
-// AsyncBackend's FIFO execution makes the read-after-write hazard impossible.
+// factors that shape out once and layers prefetch on top: while pass t
+// computes, the reads of up to depth-1 later passes are already submitted --
+// each one only once it cannot observe any still-unsubmitted earlier write
+// (the hazard check spans ALL outstanding windows, and reads are submitted
+// strictly in pass order, so the AsyncBackend's FIFO execution keeps
+// read-after-write impossible by construction).  depth = 2 (the default) is
+// the classic double buffer this generalizes; depth = 1 runs windows
+// strictly one at a time.  On a remote store the depth is what the wire
+// pipelining (see io_engine.h / remote.h) feeds on: K windows in flight
+// amortize the round trip K ways instead of paying it per window.
 //
-// Obliviousness: the logical submission order (hence the device trace) is a
-// deterministic function of the pass descriptions alone -- the SAME whether
-// the backend is synchronous or asynchronous, mem or sharded.  Prefetch
-// changes when bytes move, never what Bob observes.
+// Obliviousness: the submission order (hence the device trace) is a
+// deterministic function of the pass descriptions and the depth alone --
+// the SAME whether the backend is synchronous or asynchronous, mem, sharded
+// or remote.  Depth is a public scheduling parameter like the block size:
+// prefetch changes when bytes move, never what Bob can infer about the data.
 //
 // Private-memory accounting: the pipeline leases the current pass's record
 // buffer (max(reads, writes) blocks) against the cache meter, like the loops
@@ -67,8 +73,20 @@ using PassDescribeFn = std::function<void(std::uint64_t t, PipelinePass& io)>;
 /// pass order, so stateful scans (running counters, pending buffers) work.
 using PassComputeFn = std::function<void(std::uint64_t t, std::span<Record> buf)>;
 
+struct PipelineOptions {
+  /// In-flight window ring size K: pass t computes while the reads of up to
+  /// K-1 later passes are prefetched (hazards permitting).  0 = the device's
+  /// configured depth (ClientParams::pipeline_depth /
+  /// Session::Builder::pipeline_depth); 1 = no overlap; 2 = the classic
+  /// double buffer.  describe() is called up to K-1 passes ahead of
+  /// compute(), so it must depend only on public parameters (it already
+  /// must, for obliviousness).
+  std::size_t depth = 0;
+};
+
 void run_block_pipeline(Client& client, std::uint64_t passes,
-                        const PassDescribeFn& describe, const PassComputeFn& compute);
+                        const PassDescribeFn& describe, const PassComputeFn& compute,
+                        PipelineOptions options = {});
 
 /// The algorithm layer's common copy/assembly scan, pipelined: copy `count`
 /// blocks src[src_first..] -> dst[dst_first..] in io_batch windows, writing

@@ -44,6 +44,8 @@ std::vector<BackendCase> conformance_cases() {
       {"sharded4_latency", sharded_backend(latency_backend(mem_backend(), fast_profile()), 4)},
       {"async_mem", async_backend(mem_backend())},
       {"async_sharded4", async_backend(sharded_backend(mem_backend(), 4))},
+      {"encrypted_mem", encrypted_backend(mem_backend(), 0x5eedULL)},
+      {"sharded4_encrypted", sharded_backend(encrypted_backend(mem_backend(), 0x5eedULL), 4)},
   };
 }
 
@@ -145,7 +147,7 @@ TEST_P(BackendConformance, RejectsBadArguments) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
-                         ::testing::Range(0, 9), [](const auto& info) {
+                         ::testing::Range(0, 11), [](const auto& info) {
                            return conformance_cases()[info.param].name;
                          });
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "core/loose_compact.h"
 #include "extmem/io_engine.h"
 #include "extmem/pipeline.h"
+#include "extmem/remote.h"
 #include "obliv/trace_check.h"
 #include "test_util.h"
 
@@ -171,22 +173,27 @@ TEST(AsyncBackend, SynchronousOpsDrainTheQueueFirst) {
 // ---------------------------------------------------------------------------
 // The tentpole guarantee: for every algorithm the event-level trace is
 // byte-identical across {mem, sharded(4), sharded(4)+prefetch,
-// faulty(seed)+retry}.  The faulty case fires seeded per-shard faults that
-// the device's bounded retries absorb below the trace recorder, so fault
-// recovery is as invisible to Bob as striping and prefetch.
+// faulty(seed)+retry, remote, remote+sharded4+prefetch, remote+faulty+retry}.
+// The faulty cases fire seeded per-shard faults that the device's bounded
+// retries absorb below the trace recorder, so fault recovery is as invisible
+// to Bob as striping, prefetch, or a real TCP connection per shard.
 
 struct EngineCase {
   std::string name;
   std::size_t shards;
   bool prefetch;
   bool faulty;
+  bool remote = false;
 };
 
 std::vector<EngineCase> engine_cases() {
   return {{"mem", 1, false, false},
           {"sharded4", 4, false, false},
           {"sharded4_prefetch", 4, true, false},
-          {"faulty_retry", 1, false, true}};
+          {"faulty_retry", 1, false, true},
+          {"remote", 1, false, false, true},
+          {"remote_sharded4_prefetch", 4, true, false, true},
+          {"remote_faulty_retry", 1, false, true, true}};
 }
 
 struct AlgoRun {
@@ -195,27 +202,42 @@ struct AlgoRun {
 };
 
 template <typename AlgoFn>
-void expect_trace_invariant(const char* what, std::uint64_t n_records, AlgoFn&& algo) {
-  std::vector<AlgoRun> runs;
-  const auto input = test::random_records(n_records, 29);
-  for (const auto& ec : engine_cases()) {
-    auto built = Session::Builder()
+void run_engine_case(const EngineCase& ec, std::span<const Record> input,
+                     std::size_t depth, AlgoRun* run, AlgoFn&& algo) {
+  // Each remote run gets a fresh in-process loopback server (fresh stores).
+  std::unique_ptr<RemoteServer> server;
+  auto builder = Session::Builder()
                      .block_records(4)
                      .cache_records(64)
                      .seed(5)
                      .sharded(ec.shards)
                      .async_prefetch(ec.prefetch)
-                     .fault_injection(ec.faulty ? 77 : 0, ec.faulty ? 0.02 : 0.0)
-                     .build();
-    ASSERT_TRUE(built.ok()) << ec.name << ": " << built.status();
-    Session session = std::move(built).value();
-    auto data = session.outsource(input);
-    ASSERT_TRUE(data.ok()) << ec.name;
-    session.trace().set_record_events(true);
-    session.trace().reset();
+                     .pipeline_depth(depth)
+                     .fault_injection(ec.faulty ? 77 : 0, ec.faulty ? 0.02 : 0.0);
+  if (ec.remote) {
+    server = std::make_unique<RemoteServer>();
+    ASSERT_TRUE(server->health().ok()) << server->health();
+    builder.remote(server->host(), server->port());
+  }
+  auto built = builder.build();
+  ASSERT_TRUE(built.ok()) << ec.name << ": " << built.status();
+  Session session = std::move(built).value();
+  auto data = session.outsource(std::vector<Record>(input.begin(), input.end()));
+  ASSERT_TRUE(data.ok()) << ec.name;
+  session.trace().set_record_events(true);
+  session.trace().reset();
+  algo(session, *data, &run->result);
+  run->events = session.trace().events();
+}
+
+template <typename AlgoFn>
+void expect_trace_invariant(const char* what, std::uint64_t n_records, AlgoFn&& algo) {
+  std::vector<AlgoRun> runs;
+  const auto input = test::random_records(n_records, 29);
+  for (const auto& ec : engine_cases()) {
     AlgoRun run;
-    algo(session, *data, &run.result);
-    run.events = session.trace().events();
+    run_engine_case(ec, input, /*depth=*/2, &run, algo);
+    if (::testing::Test::HasFatalFailure()) return;
     runs.push_back(std::move(run));
   }
   for (std::size_t i = 1; i < runs.size(); ++i) {
@@ -223,93 +245,169 @@ void expect_trace_invariant(const char* what, std::uint64_t n_records, AlgoFn&& 
         << what << ": " << engine_cases()[i].name;
     EXPECT_TRUE(runs[i].events == runs[0].events)
         << what << ": " << engine_cases()[i].name
-        << " trace diverged from mem -- sharding/prefetch leaked into Bob's view";
+        << " trace diverged from mem -- sharding/prefetch/remote leaked into "
+           "Bob's view";
     EXPECT_EQ(runs[i].result, runs[0].result) << what << ": " << engine_cases()[i].name;
   }
 }
 
-TEST(IoEngineTraceEquivalence, Sort) {
-  expect_trace_invariant("sort", 48 * 4, [](Session& s, const ExtArray& a,
-                                            std::vector<Record>* out) {
-    auto rep = s.sort(a, /*seed=*/11);
-    ASSERT_TRUE(rep.ok()) << rep.status();
-    auto data = s.retrieve(a);
-    ASSERT_TRUE(data.ok());
-    *out = std::move(*data);
-  });
+// For each pipeline depth k, the trace over the remote backend (prefetching,
+// wire-pipelined) must be byte-identical to the in-memory trace at the same
+// k, and the TOTAL block I/O volume must not depend on k at all: depth only
+// reorders submissions within the hazard rules, it never adds or removes an
+// access.  k = 2 must also reproduce the default-depth schedule exactly
+// (today's double buffer, bit for bit).
+template <typename AlgoFn>
+void expect_depth_sweep_invariant(const char* what, std::uint64_t n_records,
+                                  AlgoFn&& algo) {
+  const auto input = test::random_records(n_records, 29);
+  const EngineCase mem_case{"mem", 1, false, false, false};
+  const EngineCase remote_case{"remote_prefetch", 1, true, false, true};
+
+  AlgoRun default_run;
+  run_engine_case(mem_case, input, /*depth=*/2, &default_run, algo);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  for (std::size_t k : {1, 2, 4, 8}) {
+    AlgoRun mem_run, remote_run;
+    run_engine_case(mem_case, input, k, &mem_run, algo);
+    run_engine_case(remote_case, input, k, &remote_run, algo);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_TRUE(remote_run.events == mem_run.events)
+        << what << ": depth " << k
+        << " remote trace diverged from mem -- the wire leaked into Bob's view";
+    EXPECT_EQ(remote_run.result, mem_run.result) << what << ": depth " << k;
+    EXPECT_EQ(mem_run.events.size(), default_run.events.size())
+        << what << ": depth " << k << " changed the block I/O volume";
+    EXPECT_EQ(mem_run.result, default_run.result) << what << ": depth " << k;
+    if (k == 2) {
+      EXPECT_TRUE(mem_run.events == default_run.events)
+          << what << ": depth 2 must reproduce the default schedule bit for bit";
+    }
+  }
 }
 
+// The seven algorithm drivers, shared by the engine matrix and the depth
+// sweep below.
+
+void sort_algo(Session& s, const ExtArray& a, std::vector<Record>* out) {
+  auto rep = s.sort(a, /*seed=*/11);
+  ASSERT_TRUE(rep.ok()) << rep.status();
+  auto data = s.retrieve(a);
+  ASSERT_TRUE(data.ok());
+  *out = std::move(*data);
+}
+
+void select_algo(Session& s, const ExtArray& a, std::vector<Record>* out) {
+  auto r = s.select(a, a.num_records() / 2, /*seed=*/11);
+  ASSERT_TRUE(r.ok()) << r.status();
+  *out = {*r};
+}
+
+void quantiles_algo(Session& s, const ExtArray& a, std::vector<Record>* out) {
+  auto r = s.quantiles(a, 3, /*seed=*/11);
+  ASSERT_TRUE(r.ok()) << r.status();
+  *out = std::move(*r);
+}
+
+void compact_algo(Session& s, const ExtArray& a, std::vector<Record>* out) {
+  auto r = s.compact(a);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto data = s.retrieve(r->out);
+  ASSERT_TRUE(data.ok());
+  *out = std::move(*data);
+}
+
+void loose_algo(Session& s, const ExtArray& a, std::vector<Record>* out) {
+  auto res = core::loose_compact_blocks(
+      s.client(), a, a.num_blocks() / 5,
+      [](std::uint64_t, const BlockBuf& blk) {
+        return !blk[0].is_empty() && blk[0].key % 5 == 0;
+      },
+      /*seed=*/13);
+  auto data = s.retrieve(res.out);
+  ASSERT_TRUE(data.ok());
+  *out = std::move(*data);
+}
+
+void logstar_algo(Session& s, const ExtArray& a, std::vector<Record>* out) {
+  auto res = core::logstar_compact_blocks(
+      s.client(), a, a.num_blocks() / 5,
+      [](std::uint64_t, const BlockBuf& blk) {
+        return !blk[0].is_empty() && blk[0].key % 3 == 0;
+      },
+      /*seed=*/13);
+  auto data = s.retrieve(res.out);
+  ASSERT_TRUE(data.ok());
+  *out = std::move(*data);
+}
+
+void oram_algo(Session& s, const ExtArray&, std::vector<Record>* out) {
+  // Build + one epoch of accesses + the epoch reshuffle, as one sequence.
+  auto oram = s.open_oram(64, oram::ShuffleKind::kRandomized, /*seed=*/23);
+  ASSERT_TRUE(oram.ok()) << oram.status();
+  for (std::uint64_t i = 0; i <= oram->epoch_length(); ++i) {
+    auto v = oram->access((i * 7) % 64);
+    ASSERT_TRUE(v.ok()) << v.status();
+    out->push_back({i, *v});
+  }
+}
+
+TEST(IoEngineTraceEquivalence, Sort) { expect_trace_invariant("sort", 48 * 4, sort_algo); }
+
 TEST(IoEngineTraceEquivalence, Select) {
-  expect_trace_invariant("select", 40 * 4, [](Session& s, const ExtArray& a,
-                                              std::vector<Record>* out) {
-    auto r = s.select(a, a.num_records() / 2, /*seed=*/11);
-    ASSERT_TRUE(r.ok()) << r.status();
-    *out = {*r};
-  });
+  expect_trace_invariant("select", 40 * 4, select_algo);
 }
 
 TEST(IoEngineTraceEquivalence, Quantiles) {
-  expect_trace_invariant("quantiles", 40 * 4, [](Session& s, const ExtArray& a,
-                                                 std::vector<Record>* out) {
-    auto r = s.quantiles(a, 3, /*seed=*/11);
-    ASSERT_TRUE(r.ok()) << r.status();
-    *out = std::move(*r);
-  });
+  expect_trace_invariant("quantiles", 40 * 4, quantiles_algo);
 }
 
 TEST(IoEngineTraceEquivalence, Compact) {
-  expect_trace_invariant("compact", 32 * 4, [](Session& s, const ExtArray& a,
-                                               std::vector<Record>* out) {
-    auto r = s.compact(a);
-    ASSERT_TRUE(r.ok()) << r.status();
-    auto data = s.retrieve(r->out);
-    ASSERT_TRUE(data.ok());
-    *out = std::move(*data);
-  });
+  expect_trace_invariant("compact", 32 * 4, compact_algo);
 }
 
 TEST(IoEngineTraceEquivalence, LooseCompaction) {
-  expect_trace_invariant("loose", 128 * 4, [](Session& s, const ExtArray& a,
-                                              std::vector<Record>* out) {
-    auto res = core::loose_compact_blocks(
-        s.client(), a, a.num_blocks() / 5,
-        [](std::uint64_t, const BlockBuf& blk) {
-          return !blk[0].is_empty() && blk[0].key % 5 == 0;
-        },
-        /*seed=*/13);
-    auto data = s.retrieve(res.out);
-    ASSERT_TRUE(data.ok());
-    *out = std::move(*data);
-  });
+  expect_trace_invariant("loose", 128 * 4, loose_algo);
 }
 
 TEST(IoEngineTraceEquivalence, LogstarCompaction) {
-  expect_trace_invariant("logstar", 128 * 4, [](Session& s, const ExtArray& a,
-                                                std::vector<Record>* out) {
-    auto res = core::logstar_compact_blocks(
-        s.client(), a, a.num_blocks() / 5,
-        [](std::uint64_t, const BlockBuf& blk) {
-          return !blk[0].is_empty() && blk[0].key % 3 == 0;
-        },
-        /*seed=*/13);
-    auto data = s.retrieve(res.out);
-    ASSERT_TRUE(data.ok());
-    *out = std::move(*data);
-  });
+  expect_trace_invariant("logstar", 128 * 4, logstar_algo);
 }
 
 TEST(IoEngineTraceEquivalence, OramAccessSequence) {
-  // Build + one epoch of accesses + the epoch reshuffle, as one sequence.
-  expect_trace_invariant("oram", 4, [](Session& s, const ExtArray&,
-                                       std::vector<Record>* out) {
-    auto oram = s.open_oram(64, oram::ShuffleKind::kRandomized, /*seed=*/23);
-    ASSERT_TRUE(oram.ok()) << oram.status();
-    for (std::uint64_t i = 0; i <= oram->epoch_length(); ++i) {
-      auto v = oram->access((i * 7) % 64);
-      ASSERT_TRUE(v.ok()) << v.status();
-      out->push_back({i, *v});
-    }
-  });
+  expect_trace_invariant("oram", 4, oram_algo);
+}
+
+// ---------------------------------------------------------------------------
+// The depth sweep: k in {1, 2, 4, 8} pinned byte-identical between mem and
+// the wire-pipelined remote backend at every k, with the block I/O volume
+// independent of k, for every algorithm.
+
+TEST(PipelineDepthSweep, Sort) { expect_depth_sweep_invariant("sort", 48 * 4, sort_algo); }
+
+TEST(PipelineDepthSweep, Select) {
+  expect_depth_sweep_invariant("select", 40 * 4, select_algo);
+}
+
+TEST(PipelineDepthSweep, Quantiles) {
+  expect_depth_sweep_invariant("quantiles", 40 * 4, quantiles_algo);
+}
+
+TEST(PipelineDepthSweep, Compact) {
+  expect_depth_sweep_invariant("compact", 32 * 4, compact_algo);
+}
+
+TEST(PipelineDepthSweep, LooseCompaction) {
+  expect_depth_sweep_invariant("loose", 128 * 4, loose_algo);
+}
+
+TEST(PipelineDepthSweep, LogstarCompaction) {
+  expect_depth_sweep_invariant("logstar", 128 * 4, logstar_algo);
+}
+
+TEST(PipelineDepthSweep, OramAccessSequence) {
+  expect_depth_sweep_invariant("oram", 4, oram_algo);
 }
 
 // ---------------------------------------------------------------------------

@@ -29,6 +29,72 @@ TEST(SessionBuilder, RejectsInvalidParameters) {
   EXPECT_NE(small_m.status().message().find("M >= 2B"), std::string::npos);
 }
 
+TEST(SessionBuilder, RejectsIncompatibleCombos) {
+  auto base = [] {
+    return Session::Builder().block_records(4).cache_records(64);
+  };
+
+  // sharded(0): striping over zero stores is meaningless.
+  auto zero_shards = base().sharded(0).build();
+  ASSERT_FALSE(zero_shards.ok());
+  EXPECT_EQ(zero_shards.status().code(), StatusCode::kInvalidArgument);
+
+  // pipeline_depth(0): the window ring needs at least one slot.
+  auto zero_depth = base().pipeline_depth(0).build();
+  ASSERT_FALSE(zero_depth.ok());
+  EXPECT_EQ(zero_depth.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(zero_depth.status().message().find("pipeline_depth"), std::string::npos);
+
+  // remote() + file_backed(path): the client must not dictate the server's
+  // storage -- regardless of call order.
+  FileBackendOptions file_opts;
+  file_opts.path = "/tmp/oem_conflict.bin";
+  auto remote_then_file =
+      base().remote("127.0.0.1", 4242).file_backed(file_opts).build();
+  ASSERT_FALSE(remote_then_file.ok());
+  EXPECT_EQ(remote_then_file.status().code(), StatusCode::kInvalidArgument);
+  auto file_then_remote =
+      base().file_backed(file_opts).remote("127.0.0.1", 4242).build();
+  ASSERT_FALSE(file_then_remote.ok());
+  EXPECT_EQ(file_then_remote.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(file_then_remote.status().message().find("remote()"), std::string::npos);
+
+  // remote() + backend(...): same reasoning.
+  auto remote_custom =
+      base().backend(mem_backend()).remote("127.0.0.1", 4242).build();
+  ASSERT_FALSE(remote_custom.ok());
+  EXPECT_EQ(remote_custom.status().code(), StatusCode::kInvalidArgument);
+
+  // Any explicit local storage selection conflicts, path or not: a silent
+  // fallback to a temp file/RAM would discard the named endpoint.
+  auto remote_tempfile = base().remote("127.0.0.1", 4242).file_backed().build();
+  ASSERT_FALSE(remote_tempfile.ok());
+  EXPECT_EQ(remote_tempfile.status().code(), StatusCode::kInvalidArgument);
+  auto remote_mem = base().in_memory().remote("127.0.0.1", 4242).build();
+  ASSERT_FALSE(remote_mem.ok());
+  EXPECT_EQ(remote_mem.status().code(), StatusCode::kInvalidArgument);
+
+  // remote() needs a real endpoint.
+  auto no_host = base().remote("", 4242).build();
+  ASSERT_FALSE(no_host.ok());
+  EXPECT_EQ(no_host.status().code(), StatusCode::kInvalidArgument);
+  auto no_port = base().remote("127.0.0.1", 0).build();
+  ASSERT_FALSE(no_port.ok());
+  EXPECT_EQ(no_port.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionBuilder, RemoteConnectFailureSurfacesAsIo) {
+  // Port 1 refuses connections: build() must probe and report kIo, exactly
+  // like an unopenable file path.
+  auto built = Session::Builder()
+                   .block_records(4)
+                   .cache_records(64)
+                   .remote("127.0.0.1", 1)
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kIo);
+}
+
 TEST(SessionBuilder, SurfacesBackendOpenFailureAsIo) {
   FileBackendOptions opts;
   opts.path = "/nonexistent-dir-oem/blocks.bin";
