@@ -119,6 +119,11 @@ inline BackendFactory backend_from_flags(const Flags& flags,
   const std::string which = flags.get("backend", "mem");
   const std::size_t shards = static_cast<std::size_t>(flags.get_u64("shards", 1));
   const bool prefetch = flags.get_bool("prefetch", false);
+  // --cache-blocks=N wraps the stack in an N-block LRU write-back cache
+  // (CachingBackend), composed above latency/sharding/remote and under
+  // --prefetch, exactly like Session::Builder::cache.
+  const std::size_t cache_blocks =
+      static_cast<std::size_t>(flags.get_u64("cache-blocks", 0));
   // --remote serves the chosen base store from an in-process loopback
   // RemoteServer (one per bench run; per-shard store namespaces) and talks
   // to it through RemoteBackend connections, so every bench can put its
@@ -196,8 +201,38 @@ inline BackendFactory backend_from_flags(const Flags& flags,
     profile.lanes = shards;
     f = latency_backend(std::move(f), profile);
   }
+  if (cache_blocks > 0) f = caching_backend(std::move(f), cache_blocks);
   if (prefetch) f = async_backend(std::move(f));
   return f;
+}
+
+/// One-line engine accounting for a finished run: drained-at backend ops
+/// (comparable across sync / --prefetch / sharded rows -- see IoStats) and,
+/// when a cache is configured, its hit rate and write-back absorption.
+/// Prints nothing when there is nothing noteworthy to report.  `label` names
+/// the configuration/row the numbers belong to (the notes print as they are
+/// gathered, which may be before the table they annotate).
+inline void engine_stats_note(const Client& c, const std::string& label = "") {
+  const std::string tag = label.empty() ? "" : "[" + label + "] ";
+  const IoStats& s = c.stats();
+  if (s.drained_total_ops() != s.total_ops())
+    std::cout << "  " << tag << "(drained backend ops: " << s.drained_total_ops()
+              << " of " << s.total_ops() << " submitted)\n";
+  if (const CachingBackend* cache = c.device().cache_backend()) {
+    const CacheStats cs = cache->stats();
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %scache(%zu blocks): %.1f%% hit rate (%llu hits / %llu "
+                  "misses), %llu writes absorbed, %llu blocks written back in "
+                  "%llu coalesced ops",
+                  tag.c_str(), cache->capacity_blocks(), 100.0 * cs.hit_rate(),
+                  static_cast<unsigned long long>(cs.hits),
+                  static_cast<unsigned long long>(cs.misses),
+                  static_cast<unsigned long long>(cs.absorbed_writes),
+                  static_cast<unsigned long long>(cs.writebacks),
+                  static_cast<unsigned long long>(cs.writeback_ops));
+    std::cout << line << "\n";
+  }
 }
 
 /// Call once at the top of main: every bench::params() Client in the binary

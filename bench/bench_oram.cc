@@ -52,6 +52,10 @@ int main(int argc, char** argv) {
                  Table::fmt(static_cast<double>(s.access_ios + s.reshuffle_ios) /
                                 s.accesses, 1),
                  Table::fmt(static_cast<double>(dev.total_ops()) / s.accesses, 2)});
+      bench::engine_stats_note(
+          client, "N=" + std::to_string(N) + " " +
+                      (kind == oram::ShuffleKind::kDeterministic ? "Lemma 2"
+                                                                 : "Theorem 21"));
     }
   }
   t.print(std::cout);

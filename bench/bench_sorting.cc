@@ -74,6 +74,7 @@ void e8a(std::uint64_t n_max) {
                Table::fmt(det_pb, 0),
                prev_det ? Table::fmt(det_pb / prev_det, 2) : "-",
                std::to_string(res.stats.levels), res.status.ok() ? "yes" : "NO"});
+    bench::engine_stats_note(c, "n=" + std::to_string(n));
     prev_rand = rand_pb;
     prev_det = det_pb;
     g_e8a.rand_pb_per_level =

@@ -123,6 +123,12 @@ Session::Builder& Session::Builder::encrypted(Word key) {
   return *this;
 }
 
+Session::Builder& Session::Builder::cache(std::size_t blocks) {
+  cache_seen_ = true;
+  cache_blocks_ = blocks;
+  return *this;
+}
+
 Session::Builder& Session::Builder::latency(LatencyProfile profile) {
   wrap_latency_ = true;
   profile_ = profile;
@@ -173,6 +179,10 @@ Result<Session> Session::Builder::build() const {
     return Status::InvalidArgument(
         "pipeline_depth(k) needs 1 <= k <= 64 (1 = sequential windows, "
         "2 = double buffer)");
+  if (cache_seen_ && (cache_blocks_ < 1 || cache_blocks_ > (1u << 20)))
+    return Status::InvalidArgument(
+        "cache(blocks) needs 1 <= blocks <= 1048576; to disable the cache, "
+        "drop the cache() call instead of passing 0");
   if (remote_seen_ && local_storage_seen_)
     return Status::InvalidArgument(
         "remote() cannot be combined with in_memory()/file_backed()/"
@@ -195,14 +205,15 @@ Result<Session> Session::Builder::build() const {
         ((static_cast<std::uint64_t>(rd()) << 32) ^ rd()) & ~std::uint64_t{0x3ff};
   }
 
-  // Compose the storage stack inside-out: per-shard base stores (remote
-  // shards get their own store namespace + connection; each optionally
-  // re-encrypted at the seam, then optionally wrapped in a FaultyBackend
-  // with its own sub-seed, so failures hit individual shards), striping, one
-  // latency model over the striped store (lanes = k, the parallel-disk
-  // model: simulated round trips to different shards overlap by
-  // construction), async submission --
-  // async(latency(sharded(faulty(encrypted(base)) x k))).
+  // Compose the storage stack inside-out (the legal order documented on
+  // Builder::cache): per-shard base stores (remote shards get their own
+  // store namespace + connection; each optionally re-encrypted at the seam,
+  // then optionally wrapped in a FaultyBackend with its own sub-seed, so
+  // failures hit individual shards), striping, one latency model over the
+  // striped store (lanes = k, the parallel-disk model: simulated round
+  // trips to different shards overlap by construction), the write-back
+  // cache above everything that costs a round trip, async submission --
+  // async(cache(latency(sharded(faulty(encrypted(base)) x k)))).
   ShardFactory per_shard =
       [storage = storage_, file_opts = file_opts_, custom = custom_,
        host = remote_host_, port = remote_port_, store_namespace,
@@ -249,6 +260,7 @@ Result<Session> Session::Builder::build() const {
     if (shards_ > 1) profile.lanes = shards_;
     factory = latency_backend(std::move(factory), profile);
   }
+  if (cache_seen_) factory = caching_backend(std::move(factory), cache_blocks_);
   if (prefetch_) factory = async_backend(std::move(factory));
   params.backend = std::move(factory);
 

@@ -93,20 +93,45 @@ class Session {
     Builder& remote(const std::string& host, std::uint16_t port);
     /// In-flight window ring size for the hot-loop pipeline (1 = strictly
     /// sequential windows, 2 = double buffer, default).  With remote() +
-    /// async_prefetch() and no intervening decorator, depth K amortizes the
-    /// wire round trip across K windows (the AsyncBackend streams frames on
-    /// the split-phase remote connection).  Under sharded(k)/latency()/
-    /// fault_injection() the round trips of ONE batch still overlap across
-    /// shards, but successive windows execute round trip at a time -- those
-    /// decorators do not forward the split-phase seam (yet; see ROADMAP).
-    /// Depth is a public scheduling parameter: the recorded trace is a
-    /// function of (algorithm, N, M, B, seed, depth), never of data.
+    /// async_prefetch(), depth K amortizes the wire round trip across K
+    /// windows (the AsyncBackend streams frames on the split-phase remote
+    /// connection) -- and sharded(k), fault_injection() and cache() forward
+    /// the split-phase seam, so striping MULTIPLIES with depth: sharded(S)
+    /// at depth K keeps S x K frames on the wire (one connection per
+    /// shard, each carrying its own in-flight window).  Depth is a public
+    /// scheduling parameter: the recorded trace is a function of
+    /// (algorithm, N, M, B, seed, depth), never of data.
     Builder& pipeline_depth(std::size_t k);
     /// Re-encrypt blocks at the backend seam (EncryptedBackend, fresh nonce
     /// per write) so the store below -- in particular a remote server --
     /// only ever holds ciphertext of this session's making, even for raw
     /// uploads.  Defense in depth under the Client's own encryption.
     Builder& encrypted(Word key);
+    /// LRU write-back block cache of `blocks` blocks (CachingBackend):
+    /// re-touched reads are served client-side, writes are absorbed and
+    /// reach the store below only on eviction (dirty neighbors coalesced
+    /// into one batched write-back).  Needs blocks >= 1 -- cache(0) is
+    /// rejected at build() (drop the call to disable).  The recorded trace
+    /// is untouched (the device records above the cache); only the traffic
+    /// that still reaches the wire shrinks, a function of the
+    /// data-independent block-id sequence alone.
+    ///
+    /// The legal decorator stack, outermost first -- build() composes
+    /// exactly this order and rejects combinations that would break it:
+    ///
+    ///   async_prefetch          (outermost: the device drives submission)
+    ///     cache                 (above latency/sharding/encryption: a hit
+    ///                            costs no round trip, and the cache holds
+    ///                            each PLAINTEXT block exactly once -- an
+    ///                            encryption layer above the cache is
+    ///                            rejected at build()/health())
+    ///       latency             (the simulated wire)
+    ///         sharded           (striping; forwards split-phase, so depth
+    ///                            and striping multiply on a remote store)
+    ///           fault_injection (per-shard failures)
+    ///             encrypted     (per-shard ciphertext seam)
+    ///               mem | file | backend(...) | remote  (the base store)
+    Builder& cache(std::size_t blocks);
     /// Wrap the (possibly striped) store in a LatencyBackend.  With
     /// sharding, the profile's `lanes` is set to the shard count: the
     /// parallel-disk model, where striping divides streaming time but not
@@ -131,7 +156,11 @@ class Session {
     Builder& fault_injection(std::uint64_t seed, double rate);
     Builder& fault_injection(FaultProfile profile);
     /// Total attempts per backend call before kIo surfaces (default 4 when
-    /// fault injection is on, else 1 = no retry).
+    /// fault injection is on, else 1 = no retry).  With fault_injection()
+    /// UNDER sharded(k), one batch touches up to k independently-faulted
+    /// shards and each attempt re-rolls the shards that already recovered,
+    /// so budget the worst case at roughly k + a few -- e.g. io_retries(8)
+    /// for sharded(4) -- where the single-shard default of 4 suffices.
     Builder& io_retries(unsigned attempts);
 
     /// Validates parameters (kInvalidArgument) and opens the backend (kIo).
@@ -156,6 +185,8 @@ class Session {
     FaultProfile fault_profile_;
     bool encrypted_ = false;
     Word encryption_key_ = 0;
+    bool cache_seen_ = false;
+    std::size_t cache_blocks_ = 0;
     unsigned io_retries_ = 0;  // 0 = auto (4 with faults, else 1)
   };
 

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "extmem/encryption.h"
+#include "extmem/io_engine.h"
 #include "rng/random.h"
 
 namespace oem {
@@ -24,6 +25,23 @@ namespace {
 
 std::string errno_string(const char* what, const std::string& path) {
   return std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+/// True when a CachingBackend lives anywhere in the decorator chain under
+/// `b`, for EncryptedBackend's stack-order guard.  Walks the generic
+/// inner_backend() chain (every decorator overrides it) and fans out over
+/// the shards of a stripe.
+bool contains_cache(const StorageBackend* b) {
+  while (b != nullptr) {
+    if (dynamic_cast<const CachingBackend*>(b) != nullptr) return true;
+    if (const auto* s = dynamic_cast<const ShardedBackend*>(b)) {
+      for (std::size_t i = 0; i < s->num_shards(); ++i)
+        if (contains_cache(&s->shard(i))) return true;
+      return false;
+    }
+    b = b->inner_backend();
+  }
+  return false;
 }
 
 }  // namespace
@@ -337,6 +355,14 @@ EncryptedBackend::EncryptedBackend(std::size_t block_words,
                                    std::unique_ptr<StorageBackend> inner, Word key)
     : StorageBackend(block_words), inner_(std::move(inner)) {
   assert(inner_ && inner_->block_words() == block_words + 1);
+  // Stack-order validation (see health()): a cache ANYWHERE below the
+  // encryption seam would hold ciphertext, not plaintext -- walk the whole
+  // decorator chain, intervening decorators included.
+  if (contains_cache(inner_.get()))
+    init_status_ = Status::InvalidArgument(
+        "decorator stack mis-ordered: the block cache must sit ABOVE "
+        "encryption (cache(encrypted(store))), so it holds each plaintext "
+        "block exactly once");
   // Distinct per-instance nonce streams: two shards wrapping the same key
   // must never reuse a (block, nonce) pair for different plaintexts.  The
   // per-process entropy matters too -- a deterministic stream would repeat

@@ -56,6 +56,13 @@ class StorageBackend {
   /// fails every operation with the same Status.
   virtual Status health() const { return Status::Ok(); }
 
+  /// The backend this decorator wraps, or null for a base store.  Lets
+  /// stack-order validation (and introspection generally) walk an arbitrary
+  /// decorator chain without a closed list of types; every decorator MUST
+  /// override this.  ShardedBackend wraps many -- walkers special-case it
+  /// via its shard() accessors.
+  virtual const StorageBackend* inner_backend() const { return nullptr; }
+
   /// Grow or shrink the storage to exactly `nblocks` blocks.  Surviving
   /// blocks keep their contents; fresh blocks read as all-zero words.
   Status resize(std::uint64_t nblocks);
@@ -216,6 +223,8 @@ class LatencyBackend : public StorageBackend {
   Status health() const override { return inner_->health(); }
 
   StorageBackend& inner() { return *inner_; }
+  const StorageBackend& inner() const { return *inner_; }
+  const StorageBackend* inner_backend() const override { return inner_.get(); }
   /// Backend calls observed and total simulated delay charged so far.
   /// Atomic: a LatencyBackend inside a ShardedBackend/AsyncBackend is driven
   /// from worker threads while the main thread reads the counters; sleeps on
@@ -262,10 +271,18 @@ class EncryptedBackend : public StorageBackend {
                    Word key);
   ~EncryptedBackend() override;
   const char* name() const override { return "encrypted"; }
-  Status health() const override { return inner_->health(); }
+  /// Non-ok when the decorator stack is mis-ordered: a CachingBackend BELOW
+  /// this layer would cache ciphertext (and re-encrypt on every eviction
+  /// pass), defeating the hold-plaintext-exactly-once contract -- the cache
+  /// must sit above encryption.  Surfaced here so Session::Builder::build
+  /// (which probes health) rejects the stack instead of running it.
+  Status health() const override {
+    return init_status_.ok() ? inner_->health() : init_status_;
+  }
 
   StorageBackend& inner() { return *inner_; }
   const StorageBackend& inner() const { return *inner_; }
+  const StorageBackend* inner_backend() const override { return inner_.get(); }
 
  protected:
   Status do_resize(std::uint64_t nblocks) override { return inner_->resize(nblocks); }
@@ -301,6 +318,7 @@ class EncryptedBackend : public StorageBackend {
 
   std::unique_ptr<StorageBackend> inner_;
   std::unique_ptr<Encryptor> enc_;
+  Status init_status_;         // non-ok: mis-ordered stack (cache below)
   std::vector<Word> staging_;  // reused synchronous transfer buffer
   std::deque<Pending> pending_;
 };

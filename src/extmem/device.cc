@@ -34,6 +34,27 @@ BlockDevice::BlockDevice(std::size_t block_words, BackendFactory factory,
   // Submitted ops execute on the I/O thread; it applies the same bounded
   // retry there so prefetch and fault recovery compose.
   if (async_) async_->set_retry_attempts(retry_.max_attempts);
+  // The cache (when configured) sits at the top of the stack or directly
+  // under the AsyncBackend -- Session::Builder and bench_common compose it
+  // there; benches read its counters through cache_backend().
+  cache_ = dynamic_cast<CachingBackend*>(async_ ? &async_->inner() : backend_.get());
+}
+
+void BlockDevice::mark_drained(IoTicket t, bool all) {
+  std::size_t done = 0;
+  for (const PendingDrain& p : pending_drain_) {
+    if (!all && p.ticket > t) break;
+    if (p.is_write) {
+      stats_.drained_writes += p.nblocks;
+      stats_.drained_write_ops++;
+    } else {
+      stats_.drained_reads += p.nblocks;
+      stats_.drained_read_ops++;
+    }
+    ++done;
+  }
+  pending_drain_.erase(pending_drain_.begin(),
+                       pending_drain_.begin() + static_cast<std::ptrdiff_t>(done));
 }
 
 Status BlockDevice::consume_parked_async_error() const {
@@ -119,6 +140,10 @@ void BlockDevice::read(std::uint64_t block, std::span<Word> out) {
   trace_.on_access(IoOp::kRead, block);
   Status st = with_retry([&] { return backend_->read(block, out); });
   if (!st.ok()) backend_fail("read", st);
+  // The synchronous call drained any submitted split-phase frames first.
+  mark_drained(0, /*all=*/true);
+  stats_.drained_reads++;
+  stats_.drained_read_ops++;
 }
 
 void BlockDevice::write(std::uint64_t block, std::span<const Word> in) {
@@ -129,6 +154,9 @@ void BlockDevice::write(std::uint64_t block, std::span<const Word> in) {
   trace_.on_access(IoOp::kWrite, block);
   Status st = with_retry([&] { return backend_->write(block, in); });
   if (!st.ok()) backend_fail("write", st);
+  mark_drained(0, /*all=*/true);
+  stats_.drained_writes++;
+  stats_.drained_write_ops++;
 }
 
 void BlockDevice::record(IoOp op, std::span<const std::uint64_t> blocks) {
@@ -148,6 +176,9 @@ void BlockDevice::read_many(std::span<const std::uint64_t> blocks,
   record(IoOp::kRead, blocks);
   Status st = with_retry([&] { return backend_->read_many(blocks, out); });
   if (!st.ok()) backend_fail("read_many", st);
+  mark_drained(0, /*all=*/true);
+  stats_.drained_reads += blocks.size();
+  stats_.drained_read_ops++;
 }
 
 void BlockDevice::write_many(std::span<const std::uint64_t> blocks,
@@ -159,6 +190,9 @@ void BlockDevice::write_many(std::span<const std::uint64_t> blocks,
   record(IoOp::kWrite, blocks);
   Status st = with_retry([&] { return backend_->write_many(blocks, in); });
   if (!st.ok()) backend_fail("write_many", st);
+  mark_drained(0, /*all=*/true);
+  stats_.drained_writes += blocks.size();
+  stats_.drained_write_ops++;
 }
 
 BlockDevice::IoTicket BlockDevice::submit_read_many(
@@ -168,9 +202,15 @@ BlockDevice::IoTicket BlockDevice::submit_read_many(
   stats_.reads += blocks.size();
   stats_.read_ops++;
   record(IoOp::kRead, blocks);
-  if (async_) return async_->submit_read_many(blocks, out);
+  if (async_) {
+    const IoTicket t = async_->submit_read_many(blocks, out);
+    pending_drain_.push_back({t, /*is_write=*/false, blocks.size()});
+    return t;
+  }
   Status st = with_retry([&] { return backend_->read_many(blocks, out); });
   if (!st.ok()) backend_fail("read_many", st);
+  stats_.drained_reads += blocks.size();
+  stats_.drained_read_ops++;
   return 0;
 }
 
@@ -181,11 +221,35 @@ BlockDevice::IoTicket BlockDevice::submit_write_many(
   stats_.writes += blocks.size();
   stats_.write_ops++;
   record(IoOp::kWrite, blocks);
-  if (async_)
-    return async_->submit_write_many(
+  if (async_) {
+    const IoTicket t = async_->submit_write_many(
         std::vector<std::uint64_t>(blocks.begin(), blocks.end()), std::move(in));
+    pending_drain_.push_back({t, /*is_write=*/true, blocks.size()});
+    return t;
+  }
   Status st = with_retry([&] { return backend_->write_many(blocks, in); });
   if (!st.ok()) backend_fail("write_many", st);
+  stats_.drained_writes += blocks.size();
+  stats_.drained_write_ops++;
+  return 0;
+}
+
+BlockDevice::IoTicket BlockDevice::submit_write_many_borrowed(
+    std::span<const std::uint64_t> blocks, std::span<const Word> in) {
+  if (blocks.empty()) return 0;
+  assert(in.size() == blocks.size() * block_words());
+  stats_.writes += blocks.size();
+  stats_.write_ops++;
+  record(IoOp::kWrite, blocks);
+  if (async_) {
+    const IoTicket t = async_->submit_write_many_borrowed(blocks, in);
+    pending_drain_.push_back({t, /*is_write=*/true, blocks.size()});
+    return t;
+  }
+  Status st = with_retry([&] { return backend_->write_many(blocks, in); });
+  if (!st.ok()) backend_fail("write_many", st);
+  stats_.drained_writes += blocks.size();
+  stats_.drained_write_ops++;
   return 0;
 }
 
@@ -193,12 +257,14 @@ void BlockDevice::wait(IoTicket t) {
   if (t == 0 || !async_) return;
   Status st = async_->wait(t);
   if (!st.ok()) backend_fail("async wait", st);
+  mark_drained(t, /*all=*/false);
 }
 
 void BlockDevice::drain() {
   if (!async_) return;
   Status st = async_->drain();
   if (!st.ok()) backend_fail("async drain", st);
+  mark_drained(0, /*all=*/true);
 }
 
 std::vector<Word> BlockDevice::raw(std::uint64_t block) const {

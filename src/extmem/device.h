@@ -32,7 +32,8 @@
 
 namespace oem {
 
-class AsyncBackend;  // extmem/io_engine.h; device.cc probes for it
+class AsyncBackend;    // extmem/io_engine.h; device.cc probes for it
+class CachingBackend;  // extmem/io_engine.h; device.cc probes for it
 
 /// A contiguous run of blocks on the device.
 struct Extent {
@@ -112,6 +113,14 @@ class BlockDevice {
   /// immediately reusable.
   IoTicket submit_write_many(std::span<const std::uint64_t> blocks,
                              std::vector<Word>&& in);
+  /// Zero-copy write: `in` is BORROWED and must stay valid (and unmodified)
+  /// until a wait()/drain() covering the returned ticket -- the block
+  /// pipeline's per-window staging satisfies this by construction (FIFO:
+  /// a window's read ticket covers the window K-back's writes).  Named
+  /// distinctly from the owning overload so the opposite lifetime contract
+  /// can never be picked up by an implicit vector-to-span conversion.
+  IoTicket submit_write_many_borrowed(std::span<const std::uint64_t> blocks,
+                                      std::span<const Word> in);
   /// Block until the ticketed op (and all ops submitted before it) executed.
   void wait(IoTicket t);
   /// Block until every submitted op executed (writes are durable in the
@@ -119,7 +128,18 @@ class BlockDevice {
   void drain();
 
   const IoStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = IoStats{}; }
+  void reset_stats() {
+    stats_ = IoStats{};
+    pending_drain_.clear();
+  }
+
+  /// The CachingBackend in the decorator chain (directly, or under the
+  /// AsyncBackend), or null -- benches read hit/miss/write-back counters
+  /// through this without holding their own pointer into the stack.  The
+  /// non-const form lets a caller flush() explicitly (drain() first when
+  /// prefetching: flush is a synchronous entry point).
+  const CachingBackend* cache_backend() const { return cache_; }
+  CachingBackend* cache_backend() { return cache_; }
 
   const RetryPolicy& retry_policy() const { return retry_; }
   /// Synchronous backend calls re-issued after a kIo failure.  Retries of
@@ -146,6 +166,17 @@ class BlockDevice {
  private:
   void record(IoOp op, std::span<const std::uint64_t> blocks);
 
+  /// One submitted-but-not-yet-drained split-phase op, for the drained-at
+  /// counters (see IoStats).
+  struct PendingDrain {
+    IoTicket ticket = 0;
+    bool is_write = false;
+    std::uint64_t nblocks = 0;
+  };
+  /// Credit the drained-at counters for every pending op covered by `t`
+  /// (all of them when everything is known complete).
+  void mark_drained(IoTicket t, bool all);
+
   /// A parked AsyncBackend error describes a PRIOR submitted op (e.g. a
   /// write the I/O thread could not land); non-ok means that loss must fail
   /// the current call.  Ok when the backend is not async.
@@ -170,7 +201,9 @@ class BlockDevice {
   }
 
   std::unique_ptr<StorageBackend> backend_;
-  AsyncBackend* async_ = nullptr;  // borrowed view into backend_ when async
+  AsyncBackend* async_ = nullptr;    // borrowed view into backend_ when async
+  CachingBackend* cache_ = nullptr;  // borrowed view when a cache is configured
+  std::vector<PendingDrain> pending_drain_;
   RetryPolicy retry_;
   std::size_t pipeline_depth_ = 2;
   mutable std::uint64_t retries_ = 0;

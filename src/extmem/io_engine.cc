@@ -1,5 +1,6 @@
 #include "extmem/io_engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstring>
@@ -98,9 +99,34 @@ void ShardedBackend::partition(std::span<const std::uint64_t> blocks) {
   }
 }
 
+namespace {
+
+/// True when `flat` is the contiguous ascending run flat[0], flat[0]+1, ...
+/// -- the shard's slice of the caller buffer is then one span and the
+/// transfer can borrow it end-to-end instead of staging a copy.
+bool contiguous_run(const std::vector<std::size_t>& flat) {
+  for (std::size_t j = 1; j < flat.size(); ++j)
+    if (flat[j] != flat[0] + j) return false;
+  return true;
+}
+
+}  // namespace
+
 void ShardedBackend::run_shard(std::size_t s) {
   SubBatch& sb = sub_[s];
   const std::size_t bw = block_words();
+  // Zero-copy fast path: a single-shard (or otherwise contiguous) slice
+  // borrows the caller's span directly -- no gather/scatter memcpy hop.
+  if (contiguous_run(sb.flat)) {
+    const std::size_t first = sb.flat.empty() ? 0 : sb.flat[0];
+    const std::size_t words = sb.inner_ids.size() * bw;
+    sb.status = job_is_write_
+                    ? shards_[s]->write_many(sb.inner_ids,
+                                             job_win_.subspan(first * bw, words))
+                    : shards_[s]->read_many(sb.inner_ids,
+                                            job_rout_.subspan(first * bw, words));
+    return;
+  }
   sb.staging.resize(sb.inner_ids.size() * bw);
   if (job_is_write_) {
     for (std::size_t j = 0; j < sb.flat.size(); ++j)
@@ -201,6 +227,136 @@ Status ShardedBackend::do_write_many(std::span<const std::uint64_t> blocks,
   return run_batch(/*is_write=*/true, {}, in);
 }
 
+// --- split-phase forwarding ---
+//
+// A begun batch turns into at most one sub-frame per shard, begun on every
+// involved shard before any response is awaited; completion pops the oldest
+// batch and completes its shards' oldest frames.  Per-shard frame order
+// equals batch order by construction, so each shard's FIFO contract carries
+// the whole stripe's FIFO contract.  All split-phase traffic comes from one
+// thread (the AsyncBackend I/O thread) -- begin_* on a remote shard is a
+// non-blocking frame send, so the worker pool has nothing to overlap and
+// stays out of this path entirely.
+
+std::size_t ShardedBackend::do_max_inflight() const {
+  std::size_t depth = shards_[0]->max_inflight();
+  for (std::size_t s = 1; s < shards_.size(); ++s)
+    depth = std::min(depth, shards_[s]->max_inflight());
+  return depth;
+}
+
+Status ShardedBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
+                                          std::span<Word> out) {
+  const std::size_t bw = block_words();
+  partition(blocks);
+  ShardFrame f;
+  f.is_write = false;
+  f.rout = out;
+  Status st;
+  for (std::size_t s = 0; s < sub_.size() && st.ok(); ++s) {
+    SubBatch& sb = sub_[s];
+    if (sb.inner_ids.empty()) continue;
+    ShardFrame::Part p;
+    p.shard = s;
+    p.inner_ids = sb.inner_ids;
+    if (contiguous_run(sb.flat)) {
+      // Borrowed span: the shard reads straight into the caller's buffer at
+      // its completion -- `out` stays valid until our complete_oldest.
+      p.flat0 = sb.flat.empty() ? 0 : sb.flat[0];
+      st = shards_[s]->begin_read_many(p.inner_ids,
+                                       out.subspan(p.flat0 * bw, p.inner_ids.size() * bw));
+    } else {
+      p.flat = sb.flat;
+      p.staging.resize(p.inner_ids.size() * bw);
+      st = shards_[s]->begin_read_many(p.inner_ids, p.staging);
+    }
+    if (st.ok()) f.parts.push_back(std::move(p));
+  }
+  if (!st.ok()) {
+    abort_partial_begin(f);
+    return st;
+  }
+  frames_.push_back(std::move(f));
+  return Status::Ok();
+}
+
+Status ShardedBackend::do_begin_write_many(std::span<const std::uint64_t> blocks,
+                                           std::span<const Word> in) {
+  const std::size_t bw = block_words();
+  partition(blocks);
+  ShardFrame f;
+  f.is_write = true;
+  Status st;
+  for (std::size_t s = 0; s < sub_.size() && st.ok(); ++s) {
+    SubBatch& sb = sub_[s];
+    if (sb.inner_ids.empty()) continue;
+    ShardFrame::Part p;
+    p.shard = s;
+    p.inner_ids = sb.inner_ids;
+    if (contiguous_run(sb.flat)) {
+      const std::size_t first = sb.flat.empty() ? 0 : sb.flat[0];
+      st = shards_[s]->begin_write_many(p.inner_ids,
+                                        in.subspan(first * bw, p.inner_ids.size() * bw));
+    } else {
+      // begin_write_many consumes its input before returning (staged or
+      // sent), so one reused gather scratch serves every strided sub-frame.
+      wstage_.resize(p.inner_ids.size() * bw);
+      for (std::size_t j = 0; j < sb.flat.size(); ++j)
+        std::memcpy(wstage_.data() + j * bw, in.data() + sb.flat[j] * bw,
+                    bw * sizeof(Word));
+      st = shards_[s]->begin_write_many(p.inner_ids, wstage_);
+    }
+    if (st.ok()) f.parts.push_back(std::move(p));
+  }
+  if (!st.ok()) {
+    abort_partial_begin(f);
+    return st;
+  }
+  frames_.push_back(std::move(f));
+  return Status::Ok();
+}
+
+Status ShardedBackend::complete_frame(ShardFrame f) {
+  const std::size_t bw = block_words();
+  Status st;
+  // Complete every part even after an error: each shard's frame must be
+  // retired to keep its FIFO aligned with ours.
+  for (ShardFrame::Part& p : f.parts) {
+    Status ps = shards_[p.shard]->complete_oldest();
+    if (ps.ok() && !f.is_write && !p.flat.empty())
+      for (std::size_t j = 0; j < p.flat.size(); ++j)
+        std::memcpy(f.rout.data() + p.flat[j] * bw, p.staging.data() + j * bw,
+                    bw * sizeof(Word));
+    st.Update(ps);
+  }
+  return st;
+}
+
+void ShardedBackend::abort_partial_begin(ShardFrame& f) {
+  // Older batches' frames sit AHEAD of the partial batch in each shard's
+  // FIFO, so they must be retired (in order, into their still-valid
+  // destinations) before the partial batch's frames can be popped.  Their
+  // statuses feed the caller's later complete_oldest calls verbatim; only
+  // the completion TIME moved, never the order or the data.
+  while (!frames_.empty()) {
+    completed_early_.push_back(complete_frame(std::move(frames_.front())));
+    frames_.pop_front();
+  }
+  for (const ShardFrame::Part& p : f.parts) shards_[p.shard]->complete_oldest();
+}
+
+Status ShardedBackend::do_complete_oldest() {
+  if (!completed_early_.empty()) {
+    Status st = std::move(completed_early_.front());
+    completed_early_.pop_front();
+    return st;
+  }
+  if (frames_.empty()) return Status::Ok();
+  ShardFrame f = std::move(frames_.front());
+  frames_.pop_front();
+  return complete_frame(std::move(f));
+}
+
 // ---------------------------------------------------------------------------
 // AsyncBackend.
 
@@ -224,9 +380,13 @@ void AsyncBackend::io_loop() {
   const std::size_t cap = inner_->max_inflight();
   std::deque<Op> inflight;
 
+  auto wspan = [](const Op& op) {
+    return op.wsrc != nullptr ? std::span<const Word>(op.wsrc, op.wlen)
+                              : std::span<const Word>(op.wdata);
+  };
   auto run_op = [&](Op& op) {
     return op.is_write
-               ? inner_->write_many(op.blocks, op.wdata)
+               ? inner_->write_many(op.blocks, wspan(op))
                : inner_->read_many(op.blocks, std::span<Word>(op.rdest, op.rlen));
   };
   // Bounded retry of transient storage failures (the BlockDevice's retry
@@ -310,7 +470,7 @@ void AsyncBackend::io_loop() {
     op.noop = op.blocks.empty();
     op.begun = op.noop ? Status::Ok()
                : op.is_write
-                   ? inner_->begin_write_many(op.blocks, op.wdata)
+                   ? inner_->begin_write_many(op.blocks, wspan(op))
                    : inner_->begin_read_many(op.blocks,
                                              std::span<Word>(op.rdest, op.rlen));
     inflight.push_back(std::move(op));
@@ -344,6 +504,24 @@ AsyncBackend::Ticket AsyncBackend::submit_write_many(std::vector<std::uint64_t> 
   op.is_write = true;
   op.blocks = std::move(blocks);
   op.wdata = std::move(in);
+  const Ticket t = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(op));
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  queue_cv_.notify_one();
+  std::this_thread::yield();  // see submit_read_many
+  return t;
+}
+
+AsyncBackend::Ticket AsyncBackend::submit_write_many_borrowed(
+    std::span<const std::uint64_t> blocks, std::span<const Word> in) {
+  Op op;
+  op.is_write = true;
+  op.blocks.assign(blocks.begin(), blocks.end());
+  op.wsrc = in.data();
+  op.wlen = in.size();
   const Ticket t = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -478,6 +656,389 @@ Status FaultyBackend::do_write_many(std::span<const std::uint64_t> blocks,
   return inner_->write_many(blocks, in);
 }
 
+Status FaultyBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
+                                         std::span<Word> out) {
+  OEM_RETURN_IF_ERROR(gate(/*is_write=*/false));
+  return inner_->begin_read_many(blocks, out);
+}
+
+Status FaultyBackend::do_begin_write_many(std::span<const std::uint64_t> blocks,
+                                          std::span<const Word> in) {
+  OEM_RETURN_IF_ERROR(gate(/*is_write=*/true));
+  return inner_->begin_write_many(blocks, in);
+}
+
+// ---------------------------------------------------------------------------
+// CachingBackend.
+
+CachingBackend::CachingBackend(std::unique_ptr<StorageBackend> inner,
+                               std::size_t capacity_blocks)
+    : StorageBackend(inner->block_words()),
+      inner_(std::move(inner)),
+      cap_(capacity_blocks) {
+  if (cap_ < 1) {
+    init_status_ = Status::InvalidArgument(
+        "cache capacity must be >= 1 block; drop the decorator instead of "
+        "configuring cache(0)");
+    return;
+  }
+  slab_.resize(cap_ * block_words());
+  free_slots_.reserve(cap_);
+  for (std::size_t s = cap_; s > 0; --s) free_slots_.push_back(s - 1);
+}
+
+CachingBackend::~CachingBackend() {
+  if (init_status_.ok()) flush();  // best effort: dirty blocks reach the store
+}
+
+CachingBackend::Entry* CachingBackend::find(std::uint64_t block) {
+  auto it = entries_.find(block);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void CachingBackend::touch(Entry& e, std::uint64_t block) {
+  lru_.erase(e.lru);
+  lru_.push_front(block);
+  e.lru = lru_.begin();
+}
+
+Status CachingBackend::write_back_run(std::uint64_t block) {
+  // Maximal run of consecutive cached dirty blocks around `block`: one
+  // coalesced write_many frame instead of a narrow write per eviction.
+  std::uint64_t lo = block, hi = block;
+  while (lo > 0) {
+    Entry* e = find(lo - 1);
+    if (e == nullptr || !e->dirty) break;
+    --lo;
+  }
+  for (;;) {
+    Entry* e = find(hi + 1);
+    if (e == nullptr || !e->dirty) break;
+    ++hi;
+  }
+  const std::size_t bw = block_words();
+  const std::size_t n = static_cast<std::size_t>(hi - lo + 1);
+  std::vector<std::uint64_t> ids(n);
+  wb_stage_.resize(n * bw);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = lo + i;
+    std::memcpy(wb_stage_.data() + i * bw, slot_data(entries_[lo + i].slot),
+                bw * sizeof(Word));
+  }
+  OEM_RETURN_IF_ERROR(inner_->write_many(ids, wb_stage_));
+  // Only mark clean once the write landed: a transient failure above leaves
+  // the dirty state (and the data) untouched for the device's retry.
+  for (std::uint64_t b = lo; b <= hi; ++b) entries_[b].dirty = false;
+  writebacks_.fetch_add(n, std::memory_order_relaxed);
+  writeback_ops_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status CachingBackend::evict_one(std::size_t* slot) {
+  assert(!lru_.empty());
+  const std::uint64_t victim = lru_.back();
+  Entry& e = entries_[victim];
+  if (e.dirty) OEM_RETURN_IF_ERROR(write_back_run(victim));
+  *slot = e.slot;
+  lru_.pop_back();
+  entries_.erase(victim);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<CachingBackend::Entry*> CachingBackend::insert(std::uint64_t block) {
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    OEM_RETURN_IF_ERROR(evict_one(&slot));
+  }
+  lru_.push_front(block);
+  Entry e;
+  e.slot = slot;
+  e.dirty = false;
+  e.lru = lru_.begin();
+  return &entries_.emplace(block, e).first->second;
+}
+
+Status CachingBackend::flush() {
+  // Complete any begun ops first (callers normally already have).
+  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
+  std::vector<std::uint64_t> dirty;
+  for (const auto& [block, e] : entries_)
+    if (e.dirty) dirty.push_back(block);
+  if (dirty.empty()) return Status::Ok();
+  std::sort(dirty.begin(), dirty.end());
+  const std::size_t bw = block_words();
+  wb_stage_.resize(dirty.size() * bw);
+  for (std::size_t i = 0; i < dirty.size(); ++i)
+    std::memcpy(wb_stage_.data() + i * bw, slot_data(entries_[dirty[i]].slot),
+                bw * sizeof(Word));
+  OEM_RETURN_IF_ERROR(inner_->write_many(dirty, wb_stage_));
+  for (std::uint64_t b : dirty) entries_[b].dirty = false;
+  writebacks_.fetch_add(dirty.size(), std::memory_order_relaxed);
+  writeback_ops_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status CachingBackend::do_resize(std::uint64_t nblocks) {
+  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
+  // Shrunk-away blocks are gone by contract -- dirty included -- so a later
+  // re-grow reads them as zero, exactly like the store below.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first >= nblocks) {
+      free_slots_.push_back(it->second.slot);
+      lru_.erase(it->second.lru);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return inner_->resize(nblocks);
+}
+
+Status CachingBackend::do_read(std::uint64_t block, std::span<Word> out) {
+  const std::uint64_t ids[1] = {block};
+  return do_read_many(std::span<const std::uint64_t>(ids, 1), out);
+}
+
+Status CachingBackend::do_write(std::uint64_t block, std::span<const Word> in) {
+  const std::uint64_t ids[1] = {block};
+  return do_write_many(std::span<const std::uint64_t>(ids, 1), in);
+}
+
+Status CachingBackend::do_read_many(std::span<const std::uint64_t> blocks,
+                                    std::span<Word> out) {
+  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
+  const std::size_t bw = block_words();
+  // Stats are credited only on success: the device's retry loop re-invokes
+  // the whole op on kIo, and re-served hits must not count twice.
+  std::uint64_t op_hits = 0;
+  std::vector<std::uint64_t> miss_ids;
+  std::vector<std::size_t> miss_pos;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    Entry* e = find(blocks[i]);
+    if (e != nullptr) {
+      std::memcpy(out.data() + i * bw, slot_data(e->slot), bw * sizeof(Word));
+      touch(*e, blocks[i]);
+      ++op_hits;
+    } else {
+      miss_ids.push_back(blocks[i]);
+      miss_pos.push_back(i);
+    }
+  }
+  if (miss_ids.empty()) {
+    hits_.fetch_add(op_hits, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  // Zero-copy when the misses are one contiguous run of the caller's buffer
+  // (the common cold-stream case: everything missed); strided misses land in
+  // a staging buffer and scatter.
+  if (contiguous_run(miss_pos)) {
+    std::span<Word> dest = out.subspan(miss_pos[0] * bw, miss_ids.size() * bw);
+    OEM_RETURN_IF_ERROR(inner_->read_many(miss_ids, dest));
+    for (std::size_t j = 0; j < miss_ids.size(); ++j) {
+      if (find(miss_ids[j]) != nullptr) continue;  // duplicate id in this batch
+      auto e = insert(miss_ids[j]);
+      OEM_RETURN_IF_ERROR(e.status());
+      std::memcpy(slot_data((*e)->slot), dest.data() + j * bw, bw * sizeof(Word));
+    }
+    hits_.fetch_add(op_hits, std::memory_order_relaxed);
+    misses_.fetch_add(miss_ids.size(), std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  std::vector<Word> staging(miss_ids.size() * bw);
+  OEM_RETURN_IF_ERROR(inner_->read_many(miss_ids, staging));
+  for (std::size_t j = 0; j < miss_ids.size(); ++j) {
+    std::memcpy(out.data() + miss_pos[j] * bw, staging.data() + j * bw,
+                bw * sizeof(Word));
+    if (find(miss_ids[j]) != nullptr) continue;
+    auto e = insert(miss_ids[j]);
+    OEM_RETURN_IF_ERROR(e.status());
+    std::memcpy(slot_data((*e)->slot), staging.data() + j * bw, bw * sizeof(Word));
+  }
+  hits_.fetch_add(op_hits, std::memory_order_relaxed);
+  misses_.fetch_add(miss_ids.size(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status CachingBackend::do_write_many(std::span<const std::uint64_t> blocks,
+                                     std::span<const Word> in) {
+  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
+  const std::size_t bw = block_words();
+  // Atomic-by-rejection, like every other backend: everything that can fail
+  // (eviction write-backs, a write-through) happens BEFORE any of this
+  // batch's data enters the cache, so a kIo'd write leaves no partial
+  // absorption behind -- nothing of a rejected batch can ever be flushed.
+  std::size_t unique = 0, fresh = 0;  // distinct ids / distinct uncached ids
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i && !seen; ++j) seen = blocks[j] == blocks[i];
+    if (seen) continue;
+    ++unique;
+    if (find(blocks[i]) == nullptr) ++fresh;
+  }
+  const bool fits = unique <= cap_;
+  if (fits) {
+    // Phase 1a: pin this batch's cached entries at the LRU front so the
+    // slot-freeing evictions below can only pick non-batch victims (the
+    // capacity argument: unique <= cap_ guarantees enough of them).
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+      if (Entry* e = find(blocks[i])) touch(*e, blocks[i]);
+    // Phase 1b: secure a slot per fresh id -- the only failure point.
+    while (free_slots_.size() < fresh) {
+      std::size_t slot;
+      OEM_RETURN_IF_ERROR(evict_one(&slot));
+      free_slots_.push_back(slot);
+    }
+  } else {
+    // Degenerate batch wider than the whole cache: write the uncached
+    // subset through (one failable op, first), then absorb the cached
+    // overwrites (infallible).
+    std::vector<std::uint64_t> through_ids;
+    std::vector<std::size_t> through_pos;
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+      if (find(blocks[i]) == nullptr) {
+        through_ids.push_back(blocks[i]);
+        through_pos.push_back(i);
+      }
+    wb_stage_.resize(through_ids.size() * bw);
+    for (std::size_t j = 0; j < through_ids.size(); ++j)
+      std::memcpy(wb_stage_.data() + j * bw, in.data() + through_pos[j] * bw,
+                  bw * sizeof(Word));
+    OEM_RETURN_IF_ERROR(inner_->write_many(through_ids, wb_stage_));
+  }
+  // Phase 2: absorb -- infallible by construction.
+  std::uint64_t op_absorbed = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    Entry* e = find(blocks[i]);
+    if (e == nullptr) {
+      if (!fits) continue;  // written through above
+      auto inserted = insert(blocks[i]);
+      assert(inserted.ok());
+      e = *inserted;
+    } else {
+      touch(*e, blocks[i]);
+    }
+    std::memcpy(slot_data(e->slot), in.data() + i * bw, bw * sizeof(Word));
+    e->dirty = true;
+    ++op_absorbed;
+  }
+  absorbed_.fetch_add(op_absorbed, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+// Split-phase face: cached blocks are served/absorbed at begin time and the
+// remainder forwards as at most one inner frame per begun batch.  Residency
+// never changes here -- and the synchronous paths (which do change it) only
+// run once the pipeline is drained -- so the set of cached blocks is frozen
+// while frames are in flight, which is what makes serving hits at begin
+// sound: no in-flight frame can target a cached block.
+
+Status CachingBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
+                                          std::span<Word> out) {
+  const std::size_t bw = block_words();
+  PendingOp op;
+  op.is_read = true;
+  op.out = out.data();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    Entry* e = find(blocks[i]);
+    if (e != nullptr) {
+      std::memcpy(out.data() + i * bw, slot_data(e->slot), bw * sizeof(Word));
+      touch(*e, blocks[i]);
+      ++op.hits;
+    } else {
+      op.miss_ids.push_back(blocks[i]);
+      op.miss_pos.push_back(i);
+    }
+  }
+  op.misses = op.miss_ids.size();
+  if (!op.miss_ids.empty()) {
+    Status st;
+    if (contiguous_run(op.miss_pos)) {
+      // Borrowed span: the inner store completes straight into the caller's
+      // buffer; op.staging stays empty as the marker.
+      st = inner_->begin_read_many(
+          op.miss_ids, out.subspan(op.miss_pos[0] * bw, op.miss_ids.size() * bw));
+    } else {
+      op.staging.resize(op.miss_ids.size() * bw);
+      st = inner_->begin_read_many(op.miss_ids, op.staging);
+    }
+    if (!st.ok()) return st;  // nothing begun, nothing to unwind
+    op.has_frame = true;
+  }
+  pending_.push_back(std::move(op));
+  return Status::Ok();
+}
+
+Status CachingBackend::do_begin_write_many(std::span<const std::uint64_t> blocks,
+                                           std::span<const Word> in) {
+  const std::size_t bw = block_words();
+  PendingOp op;
+  std::vector<std::uint64_t> around_ids;
+  std::vector<std::size_t> around_pos;
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    if (find(blocks[i]) == nullptr) {
+      // Write-around: uncached blocks go to the store below as one begun
+      // frame (no allocation in the split-phase path -- see above).
+      around_ids.push_back(blocks[i]);
+      around_pos.push_back(i);
+    }
+  // The failable part first (atomic-by-rejection, like the sync path): only
+  // once the write-around frame is on the wire does any of this batch's
+  // data enter the cache, so a refused begin absorbs nothing.
+  if (!around_ids.empty()) {
+    Status st;
+    if (contiguous_run(around_pos)) {
+      st = inner_->begin_write_many(
+          around_ids, in.subspan(around_pos[0] * bw, around_ids.size() * bw));
+    } else {
+      // begin_write_many consumes its input before returning, so the reused
+      // gather scratch is safe.
+      wb_stage_.resize(around_ids.size() * bw);
+      for (std::size_t j = 0; j < around_ids.size(); ++j)
+        std::memcpy(wb_stage_.data() + j * bw, in.data() + around_pos[j] * bw,
+                    bw * sizeof(Word));
+      st = inner_->begin_write_many(around_ids, wb_stage_);
+    }
+    if (!st.ok()) return st;
+    op.has_frame = true;
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    Entry* e = find(blocks[i]);
+    if (e == nullptr) continue;  // written around above
+    std::memcpy(slot_data(e->slot), in.data() + i * bw, bw * sizeof(Word));
+    e->dirty = true;
+    touch(*e, blocks[i]);
+    ++op.absorbed;
+  }
+  pending_.push_back(std::move(op));
+  return Status::Ok();
+}
+
+Status CachingBackend::do_complete_oldest() {
+  if (pending_.empty()) return Status::Ok();
+  PendingOp op = std::move(pending_.front());
+  pending_.pop_front();
+  Status st;
+  if (op.has_frame) st = inner_->complete_oldest();
+  if (st.ok() && op.is_read && !op.staging.empty()) {
+    const std::size_t bw = block_words();
+    for (std::size_t j = 0; j < op.miss_ids.size(); ++j)
+      std::memcpy(op.out + op.miss_pos[j] * bw, op.staging.data() + j * bw,
+                  bw * sizeof(Word));
+  }
+  if (st.ok()) {
+    // Credit the op's stats only now that it completed: a failed op is
+    // replayed through the synchronous path, which does its own counting.
+    hits_.fetch_add(op.hits, std::memory_order_relaxed);
+    misses_.fetch_add(op.misses, std::memory_order_relaxed);
+    absorbed_.fetch_add(op.absorbed, std::memory_order_relaxed);
+  }
+  return st;
+}
+
 // ---------------------------------------------------------------------------
 // Factories.
 
@@ -522,6 +1083,14 @@ BackendFactory faulty_backend(BackendFactory inner, FaultProfile profile) {
           profile](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
     auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
     return std::make_unique<FaultyBackend>(std::move(base), profile);
+  };
+}
+
+BackendFactory caching_backend(BackendFactory inner, std::size_t capacity_blocks) {
+  return [inner = std::move(inner),
+          capacity_blocks](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
+    auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
+    return std::make_unique<CachingBackend>(std::move(base), capacity_blocks);
   };
 }
 

@@ -9,7 +9,29 @@
 //     (block b lives on shard b mod K at inner index b div K) and dispatches
 //     the per-shard slices of a read_many/write_many batch to persistent
 //     worker threads, so K stores transfer -- and K LatencyBackends sleep --
-//     in parallel.
+//     in parallel.  When the shards themselves support split-phase I/O
+//     (max_inflight() > 1 -- K RemoteBackends, one connection each), the
+//     split-phase face is forwarded: a begun batch is split into per-shard
+//     sub-frames begun on ALL shards back to back, and completed FIFO per
+//     shard, so striping and pipeline depth MULTIPLY -- a sharded(K) stack
+//     over remote stores keeps K x depth frames on the wire instead of
+//     collapsing the pipeline to one batch round trip at a time.  Per-shard
+//     sub-frames whose slice of the caller's buffer is one contiguous run
+//     borrow that span end-to-end (no staging memcpy); only strided slices
+//     pay a gather/scatter copy.
+//
+//   * CachingBackend -- an LRU write-back block cache decorator.  Writes are
+//     absorbed in the cache (dirty blocks reach the store below only on
+//     eviction or flush, with dirty neighbors coalesced into one batched
+//     write-back frame), re-touched reads are served without an inner op,
+//     and misses forward the split-phase face so a cache over a remote
+//     store keeps its wire pipelining.  Sits ABOVE encryption (it must hold
+//     each plaintext block exactly once) and ABOVE latency/sharding (a hit
+//     must cost no simulated round trip); Session::Builder::cache composes
+//     it there.  The BlockDevice records the trace at submit time ABOVE
+//     this decorator, so Bob's recorded view is unchanged -- the cache only
+//     changes which of those accesses still reach the wire, a function of
+//     the (data-independent) block-id sequence alone.
 //
 //   * AsyncBackend -- a decorator exposing submit_read_many/submit_write_many
 //     tickets executed by a single background I/O thread in FIFO submission
@@ -50,10 +72,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "extmem/backend.h"
@@ -97,6 +122,18 @@ class ShardedBackend : public StorageBackend {
   Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
   Status do_write_many(std::span<const std::uint64_t> blocks,
                        std::span<const Word> in) override;
+  /// Split-phase forwarding: a begun batch becomes one sub-frame per
+  /// involved shard, begun back to back (requests from ALL shards go on
+  /// their wires before any response is awaited) and completed FIFO per
+  /// shard, so K shards each carrying max_inflight frames hold K x depth
+  /// batches in flight.  A batch consumes at most one frame per shard, so
+  /// the whole stripe can keep min_s max_inflight(shard s) batches open.
+  std::size_t do_max_inflight() const override;
+  Status do_begin_read_many(std::span<const std::uint64_t> blocks,
+                            std::span<Word> out) override;
+  Status do_begin_write_many(std::span<const std::uint64_t> blocks,
+                             std::span<const Word> in) override;
+  Status do_complete_oldest() override;
 
  private:
   /// One shard's slice of the current batch (reused across calls).
@@ -107,6 +144,22 @@ class ShardedBackend : public StorageBackend {
     Status status;
   };
 
+  /// One outstanding split-phase batch: its per-shard sub-frames, in the
+  /// order their begin_* frames were issued (= completion order per shard).
+  struct ShardFrame {
+    struct Part {
+      std::size_t shard = 0;
+      std::vector<std::uint64_t> inner_ids;
+      std::vector<std::size_t> flat;  // caller positions; empty for a
+                                      // contiguous run starting at flat0
+      std::size_t flat0 = 0;
+      std::vector<Word> staging;      // read landing zone for strided parts
+    };
+    bool is_write = false;
+    std::span<Word> rout;  // caller read dest; valid until complete_oldest
+    std::vector<Part> parts;
+  };
+
   void partition(std::span<const std::uint64_t> blocks);
   Status run_batch(bool is_write, std::span<Word> rout, std::span<const Word> win);
   void run_shard(std::size_t s);
@@ -114,6 +167,20 @@ class ShardedBackend : public StorageBackend {
 
   std::vector<std::unique_ptr<StorageBackend>> shards_;
   std::vector<SubBatch> sub_;
+  /// Completes the oldest outstanding batch: one complete per involved
+  /// shard, scattering strided read parts into the caller's buffer.
+  Status complete_frame(ShardFrame f);
+  /// Fails a partially-begun batch without breaking any shard's FIFO: every
+  /// OLDER batch is completed first (in order, statuses stashed for the
+  /// caller's later complete_oldest calls -- their destinations are still
+  /// valid, they are just retired early), which makes the partial batch's
+  /// frames the head of each shard's queue, so they can be popped and
+  /// discarded.
+  void abort_partial_begin(ShardFrame& f);
+
+  std::deque<ShardFrame> frames_;  // outstanding split-phase batches (FIFO)
+  std::deque<Status> completed_early_;  // statuses of batches retired by an abort
+  std::vector<Word> wstage_;       // strided write gather scratch (consumed at begin)
 
   // Dispatch state: the main thread publishes a batch under mu_ and bumps
   // gen_; workers with a non-empty slice run it and decrement pending_.
@@ -144,6 +211,7 @@ class AsyncBackend : public StorageBackend {
 
   StorageBackend& inner() { return *inner_; }
   const StorageBackend& inner() const { return *inner_; }
+  const StorageBackend* inner_backend() const override { return inner_.get(); }
 
   /// Tickets are 1-based submission sequence numbers; ops execute on the I/O
   /// thread strictly in ticket order.
@@ -154,6 +222,13 @@ class AsyncBackend : public StorageBackend {
   /// Takes ownership of the id list and ciphertext, so the caller's staging
   /// buffers are immediately reusable.
   Ticket submit_write_many(std::vector<std::uint64_t> blocks, std::vector<Word> in);
+  /// Zero-copy write: the ciphertext is BORROWED -- `in` must stay valid
+  /// (and unmodified) until a wait() covering the ticket returns.  The block
+  /// pipeline uses this with per-window staging it only reuses after the
+  /// FIFO guarantees the write executed, saving a heap allocation and a
+  /// full buffer copy per window.
+  Ticket submit_write_many_borrowed(std::span<const std::uint64_t> blocks,
+                                    std::span<const Word> in);
 
   /// Blocks until every op with ticket <= t has executed.  Returns the first
   /// error any completed op hit since the last report; reporting clears it,
@@ -189,8 +264,10 @@ class AsyncBackend : public StorageBackend {
   struct Op {
     bool is_write = false;
     std::vector<std::uint64_t> blocks;
-    std::vector<Word> wdata;  // writes: owned ciphertext
-    Word* rdest = nullptr;    // reads: caller-owned destination
+    std::vector<Word> wdata;        // writes: owned ciphertext
+    const Word* wsrc = nullptr;     // writes: borrowed ciphertext (zero-copy)
+    std::size_t wlen = 0;
+    Word* rdest = nullptr;          // reads: caller-owned destination
     std::size_t rlen = 0;
     // Wire-pipelined execution state (inner max_inflight() > 1).
     bool noop = false;  // empty batch: completes without touching the inner
@@ -259,6 +336,7 @@ class FaultyBackend : public StorageBackend {
 
   StorageBackend& inner() { return *inner_; }
   const StorageBackend& inner() const { return *inner_; }
+  const StorageBackend* inner_backend() const override { return inner_.get(); }
   const FaultProfile& profile() const { return profile_; }
 
   /// Data-path ops observed and faults injected (counting every failed
@@ -276,6 +354,17 @@ class FaultyBackend : public StorageBackend {
   Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
   Status do_write_many(std::span<const std::uint64_t> blocks,
                        std::span<const Word> in) override;
+  /// Split-phase forwarding: the fault decision is rolled at BEGIN time (a
+  /// fired fault rejects the op before any frame is sent, so the inner store
+  /// stays untouched -- same atomic-by-rejection contract as the sync path);
+  /// a begun-ok op forwards its completion unchanged.  This keeps the wire
+  /// pipelining of a remote store under per-shard fault injection.
+  std::size_t do_max_inflight() const override { return inner_->max_inflight(); }
+  Status do_begin_read_many(std::span<const std::uint64_t> blocks,
+                            std::span<Word> out) override;
+  Status do_begin_write_many(std::span<const std::uint64_t> blocks,
+                             std::span<const Word> in) override;
+  Status do_complete_oldest() override { return inner_->complete_oldest(); }
 
  private:
   /// Rolls the fault decision for one op; non-ok means the op must fail now.
@@ -289,6 +378,159 @@ class FaultyBackend : public StorageBackend {
   bool recovering_ = false;       // next attempt passes for free (guarded by mu_)
   std::atomic<std::uint64_t> ops_{0};
   std::atomic<std::uint64_t> faults_{0};
+};
+
+// ---------------------------------------------------------------------------
+// CachingBackend.
+
+/// Read-hit / write-absorption counters.  Snapshot of atomics: a cache under
+/// an AsyncBackend is driven from the I/O thread while the main thread reads.
+struct CacheStats {
+  std::uint64_t hits = 0;             // read blocks served from the cache
+  std::uint64_t misses = 0;           // read blocks fetched from the inner store
+  std::uint64_t absorbed_writes = 0;  // write blocks absorbed (no inner op)
+  std::uint64_t writebacks = 0;       // dirty blocks written back to the inner
+  std::uint64_t writeback_ops = 0;    // coalesced write-back frames issued
+  std::uint64_t evictions = 0;        // cached blocks dropped to make room
+  double hit_rate() const {
+    const std::uint64_t n = hits + misses;
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// LRU write-back block cache.  Reads of cached blocks never reach the inner
+/// store; writes are absorbed (marked dirty) and written back only on
+/// eviction, flush() or destruction -- with cached dirty NEIGHBORS of the
+/// victim coalesced into the same batched write-back frame, so a hot working
+/// set streams back as few wide writes instead of many narrow ones.  The
+/// split-phase face is forwarded (max_inflight of the inner store), keeping
+/// the wire pipelining of a remote stack: begun batches serve/absorb their
+/// cached blocks at begin time and forward the remainder (read misses,
+/// writes to uncached blocks) as one in-flight inner frame; residency only
+/// changes on the synchronous path, so recovery-by-replay stays trivial.
+///
+/// Placement (Session::Builder::cache enforces this order): ABOVE encryption
+/// (the cache must hold each plaintext block exactly once -- an
+/// EncryptedBackend over a CachingBackend is rejected at health()) and above
+/// latency/sharding/remote, so a hit costs no round trip, simulated or real.
+/// `capacity_blocks` must be >= 1; 0 is rejected at health().
+///
+/// Failure semantics: writes are atomic-by-rejection like every other
+/// backend -- anything that can fail (eviction write-backs, write-throughs,
+/// a write-around frame) is issued before any of the batch's data enters
+/// the cache, so a kIo'd write absorbs nothing.  The one boundary is a
+/// begun write whose COMPLETION fails after the retry budget is exhausted:
+/// its absorbed blocks stay cached (later begun reads already observed
+/// them, per FIFO), the error surfaces loudly, and the computation aborts
+/// -- same contract as a lost submitted write on the plain AsyncBackend.
+/// The destructor's flush is best-effort; services that must observe
+/// write-back errors call flush() and check the Status.
+class CachingBackend : public StorageBackend {
+ public:
+  CachingBackend(std::unique_ptr<StorageBackend> inner, std::size_t capacity_blocks);
+  ~CachingBackend() override;  // best-effort flush of dirty blocks
+  const char* name() const override { return "cache"; }
+  Status health() const override {
+    return init_status_.ok() ? inner_->health() : init_status_;
+  }
+
+  StorageBackend& inner() { return *inner_; }
+  const StorageBackend& inner() const { return *inner_; }
+  const StorageBackend* inner_backend() const override { return inner_.get(); }
+  std::size_t capacity_blocks() const { return cap_; }
+  std::size_t cached_blocks() const { return entries_.size(); }
+
+  /// Write back every dirty block (coalesced into runs), keeping them
+  /// cached-clean.  Synchronous: callers must have completed all begun ops.
+  Status flush();
+
+  CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.absorbed_writes = absorbed_.load(std::memory_order_relaxed);
+    s.writebacks = writebacks_.load(std::memory_order_relaxed);
+    s.writeback_ops = writeback_ops_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ protected:
+  /// Shrink drops cached blocks past the new capacity (dirty included: a
+  /// shrunk-away block is gone by contract); surviving entries stay valid.
+  Status do_resize(std::uint64_t nblocks) override;
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+  std::size_t do_max_inflight() const override { return inner_->max_inflight(); }
+  Status do_begin_read_many(std::span<const std::uint64_t> blocks,
+                            std::span<Word> out) override;
+  Status do_begin_write_many(std::span<const std::uint64_t> blocks,
+                             std::span<const Word> in) override;
+  Status do_complete_oldest() override;
+
+ private:
+  struct Entry {
+    std::size_t slot = 0;
+    bool dirty = false;
+    std::list<std::uint64_t>::iterator lru;  // position in lru_ (front = hottest)
+  };
+
+  /// One begun split-phase batch.  The split-phase path never mutates cache
+  /// residency (no allocation, no eviction): hits are served/absorbed at
+  /// begin, and the remainder forwards as AT MOST ONE inner frame, so a
+  /// failed begin leaves nothing to unwind and the AsyncBackend's
+  /// drain-and-replay recovery (which re-runs the op through the
+  /// synchronous path) stays idempotent.
+  struct PendingOp {
+    bool is_read = false;
+    bool has_frame = false;                  // one inner frame to complete
+    std::vector<std::uint64_t> miss_ids;     // read misses fetched from inner
+    std::vector<std::size_t> miss_pos;       // their positions in the caller batch
+    std::vector<Word> staging;               // miss landing zone ([] = borrowed out)
+    Word* out = nullptr;                     // caller read dest base
+    // Stats are credited only at a SUCCESSFUL completion: a kIo'd op is
+    // replayed through the synchronous path, which counts it then --
+    // counting at begin would tally the same blocks twice under retry.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t absorbed = 0;
+  };
+
+  Word* slot_data(std::size_t slot) { return slab_.data() + slot * block_words(); }
+  Entry* find(std::uint64_t block);
+  void touch(Entry& e, std::uint64_t block);
+  /// Frees one slot by evicting the least-recently-used entry.  A dirty
+  /// victim is written back FIRST -- together with the maximal run of
+  /// consecutive cached dirty neighbors, coalesced into one batched inner
+  /// write (the neighbors stay cached, now clean) -- and the entry is only
+  /// erased once that write landed, so a transient write-back failure
+  /// surfaces as the op's error with no data-loss window and the device's
+  /// retry re-runs it from unchanged state.
+  Status evict_one(std::size_t* slot);
+  /// Slot for `block` (free or evicted); inserts the entry (clean, MRU).
+  Result<Entry*> insert(std::uint64_t block);
+  /// Writes back the maximal consecutive run of cached dirty blocks around
+  /// `block` in one coalesced inner write_many, marking the run clean.
+  Status write_back_run(std::uint64_t block);
+
+  std::unique_ptr<StorageBackend> inner_;
+  Status init_status_;
+  std::size_t cap_ = 0;
+  std::vector<Word> slab_;                 // cap_ * block_words() words
+  std::vector<std::size_t> free_slots_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;           // front = most recently used
+  std::deque<PendingOp> pending_;
+  std::vector<Word> wb_stage_;             // write-back / write-around gather scratch
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> absorbed_{0};
+  std::atomic<std::uint64_t> writebacks_{0};
+  std::atomic<std::uint64_t> writeback_ops_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -318,5 +560,10 @@ BackendFactory async_backend(BackendFactory inner);
 /// Compose UNDER sharding (wrap each shard's base) for per-shard failures;
 /// Session::Builder::fault_injection does that and derives per-shard seeds.
 BackendFactory faulty_backend(BackendFactory inner, FaultProfile profile);
+
+/// Wrap the backend produced by `inner` (null = mem) in a CachingBackend of
+/// `capacity_blocks` blocks.  Compose ABOVE sharding/latency/encryption and
+/// UNDER async_backend; Session::Builder::cache does exactly that.
+BackendFactory caching_backend(BackendFactory inner, std::size_t capacity_blocks);
 
 }  // namespace oem

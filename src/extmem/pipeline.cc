@@ -29,7 +29,17 @@ struct Slot {
   std::vector<std::uint64_t> sorted_reads;
   std::vector<std::uint64_t> sorted_writes;
   std::vector<Word> wire;                 // read ciphertext staging
+  // Write ciphertext staging, BORROWED by the device (zero-copy: no
+  // per-window allocation or buffer hand-off).  Reusing it K windows later
+  // is safe by FIFO: window u's read ticket is submitted after window
+  // u-K's writes, so dev.wait(read ticket of u) proves those writes
+  // executed before this buffer is touched again.
+  std::vector<Word> wwire;
   BlockDevice::IoTicket ticket = 0;
+  // Last write chunk submitted from this slot: waiting on it before the
+  // slot's next window encrypts makes the wwire reuse safe even for
+  // windows with NO reads (whose read ticket is 0 and covers nothing).
+  BlockDevice::IoTicket wticket = 0;
 };
 
 /// Exception safety: an in-flight async read holds a raw pointer into a
@@ -117,7 +127,6 @@ void run_block_pipeline(Client& client, std::uint64_t passes,
 
   CacheLease lease(client.cache(), 0);
   std::vector<Record> buf;
-  std::vector<Word> sync_wire;  // reused write staging for sync backends
   DrainOnUnwind unwind_guard{dev};
 
   std::uint64_t described = 0;  // windows [0, described) have run describe()
@@ -151,6 +160,7 @@ void run_block_pipeline(Client& client, std::uint64_t passes,
     advance(t + K - 1, t);  // r(t) at the latest; prefetch across the ring
     Slot& cur = slots[t % K];
     dev.wait(cur.ticket);
+    dev.wait(cur.wticket);  // window t-K's writes: cur.wwire is reusable after
     const std::size_t nblocks = std::max(cur.dev_reads.size(), cur.dev_writes.size());
     lease.resize(nblocks * B);
     buf.resize(nblocks * B);
@@ -159,22 +169,20 @@ void run_block_pipeline(Client& client, std::uint64_t passes,
 
     compute(t, std::span<Record>(buf).first(nblocks * B));
 
+    // Encrypt the whole window into the slot's write staging once and hand
+    // the device borrowed subspans: the sync path executes immediately, the
+    // async path holds the pointer until the FIFO executes the write --
+    // safely before this slot's buffer is reused (see Slot::wwire).
+    cur.wwire.resize(cur.dev_writes.size() * bw);
+    client.encrypt_blocks(cur.dev_writes, std::span<const Record>(buf).first(
+                                              cur.dev_writes.size() * B),
+                          cur.wwire);
+    cur.wticket = 0;
     for (std::size_t i = 0; i < cur.dev_writes.size(); i += W) {
       const std::size_t k = std::min(W, cur.dev_writes.size() - i);
-      std::span<const std::uint64_t> ids(cur.dev_writes);
-      const std::span<const Record> recs(buf);
-      if (dev.async_io()) {
-        // The async path takes ownership of the ciphertext (it outlives
-        // this pass); the sync path executes immediately, so a reused
-        // staging buffer avoids a heap allocation per window.
-        std::vector<Word> out_wire(k * bw);
-        client.encrypt_blocks(ids.subspan(i, k), recs.subspan(i * B, k * B), out_wire);
-        dev.submit_write_many(ids.subspan(i, k), std::move(out_wire));
-      } else {
-        sync_wire.resize(k * bw);
-        client.encrypt_blocks(ids.subspan(i, k), recs.subspan(i * B, k * B), sync_wire);
-        dev.write_many(ids.subspan(i, k), sync_wire);
-      }
+      cur.wticket = dev.submit_write_many_borrowed(
+          std::span<const std::uint64_t>(cur.dev_writes).subspan(i, k),
+          std::span<const Word>(cur.wwire).subspan(i * bw, k * bw));
     }
     // Writes of window t are on the device: reads they were blocking (the
     // classic "late" prefetch at depth 2) can go now.

@@ -28,8 +28,22 @@ struct IoStats {
   std::uint64_t writes = 0;      // blocks written
   std::uint64_t read_ops = 0;    // backend calls: a batched read_many is one op
   std::uint64_t write_ops = 0;   // backend calls: a batched write_many is one op
+  // Drained-at counters: the subset of the ops above whose physical
+  // completion the device has observed (synchronous ops immediately;
+  // submitted split-phase frames at the wait/drain that covered them).
+  // After a drain they equal the submit-time counters, so `--prefetch` /
+  // sharded bench rows report op counts comparable with synchronous rows
+  // even when read mid-run.
+  std::uint64_t drained_reads = 0;
+  std::uint64_t drained_writes = 0;
+  std::uint64_t drained_read_ops = 0;
+  std::uint64_t drained_write_ops = 0;
   std::uint64_t total() const { return reads + writes; }
   std::uint64_t total_ops() const { return read_ops + write_ops; }
+  std::uint64_t drained_total() const { return drained_reads + drained_writes; }
+  std::uint64_t drained_total_ops() const {
+    return drained_read_ops + drained_write_ops;
+  }
 };
 
 class TraceRecorder {

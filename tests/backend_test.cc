@@ -46,6 +46,14 @@ std::vector<BackendCase> conformance_cases() {
       {"async_sharded4", async_backend(sharded_backend(mem_backend(), 4))},
       {"encrypted_mem", encrypted_backend(mem_backend(), 0x5eedULL)},
       {"sharded4_encrypted", sharded_backend(encrypted_backend(mem_backend(), 0x5eedULL), 4)},
+      {"cache_mem", caching_backend(mem_backend(), 8)},
+      // A 2-block cache evicts on nearly every batch: the write-back and
+      // shrink/regrow paths run constantly under the conformance contract.
+      {"cache_tiny", caching_backend(mem_backend(), 2)},
+      {"cache_sharded4_encrypted",
+       caching_backend(sharded_backend(encrypted_backend(mem_backend(), 0x5eedULL), 4), 6)},
+      {"async_cache_sharded4",
+       async_backend(caching_backend(sharded_backend(mem_backend(), 4), 8))},
   };
 }
 
@@ -147,7 +155,7 @@ TEST_P(BackendConformance, RejectsBadArguments) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
-                         ::testing::Range(0, 11), [](const auto& info) {
+                         ::testing::Range(0, 15), [](const auto& info) {
                            return conformance_cases()[info.param].name;
                          });
 

@@ -1,12 +1,15 @@
 // IoEngine suite: ShardedBackend striping/parallel dispatch, AsyncBackend
 // FIFO submission semantics, and the tentpole guarantee -- for every
 // algorithm the recorded per-block trace is byte-identical across
-// {mem, sharded(4), sharded(4)+prefetch, faulty(seed)+retry}: parallel
-// placement, overlapped dispatch, and fault recovery never change what Bob
+// {mem, sharded(4), sharded(4)+prefetch, faulty(seed)+retry, remote
+// combinations including split-phase sharded depth-4 and the write-back
+// cache}: parallel placement, overlapped dispatch, striping x depth wire
+// pipelining, client-side caching and fault recovery never change what Bob
 // observes.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -173,10 +176,14 @@ TEST(AsyncBackend, SynchronousOpsDrainTheQueueFirst) {
 // ---------------------------------------------------------------------------
 // The tentpole guarantee: for every algorithm the event-level trace is
 // byte-identical across {mem, sharded(4), sharded(4)+prefetch,
-// faulty(seed)+retry, remote, remote+sharded4+prefetch, remote+faulty+retry}.
-// The faulty cases fire seeded per-shard faults that the device's bounded
-// retries absorb below the trace recorder, so fault recovery is as invisible
-// to Bob as striping, prefetch, or a real TCP connection per shard.
+// faulty(seed)+retry, remote, remote+sharded4+prefetch, remote+faulty+retry,
+// remote+sharded4+depth4 (split-phase striping x depth -- compared against
+// mem at the same depth, since depth is a public scheduling parameter the
+// schedule legitimately depends on), remote+sharded4+cache (the write-back
+// cache absorbs wire traffic below the recorder), and
+// faulty+sharded4+prefetch+remote (per-shard faults firing at begin time in
+// the split-phase path, recovered by drain-and-replay under the retry
+// budget)}.  None of it may change what Bob observes.
 
 struct EngineCase {
   std::string name;
@@ -184,6 +191,8 @@ struct EngineCase {
   bool prefetch;
   bool faulty;
   bool remote = false;
+  std::size_t depth = 2;
+  std::size_t cache_blocks = 0;
 };
 
 std::vector<EngineCase> engine_cases() {
@@ -193,7 +202,10 @@ std::vector<EngineCase> engine_cases() {
           {"faulty_retry", 1, false, true},
           {"remote", 1, false, false, true},
           {"remote_sharded4_prefetch", 4, true, false, true},
-          {"remote_faulty_retry", 1, false, true, true}};
+          {"remote_faulty_retry", 1, false, true, true},
+          {"remote_sharded4_depth4", 4, true, false, true, /*depth=*/4},
+          {"remote_sharded4_cache", 4, true, false, true, 2, /*cache=*/32},
+          {"faulty_sharded4_splitphase_retry", 4, true, true, true, /*depth=*/4}};
 }
 
 struct AlgoRun {
@@ -214,6 +226,12 @@ void run_engine_case(const EngineCase& ec, std::span<const Record> input,
                      .async_prefetch(ec.prefetch)
                      .pipeline_depth(depth)
                      .fault_injection(ec.faulty ? 77 : 0, ec.faulty ? 0.02 : 0.0);
+  // A striped faulty store needs a budget that covers every shard firing
+  // once across consecutive attempts (each shard rolls its own decisions;
+  // split-phase begin gates and sync replays roll separately), so the
+  // sharded fault rows get headroom above the single-shard default of 4.
+  if (ec.faulty) builder.io_retries(8);
+  if (ec.cache_blocks > 0) builder.cache(ec.cache_blocks);
   if (ec.remote) {
     server = std::make_unique<RemoteServer>();
     ASSERT_TRUE(server->health().ok()) << server->health();
@@ -232,22 +250,36 @@ void run_engine_case(const EngineCase& ec, std::span<const Record> input,
 
 template <typename AlgoFn>
 void expect_trace_invariant(const char* what, std::uint64_t n_records, AlgoFn&& algo) {
-  std::vector<AlgoRun> runs;
   const auto input = test::random_records(n_records, 29);
+  // Reference runs: plain mem at each depth the matrix uses, built lazily
+  // (the matrix's own "mem" case doubles as the depth-2 reference, so no
+  // run is duplicated).  Depth is a public scheduling parameter the
+  // submission schedule legitimately depends on, so a depth-4 engine case
+  // is pinned against mem AT depth 4, not against the depth-2 default.
+  std::map<std::size_t, AlgoRun> mem_ref;
+  const std::size_t mem_depth = engine_cases().front().depth;  // "mem"'s own run
+  for (const auto& ec : engine_cases()) {
+    if (ec.depth == mem_depth || mem_ref.count(ec.depth) != 0) continue;
+    AlgoRun run;
+    run_engine_case({"mem", 1, false, false}, input, ec.depth, &run, algo);
+    if (::testing::Test::HasFatalFailure()) return;
+    mem_ref.emplace(ec.depth, std::move(run));
+  }
   for (const auto& ec : engine_cases()) {
     AlgoRun run;
-    run_engine_case(ec, input, /*depth=*/2, &run, algo);
+    run_engine_case(ec, input, ec.depth, &run, algo);
     if (::testing::Test::HasFatalFailure()) return;
-    runs.push_back(std::move(run));
-  }
-  for (std::size_t i = 1; i < runs.size(); ++i) {
-    EXPECT_EQ(runs[i].events.size(), runs[0].events.size())
-        << what << ": " << engine_cases()[i].name;
-    EXPECT_TRUE(runs[i].events == runs[0].events)
-        << what << ": " << engine_cases()[i].name
-        << " trace diverged from mem -- sharding/prefetch/remote leaked into "
-           "Bob's view";
-    EXPECT_EQ(runs[i].result, runs[0].result) << what << ": " << engine_cases()[i].name;
+    if (ec.name == "mem") {
+      mem_ref.emplace(ec.depth, std::move(run));
+      continue;  // the reference itself: nothing to compare against
+    }
+    const AlgoRun& ref = mem_ref.at(ec.depth);
+    EXPECT_EQ(run.events.size(), ref.events.size()) << what << ": " << ec.name;
+    EXPECT_TRUE(run.events == ref.events)
+        << what << ": " << ec.name
+        << " trace diverged from mem -- sharding/prefetch/remote/cache leaked "
+           "into Bob's view";
+    EXPECT_EQ(run.result, ref.result) << what << ": " << ec.name;
   }
 }
 
