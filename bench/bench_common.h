@@ -18,6 +18,7 @@
 #include "extmem/client.h"
 #include "extmem/io_engine.h"
 #include "extmem/remote.h"
+#include "server/server.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -33,6 +33,7 @@
 #include "core/oblivious_sort.h"
 #include "extmem/pipeline.h"
 #include "extmem/remote.h"
+#include "server/server.h"
 #include "oram/sqrt_oram.h"
 
 using namespace oem;

@@ -210,6 +210,12 @@ FileBackend::~FileBackend() {
   if (unlink_on_close_ && !path_.empty()) ::unlink(path_.c_str());
 }
 
+Status FileBackend::flush() {
+  if (!init_status_.ok()) return init_status_;
+  if (fd_ >= 0 && ::fsync(fd_) != 0) return Status::Io(errno_string("fsync", path_));
+  return Status::Ok();
+}
+
 Status FileBackend::do_resize(std::uint64_t nblocks) {
   const off_t bytes = static_cast<off_t>(nblocks * block_words() * sizeof(Word));
   if (::ftruncate(fd_, bytes) != 0) return Status::Io(errno_string("ftruncate", path_));

@@ -56,6 +56,13 @@ class StorageBackend {
   /// fails every operation with the same Status.
   virtual Status health() const { return Status::Ok(); }
 
+  /// Push every buffered or dirty block down to durable state: a write-back
+  /// cache writes its dirty blocks, a file store fsyncs, decorators forward.
+  /// Base stores with nothing buffered return Ok.  Services call this on
+  /// graceful shutdown (RemoteServer::shutdown flushes every store) so an
+  /// orderly exit never loses acknowledged writes.
+  virtual Status flush() { return Status::Ok(); }
+
   /// The backend this decorator wraps, or null for a base store.  Lets
   /// stack-order validation (and introspection generally) walk an arbitrary
   /// decorator chain without a closed list of types; every decorator MUST
@@ -173,6 +180,8 @@ class FileBackend : public StorageBackend {
   Status health() const override { return init_status_; }
 
   const std::string& path() const { return path_; }
+  /// fsync: acknowledged writes survive the process.
+  Status flush() override;
   /// pread/pwrite calls issued -- shows read_many/write_many coalescing.
   /// Atomic: shard workers and the async I/O thread bump it concurrently
   /// with a main-thread reader.
@@ -225,6 +234,7 @@ class LatencyBackend : public StorageBackend {
   StorageBackend& inner() { return *inner_; }
   const StorageBackend& inner() const { return *inner_; }
   const StorageBackend* inner_backend() const override { return inner_.get(); }
+  Status flush() override { return inner_->flush(); }
   /// Backend calls observed and total simulated delay charged so far.
   /// Atomic: a LatencyBackend inside a ShardedBackend/AsyncBackend is driven
   /// from worker threads while the main thread reads the counters; sleeps on
@@ -283,6 +293,7 @@ class EncryptedBackend : public StorageBackend {
   StorageBackend& inner() { return *inner_; }
   const StorageBackend& inner() const { return *inner_; }
   const StorageBackend* inner_backend() const override { return inner_.get(); }
+  Status flush() override { return inner_->flush(); }
 
  protected:
   Status do_resize(std::uint64_t nblocks) override { return inner_->resize(nblocks); }

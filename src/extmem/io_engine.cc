@@ -71,6 +71,12 @@ Status ShardedBackend::health() const {
   return Status::Ok();
 }
 
+Status ShardedBackend::flush() {
+  Status first;
+  for (const auto& s : shards_) first.Update(s->flush());
+  return first;
+}
+
 Status ShardedBackend::do_resize(std::uint64_t nblocks) {
   for (std::size_t s = 0; s < shards_.size(); ++s)
     OEM_RETURN_IF_ERROR(shards_[s]->resize(shard_capacity(nblocks, s, shards_.size())));
@@ -768,7 +774,7 @@ Status CachingBackend::flush() {
   std::vector<std::uint64_t> dirty;
   for (const auto& [block, e] : entries_)
     if (e.dirty) dirty.push_back(block);
-  if (dirty.empty()) return Status::Ok();
+  if (dirty.empty()) return inner_->flush();
   std::sort(dirty.begin(), dirty.end());
   const std::size_t bw = block_words();
   wb_stage_.resize(dirty.size() * bw);
@@ -779,7 +785,7 @@ Status CachingBackend::flush() {
   for (std::uint64_t b : dirty) entries_[b].dirty = false;
   writebacks_.fetch_add(dirty.size(), std::memory_order_relaxed);
   writeback_ops_.fetch_add(1, std::memory_order_relaxed);
-  return Status::Ok();
+  return inner_->flush();
 }
 
 Status CachingBackend::do_resize(std::uint64_t nblocks) {

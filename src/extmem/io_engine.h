@@ -109,6 +109,8 @@ class ShardedBackend : public StorageBackend {
   std::size_t num_shards() const { return shards_.size(); }
   StorageBackend& shard(std::size_t s) { return *shards_[s]; }
   const StorageBackend& shard(std::size_t s) const { return *shards_[s]; }
+  /// Flush every shard; first error wins.
+  Status flush() override;
   /// Batches dispatched to the worker pool (vs. run inline because only one
   /// shard was involved); shows the parallel path is actually exercised.
   std::uint64_t parallel_dispatches() const {
@@ -239,6 +241,14 @@ class AsyncBackend : public StorageBackend {
   /// wait() for everything submitted so far.
   Status drain();
 
+  /// Drain the queue (so every submitted write reached the inner backend),
+  /// then flush the inner store; first error wins.
+  Status flush() override {
+    Status st = drain();
+    st.Update(inner_->flush());
+    return st;
+  }
+
   std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
 
   /// Bounded retry of kIo failures on the I/O thread, so submitted ops get
@@ -338,6 +348,9 @@ class FaultyBackend : public StorageBackend {
   const StorageBackend& inner() const { return *inner_; }
   const StorageBackend* inner_backend() const override { return inner_.get(); }
   const FaultProfile& profile() const { return profile_; }
+  /// Never faulted, like resize: a flush is shutdown bookkeeping, not a
+  /// data-path transfer.
+  Status flush() override { return inner_->flush(); }
 
   /// Data-path ops observed and faults injected (counting every failed
   /// attempt).  Atomic: a FaultyBackend under an AsyncBackend or a shard
@@ -441,8 +454,9 @@ class CachingBackend : public StorageBackend {
   std::size_t cached_blocks() const { return entries_.size(); }
 
   /// Write back every dirty block (coalesced into runs), keeping them
-  /// cached-clean.  Synchronous: callers must have completed all begun ops.
-  Status flush();
+  /// cached-clean, then flush the inner store.  Synchronous: callers must
+  /// have completed all begun ops.
+  Status flush() override;
 
   CacheStats stats() const {
     CacheStats s;

@@ -1,410 +1,29 @@
 #include "extmem/remote.h"
 
-#include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <cassert>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
-#include <exception>
 #include <thread>
 #include <utility>
+#include <vector>
+
+#include "rng/random.h"
 
 namespace oem {
 
-namespace {
-
-// Frames carry u64 fields and Word payloads in host byte order: both ends of
-// the loopback socket live on one host (the paper's Bob is an abstraction, not
-// a portability boundary).  A cross-machine deployment would pin
-// little-endian here.
-
-void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
-  const std::size_t at = buf.size();
-  buf.resize(at + sizeof(v));
-  std::memcpy(buf.data() + at, &v, sizeof(v));
-}
-
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-/// Full-buffer I/O with EINTR handling; false on EOF/error.  Sends use
-/// MSG_NOSIGNAL so a peer that vanished yields an error, not SIGPIPE.
-bool read_full(int fd, void* dst, std::size_t len) {
-  auto* p = static_cast<std::uint8_t*>(dst);
-  while (len > 0) {
-    const ssize_t got = ::recv(fd, p, len, 0);
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (got == 0) return false;
-    p += got;
-    len -= static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-bool write_full(int fd, const void* src, std::size_t len) {
-  const auto* p = static_cast<const std::uint8_t*>(src);
-  while (len > 0) {
-    const ssize_t put = ::send(fd, p, len, MSG_NOSIGNAL);
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += put;
-    len -= static_cast<std::size_t>(put);
-  }
-  return true;
-}
-
-/// Frame length prefix: the number of bytes that follow it.
-bool read_frame(int fd, std::vector<std::uint8_t>* body) {
-  std::uint64_t len = 0;
-  if (!read_full(fd, &len, sizeof(len))) return false;
-  if (len < sizeof(std::uint64_t) || len > wire::kMaxFrameBytes) return false;
-  body->resize(static_cast<std::size_t>(len));
-  return read_full(fd, body->data(), body->size());
-}
-
-bool write_frame(int fd, const std::vector<std::uint8_t>& body) {
-  const std::uint64_t len = body.size();
-  return write_full(fd, &len, sizeof(len)) && write_full(fd, body.data(), body.size());
-}
-
-/// Response body: status code word, then the error message (non-ok) or the
-/// op-specific payload (ok).
-std::vector<std::uint8_t> make_response(const Status& st) {
-  std::vector<std::uint8_t> r;
-  put_u64(r, static_cast<std::uint64_t>(st.code()));
-  if (!st.ok()) {
-    const std::string& m = st.message();
-    r.insert(r.end(), m.begin(), m.end());
-  }
-  return r;
-}
-
-Status parse_status(const std::vector<std::uint8_t>& body) {
-  if (body.size() < sizeof(std::uint64_t))
-    return Status::Io("remote: malformed response frame");
-  const auto code = static_cast<StatusCode>(get_u64(body.data()));
-  if (code == StatusCode::kOk) return Status::Ok();
-  std::string msg(reinterpret_cast<const char*>(body.data()) + sizeof(std::uint64_t),
-                  body.size() - sizeof(std::uint64_t));
-  return Status(code, "remote: " + msg);
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// RemoteServer.
-
-RemoteServer::RemoteServer(RemoteServerOptions opts) : opts_(std::move(opts)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    init_status_ = Status::Io(std::string("remote server socket: ") + std::strerror(errno));
-    return;
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opts_.port);
-  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
-    init_status_ = Status::InvalidArgument("remote server host '" + opts_.host +
-                                           "' is not an IPv4 address");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    init_status_ = Status::Io("remote server bind/listen on " + opts_.host + ":" +
-                              std::to_string(opts_.port) + ": " + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  socklen_t alen = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
-  port_ = ntohs(addr.sin_port);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
-
-RemoteServer::~RemoteServer() {
-  stop_.store(true, std::memory_order_relaxed);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    if (accept_thread_.joinable()) accept_thread_.join();
-    ::close(listen_fd_);
-  }
-  drop_connections();
-  std::vector<std::unique_ptr<Conn>> conns;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    conns.swap(conns_);
-  }
-  for (auto& c : conns)
-    if (c->th.joinable()) c->th.join();
-}
-
-void RemoteServer::accept_loop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stop_.load(std::memory_order_relaxed)) return;  // shut down
-      // Transient accept failures (an aborted handshake, a brief fd or
-      // buffer shortage during a reconnect storm) must not retire the
-      // listener for good -- back off briefly and keep serving.
-      const bool transient = errno == EINTR || errno == ECONNABORTED ||
-                             errno == EMFILE || errno == ENFILE ||
-                             errno == ENOBUFS || errno == ENOMEM ||
-                             errno == EAGAIN || errno == EWOULDBLOCK;
-      if (transient) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        continue;
-      }
-      return;  // listening socket is genuinely gone
-    }
-    if (stop_.load(std::memory_order_relaxed)) {
-      ::close(fd);
-      return;
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    Conn* raw = conn.get();
-    std::lock_guard<std::mutex> lk(mu_);
-    // Reap finished connections here, so a long-lived server under
-    // reconnect churn holds O(live connections) threads, not O(ever
-    // accepted); the joins are instantaneous (done was already raised).
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if ((*it)->done.load(std::memory_order_acquire)) {
-        (*it)->th.join();
-        it = conns_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    conns_.push_back(std::move(conn));
-    raw->th = std::thread([this, raw] { serve(raw); });
-  }
-}
-
-void RemoteServer::drop_connections() {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& c : conns_)
-    if (!c->done.load(std::memory_order_acquire)) ::shutdown(c->fd, SHUT_RDWR);
-}
-
-Status RemoteServer::peek_store(std::uint64_t store_id, std::uint64_t block,
-                                std::vector<Word>* out) {
-  Store* store = nullptr;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = stores_.find(store_id);
-    if (it == stores_.end())
-      return Status::InvalidArgument("peek_store: unknown store " +
-                                     std::to_string(store_id));
-    store = it->second.get();
-  }
-  std::lock_guard<std::mutex> lk(store->mu);
-  out->assign(store->backend->block_words(), 0);
-  return store->backend->read(block, *out);
-}
-
-Result<RemoteServer::Store*> RemoteServer::bind_store(std::uint64_t store_id,
-                                                      std::uint64_t block_words) {
-  // A block must fit many times over into one frame, or no batched op could
-  // ever be served; the bound also keeps a hostile HELLO from sizing
-  // staging/stores by 2^60-word blocks.
-  if (block_words < 1 || block_words > wire::kMaxFrameBytes / sizeof(Word) / 64)
-    return Status::InvalidArgument("HELLO: block_words " +
-                                   std::to_string(block_words) + " out of range");
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = stores_.find(store_id);
-  if (it != stores_.end()) {
-    if (it->second->backend->block_words() != block_words)
-      return Status::InvalidArgument(
-          "HELLO: store " + std::to_string(store_id) + " already serves block_words=" +
-          std::to_string(it->second->backend->block_words()) + ", client asked for " +
-          std::to_string(block_words));
-    return it->second.get();
-  }
-  auto store = std::make_unique<Store>();
-  store->backend = opts_.store_factory
-                       ? opts_.store_factory(static_cast<std::size_t>(block_words))
-                       : std::make_unique<MemBackend>(static_cast<std::size_t>(block_words));
-  Status health = store->backend->health();
-  if (!health.ok()) return health;
-  Store* raw = store.get();
-  stores_.emplace(store_id, std::move(store));
-  return raw;
-}
-
-void RemoteServer::serve(Conn* conn) {
-  const int fd = conn->fd;
-  Store* store = nullptr;  // bound by HELLO
-  std::vector<std::uint8_t> body;
-  std::vector<std::uint64_t> ids;
-  std::vector<Word> words;
-
-  // Delayed-response plumbing (see RemoteServerOptions::response_delay_ns):
-  // the reader thread keeps consuming request frames while finished
-  // responses wait out their propagation delay in FIFO order here.
-  const std::uint64_t delay_ns = opts_.response_delay_ns;
-  std::unique_ptr<DelayQueue> dq;
-  std::thread sender;
-  if (delay_ns > 0) {
-    dq = std::make_unique<DelayQueue>();
-    sender = std::thread([fd, q = dq.get()] {
-      for (;;) {
-        std::unique_lock<std::mutex> lk(q->mu);
-        q->cv.wait(lk, [&] { return !q->q.empty() || q->closed; });
-        if (q->q.empty()) return;
-        auto due = q->q.front().first;
-        auto frame = std::move(q->q.front().second);
-        q->q.pop_front();
-        lk.unlock();
-        std::this_thread::sleep_until(due);
-        if (!write_frame(fd, frame)) return;  // peer gone; reader will notice
-      }
-    });
-  }
-  auto respond = [&](std::vector<std::uint8_t> frame) {
-    if (dq) {
-      const auto due = std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay_ns);
-      {
-        std::lock_guard<std::mutex> lk(dq->mu);
-        dq->q.emplace_back(due, std::move(frame));
-      }
-      dq->cv.notify_one();
-      return true;
-    }
-    return write_frame(fd, frame);
-  };
-
-  while (read_frame(fd, &body)) {
-    frames_.fetch_add(1, std::memory_order_relaxed);
-    const std::uint8_t* p = body.data();
-    const std::size_t n = body.size();
-    const auto op = static_cast<wire::Op>(get_u64(p));
-    std::vector<std::uint8_t> resp;
-    auto fields = [&](std::size_t k) { return n >= (k + 1) * sizeof(std::uint64_t); };
-
-    if (op == wire::Op::kHello) {
-      if (!fields(3)) break;  // malformed: drop the connection
-      const std::uint64_t version = get_u64(p + 8);
-      const std::uint64_t store_id = get_u64(p + 16);
-      const std::uint64_t block_words = get_u64(p + 24);
-      if (version != wire::kProtocolVersion) {
-        resp = make_response(Status::InvalidArgument(
-            "HELLO: protocol version " + std::to_string(version) + " unsupported"));
-      } else {
-        auto bound = bind_store(store_id, block_words);
-        if (bound.ok()) {
-          store = *bound;
-          resp = make_response(Status::Ok());
-          std::lock_guard<std::mutex> lk(store->mu);
-          put_u64(resp, store->backend->num_blocks());
-        } else {
-          resp = make_response(bound.status());
-        }
-      }
-    } else if (store == nullptr) {
-      resp = make_response(Status::InvalidArgument("data op before HELLO"));
-    } else if (op == wire::Op::kReadMany || op == wire::Op::kWriteMany) {
-      if (!fields(1)) break;
-      const std::uint64_t count = get_u64(p + 8);
-      const std::size_t bw = store->backend->block_words();
-      // Both the write REQUEST (op, count, ids, payload) and the read
-      // RESPONSE (status, payload) must fit under the frame cap, so the
-      // batch bound covers ids + payload per block: a wire-supplied count
-      // can never size an allocation past kMaxFrameBytes, and a batch that
-      // passes this check always yields a sendable response.
-      if (count > (wire::kMaxFrameBytes - 2 * sizeof(std::uint64_t)) /
-                      (sizeof(std::uint64_t) + bw * sizeof(Word)))
-        break;
-      const std::size_t head = 2 * sizeof(std::uint64_t) + count * sizeof(std::uint64_t);
-      const std::size_t data_words = op == wire::Op::kWriteMany ? count * bw : 0;
-      if (n != head + data_words * sizeof(Word)) break;
-      ids.resize(count);
-      std::memcpy(ids.data(), p + 16, count * sizeof(std::uint64_t));
-      std::lock_guard<std::mutex> lk(store->mu);
-      if (op == wire::Op::kReadMany) {
-        words.resize(count * bw);
-        Status st = store->backend->read_many(ids, words);
-        resp = make_response(st);
-        if (st.ok()) {
-          const std::size_t at = resp.size();
-          resp.resize(at + words.size() * sizeof(Word));
-          std::memcpy(resp.data() + at, words.data(), words.size() * sizeof(Word));
-        }
-      } else {
-        words.resize(data_words);
-        std::memcpy(words.data(), p + head, data_words * sizeof(Word));
-        resp = make_response(store->backend->write_many(ids, words));
-      }
-    } else if (op == wire::Op::kResize) {
-      if (!fields(1)) break;
-      std::lock_guard<std::mutex> lk(store->mu);
-      // A hostile nblocks must come back as an error frame, not a
-      // bad_alloc/length_error escaping the connection thread (terminate).
-      try {
-        resp = make_response(store->backend->resize(get_u64(p + 8)));
-      } catch (const std::exception& e) {
-        resp = make_response(
-            Status::Io(std::string("RESIZE failed: ") + e.what()));
-      }
-    } else if (op == wire::Op::kStat) {
-      resp = make_response(Status::Ok());
-      std::lock_guard<std::mutex> lk(store->mu);
-      put_u64(resp, store->backend->num_blocks());
-      put_u64(resp, store->backend->block_words());
-    } else {
-      resp = make_response(
-          Status::InvalidArgument("unknown op " + std::to_string(get_u64(p))));
-    }
-    if (!respond(std::move(resp))) break;
-  }
-
-  if (dq) {
-    {
-      std::lock_guard<std::mutex> lk(dq->mu);
-      dq->closed = true;
-    }
-    dq->cv.notify_one();
-    sender.join();
-  }
-  // Raise done and close in one mu_-critical section: once close() returns
-  // the kernel may recycle the fd number, and drop_connections() (which
-  // walks conns_ under the same lock) must never shutdown() a descriptor
-  // this server no longer owns.  The entry itself is reaped by the accept
-  // loop or the destructor.
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    conn->done.store(true, std::memory_order_release);
-    ::close(fd);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// RemoteBackend.
+using wire::get_u64;
+using wire::put_u64;
 
 RemoteBackend::RemoteBackend(std::size_t block_words, RemoteBackendOptions opts)
     : StorageBackend(block_words), opts_(std::move(opts)) {
   if (opts_.max_inflight < 1) opts_.max_inflight = 1;
+  if (opts_.backoff_max_us < opts_.backoff_initial_us)
+    opts_.backoff_max_us = opts_.backoff_initial_us;
 }
 
 RemoteBackend::~RemoteBackend() {
@@ -423,11 +42,28 @@ void RemoteBackend::kill_connection(const char* why) const {
   for (Pending& p : pending_) p.dead = true;
 }
 
-Status RemoteBackend::ensure_connected() const {
-  if (fd_ >= 0) return Status::Ok();
-  if (!pending_.empty())
-    return Status::Io(last_error_ + "; responses still owed on the dead connection");
+void RemoteBackend::note_connect_failure() const {
+  if (opts_.backoff_initial_us == 0) return;
+  // Exponential ramp, capped: 2^(k-1) * initial up to max.  The shift count
+  // is bounded so a long outage cannot overflow into a zero delay.
+  const unsigned k = connect_failures_ < 63 ? connect_failures_ : 63;
+  std::uint64_t delay_us = opts_.backoff_max_us >> k < opts_.backoff_initial_us
+                               ? opts_.backoff_max_us
+                               : opts_.backoff_initial_us << k;
+  // Deterministic jitter in [delay/2, delay]: derived from the store id and
+  // the failure streak, so K shard connections to one dead server spread out
+  // instead of re-stampeding it in lockstep -- and a test can replay it.
+  const std::uint64_t half = delay_us / 2;
+  if (half > 0)
+    delay_us = half + rng::mix64(opts_.store_id * 0x9e3779b97f4a7c15ULL +
+                                 connect_failures_) %
+                          (half + 1);
+  ++connect_failures_;
+  next_connect_at_ =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us);
+}
 
+Status RemoteBackend::try_connect() const {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -448,27 +84,73 @@ Status RemoteBackend::ensure_connected() const {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-  // HELLO handshake: declare the protocol version, namespace and geometry.
+  // HELLO handshake: declare the protocol version, namespace and geometry;
+  // the ok response carries the server's protocol version and the store's
+  // current num_blocks.  Version policing is bidirectional -- the server
+  // rejects a version it does not speak, and we reject a server whose
+  // declared version differs from ours (kInvalidArgument: a deployment bug,
+  // not a transient transport failure, so retries don't mask it).
   std::vector<std::uint8_t> frame;
   put_u64(frame, static_cast<std::uint64_t>(wire::Op::kHello));
   put_u64(frame, wire::kProtocolVersion);
   put_u64(frame, opts_.store_id);
   put_u64(frame, block_words());
   std::vector<std::uint8_t> body;
-  if (!write_frame(fd, frame) || !read_frame(fd, &body)) {
+  if (!wire::write_frame(fd, frame) || !wire::read_frame(fd, &body)) {
     ::close(fd);
     return Status::Io("remote: HELLO round trip to " + opts_.host + ":" + port_str +
                       " failed");
   }
-  Status st = parse_status(body);
+  Status st = wire::parse_status(body);
   if (!st.ok()) {
     ::close(fd);
     return st;
+  }
+  if (body.size() < 3 * sizeof(std::uint64_t)) {
+    ::close(fd);
+    return Status::Io("remote: short HELLO response from " + opts_.host + ":" +
+                      port_str);
+  }
+  const std::uint64_t server_version = get_u64(body.data() + 8);
+  if (server_version != wire::kProtocolVersion) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "remote: server " + opts_.host + ":" + port_str + " speaks protocol version " +
+        std::to_string(server_version) + ", this client speaks " +
+        std::to_string(wire::kProtocolVersion));
   }
   if (was_connected_) reconnects_.fetch_add(1, std::memory_order_relaxed);
   was_connected_ = true;
   fd_ = fd;
   return Status::Ok();
+}
+
+Status RemoteBackend::ensure_connected() const {
+  if (fd_ >= 0) return Status::Ok();
+  if (!pending_.empty())
+    return Status::Io(last_error_ + "; responses still owed on the dead connection");
+  // Wait out the backoff owed by earlier failed attempts.  The sleep happens
+  // here -- inside the attempt -- so a RetryPolicy loop above us spends its
+  // bounded attempts at the backoff cadence instead of spinning them away
+  // against a down server in microseconds.
+  if (connect_failures_ > 0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_connect_at_) {
+      backoff_waits_.fetch_add(1, std::memory_order_relaxed);
+      backoff_waited_us_.fetch_add(
+          std::chrono::duration_cast<std::chrono::microseconds>(next_connect_at_ - now)
+              .count(),
+          std::memory_order_relaxed);
+      std::this_thread::sleep_until(next_connect_at_);
+    }
+  }
+  Status st = try_connect();
+  if (st.ok()) {
+    connect_failures_ = 0;
+  } else {
+    note_connect_failure();
+  }
+  return st;
 }
 
 Status RemoteBackend::send_frame(wire::Op op, std::span<const std::uint64_t> head,
@@ -491,7 +173,7 @@ Status RemoteBackend::send_frame(wire::Op op, std::span<const std::uint64_t> hea
     frame.resize(at + payload.size() * sizeof(Word));
     std::memcpy(frame.data() + at, payload.data(), payload.size() * sizeof(Word));
   }
-  if (!write_frame(fd_, frame)) {
+  if (!wire::write_frame(fd_, frame)) {
     kill_connection("send failed");
     return Status::Io(last_error_);
   }
@@ -500,12 +182,12 @@ Status RemoteBackend::send_frame(wire::Op op, std::span<const std::uint64_t> hea
 
 Status RemoteBackend::recv_response(std::span<Word> payload_dest) const {
   std::vector<std::uint8_t> body;
-  if (!read_frame(fd_, &body)) {
+  if (!wire::read_frame(fd_, &body)) {
     kill_connection("response lost");
     return Status::Io(last_error_);
   }
   round_trips_.fetch_add(1, std::memory_order_relaxed);
-  Status st = parse_status(body);
+  Status st = wire::parse_status(body);
   if (!st.ok()) return st;
   const std::size_t have = body.size() - sizeof(std::uint64_t);
   if (have != payload_dest.size() * sizeof(Word)) {
@@ -543,6 +225,18 @@ Status RemoteBackend::stat(std::uint64_t* num_blocks, std::uint64_t* block_words
   OEM_RETURN_IF_ERROR(rpc(wire::Op::kStat, {}, {}, out));
   if (num_blocks) *num_blocks = out[0];
   if (block_words_out) *block_words_out = out[1];
+  return Status::Ok();
+}
+
+Status RemoteBackend::ping() {
+  const std::uint64_t token = ++ping_token_;
+  const std::uint64_t head[1] = {token};
+  Word echo[1] = {0};
+  OEM_RETURN_IF_ERROR(rpc(wire::Op::kPing, head, {}, echo));
+  if (echo[0] != token) {
+    kill_connection("PING echo mismatch");
+    return Status::Io(last_error_);
+  }
   return Status::Ok();
 }
 

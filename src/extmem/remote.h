@@ -1,26 +1,23 @@
-// Remote block store: the paper's untrusted server (Bob) as a real process
-// boundary instead of a sleep model.
+// Remote block store, client side: the paper's trusted client (Alice)
+// talking to the untrusted server (Bob) across a real process boundary.
 //
-// The paper's model is a trusted client (Alice) running oblivious algorithms
-// against outsourced storage; every obliviousness argument is about the
-// request sequence Bob observes, so the storage may as well be on the other
-// end of a socket.  This file provides both ends of that split:
+// The paper's model is a trusted client running oblivious algorithms against
+// outsourced storage; every obliviousness argument is about the request
+// sequence Bob observes, so the storage may as well be on the other end of a
+// socket.  RemoteBackend is a StorageBackend whose ops are request/response
+// frames over the wire protocol in extmem/wire.h (see docs/WIRE_PROTOCOL.md).
+// The server side -- the in-process RemoteServer and the stand-alone
+// oem-server binary -- lives in server/server.h.
 //
-//   * RemoteServer  -- serves any inner StorageBackend over a loopback TCP
-//     socket via a length-prefixed binary wire protocol
-//     (HELLO/READ_MANY/WRITE_MANY/RESIZE/STAT, batched ops per frame).  One
-//     server multiplexes independent *stores* (per-shard namespaces keyed by
-//     the HELLO store id), each created on demand from a BackendFactory, so
-//     a ShardedBackend of K RemoteBackends talks to one server over K
-//     connections without aliasing.
-//
-//   * RemoteBackend -- the client side: a StorageBackend whose ops are
-//     request/response frames.  It composes under the existing
-//     ShardedBackend/AsyncBackend/FaultyBackend/EncryptedBackend stack
-//     unchanged: per-shard connections, prefetch, fault injection and the
-//     BlockDevice RetryPolicy all apply.  A dropped connection surfaces as
-//     StatusCode::kIo and the next attempt reconnects, so the device's
-//     bounded retries recover transparently.
+// RemoteBackend composes under the existing ShardedBackend/AsyncBackend/
+// FaultyBackend/EncryptedBackend stack unchanged: per-shard connections,
+// prefetch, fault injection and the BlockDevice RetryPolicy all apply.  A
+// dropped connection surfaces as StatusCode::kIo and the next attempt
+// reconnects, so the device's bounded retries recover transparently.  When
+// consecutive CONNECT attempts keep failing (the server is down or flapping),
+// reconnects back off exponentially with jitter up to backoff_max_us, so the
+// retry budget is spent waiting for the server to come back instead of being
+// burned in a microseconds-long spin of doomed connect() calls.
 //
 // Wire pipelining: RemoteBackend implements the split-phase
 // begin_*/complete_oldest API (see backend.h), keeping up to
@@ -29,140 +26,20 @@
 // arrival order, so sequential read/write semantics (and all hazard
 // arguments) are preserved with any number of frames in flight -- this is
 // what lets a depth-K block pipeline hide the round trip instead of paying
-// it once per window.  See docs/WIRE_PROTOCOL.md for the frame layout and
-// failure semantics.
+// it once per window.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <span>
 #include <string>
-#include <thread>
-#include <utility>
-#include <vector>
 
 #include "extmem/backend.h"
+#include "extmem/wire.h"
 
 namespace oem {
-
-// ---------------------------------------------------------------------------
-// Wire protocol constants (docs/WIRE_PROTOCOL.md).
-
-namespace wire {
-
-inline constexpr std::uint64_t kProtocolVersion = 1;
-
-enum class Op : std::uint64_t {
-  kHello = 1,      // version, store id, block words -> num_blocks
-  kReadMany = 2,   // count, ids[count] -> words[count * block_words]
-  kWriteMany = 3,  // count, ids[count], words[count * block_words] -> ()
-  kResize = 4,     // nblocks -> ()
-  kStat = 5,       // () -> num_blocks, block_words
-};
-
-/// Hard cap on a frame's payload; a corrupt length prefix must not turn into
-/// a giant allocation.  256 MiB comfortably exceeds any real batch window.
-inline constexpr std::uint64_t kMaxFrameBytes = 256ull << 20;
-
-}  // namespace wire
-
-// ---------------------------------------------------------------------------
-// RemoteServer.
-
-struct RemoteServerOptions {
-  std::string host = "127.0.0.1";
-  /// 0 = pick an ephemeral port (read it back via port()).
-  std::uint16_t port = 0;
-  /// Builds the backend behind each store id on its first HELLO (null = mem).
-  BackendFactory store_factory;
-  /// Simulated one-way wire latency: every response frame is held this long
-  /// before it is written back, WITHOUT blocking the processing of later
-  /// frames on the connection -- propagation delay, not service time.  A
-  /// pipelined client therefore still streams requests; only a client that
-  /// waits out each round trip pays it per frame.  0 = respond immediately.
-  std::uint64_t response_delay_ns = 0;
-};
-
-class RemoteServer {
- public:
-  explicit RemoteServer(RemoteServerOptions opts = {});
-  ~RemoteServer();
-  RemoteServer(const RemoteServer&) = delete;
-  RemoteServer& operator=(const RemoteServer&) = delete;
-
-  /// Non-ok when the listening socket could not be set up.
-  Status health() const { return init_status_; }
-  const std::string& host() const { return opts_.host; }
-  /// The bound port (the ephemeral one when opts.port was 0).
-  std::uint16_t port() const { return port_; }
-
-  std::uint64_t frames_served() const {
-    return frames_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t connections_accepted() const {
-    return accepted_.load(std::memory_order_relaxed);
-  }
-
-  /// Test hook: hard-close every live connection (a network partition).
-  /// Stores survive; clients see kIo and reconnect on their next attempt.
-  void drop_connections();
-
-  /// Test hook: Bob's raw view of one stored block (what the server holds).
-  Status peek_store(std::uint64_t store_id, std::uint64_t block,
-                    std::vector<Word>* out);
-
- private:
-  struct Store {
-    std::unique_ptr<StorageBackend> backend;
-    std::mutex mu;  // serializes ops from this store's connections
-  };
-  /// One live connection: its socket, serving thread, and a done flag the
-  /// thread raises just before closing the socket, so (a) drop_connections
-  /// never shutdown()s a recycled fd and (b) the accept loop can reap
-  /// finished threads instead of hoarding them until destruction.
-  struct Conn {
-    int fd = -1;
-    std::atomic<bool> done{false};
-    std::thread th;
-  };
-  /// One connection's delayed-response writer (response_delay_ns > 0): the
-  /// reader thread queues finished responses with a due time; this sender
-  /// writes them back in FIFO order once due, so later frames keep being
-  /// processed while earlier responses are still "on the wire".
-  struct DelayQueue {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::pair<std::chrono::steady_clock::time_point, std::vector<std::uint8_t>>>
-        q;
-    bool closed = false;
-  };
-
-  void accept_loop();
-  void serve(Conn* conn);
-  Result<Store*> bind_store(std::uint64_t store_id, std::uint64_t block_words);
-
-  RemoteServerOptions opts_;
-  Status init_status_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stop_{false};
-  std::atomic<std::uint64_t> frames_{0};
-  std::atomic<std::uint64_t> accepted_{0};
-
-  std::mutex mu_;  // guards stores_ and conns_
-  std::map<std::uint64_t, std::unique_ptr<Store>> stores_;
-  std::vector<std::unique_ptr<Conn>> conns_;
-  std::thread accept_thread_;
-};
-
-// ---------------------------------------------------------------------------
-// RemoteBackend.
 
 struct RemoteBackendOptions {
   std::string host = "127.0.0.1";
@@ -172,6 +49,16 @@ struct RemoteBackendOptions {
   /// Request frames kept in flight on the connection by the split-phase API
   /// (1 = classic synchronous round trips).
   std::size_t max_inflight = 16;
+  /// Reconnect backoff: after the k-th consecutive FAILED connect attempt the
+  /// next attempt waits ~ min(backoff_max_us, backoff_initial_us << (k-1))
+  /// microseconds (uniformly jittered to half that on average, so a fleet of
+  /// shard connections does not stampede a recovering server in lockstep).
+  /// A successful connect resets the streak, and losing an ESTABLISHED
+  /// connection never waits -- the first reconnect attempt is immediate, only
+  /// a server that keeps refusing pays the ramp.  backoff_initial_us = 0
+  /// disables the backoff entirely.
+  std::uint64_t backoff_initial_us = 500;
+  std::uint64_t backoff_max_us = 200'000;
 };
 
 class RemoteBackend : public StorageBackend {
@@ -187,8 +74,19 @@ class RemoteBackend : public StorageBackend {
   /// Request frames completed (one per round trip) and reconnects performed.
   std::uint64_t round_trips() const { return round_trips_.load(std::memory_order_relaxed); }
   std::uint64_t reconnects() const { return reconnects_.load(std::memory_order_relaxed); }
+  /// Backoff sleeps taken before reconnect attempts, and their total length;
+  /// tests assert the ramp without timing the sleeps themselves.
+  std::uint64_t backoff_waits() const { return backoff_waits_.load(std::memory_order_relaxed); }
+  std::uint64_t backoff_waited_us() const {
+    return backoff_waited_us_.load(std::memory_order_relaxed);
+  }
   /// STAT round trip: the server's view of this store's geometry.
   Status stat(std::uint64_t* num_blocks, std::uint64_t* block_words_out);
+  /// Keep-alive heartbeat: a PING round trip carrying a token the server must
+  /// echo.  Resets the server's idle clock for this connection, so a client
+  /// that pings inside the server's idle timeout is never evicted.  Must not
+  /// be called with split-phase frames in flight (it is a synchronous RPC).
+  Status ping();
 
  protected:
   Status do_resize(std::uint64_t nblocks) override;
@@ -216,7 +114,13 @@ class RemoteBackend : public StorageBackend {
   /// Connect + HELLO when there is no live connection.  Refuses (kIo) while
   /// responses are still owed on a dead connection -- those must be failed
   /// out via complete_oldest first, so no response can be mis-matched.
+  /// Honors (and on failure advances) the reconnect backoff schedule.
   Status ensure_connected() const;
+  /// One connect + HELLO attempt, no backoff bookkeeping.
+  Status try_connect() const;
+  /// Records a failed connect attempt: grows the capped, jittered delay the
+  /// next attempt must wait out.
+  void note_connect_failure() const;
   /// Close the socket and mark every outstanding request dead.
   void kill_connection(const char* why) const;
   Status send_frame(wire::Op op, std::span<const std::uint64_t> head,
@@ -235,8 +139,14 @@ class RemoteBackend : public StorageBackend {
   mutable bool was_connected_ = false;
   mutable std::string last_error_;
   mutable std::deque<Pending> pending_;
+  // Reconnect backoff state (mutable: health() const probes the connection).
+  mutable unsigned connect_failures_ = 0;
+  mutable std::chrono::steady_clock::time_point next_connect_at_{};
+  std::uint64_t ping_token_ = 0;
   mutable std::atomic<std::uint64_t> round_trips_{0};
   mutable std::atomic<std::uint64_t> reconnects_{0};
+  mutable std::atomic<std::uint64_t> backoff_waits_{0};
+  mutable std::atomic<std::uint64_t> backoff_waited_us_{0};
 };
 
 /// Backend factory for a remote store.  With sharding, use the ShardFactory

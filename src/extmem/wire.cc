@@ -1,0 +1,84 @@
+#include "extmem/wire.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oem::wire {
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  const std::size_t at = buf.size();
+  buf.resize(at + sizeof(v));
+  std::memcpy(buf.data() + at, &v, sizeof(v));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool read_full(int fd, void* dst, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(dst);
+  while (len > 0) {
+    const ssize_t got = ::recv(fd, p, len, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;
+    p += got;
+    len -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* src, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  while (len > 0) {
+    const ssize_t put = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    len -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>* body) {
+  std::uint64_t len = 0;
+  if (!read_full(fd, &len, sizeof(len))) return false;
+  if (len < sizeof(std::uint64_t) || len > kMaxFrameBytes) return false;
+  body->resize(static_cast<std::size_t>(len));
+  return read_full(fd, body->data(), body->size());
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& body) {
+  const std::uint64_t len = body.size();
+  return write_full(fd, &len, sizeof(len)) && write_full(fd, body.data(), body.size());
+}
+
+std::vector<std::uint8_t> make_response(const Status& st) {
+  std::vector<std::uint8_t> r;
+  put_u64(r, static_cast<std::uint64_t>(st.code()));
+  if (!st.ok()) {
+    const std::string& m = st.message();
+    r.insert(r.end(), m.begin(), m.end());
+  }
+  return r;
+}
+
+Status parse_status(const std::vector<std::uint8_t>& body) {
+  if (body.size() < sizeof(std::uint64_t))
+    return Status::Io("remote: malformed response frame");
+  const auto code = static_cast<StatusCode>(get_u64(body.data()));
+  if (code == StatusCode::kOk) return Status::Ok();
+  std::string msg(reinterpret_cast<const char*>(body.data()) + sizeof(std::uint64_t),
+                  body.size() - sizeof(std::uint64_t));
+  return Status(code, "remote: " + msg);
+}
+
+}  // namespace oem::wire

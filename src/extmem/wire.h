@@ -1,0 +1,61 @@
+// Wire-protocol primitives shared by both ends of the remote block store:
+// the RemoteBackend client (extmem/remote.h) and the RemoteServer / oem-server
+// service (server/server.h).  See docs/WIRE_PROTOCOL.md for the full spec.
+//
+// Frames are length-prefixed: a u64 byte count followed by that many body
+// bytes.  Fields are u64s and Word payloads in host byte order: both ends of
+// the loopback socket live on one host (the paper's Bob is an abstraction,
+// not a portability boundary).  A cross-machine deployment would pin
+// little-endian here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace oem::wire {
+
+/// Protocol version carried (and checked) in the HELLO handshake, in BOTH
+/// directions: the client declares its version in the HELLO request and the
+/// server declares its own in the ok response, so either side can reject a
+/// peer it does not speak with a clean error instead of misparsing frames.
+/// v2 added the server version to the HELLO response and the PING op.
+inline constexpr std::uint64_t kProtocolVersion = 2;
+
+enum class Op : std::uint64_t {
+  kHello = 1,      // version, store id, block words -> server version, num_blocks
+  kReadMany = 2,   // count, ids[count] -> words[count * block_words]
+  kWriteMany = 3,  // count, ids[count], words[count * block_words] -> ()
+  kResize = 4,     // nblocks -> ()
+  kStat = 5,       // () -> num_blocks, block_words
+  kPing = 6,       // token -> token (keep-alive heartbeat; resets idle clock)
+};
+
+/// Hard cap on a frame's payload; a corrupt length prefix must not turn into
+/// a giant allocation.  256 MiB comfortably exceeds any real batch window.
+inline constexpr std::uint64_t kMaxFrameBytes = 256ull << 20;
+
+/// Appends a u64 to a frame under construction.
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v);
+/// Reads a u64 from a frame at an arbitrary (possibly unaligned) offset.
+std::uint64_t get_u64(const std::uint8_t* p);
+
+/// Full-buffer I/O with EINTR handling; false on EOF/error.  Sends use
+/// MSG_NOSIGNAL so a peer that vanished yields an error, not SIGPIPE.
+/// Blocking-socket helpers: the worker-pool server uses its own non-blocking
+/// incremental decode, these serve the client and raw-socket tests.
+bool read_full(int fd, void* dst, std::size_t len);
+bool write_full(int fd, const void* src, std::size_t len);
+
+/// One whole frame over a blocking socket.  read_frame rejects bodies outside
+/// [8, kMaxFrameBytes] (every valid body starts with a u64 op or status).
+bool read_frame(int fd, std::vector<std::uint8_t>* body);
+bool write_frame(int fd, const std::vector<std::uint8_t>& body);
+
+/// Response body: status code word, then the error message (non-ok) or the
+/// op-specific payload (ok).
+std::vector<std::uint8_t> make_response(const Status& st);
+Status parse_status(const std::vector<std::uint8_t>& body);
+
+}  // namespace oem::wire

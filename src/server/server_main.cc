@@ -1,0 +1,134 @@
+// oem-server: the paper's untrusted server (Bob) as a stand-alone process.
+//
+//   oem-server [--host=127.0.0.1] [--port=0] [--backend=mem|file]
+//              [--file-path=PATH] [--shards=1] [--threads=0]
+//              [--response-delay-ns=0] [--service-delay-ns=0]
+//              [--idle-timeout-ms=0]
+//
+// Prints "oem-server listening on HOST:PORT ..." on stdout once the socket
+// is bound (port 0 picks an ephemeral port; harnesses parse this line), then
+// serves until SIGINT/SIGTERM, which triggers a graceful shutdown: every
+// fully-received frame is dispatched, queued responses are flushed, and all
+// stores are flushed (a FileBackend fsyncs).  Exits 0 on a clean shutdown,
+// 1 when a store flush failed.
+//
+// --backend=file persists each store in its own file derived from
+// --file-path (PATH.store<id>, plus .shard<s> with --shards > 1); with no
+// --file-path the stores live in temp files.  --shards=K stripes every
+// store over K inner stores server-side (a ShardedBackend per store), so a
+// single-connection client still gets K-way file parallelism on the server.
+// --threads picks the worker-pool size (0 = hardware concurrency, 1 =
+// serial -- the load bench's baseline).  The delay knobs mirror
+// RemoteServerOptions: response-delay is propagation (never blocks later
+// frames), service-delay occupies a worker per data frame.
+#include <csignal>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "extmem/io_engine.h"
+#include "server/server.h"
+#include "util/flags.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char b = 1;
+  // Self-pipe: the only async-signal-safe way to hand the event to main.
+  [[maybe_unused]] const ssize_t r = ::write(g_signal_pipe[1], &b, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oem::Flags flags(argc, argv);
+  const std::string host = flags.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(flags.get_u64("port", 0));
+  const std::string backend = flags.get("backend", "mem");
+  const std::string file_path = flags.get("file-path", "");
+  const std::size_t shards = flags.get_u64("shards", 1);
+  const std::size_t threads = flags.get_u64("threads", 0);
+  const std::uint64_t response_delay_ns = flags.get_u64("response-delay-ns", 0);
+  const std::uint64_t service_delay_ns = flags.get_u64("service-delay-ns", 0);
+  const std::uint64_t idle_timeout_ms = flags.get_u64("idle-timeout-ms", 0);
+  flags.validate_or_die();
+  if (backend != "mem" && backend != "file") {
+    std::fprintf(stderr, "oem-server: --backend must be mem or file, got '%s'\n",
+                 backend.c_str());
+    return 2;
+  }
+  if (!file_path.empty() && backend != "file") {
+    std::fprintf(stderr, "oem-server: --file-path requires --backend=file\n");
+    return 2;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "oem-server: --shards must be >= 1\n");
+    return 2;
+  }
+
+  oem::RemoteServerOptions opts;
+  opts.host = host;
+  opts.port = port;
+  opts.response_delay_ns = response_delay_ns;
+  opts.service_delay_ns = service_delay_ns;
+  opts.worker_threads = threads;
+  opts.idle_timeout_ms = idle_timeout_ms;
+  opts.store_factory_by_id = [backend, file_path, shards](
+                                 std::uint64_t store_id, std::size_t block_words) {
+    auto base_for = [backend, file_path, store_id,
+                     shards](std::size_t bw, std::size_t shard) {
+      if (backend == "file") {
+        oem::FileBackendOptions fo;
+        if (!file_path.empty()) {
+          fo.path = file_path + ".store" + std::to_string(store_id);
+          if (shards > 1) fo.path += ".shard" + std::to_string(shard);
+        }
+        return oem::file_backend(fo)(bw);
+      }
+      return oem::mem_backend()(bw);
+    };
+    if (shards <= 1) return base_for(block_words, 0);
+    return oem::sharded_backend(oem::ShardFactory(base_for), shards)(block_words);
+  };
+
+  oem::RemoteServer server(opts);
+  if (!server.health().ok()) {
+    std::fprintf(stderr, "oem-server: %s\n", server.health().ToString().c_str());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "oem-server: signal pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("oem-server listening on %s:%u (backend=%s, shards=%zu, threads=%zu)\n",
+              server.host().c_str(), server.port(), backend.c_str(), shards,
+              server.worker_threads());
+  std::fflush(stdout);
+
+  char b;
+  while (::read(g_signal_pipe[0], &b, 1) < 0 && errno == EINTR) {
+  }
+
+  const oem::Status flushed = server.shutdown();
+  std::printf(
+      "oem-server: shut down (%llu frames over %llu connections, %llu evicted, "
+      "flush %s)\n",
+      static_cast<unsigned long long>(server.frames_served()),
+      static_cast<unsigned long long>(server.connections_accepted()),
+      static_cast<unsigned long long>(server.connections_evicted()),
+      flushed.ToString().c_str());
+  std::fflush(stdout);
+  return flushed.ok() ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+#include "server/subprocess.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace oem::server {
+
+std::string default_server_binary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "./oem-server";
+  buf[n] = '\0';
+  std::string self(buf);
+  const auto slash = self.rfind('/');
+  return (slash == std::string::npos ? std::string(".") : self.substr(0, slash)) +
+         "/oem-server";
+}
+
+SpawnedServer::SpawnedServer(std::string binary, std::vector<std::string> extra_args) {
+  int out[2];
+  if (::pipe(out) != 0) {
+    status_ = Status::Io(std::string("spawn oem-server: pipe: ") + std::strerror(errno));
+    return;
+  }
+  std::vector<std::string> args;
+  args.push_back(binary);
+  args.push_back("--port=0");
+  for (auto& a : extra_args) args.push_back(std::move(a));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  pid_ = ::fork();
+  if (pid_ < 0) {
+    status_ = Status::Io(std::string("spawn oem-server: fork: ") + std::strerror(errno));
+    ::close(out[0]);
+    ::close(out[1]);
+    pid_ = -1;
+    return;
+  }
+  if (pid_ == 0) {
+    ::dup2(out[1], STDOUT_FILENO);
+    ::close(out[0]);
+    ::close(out[1]);
+    ::execv(binary.c_str(), argv.data());
+    // exec failed; the parent sees EOF before a listening line.
+    _exit(127);
+  }
+  ::close(out[1]);
+  stdout_fd_ = out[0];
+
+  // Wait for "oem-server listening on HOST:PORT" (bounded: a sanitizer-built
+  // child can take a while to start, a missing binary fails fast via EOF).
+  std::string seen;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    const auto left = deadline - std::chrono::steady_clock::now();
+    if (left <= std::chrono::steady_clock::duration::zero()) {
+      status_ = Status::Io("spawn oem-server: timed out waiting for listening line");
+      terminate();
+      return;
+    }
+    pollfd pfd{stdout_fd_, POLLIN, 0};
+    const int ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+    const int pr = ::poll(&pfd, 1, ms < 1 ? 1 : ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      status_ = Status::Io(std::string("spawn oem-server: poll: ") + std::strerror(errno));
+      terminate();
+      return;
+    }
+    if (pr == 0) continue;
+    char buf[512];
+    const ssize_t got = ::read(stdout_fd_, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      status_ = Status::Io(std::string("spawn oem-server: read: ") + std::strerror(errno));
+      terminate();
+      return;
+    }
+    if (got == 0) {
+      status_ = Status::Io("spawn oem-server: child exited before listening (bad "
+                           "binary path or flags?)");
+      terminate();
+      return;
+    }
+    seen.append(buf, static_cast<std::size_t>(got));
+    const auto at = seen.find("listening on ");
+    if (at == std::string::npos) continue;
+    const auto eol = seen.find('\n', at);
+    if (eol == std::string::npos) continue;  // line still partial
+    // "listening on HOST:PORT (….)\n"
+    std::string rest = seen.substr(at + 13, eol - (at + 13));
+    const auto sp = rest.find(' ');
+    if (sp != std::string::npos) rest.resize(sp);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      status_ = Status::Io("spawn oem-server: unparsable listening line: " + rest);
+      terminate();
+      return;
+    }
+    host_ = rest.substr(0, colon);
+    port_ = static_cast<std::uint16_t>(std::stoul(rest.substr(colon + 1)));
+    status_ = Status::Ok();
+    return;
+  }
+}
+
+SpawnedServer::~SpawnedServer() {
+  terminate();
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+int SpawnedServer::terminate() {
+  if (pid_ <= 0) return -1;
+  ::kill(pid_, SIGTERM);
+  int st = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const pid_t r = ::waitpid(pid_, &st, WNOHANG);
+    if (r == pid_) break;
+    if (r < 0 && errno != EINTR) break;  // reaped elsewhere; nothing to report
+    if (std::chrono::steady_clock::now() > deadline) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, &st, 0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  pid_ = -1;
+  if (WIFEXITED(st)) return WEXITSTATUS(st);
+  if (WIFSIGNALED(st)) return 128 + WTERMSIG(st);
+  return -1;
+}
+
+}  // namespace oem::server

@@ -1,0 +1,54 @@
+// SpawnedServer: run the real oem-server binary as a child process.
+//
+// Tests and benches that must prove the OUT-OF-PROCESS story (a separate
+// address space, a real exec boundary, signal-driven shutdown) spawn the
+// binary with --port=0, parse the bound port from its "listening on" line,
+// and SIGTERM it when done, checking the exit status.  Everything in-process
+// keeps using RemoteServer directly.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace oem::server {
+
+/// Path to the oem-server binary built next to the calling executable
+/// (CMake puts every target in the same build directory); falls back to
+/// "./oem-server" when /proc/self/exe is unavailable.
+std::string default_server_binary();
+
+class SpawnedServer {
+ public:
+  /// fork+execs `binary` with --port=0 plus `extra_args`, then blocks until
+  /// the child prints its listening line (or dies / times out).  health()
+  /// reports the outcome; host()/port() are valid when it is ok.
+  explicit SpawnedServer(std::string binary = default_server_binary(),
+                         std::vector<std::string> extra_args = {});
+  ~SpawnedServer();
+  SpawnedServer(const SpawnedServer&) = delete;
+  SpawnedServer& operator=(const SpawnedServer&) = delete;
+
+  Status health() const { return status_; }
+  const std::string& host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+  /// SIGTERM the child and wait for it (SIGKILL after a bounded grace
+  /// period).  Returns the child's exit code, 128+signal when it died on a
+  /// signal, -1 when there is no child.  Idempotent; the destructor calls it.
+  int terminate();
+
+ private:
+  pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  Status status_;
+};
+
+}  // namespace oem::server

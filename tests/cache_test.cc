@@ -14,6 +14,7 @@
 #include "extmem/backend.h"
 #include "extmem/io_engine.h"
 #include "extmem/remote.h"
+#include "server/server.h"
 #include "test_util.h"
 
 namespace oem {

@@ -21,6 +21,8 @@
 #include "extmem/io_engine.h"
 #include "extmem/pipeline.h"
 #include "extmem/remote.h"
+#include "server/server.h"
+#include "server/subprocess.h"
 #include "obliv/trace_check.h"
 #include "test_util.h"
 
@@ -183,7 +185,9 @@ TEST(AsyncBackend, SynchronousOpsDrainTheQueueFirst) {
 // cache absorbs wire traffic below the recorder), and
 // faulty+sharded4+prefetch+remote (per-shard faults firing at begin time in
 // the split-phase path, recovered by drain-and-replay under the retry
-// budget)}.  None of it may change what Bob observes.
+// budget), and oem_server_process{,_sharded4_prefetch} (the same workloads
+// through the spawned stand-alone oem-server binary -- a real exec
+// boundary)}.  None of it may change what Bob observes.
 
 struct EngineCase {
   std::string name;
@@ -193,6 +197,9 @@ struct EngineCase {
   bool remote = false;
   std::size_t depth = 2;
   std::size_t cache_blocks = 0;
+  /// Route through the real oem-server binary (fork/exec, separate address
+  /// space) instead of the in-process loopback server.
+  bool out_of_process = false;
 };
 
 std::vector<EngineCase> engine_cases() {
@@ -205,7 +212,13 @@ std::vector<EngineCase> engine_cases() {
           {"remote_faulty_retry", 1, false, true, true},
           {"remote_sharded4_depth4", 4, true, false, true, /*depth=*/4},
           {"remote_sharded4_cache", 4, true, false, true, 2, /*cache=*/32},
-          {"faulty_sharded4_splitphase_retry", 4, true, true, true, /*depth=*/4}};
+          {"faulty_sharded4_splitphase_retry", 4, true, true, true, /*depth=*/4},
+          // The exec boundary: the same workloads through the stand-alone
+          // oem-server process.  Crossing into another address space (and a
+          // real kernel socket pair) must be just as invisible to Bob's view
+          // as the in-process loopback is.
+          {"oem_server_process", 1, false, false, true, 2, 0, /*oop=*/true},
+          {"oem_server_sharded4_prefetch", 4, true, false, true, 2, 0, true}};
 }
 
 struct AlgoRun {
@@ -216,8 +229,10 @@ struct AlgoRun {
 template <typename AlgoFn>
 void run_engine_case(const EngineCase& ec, std::span<const Record> input,
                      std::size_t depth, AlgoRun* run, AlgoFn&& algo) {
-  // Each remote run gets a fresh in-process loopback server (fresh stores).
+  // Each remote run gets a fresh server (fresh stores): in-process loopback
+  // by default, the spawned oem-server binary for out_of_process rows.
   std::unique_ptr<RemoteServer> server;
+  std::unique_ptr<server::SpawnedServer> spawned;
   auto builder = Session::Builder()
                      .block_records(4)
                      .cache_records(64)
@@ -232,7 +247,11 @@ void run_engine_case(const EngineCase& ec, std::span<const Record> input,
   // sharded fault rows get headroom above the single-shard default of 4.
   if (ec.faulty) builder.io_retries(8);
   if (ec.cache_blocks > 0) builder.cache(ec.cache_blocks);
-  if (ec.remote) {
+  if (ec.remote && ec.out_of_process) {
+    spawned = std::make_unique<server::SpawnedServer>();
+    ASSERT_TRUE(spawned->health().ok()) << ec.name << ": " << spawned->health();
+    builder.remote(spawned->host(), spawned->port());
+  } else if (ec.remote) {
     server = std::make_unique<RemoteServer>();
     ASSERT_TRUE(server->health().ok()) << server->health();
     builder.remote(server->host(), server->port());

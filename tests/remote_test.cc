@@ -13,6 +13,7 @@
 #include "extmem/client.h"
 #include "extmem/io_engine.h"
 #include "extmem/remote.h"
+#include "server/server.h"
 #include "test_util.h"
 
 namespace oem {

@@ -1,0 +1,379 @@
+// Server subsystem suite: the worker-pool RemoteServer (parallel dispatch,
+// PING keep-alives, idle eviction, graceful shutdown with store flushing,
+// bidirectional HELLO version policing), the client's reconnect backoff, and
+// the real out-of-process oem-server binary via server/subprocess.h.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "extmem/remote.h"
+#include "extmem/wire.h"
+#include "server/server.h"
+#include "server/subprocess.h"
+#include "test_util.h"
+
+namespace oem {
+namespace {
+
+constexpr std::size_t kBw = 5;
+
+std::vector<Word> pattern(std::uint64_t block, Word salt = 0) {
+  std::vector<Word> w(kBw);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = block * 1000 + i + salt;
+  return w;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: service time overlaps across connections.
+
+/// Runs `clients` concurrent one-read workloads (distinct stores) against a
+/// server charging `service_ms` per data frame; returns the wall time.  The
+/// sleeps make the scaling claim core-count independent: N workers sleep in
+/// parallel even on one hardware thread.
+double timed_parallel_reads(std::size_t worker_threads, std::size_t clients,
+                            std::uint64_t service_ms) {
+  RemoteServerOptions so;
+  so.worker_threads = worker_threads;
+  so.service_delay_ns = service_ms * 1'000'000;
+  RemoteServer server(so);
+  EXPECT_TRUE(server.health().ok()) << server.health();
+  EXPECT_EQ(server.worker_threads(), worker_threads);
+
+  // Connect + size every store up front (resize carges no service delay),
+  // so the timed region holds exactly one service-delayed frame per client.
+  std::vector<std::unique_ptr<RemoteBackend>> backends;
+  for (std::size_t c = 0; c < clients; ++c) {
+    RemoteBackendOptions opts;
+    opts.port = server.port();
+    opts.store_id = c;
+    backends.push_back(std::make_unique<RemoteBackend>(kBw, opts));
+    EXPECT_TRUE(backends.back()->resize(4).ok());
+  }
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (std::size_t c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      std::vector<Word> out(kBw);
+      if (!backends[c]->read(1, out).ok()) failures.fetch_add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  return ms_since(t0);
+}
+
+TEST(ServerWorkerPool, ParallelWorkersOverlapServiceTime) {
+  // 4 clients x 100ms of service: a single worker serializes (>= 400ms), a
+  // 4-worker pool overlaps (~100ms).  Generous margins keep this stable on
+  // loaded CI hosts; the enforced gap is still the full 2x the load bench
+  // claims.
+  const double serial_ms = timed_parallel_reads(/*worker_threads=*/1, 4, 100);
+  const double pooled_ms = timed_parallel_reads(/*worker_threads=*/4, 4, 100);
+  EXPECT_GE(serial_ms, 380.0) << "serial worker must pay every service delay";
+  EXPECT_LE(pooled_ms, serial_ms / 2.0)
+      << "worker pool failed to overlap service time: serial " << serial_ms
+      << "ms vs pooled " << pooled_ms << "ms";
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive and eviction.
+
+TEST(ServerKeepAlive, PingPreventsIdleEviction) {
+  RemoteServerOptions so;
+  so.worker_threads = 2;
+  so.idle_timeout_ms = 300;
+  RemoteServer server(so);
+  RemoteBackendOptions opts;
+  opts.port = server.port();
+  RemoteBackend backend(kBw, opts);
+  ASSERT_TRUE(backend.resize(4).ok());
+  ASSERT_TRUE(backend.write(2, pattern(2)).ok());
+
+  // Stay silent far longer than the idle timeout, but heartbeat under it.
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_TRUE(backend.ping().ok()) << "heartbeat " << i;
+  }
+  std::vector<Word> out(kBw);
+  EXPECT_TRUE(backend.read(2, out).ok());
+  EXPECT_EQ(out, pattern(2));
+  EXPECT_EQ(backend.reconnects(), 0u) << "a PINGing client must never be evicted";
+  EXPECT_EQ(server.connections_evicted(), 0u);
+  EXPECT_GE(server.pings_served(), 6u);
+}
+
+TEST(ServerKeepAlive, SilentClientIsEvictedThenReconnectsCleanly) {
+  RemoteServerOptions so;
+  so.worker_threads = 2;
+  so.idle_timeout_ms = 150;
+  RemoteServer server(so);
+  RemoteBackendOptions opts;
+  opts.port = server.port();
+  RemoteBackend backend(kBw, opts);
+  ASSERT_TRUE(backend.resize(4).ok());
+  ASSERT_TRUE(backend.write(1, pattern(1)).ok());
+
+  // Stop PINGing: the server must evict us (idle >> timeout).
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  std::vector<Word> out(kBw);
+  EXPECT_EQ(backend.read(1, out).code(), StatusCode::kIo)
+      << "the first op after eviction must surface the dead connection";
+  EXPECT_GE(server.connections_evicted(), 1u);
+
+  // The next attempt reconnects; the store (and its data) survived.
+  ASSERT_TRUE(backend.read(1, out).ok());
+  EXPECT_EQ(out, pattern(1));
+  EXPECT_EQ(backend.reconnects(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// HELLO version policing, both directions.
+
+TEST(ServerHello, RejectsClientWithOldProtocolVersion) {
+  RemoteServer server;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // A v1 client's HELLO: same layout, older version field.
+  std::vector<std::uint8_t> hello;
+  wire::put_u64(hello, static_cast<std::uint64_t>(wire::Op::kHello));
+  wire::put_u64(hello, 1);  // protocol version the server no longer speaks
+  wire::put_u64(hello, 7);
+  wire::put_u64(hello, kBw);
+  ASSERT_TRUE(wire::write_frame(fd, hello));
+  std::vector<std::uint8_t> resp;
+  ASSERT_TRUE(wire::read_frame(fd, &resp));
+  const Status st = wire::parse_status(resp);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("protocol version"), std::string::npos) << st;
+  ::close(fd);
+}
+
+TEST(ServerHello, ClientRejectsServerWithWrongProtocolVersion) {
+  // A fake "future server" that HELLO-acks with a version this client does
+  // not speak; the client must refuse the session with kInvalidArgument (a
+  // deployment bug, not a retryable transport error).
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+
+  std::thread fake([lfd] {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) return;
+    std::vector<std::uint8_t> hello;
+    if (wire::read_frame(cfd, &hello)) {
+      auto resp = wire::make_response(Status::Ok());
+      wire::put_u64(resp, 99);  // a protocol version from the future
+      wire::put_u64(resp, 0);   // num_blocks
+      wire::write_frame(cfd, resp);
+    }
+    ::close(cfd);
+  });
+
+  RemoteBackendOptions opts;
+  opts.port = ntohs(addr.sin_port);
+  RemoteBackend backend(kBw, opts);
+  const Status st = backend.health();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("protocol version 99"), std::string::npos) << st;
+  fake.join();
+  ::close(lfd);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown.
+
+/// MemBackend that records whether flush() reached it.
+class FlushProbe : public MemBackend {
+ public:
+  FlushProbe(std::size_t bw, std::atomic<int>* flushes)
+      : MemBackend(bw), flushes_(flushes) {}
+  Status flush() override {
+    flushes_->fetch_add(1);
+    return MemBackend::flush();
+  }
+
+ private:
+  std::atomic<int>* flushes_;
+};
+
+TEST(ServerShutdown, FlushesStoresAndPendingResponsesWithoutHanging) {
+  std::atomic<int> flushes{0};
+  RemoteServerOptions so;
+  so.worker_threads = 2;
+  so.response_delay_ns = 40'000'000;  // 40ms: responses are queued, not sent
+  so.store_factory = [&flushes](std::size_t bw) -> std::unique_ptr<StorageBackend> {
+    return std::make_unique<FlushProbe>(bw, &flushes);
+  };
+  auto server = std::make_unique<RemoteServer>(so);
+  RemoteBackendOptions opts;
+  opts.port = server->port();
+  RemoteBackend backend(kBw, opts);
+  ASSERT_TRUE(backend.resize(4).ok());
+
+  // Put split-phase frames in flight, then shut down while their responses
+  // are still waiting out the simulated propagation delay.
+  std::vector<Word> a(kBw), b(kBw);
+  const std::uint64_t ids[1] = {1};
+  ASSERT_TRUE(backend.begin_read_many(std::span<const std::uint64_t>(ids, 1), a).ok());
+  ASSERT_TRUE(backend.begin_read_many(std::span<const std::uint64_t>(ids, 1), b).ok());
+
+  const auto t0 = Clock::now();
+  EXPECT_TRUE(server->shutdown().ok());
+  // Frames dispatched before the shutdown complete (delay waived) or fail
+  // kIo -- but never wedge the client or the server.
+  const Status s1 = backend.complete_oldest();
+  const Status s2 = backend.complete_oldest();
+  EXPECT_TRUE(s1.ok() || s1.code() == StatusCode::kIo) << s1;
+  EXPECT_TRUE(s2.ok() || s2.code() == StatusCode::kIo) << s2;
+  EXPECT_LT(ms_since(t0), 3000.0) << "shutdown must be bounded";
+  EXPECT_GE(flushes.load(), 1) << "shutdown must flush every store";
+
+  // Idempotent, and the destructor after an explicit shutdown is a no-op.
+  EXPECT_TRUE(server->shutdown().ok());
+  server.reset();
+
+  // The service is really gone: a fresh connect attempt fails.
+  RemoteBackendOptions again = opts;
+  again.backoff_initial_us = 0;
+  RemoteBackend later(kBw, again);
+  EXPECT_EQ(later.health().code(), StatusCode::kIo);
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect backoff.
+
+TEST(ClientBackoff, RampsWhileServerIsDownAndResetsOnSuccess) {
+  // Reserve a port by binding an ephemeral listener, then close it so
+  // nothing is listening there.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(lfd);
+
+  RemoteBackendOptions opts;
+  opts.port = port;
+  opts.backoff_initial_us = 1000;
+  opts.backoff_max_us = 4000;
+  RemoteBackend backend(kBw, opts);
+
+  // First attempt never waits; each further attempt waits out the ramp.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(backend.health().code(), StatusCode::kIo);
+  EXPECT_EQ(backend.backoff_waits(), 3u);
+  // Jittered delays are in [d/2, d] for d = 1ms, 2ms, 4ms(capped): at least
+  // ~3.5ms total, and the cap keeps any single wait under 4ms.
+  EXPECT_GE(backend.backoff_waited_us(), 3000u);
+  EXPECT_LE(backend.backoff_waited_us(), 12'000u);
+
+  // A server appears on that port: the next attempt succeeds and resets the
+  // streak, so later ops pay no backoff.
+  RemoteServerOptions so;
+  so.port = port;
+  RemoteServer server(so);
+  ASSERT_TRUE(server.health().ok()) << server.health();
+  ASSERT_TRUE(backend.health().ok());
+  const std::uint64_t waits_before = backend.backoff_waits();
+  ASSERT_TRUE(backend.resize(2).ok());
+  std::vector<Word> out(kBw);
+  ASSERT_TRUE(backend.read(1, out).ok());
+  EXPECT_EQ(backend.backoff_waits(), waits_before)
+      << "a healthy connection must not accrue backoff";
+}
+
+// ---------------------------------------------------------------------------
+// The real out-of-process binary.
+
+TEST(OemServerBinary, ServesASessionAndExitsCleanlyOnSigterm) {
+  server::SpawnedServer srv(server::default_server_binary(),
+                            {"--backend=mem", "--threads=2"});
+  ASSERT_TRUE(srv.health().ok()) << srv.health();
+
+  auto built = Session::Builder()
+                   .block_records(4)
+                   .cache_records(64)
+                   .seed(7)
+                   .remote(srv.host(), srv.port())
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  Session session = std::move(built).value();
+  const auto input = test::random_records(24 * 4, 13);
+  auto data = session.outsource(input);
+  ASSERT_TRUE(data.ok()) << data.status();
+  auto rep = session.sort(*data);
+  ASSERT_TRUE(rep.ok()) << rep.status();
+  auto sorted = session.retrieve(*data);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_TRUE(test::padded_sorted(*sorted));
+  EXPECT_TRUE(test::same_multiset(*sorted, input));
+
+  EXPECT_EQ(srv.terminate(), 0) << "SIGTERM must produce a clean exit";
+}
+
+TEST(OemServerBinary, FileBackendPersistsAcrossConnections) {
+  server::SpawnedServer srv(server::default_server_binary(),
+                            {"--backend=file", "--shards=2", "--threads=1"});
+  ASSERT_TRUE(srv.health().ok()) << srv.health();
+  RemoteBackendOptions opts;
+  opts.host = srv.host();
+  opts.port = srv.port();
+  opts.store_id = 42;
+  {
+    RemoteBackend writer(kBw, opts);
+    ASSERT_TRUE(writer.resize(8).ok());
+    for (std::uint64_t b = 0; b < 8; ++b)
+      ASSERT_TRUE(writer.write(b, pattern(b, 7)).ok());
+  }  // connection closes; the store (sharded files) lives server-side
+  RemoteBackend reader(kBw, opts);
+  // A fresh client learns the store's size from STAT and adopts it with a
+  // same-size (data-preserving) resize before reading.
+  std::uint64_t blocks = 0, bw = 0;
+  ASSERT_TRUE(reader.stat(&blocks, &bw).ok());
+  EXPECT_EQ(blocks, 8u);
+  EXPECT_EQ(bw, kBw);
+  ASSERT_TRUE(reader.resize(blocks).ok());
+  std::vector<Word> out(kBw);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    ASSERT_TRUE(reader.read(b, out).ok());
+    EXPECT_EQ(out, pattern(b, 7)) << "block " << b;
+  }
+  EXPECT_EQ(srv.terminate(), 0);
+}
+
+}  // namespace
+}  // namespace oem
