@@ -44,6 +44,12 @@ inline std::size_t& global_pipeline_depth() {
   return depth;
 }
 
+/// Compute-plane lanes from --compute-threads (1 = serial, the default).
+inline std::size_t& global_compute_threads() {
+  static std::size_t threads = 1;
+  return threads;
+}
+
 /// The process-wide loopback RemoteServer behind --remote; started on first
 /// use, lives for the whole bench run (its stores persist across Clients).
 inline RemoteServer* global_remote_server(BackendFactory store_factory = nullptr,
@@ -70,6 +76,7 @@ inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 
   p.backend = global_backend();
   p.io_retry_attempts = global_retry_attempts();
   p.pipeline_depth = global_pipeline_depth();
+  p.compute_threads = global_compute_threads();
   return p;
 }
 
@@ -136,6 +143,14 @@ inline BackendFactory backend_from_flags(const Flags& flags,
       static_cast<std::size_t>(flags.get_u64("depth", 2));
   if (global_pipeline_depth() < 1) {
     std::fprintf(stderr, "--depth must be >= 1\n");
+    std::exit(2);
+  }
+  // --compute-threads=N splits each pipeline window's compute (and all block
+  // crypto) across N lanes -- the compute-plane twin of --depth.
+  global_compute_threads() =
+      static_cast<std::size_t>(flags.get_u64("compute-threads", 1));
+  if (global_compute_threads() > 256) {
+    std::fprintf(stderr, "--compute-threads must be <= 256\n");
     std::exit(2);
   }
   FaultProfile fault_profile;
@@ -219,6 +234,13 @@ inline void engine_stats_note(const Client& c, const std::string& label = "") {
   if (s.drained_total_ops() != s.total_ops())
     std::cout << "  " << tag << "(drained backend ops: " << s.drained_total_ops()
               << " of " << s.total_ops() << " submitted)\n";
+  if (s.compute_ns > 0 || s.crypto_ns > 0) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %scompute plane: %.1f ms pass compute, %.1f ms crypto",
+                  tag.c_str(), s.compute_ns / 1e6, s.crypto_ns / 1e6);
+    std::cout << line << "\n";
+  }
   if (const CachingBackend* cache = c.device().cache_backend()) {
     const CacheStats cs = cache->stats();
     char line[256];

@@ -206,26 +206,27 @@ void expand_cells_backward(std::span<Record> buf, std::uint64_t k, std::uint64_t
   }
 }
 
-/// Copy-out contraction, shared by both routing directions: collapse k
-/// routed payload+metadata cell pairs into k output blocks (occupied cells
-/// keep their payload, the rest read empty).  Contracts forward: out block c
-/// comes from cell c's payload, so the write position never passes the
-/// unread payload/meta positions.
-void contract_cells_forward(std::span<Record> buf, std::uint64_t k, std::size_t B,
-                            const BlockBuf& empty) {
-  for (std::uint64_t c = 0; c < k; ++c) {
-    const Record meta = buf[(2 * c + 1) * B];
-    const bool occupied = meta.key != 0;
-    assert(!occupied || meta.value == 0);
-    (void)meta;
-    if (occupied) {
-      if (c > 0)
-        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(2 * c * B), B,
-                    buf.begin() + static_cast<std::ptrdiff_t>(c * B));
-    } else {
-      std::copy_n(empty.begin(), B, buf.begin() + static_cast<std::ptrdiff_t>(c * B));
-    }
-  }
+/// Copy-out contraction, shared by both routing directions: collapse routed
+/// payload+metadata cell pairs into one output block each (occupied cells
+/// keep their payload, the rest read empty).  Each output block is a pure
+/// function of its own cell pair, so the scan chunks across the compute
+/// pool; the copy-in scans stay serial (they carry running state across
+/// cells: the empties counter / the prev_target monotonicity check).
+ParallelCompute chunked_contract_cells(std::size_t B, BlockBuf empty) {
+  return {[B, empty = std::move(empty)](std::uint64_t, std::span<const Record> in,
+                                        std::uint64_t first_block,
+                                        std::span<Record> out) {
+            const std::size_t k = out.size() / B;
+            for (std::size_t b = 0; b < k; ++b) {
+              const std::size_t cell = static_cast<std::size_t>(first_block) + b;
+              const Record meta = in[(2 * cell + 1) * B];
+              const bool occupied = meta.key != 0;
+              assert(!occupied || meta.value == 0);
+              const Record* src = occupied ? in.data() + 2 * cell * B : empty.data();
+              std::copy_n(src, B, out.begin() + static_cast<std::ptrdiff_t>(b * B));
+            }
+          },
+          0};
 }
 
 }  // namespace
@@ -310,9 +311,7 @@ TightCompactResult tight_compact_blocks(Client& client, const ExtArray& a,
           }
           for (std::uint64_t c = 0; c < k; ++c) io.writes.push_back(first + c);
         },
-        [&](std::uint64_t, std::span<Record> buf) {
-          contract_cells_forward(buf, buf.size() / (2 * B), B, empty);
-        });
+        chunked_contract_cells(B, empty));
   }
   client.release(w);
   return res;
@@ -383,9 +382,7 @@ ExtArray expand_blocks(Client& client, const ExtArray& a, std::uint64_t count,
           }
           for (std::uint64_t c = 0; c < k; ++c) io.writes.push_back(first + c);
         },
-        [&](std::uint64_t, std::span<Record> buf) {
-          contract_cells_forward(buf, buf.size() / (2 * B), B, empty);
-        });
+        chunked_contract_cells(B, empty));
   }
   client.release(w);
   return out;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 namespace oem {
@@ -10,10 +11,12 @@ Client::Client(const ClientParams& params)
     : B_(params.block_records),
       M_(params.cache_records),
       io_batch_(params.io_batch_blocks),
+      compute_model_ns_(params.compute_model_ns_per_block),
       dev_(std::make_unique<BlockDevice>(1 + params.block_records * kWordsPerRecord,
                                          params.backend,
                                          RetryPolicy{params.io_retry_attempts},
                                          params.pipeline_depth)),
+      pool_(std::make_unique<ComputePool>(params.compute_threads)),
       enc_(rng::mix64(params.seed ^ 0x5bf0363546294ce7ULL), params.seed),
       meter_(params.cache_records, params.strict_cache),
       rng_(params.seed) {
@@ -132,13 +135,24 @@ void Client::decrypt_blocks(std::span<const std::uint64_t> dev_ids,
   const std::size_t bw = dev_->block_words();
   assert(wire.size() == dev_ids.size() * bw);
   assert(out.size() == dev_ids.size() * B_);
-  // The keystream is applied into a scratch copy per block so `wire` (the
+  if (dev_ids.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Each block's keystream is independent: chunk the window across the pool.
+  // The keystream is applied into a per-lane scratch copy so `wire` (the
   // pipeline's reusable staging) is left untouched.
-  for (std::size_t j = 0; j < dev_ids.size(); ++j) {
-    std::copy_n(wire.data() + j * bw, bw, wire_.begin());
-    enc_.apply_keystream(dev_ids[j], wire_[0], std::span<Word>(wire_).subspan(1));
-    deserialize(wire_, out.subspan(j * B_, B_));
-  }
+  pool_->parallel_for(dev_ids.size(), 0, [&](std::size_t first, std::size_t last) {
+    thread_local std::vector<Word> scratch;
+    scratch.resize(bw);
+    for (std::size_t j = first; j < last; ++j) {
+      std::copy_n(wire.data() + j * bw, bw, scratch.begin());
+      enc_.apply_keystream(dev_ids[j], scratch[0], std::span<Word>(scratch).subspan(1));
+      deserialize(scratch, out.subspan(j * B_, B_));
+    }
+  });
+  dev_->add_crypto_ns(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
 }
 
 void Client::encrypt_blocks(std::span<const std::uint64_t> dev_ids,
@@ -146,13 +160,23 @@ void Client::encrypt_blocks(std::span<const std::uint64_t> dev_ids,
   const std::size_t bw = dev_->block_words();
   assert(wire.size() == dev_ids.size() * bw);
   assert(in.size() == dev_ids.size() * B_);
-  for (std::size_t j = 0; j < dev_ids.size(); ++j) {
-    std::span<Word> w = wire.subspan(j * bw, bw);
-    const Word nonce = enc_.fresh_nonce();
-    w[0] = nonce;
-    serialize(in.subspan(j * B_, B_), w);
-    enc_.apply_keystream(dev_ids[j], nonce, w.subspan(1));
-  }
+  if (dev_ids.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Nonces mutate the Encryptor's state: draw them sequentially on the
+  // master, in scatter order, BEFORE fanning out -- ciphertexts are then a
+  // function of the write sequence alone, never of the lane count.
+  for (std::size_t j = 0; j < dev_ids.size(); ++j) wire[j * bw] = enc_.fresh_nonce();
+  pool_->parallel_for(dev_ids.size(), 0, [&](std::size_t first, std::size_t last) {
+    for (std::size_t j = first; j < last; ++j) {
+      std::span<Word> w = wire.subspan(j * bw, bw);
+      serialize(in.subspan(j * B_, B_), w);
+      enc_.apply_keystream(dev_ids[j], w[0], w.subspan(1));
+    }
+  });
+  dev_->add_crypto_ns(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
 }
 
 void Client::touch_block(const ExtArray& a, std::uint64_t i) {

@@ -21,6 +21,7 @@
 
 #include "extmem/backend.h"
 #include "extmem/cache_meter.h"
+#include "extmem/compute_pool.h"
 #include "extmem/device.h"
 #include "extmem/encryption.h"
 #include "extmem/ext_array.h"
@@ -52,6 +53,18 @@ struct ClientParams {
   /// computing.  A public scheduling parameter like B: the submission order
   /// (hence the trace) is a function of (passes, depth), never of the data.
   std::size_t pipeline_depth = 2;
+  /// Compute-plane lanes (master + workers) for the ComputePool driving
+  /// block crypto and chunk-parallel pipeline compute.  0 and 1 both mean
+  /// serial/inline.  Like depth, a public scheduling parameter: nonces are
+  /// drawn and trace/stat events recorded on the master in program order, so
+  /// the device trace (and every ciphertext) is byte-identical at any lane
+  /// count -- only wall time changes.
+  std::size_t compute_threads = 1;
+  /// Modeled per-block compute cost (ns) added in the pipeline compute phase
+  /// -- slept on whichever lane computes the block, so multicore scaling
+  /// claims are core-count independent (the bench_server_load precedent).
+  /// 0 = off (the default; real workloads pay only their real compute).
+  std::uint64_t compute_model_ns_per_block = 0;
 };
 
 class Client {
@@ -69,6 +82,10 @@ class Client {
   const BlockDevice& device() const { return *dev_; }
   CacheMeter& cache() { return meter_; }
   rng::Xoshiro& rng() { return rng_; }
+  /// The compute plane's worker pool (threads() == 1 means serial/inline).
+  ComputePool& compute_pool() { return *pool_; }
+  /// Modeled per-block compute cost for the pipeline (0 = off).
+  std::uint64_t compute_model_ns_per_block() const { return compute_model_ns_; }
 
   enum class Init { kUninit, kEmpty };
 
@@ -104,12 +121,15 @@ class Client {
   // --- ciphertext staging for the I/O-engine pipeline (extmem/pipeline.h) ---
 
   /// Decrypt a wire buffer of `dev_ids.size()` blocks (gather order, as
-  /// returned by a completed device read) into records.
+  /// returned by a completed device read) into records.  Each block's
+  /// keystream is independent, so the window is chunked across the compute
+  /// pool's lanes; the output bytes are identical at any lane count.
   void decrypt_blocks(std::span<const std::uint64_t> dev_ids,
                       std::span<const Word> wire, std::span<Record> out);
-  /// Serialize + encrypt records into a wire buffer (fresh nonce per block,
-  /// drawn in scatter order on the calling thread, so ciphertexts are
-  /// deterministic regardless of how the transfer is dispatched).
+  /// Serialize + encrypt records into a wire buffer.  Nonces are drawn in
+  /// scatter order on the calling (master) thread BEFORE the pool fans the
+  /// keystream work out, so every ciphertext is deterministic regardless of
+  /// lane count or how the transfer is dispatched.
   void encrypt_blocks(std::span<const std::uint64_t> dev_ids,
                       std::span<const Record> in, std::span<Word> wire);
 
@@ -138,7 +158,9 @@ class Client {
   std::size_t B_;
   std::uint64_t M_;
   std::uint64_t io_batch_;
+  std::uint64_t compute_model_ns_;
   std::unique_ptr<BlockDevice> dev_;
+  std::unique_ptr<ComputePool> pool_;
   Encryptor enc_;
   CacheMeter meter_;
   rng::Xoshiro rng_;

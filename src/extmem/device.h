@@ -133,6 +133,11 @@ class BlockDevice {
     pending_drain_.clear();
   }
 
+  /// Credit compute-plane wall time to the stats (master thread only; see
+  /// IoStats::compute_ns/crypto_ns).
+  void add_compute_ns(std::uint64_t ns) { stats_.compute_ns += ns; }
+  void add_crypto_ns(std::uint64_t ns) { stats_.crypto_ns += ns; }
+
   /// The CachingBackend in the decorator chain (directly, or under the
   /// AsyncBackend), or null -- benches read hit/miss/write-back counters
   /// through this without holding their own pointer into the stack.  The

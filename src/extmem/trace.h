@@ -38,6 +38,13 @@ struct IoStats {
   std::uint64_t drained_writes = 0;
   std::uint64_t drained_read_ops = 0;
   std::uint64_t drained_write_ops = 0;
+  // Compute-plane wall time, recorded on the master thread: the pipeline's
+  // compute phase (including the worker-pool barrier) and the encrypt/decrypt
+  // sections of Client.  Diagnostics only -- NOT part of Bob's view (wall
+  // time is not in the trace), but printed by the bench notes so
+  // compute-vs-I/O bottleneck shifts are visible in every row.
+  std::uint64_t compute_ns = 0;
+  std::uint64_t crypto_ns = 0;
   std::uint64_t total() const { return reads + writes; }
   std::uint64_t total_ops() const { return read_ops + write_ops; }
   std::uint64_t drained_total() const { return drained_reads + drained_writes; }

@@ -46,11 +46,30 @@ std::vector<RunComparator> run_schedule(std::uint64_t runs_p2, bool odd_even) {
   return s;
 }
 
+/// Pure per-chunk copy: output block j is gathered input block j when
+/// covered, an explicit empty block otherwise (both copy scans below share
+/// it; the pad case simply gathers fewer blocks than it scatters).
+ParallelCompute chunked_copy_or_empty(std::size_t B) {
+  return {[B](std::uint64_t, std::span<const Record> in, std::uint64_t first_block,
+              std::span<Record> out) {
+            const std::size_t k = out.size() / B;
+            for (std::size_t b = 0; b < k; ++b) {
+              const std::size_t src_off = (first_block + b) * B;
+              if (src_off + B <= in.size())
+                std::copy_n(in.begin() + static_cast<std::ptrdiff_t>(src_off), B,
+                            out.begin() + static_cast<std::ptrdiff_t>(b * B));
+              else  // padding blocks sort last (empty sentinel)
+                std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(b * B), B,
+                            Record{});
+            }
+          },
+          0};
+}
+
 /// Copy blocks [0, n) of `src` into `dst` and pad dst[n, padded) with empty
 /// blocks -- the scratch copy-in of the padded sort, as a chunked pipeline.
 void copy_pad_blocks(Client& c, const ExtArray& src, std::uint64_t n,
                      const ExtArray& dst, std::uint64_t padded) {
-  const std::size_t B = c.B();
   const std::uint64_t W = std::max<std::uint64_t>(1, c.io_batch_blocks());
   const std::uint64_t chunks = padded == 0 ? 0 : ceil_div(padded, W);
   run_block_pipeline(
@@ -65,13 +84,7 @@ void copy_pad_blocks(Client& c, const ExtArray& src, std::uint64_t n,
           io.writes.push_back(first + j);
         }
       },
-      [&](std::uint64_t t, std::span<Record> buf) {
-        const std::uint64_t first = t * W;
-        const std::uint64_t k = buf.size() / B;
-        const std::uint64_t copied = first < n ? std::min<std::uint64_t>(k, n - first) : 0;
-        std::fill(buf.begin() + static_cast<std::ptrdiff_t>(copied * B), buf.end(),
-                  Record{});  // padding blocks sort last (empty sentinel)
-      });
+      chunked_copy_or_empty(c.B()));
 }
 
 /// Copy blocks [0, n) of `src` into `dst` (same-size chunked pipeline scan).
@@ -91,7 +104,7 @@ void copy_back_blocks(Client& c, const ExtArray& src, const ExtArray& dst,
           io.writes.push_back(first + j);
         }
       },
-      [](std::uint64_t, std::span<Record>) {});
+      chunked_copy_or_empty(c.B()));
 }
 
 /// Phase 1 of both sorts: privately sort every run of `run_blocks` blocks of
@@ -113,12 +126,12 @@ void sort_runs(Client& c, const ExtArray& work, std::uint64_t runs,
 }
 
 /// Phase 2: drive the comparator schedule through the pipeline.  Each pass
-/// gathers both runs, merges privately (in place, leaving the buffer in
-/// merged order), and scatters the lower half to the ascending target run --
-/// encoding the comparator direction purely in the scatter list.
+/// gathers both runs, merges privately (chunk-parallel on the compute pool),
+/// and scatters the lower half to the ascending target run -- encoding the
+/// comparator direction purely in the scatter list.
 void run_network(Client& c, const ExtArray& work, std::uint64_t run_blocks,
                  const std::vector<RunComparator>& schedule,
-                 const std::function<void(std::span<Record>)>& merge_buf) {
+                 const ParallelCompute& merge) {
   run_block_pipeline(
       c, schedule.size(),
       [&](std::uint64_t t, PipelinePass& io) {
@@ -136,7 +149,83 @@ void run_network(Client& c, const ExtArray& work, std::uint64_t run_blocks,
         for (std::uint64_t b = 0; b < run_blocks; ++b)
           io.writes.push_back(hi * run_blocks + b);
       },
-      [&](std::uint64_t, std::span<Record> buf) { merge_buf(buf); });
+      merge);
+}
+
+/// Chunked merge of the two sorted runs gathered back to back in `in`: the
+/// merge-path split (binary search over the cross diagonal) finds where
+/// output offset k = first_block * B begins, then each chunk merges its own
+/// slice serially.  The split is the unique one a stable merge (run-0 wins
+/// ties) produces, so the concatenated chunks are byte-identical to one
+/// serial std::inplace_merge at any chunking.
+ParallelCompute chunked_run_merge(std::size_t B, std::size_t run_records) {
+  return {[B, run_records](std::uint64_t, std::span<const Record> in,
+                           std::uint64_t first_block, std::span<Record> out) {
+            const std::span<const Record> a = in.first(run_records);
+            const std::span<const Record> b = in.subspan(run_records);
+            const std::size_t k = static_cast<std::size_t>(first_block) * B;
+            std::size_t lo = k > b.size() ? k - b.size() : 0;
+            std::size_t hi = std::min(k, a.size());
+            while (lo < hi) {
+              const std::size_t i = lo + (hi - lo) / 2;
+              const std::size_t j = k - i;
+              if (j > 0 && !RecordLess{}(b[j - 1], a[i])) lo = i + 1;
+              else hi = i;
+            }
+            std::size_t i = lo, j = k - lo;
+            for (Record& r : out) {
+              const bool take_b =
+                  i >= a.size() || (j < b.size() && RecordLess{}(b[j], a[i]));
+              r = take_b ? b[j++] : a[i++];
+            }
+          },
+          0};
+}
+
+/// Unit-granularity counterpart: runs are sequences of whole units ordered by
+/// their first record, so the merge path walks unit indices and each chunk
+/// copies whole units.  Chunks must be unit-aligned -- the call site passes a
+/// grain that is a multiple of unit_blocks.
+ParallelCompute chunked_unit_merge(Client& c, std::uint64_t run_blocks,
+                                   std::uint64_t unit_blocks,
+                                   std::size_t unit_records) {
+  const std::size_t B = c.B();
+  const std::size_t run_records = static_cast<std::size_t>(run_blocks) * B;
+  const std::size_t lanes = std::max<std::size_t>(1, c.compute_pool().threads());
+  const std::uint64_t out_blocks = 2 * run_blocks;
+  const std::size_t grain =
+      static_cast<std::size_t>(ceil_div(ceil_div(out_blocks, lanes), unit_blocks) *
+                               unit_blocks);
+  return {[run_records, unit_records, unit_blocks](
+              std::uint64_t, std::span<const Record> in, std::uint64_t first_block,
+              std::span<Record> out) {
+            const std::size_t units = run_records / unit_records;
+            auto af = [&](std::size_t i) -> const Record& {
+              return in[i * unit_records];
+            };
+            auto bf = [&](std::size_t j) -> const Record& {
+              return in[run_records + j * unit_records];
+            };
+            const std::size_t k = static_cast<std::size_t>(first_block / unit_blocks);
+            std::size_t lo = k > units ? k - units : 0;
+            std::size_t hi = std::min(k, units);
+            while (lo < hi) {
+              const std::size_t i = lo + (hi - lo) / 2;
+              const std::size_t j = k - i;
+              if (j > 0 && !RecordLess{}(bf(j - 1), af(i))) lo = i + 1;
+              else hi = i;
+            }
+            std::size_t i = lo, j = k - lo;
+            const std::size_t out_units = out.size() / unit_records;
+            for (std::size_t o = 0; o < out_units; ++o) {
+              const bool take_b = i >= units || (j < units && RecordLess{}(bf(j), af(i)));
+              const std::size_t src =
+                  take_b ? run_records + (j++) * unit_records : (i++) * unit_records;
+              std::copy_n(in.begin() + static_cast<std::ptrdiff_t>(src), unit_records,
+                          out.begin() + static_cast<std::ptrdiff_t>(o * unit_records));
+            }
+          },
+          grain};
 }
 
 }  // namespace
@@ -172,13 +261,9 @@ void ext_oblivious_sort(Client& client, const ExtArray& a, const ExtSortOptions&
   });
 
   // Phase 2: sorting network over runs with merge-split comparators.  Both
-  // runs are individually sorted; a single in-place merge suffices.
+  // runs are individually sorted; a single (chunk-parallel) merge suffices.
   run_network(client, work, run_blocks, run_schedule(runs_p2, opts.odd_even),
-              [&](std::span<Record> buf) {
-                std::inplace_merge(buf.begin(),
-                                   buf.begin() + static_cast<std::ptrdiff_t>(run_records),
-                                   buf.end(), RecordLess{});
-              });
+              chunked_run_merge(client.B(), run_records));
 
   if (scratch) {
     copy_back_blocks(client, work, a, n);
@@ -226,31 +311,6 @@ void sort_units_in_buffer(std::span<Record> buf, std::size_t unit_records) {
   std::copy(out.begin(), out.end(), buf.begin());
 }
 
-/// Merge two unit-sorted runs held back-to-back in `buf` (both runs
-/// unit-sorted), leaving merged order in place.
-void unit_merge_in_buffer(std::span<Record> buf, std::size_t unit_records) {
-  const std::size_t run_records = buf.size() / 2;
-  const std::size_t units = run_records / unit_records;
-  std::vector<Record> merged(buf.size());
-  std::size_t x = 0, y = 0, o = 0;
-  auto take = [&](std::size_t base, std::size_t& idx) {
-    std::copy(buf.begin() + static_cast<std::ptrdiff_t>(base + idx * unit_records),
-              buf.begin() + static_cast<std::ptrdiff_t>(base + (idx + 1) * unit_records),
-              merged.begin() + static_cast<std::ptrdiff_t>(o * unit_records));
-    ++idx;
-    ++o;
-  };
-  while (x < units && y < units) {
-    if (RecordLess{}(buf[run_records + y * unit_records], buf[x * unit_records]))
-      take(run_records, y);
-    else
-      take(0, x);
-  }
-  while (x < units) take(0, x);
-  while (y < units) take(run_records, y);
-  std::copy(merged.begin(), merged.end(), buf.begin());
-}
-
 }  // namespace
 
 void ext_oblivious_unit_sort(Client& client, const ExtArray& a,
@@ -288,7 +348,7 @@ void ext_oblivious_unit_sort(Client& client, const ExtArray& a,
 
   // Phase 2: network over runs with unit-granularity merge-split.
   run_network(client, work, run_blocks, run_schedule(runs_p2, opts.odd_even),
-              [&](std::span<Record> buf) { unit_merge_in_buffer(buf, unit_records); });
+              chunked_unit_merge(client, run_blocks, unit_blocks, unit_records));
 
   if (scratch) {
     copy_back_blocks(client, work, a, n);

@@ -200,6 +200,10 @@ struct EngineCase {
   /// Route through the real oem-server binary (fork/exec, separate address
   /// space) instead of the in-process loopback server.
   bool out_of_process = false;
+  /// Compute-plane lanes.  The references all run at 1 (serial), so a row
+  /// with compute_threads > 1 pins the worker pool byte-identical to the
+  /// serial compute path.
+  std::size_t compute_threads = 1;
 };
 
 std::vector<EngineCase> engine_cases() {
@@ -218,7 +222,13 @@ std::vector<EngineCase> engine_cases() {
           // real kernel socket pair) must be just as invisible to Bob's view
           // as the in-process loopback is.
           {"oem_server_process", 1, false, false, true, 2, 0, /*oop=*/true},
-          {"oem_server_sharded4_prefetch", 4, true, false, true, 2, 0, true}};
+          {"oem_server_sharded4_prefetch", 4, true, false, true, 2, 0, true},
+          // The compute plane: chunk-parallel pass compute + parallel crypto
+          // on 4 lanes, pinned against the serial mem reference -- alone and
+          // stacked on the deepest wire pipeline in the matrix.
+          {"compute4", 1, false, false, false, 2, 0, false, /*threads=*/4},
+          {"compute4_remote_sharded4_depth4", 4, true, false, true, 4, 0, false,
+           4}};
 }
 
 struct AlgoRun {
@@ -240,6 +250,7 @@ void run_engine_case(const EngineCase& ec, std::span<const Record> input,
                      .sharded(ec.shards)
                      .async_prefetch(ec.prefetch)
                      .pipeline_depth(depth)
+                     .compute_threads(ec.compute_threads)
                      .fault_injection(ec.faulty ? 77 : 0, ec.faulty ? 0.02 : 0.0);
   // A striped faulty store needs a budget that covers every shard firing
   // once across consecutive attempts (each shard rolls its own decisions;
