@@ -1,0 +1,250 @@
+// E16: fail-closed under a malicious server -- detection proofs + MAC cost.
+//
+// Part 1 (gated): seeded tamper trials.  Each trial runs a full workload
+// (oblivious sort round-trip, or an ORAM epoch) over a Session whose base
+// store lies -- corrupted / bit-flipped / swapped reads served with
+// Status::Ok, acknowledged-but-dropped writes.  Exactly two outcomes are
+// allowed: output identical to the tamper-free reference, or a clean
+// StatusCode::kIntegrity.  The exit code enforces:
+//   1. zero silent corruptions (a completed trial's output matches the
+//      reference, bit for bit, and its trace hash is unchanged)
+//   2. zero retries burned on integrity failures (RetryPolicy is for kIo;
+//      a failed MAC is proof of tampering and must pass straight through)
+//
+// Part 2 (informational): MAC + freshness overhead.  The same ORAM-epoch
+// workload over EncryptedBackend in plain (confidentiality-only) vs
+// authenticated ([nonce][mac], version table) mode; wall clock and the
+// per-word storage overhead are reported, not gated -- wall-clock ratios on
+// shared CI hosts are weather, detection counts are physics.
+//
+//   bench_integrity [--trials=100] [--rate=0.02] [--records=2048]
+//                   [--oram-items=1024] [--json=PATH]
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "bench_common.h"
+#include "extmem/client.h"
+#include "extmem/io_engine.h"
+#include "oram/sqrt_oram.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace oem {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+[[noreturn]] void die(const std::string& why) {
+  std::fprintf(stderr, "bench_integrity: %s\n", why.c_str());
+  std::exit(2);
+}
+
+struct TrialTally {
+  std::uint64_t completed = 0;
+  std::uint64_t detected = 0;         // clean kIntegrity
+  std::uint64_t silent = 0;           // completed with WRONG output -- fatal
+  std::uint64_t other_errors = 0;     // non-kIntegrity failure -- fatal
+  std::uint64_t retries_burned = 0;   // device retries in failed trials -- fatal
+};
+
+Result<Session> build_session(std::uint64_t tamper_seed, double rate) {
+  Session::Builder b;
+  b.block_records(4).cache_records(64).seed(11).io_retries(4);
+  if (rate > 0.0) b.tampering(tamper_seed, rate);
+  return b.build();
+}
+
+/// One workload = one deterministic algorithm run whose full output lands in
+/// *out.  Identical inputs across trials, so the reference comparison is
+/// exact.
+template <typename AlgoFn>
+TrialTally run_trials(const char* what, int trials, double rate, AlgoFn&& algo) {
+  auto clean = build_session(0, 0.0);
+  if (!clean.ok()) die(std::string(what) + ": clean build failed");
+  std::vector<Record> expected;
+  if (!algo(*clean, &expected).ok())
+    die(std::string(what) + ": tamper-free reference run failed");
+  const std::uint64_t expected_trace = clean->trace().hash();
+
+  TrialTally tally;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto tampered = build_session(9000 + trial, rate);
+    if (!tampered.ok()) die(std::string(what) + ": tampered build failed");
+    std::vector<Record> got;
+    Status st = algo(*tampered, &got);
+    if (st.ok()) {
+      const bool identical =
+          got == expected && tampered->trace().hash() == expected_trace;
+      if (identical) {
+        ++tally.completed;
+      } else {
+        ++tally.silent;
+      }
+    } else if (st.code() == StatusCode::kIntegrity) {
+      ++tally.detected;
+    } else {
+      ++tally.other_errors;
+    }
+    tally.retries_burned += tampered->client().device().retries();
+  }
+  return tally;
+}
+
+TrialTally sort_trials(int trials, double rate, std::uint64_t records) {
+  return run_trials("sort", trials, rate,
+                    [records](Session& s, std::vector<Record>* out) -> Status {
+                      auto data = s.outsource(bench::random_records(records, 7));
+                      if (!data.ok()) return data.status();
+                      auto rep = s.sort(*data, /*seed=*/5);
+                      if (!rep.ok()) return rep.status();
+                      auto result = s.retrieve(*data);
+                      if (!result.ok()) return result.status();
+                      *out = std::move(*result);
+                      return Status::Ok();
+                    });
+}
+
+TrialTally oram_trials(int trials, double rate, std::uint64_t items) {
+  return run_trials("oram", trials, rate,
+                    [items](Session& s, std::vector<Record>* out) -> Status {
+                      auto oram = s.open_oram(items, oram::ShuffleKind::kDeterministic,
+                                              /*seed=*/17);
+                      if (!oram.ok()) return oram.status();
+                      for (std::uint64_t i = 0; i <= oram->epoch_length(); ++i) {
+                        const std::uint64_t idx = (i * 5) % items;
+                        auto v = oram->access(idx);
+                        if (!v.ok()) return v.status();
+                        // A wrong value with Ok status is silent corruption:
+                        // poison the output so the reference compare fails.
+                        out->push_back({i, *v == oram->expected_value(idx)
+                                               ? *v
+                                               : ~*v});
+                      }
+                      return Status::Ok();
+                    });
+}
+
+/// Part 2: one ORAM epoch over EncryptedBackend, plain vs authenticated.
+struct CostRow {
+  double wall_ms = 0;
+  double crypto_ms = 0;
+  std::size_t stored_words = 0;  // per logical block, headers included
+};
+
+CostRow run_epoch_cost(std::size_t B, std::uint64_t M, std::uint64_t items,
+                       bool authenticated) {
+  ClientParams p;
+  p.block_records = B;
+  p.cache_records = M;
+  p.seed = 42;
+  p.backend = encrypted_backend(mem_backend(), 0x5eedULL, authenticated);
+  Client client(p);
+  const auto t0 = Clock::now();
+  oram::SqrtOram o(client, items, oram::ShuffleKind::kDeterministic, /*seed=*/5);
+  for (std::uint64_t i = 0; i < o.epoch_length(); ++i) {
+    const std::uint64_t idx = (i * 13) % items;
+    if (o.access(idx) != o.expected_value(idx))
+      die("epoch cost run produced a wrong value");
+  }
+  CostRow r;
+  r.wall_ms = ms_between(t0, Clock::now());
+  r.crypto_ms = client.stats().crypto_ns / 1e6;
+  r.stored_words = client.device().block_words() + (authenticated ? 2 : 1);
+  return r;
+}
+
+}  // namespace
+}  // namespace oem
+
+int main(int argc, char** argv) {
+  using namespace oem;
+  Flags flags(argc, argv);
+  const int trials = static_cast<int>(flags.get_u64("trials", 100));
+  const double rate = std::stod(flags.get("rate", "0.02"));
+  const std::uint64_t records = flags.get_u64("records", 2048);
+  const std::uint64_t oram_items = flags.get_u64("oram-items", 1024);
+  const std::string json_path = flags.get("json", "");
+  flags.validate_or_die();
+
+  bench::banner("E16", "fail-closed integrity: detection proofs + MAC cost");
+  bench::note("tamper rate " + Table::fmt(rate, 4) + ", " +
+              std::to_string(trials) + " seeded trials per workload; every "
+              "trial must finish identical-to-reference or as clean kIntegrity");
+
+  bool claim_met = true;
+  std::string json_rows;
+  Table t({"workload", "trials", "completed", "detected", "silent", "other",
+           "retries"});
+  auto tally_row = [&](const char* what, const TrialTally& tally) {
+    t.add_row({what, std::to_string(trials), std::to_string(tally.completed),
+               std::to_string(tally.detected), std::to_string(tally.silent),
+               std::to_string(tally.other_errors),
+               std::to_string(tally.retries_burned)});
+    if (!json_rows.empty()) json_rows += ",";
+    json_rows += std::string("{\"workload\":\"") + what +
+                 "\",\"trials\":" + std::to_string(trials) +
+                 ",\"completed\":" + std::to_string(tally.completed) +
+                 ",\"detected\":" + std::to_string(tally.detected) +
+                 ",\"silent\":" + std::to_string(tally.silent) +
+                 ",\"other_errors\":" + std::to_string(tally.other_errors) +
+                 ",\"retries_burned\":" + std::to_string(tally.retries_burned) + "}";
+    if (tally.silent != 0) {
+      bench::note(std::string("CLAIM VIOLATED: ") + what + " had " +
+                  std::to_string(tally.silent) + " SILENT corruption(s)");
+      claim_met = false;
+    }
+    if (tally.other_errors != 0) {
+      bench::note(std::string("CLAIM VIOLATED: ") + what +
+                  " surfaced a non-kIntegrity failure under tampering");
+      claim_met = false;
+    }
+    if (tally.retries_burned != 0) {
+      bench::note(std::string("CLAIM VIOLATED: ") + what +
+                  " burned RetryPolicy attempts on integrity failures");
+      claim_met = false;
+    }
+    if (tally.detected == 0) {
+      bench::note(std::string("CLAIM VIOLATED: ") + what +
+                  " detected nothing -- the tamper harness is not firing");
+      claim_met = false;
+    }
+  };
+
+  tally_row("sort", sort_trials(trials, rate, records));
+  tally_row("oram_epoch", oram_trials(trials, rate, oram_items));
+  t.print(std::cout);
+
+  // --- MAC overhead, informational ---
+  const CostRow plain = run_epoch_cost(4, 64, oram_items, /*authenticated=*/false);
+  const CostRow auth = run_epoch_cost(4, 64, oram_items, /*authenticated=*/true);
+  Table c({"mode", "wall ms", "crypto ms", "stored words/block"});
+  c.add_row({"encrypted", Table::fmt(plain.wall_ms, 1),
+             Table::fmt(plain.crypto_ms, 1), std::to_string(plain.stored_words)});
+  c.add_row({"encrypted+auth", Table::fmt(auth.wall_ms, 1),
+             Table::fmt(auth.crypto_ms, 1), std::to_string(auth.stored_words)});
+  c.print(std::cout);
+  const double overhead = plain.wall_ms > 0 ? auth.wall_ms / plain.wall_ms : 0;
+  bench::note("MAC + freshness wall overhead on an ORAM epoch: " +
+              Table::fmt(overhead, 2) + "x (informational; storage overhead is "
+              "one extra header word per block)");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\"bench\":\"integrity\",\"claim_met\":"
+        << (claim_met ? "true" : "false") << ",\"rate\":" << rate
+        << ",\"mac_wall_overhead\":" << overhead
+        << ",\"plain_wall_ms\":" << plain.wall_ms
+        << ",\"auth_wall_ms\":" << auth.wall_ms << ",\"rows\":[" << json_rows
+        << "]}\n";
+    bench::note("wrote " + json_path);
+  }
+  return claim_met ? 0 : 1;
+}

@@ -34,9 +34,12 @@ class ArenaScratchGuard {
 
 }  // namespace
 
-// Backend failures surface as std::runtime_error below the algorithm layer
-// (see device.cc); the facade converts them back into Status::kIo so callers
-// get a Result instead of a crash.
+// Backend failures surface as exceptions below the algorithm layer (see
+// device.cc); the facade converts them back into Status so callers get a
+// Result instead of a crash.  The IntegrityError catch must come FIRST at
+// every site: it is-a runtime_error, and mapping it to kIo would hand a
+// detected tampering to the retry machinery -- kIntegrity must fail closed,
+// unretried, at the API boundary.
 
 // ---------------------------------------------------------------------------
 // Oram handle.
@@ -45,6 +48,8 @@ Result<std::uint64_t> Oram::access(std::uint64_t index) {
   std::uint64_t value = 0;
   try {
     value = impl_->access(index);
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -122,8 +127,9 @@ Session::Builder& Session::Builder::compute_threads(std::size_t n) {
   return *this;
 }
 
-Session::Builder& Session::Builder::encrypted(Word key) {
+Session::Builder& Session::Builder::encrypted(Word key, bool authenticated) {
   encrypted_ = true;
+  encrypted_auth_ = authenticated;
   encryption_key_ = key;
   return *this;
 }
@@ -163,6 +169,19 @@ Session::Builder& Session::Builder::fault_injection(FaultProfile profile) {
   return *this;
 }
 
+Session::Builder& Session::Builder::tampering(std::uint64_t seed, double rate) {
+  TamperProfile profile;
+  profile.seed = seed;
+  profile.tamper_rate = rate;
+  return tampering(profile);
+}
+
+Session::Builder& Session::Builder::tampering(TamperProfile profile) {
+  tamper_ = profile.tamper_rate > 0.0;
+  tamper_profile_ = profile;
+  return *this;
+}
+
 Session::Builder& Session::Builder::io_retries(unsigned attempts) {
   io_retries_ = attempts;
   return *this;
@@ -180,6 +199,8 @@ Result<Session> Session::Builder::build() const {
     return Status::InvalidArgument("sharded(k) needs 1 <= k <= 1024");
   if (fault_profile_.fail_rate < 0.0 || fault_profile_.fail_rate > 1.0)
     return Status::InvalidArgument("fault_injection rate must be in [0, 1]");
+  if (tamper_profile_.tamper_rate < 0.0 || tamper_profile_.tamper_rate > 1.0)
+    return Status::InvalidArgument("tampering rate must be in [0, 1]");
   if (params.pipeline_depth < 1 || params.pipeline_depth > 64)
     return Status::InvalidArgument(
         "pipeline_depth(k) needs 1 <= k <= 64 (1 = sequential windows, "
@@ -215,18 +236,22 @@ Result<Session> Session::Builder::build() const {
 
   // Compose the storage stack inside-out (the legal order documented on
   // Builder::cache): per-shard base stores (remote shards get their own
-  // store namespace + connection; each optionally re-encrypted at the seam,
-  // then optionally wrapped in a FaultyBackend with its own sub-seed, so
+  // store namespace + connection; each optionally wrapped INNERMOST in a
+  // TamperingBackend -- the malicious server mutates what the base store
+  // serves, so the encryption/authentication seam above it is what must
+  // catch the lie -- then optionally re-encrypted at the seam, then
+  // optionally wrapped in a FaultyBackend with its own sub-seed, so
   // failures hit individual shards), striping, one latency model over the
   // striped store (lanes = k, the parallel-disk model: simulated round
   // trips to different shards overlap by construction), the write-back
   // cache above everything that costs a round trip, async submission --
-  // async(cache(latency(sharded(faulty(encrypted(base)) x k)))).
+  // async(cache(latency(sharded(faulty(encrypted(tamper(base))) x k)))).
   ShardFactory per_shard =
       [storage = storage_, file_opts = file_opts_, custom = custom_,
        host = remote_host_, port = remote_port_, store_namespace,
        shards = shards_, inject = inject_faults_, fault = fault_profile_,
-       encrypted = encrypted_,
+       tamper = tamper_, tamper_profile = tamper_profile_,
+       encrypted = encrypted_, encrypted_auth = encrypted_auth_,
        key = encryption_key_](std::size_t block_words,
                               std::size_t shard) -> std::unique_ptr<StorageBackend> {
     BackendFactory base;
@@ -254,7 +279,13 @@ Result<Session> Session::Builder::build() const {
         break;
     }
     if (!base) base = mem_backend();  // backend(nullptr) means in-memory
-    if (encrypted) base = encrypted_backend(std::move(base), key);
+    if (tamper) {
+      TamperProfile p = tamper_profile;
+      p.seed =
+          rng::mix64(tamper_profile.seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+      base = tampering_backend(std::move(base), p);
+    }
+    if (encrypted) base = encrypted_backend(std::move(base), key, encrypted_auth);
     if (inject) {
       FaultProfile p = fault;
       p.seed = rng::mix64(fault.seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
@@ -296,6 +327,8 @@ Result<ExtArray> Session::outsource(std::span<const Record> records) {
     ExtArray a = client_->alloc(records.size(), Client::Init::kUninit);
     client_->poke(a, records);
     return a;
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -306,6 +339,8 @@ Result<std::vector<Record>> Session::retrieve(const ExtArray& a) const {
     return Status::InvalidArgument("retrieve: invalid array handle");
   try {
     return client_->peek(a);
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -322,6 +357,8 @@ Result<std::vector<Word>> Session::raw_block(const ExtArray& a, std::uint64_t i)
     return Status::InvalidArgument("raw_block: block index out of range");
   try {
     return client_->device().raw(a.device_block(i));
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -335,6 +372,8 @@ Result<SortReport> Session::sort(const ExtArray& a, std::uint64_t seed,
   core::ObliviousSortResult res;
   try {
     res = core::oblivious_sort(*client_, a, next_seed(seed), opts);
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -354,6 +393,8 @@ Result<Record> Session::select(const ExtArray& a, std::uint64_t k, std::uint64_t
   core::SelectResult res;
   try {
     res = core::oblivious_select(*client_, a, k, next_seed(seed), opts);
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -371,6 +412,8 @@ Result<std::vector<Record>> Session::quantiles(const ExtArray& a, std::uint64_t 
   core::QuantilesResult res;
   try {
     res = core::oblivious_quantiles(*client_, a, q, next_seed(seed), opts);
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -418,6 +461,8 @@ Result<CompactReport> Session::compact(const ExtArray& a) {
     report.out = ExtArray(result.extent(), cons.distinguished, B);
     report.ios = client_->stats().total() - before;
     return report;
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -431,6 +476,8 @@ Result<Oram> Session::open_oram(std::uint64_t n_items, oram::ShuffleKind kind,
                                                  next_seed(seed));
     if (!impl->status().ok()) return impl->status();
     return Oram(std::move(impl));
+  } catch (const IntegrityError& e) {
+    return Status::Integrity(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }

@@ -118,7 +118,11 @@ class Session {
     /// per write) so the store below -- in particular a remote server --
     /// only ever holds ciphertext of this session's making, even for raw
     /// uploads.  Defense in depth under the Client's own encryption.
-    Builder& encrypted(Word key);
+    /// `authenticated` adds a per-block MAC + client-side version table at
+    /// this seam too (block format [nonce][mac][cipher]): mutations and
+    /// rollbacks below surface as StatusCode::kIntegrity, which RetryPolicy
+    /// never retries -- the session fails closed.
+    Builder& encrypted(Word key, bool authenticated = false);
     /// LRU write-back block cache of `blocks` blocks (CachingBackend):
     /// re-touched reads are served client-side, writes are absorbed and
     /// reach the store below only on eviction (dirty neighbors coalesced
@@ -142,7 +146,10 @@ class Session {
     ///                            and striping multiply on a remote store)
     ///           fault_injection (per-shard failures)
     ///             encrypted     (per-shard ciphertext seam)
-    ///               mem | file | backend(...) | remote  (the base store)
+    ///               tampering   (the malicious server, mutating what the
+    ///                            base store serves -- innermost, so the
+    ///                            crypto above it is what must catch it)
+    ///                 mem | file | backend(...) | remote  (the base store)
     Builder& cache(std::size_t blocks);
     /// Wrap the (possibly striped) store in a LatencyBackend.  With
     /// sharding, the profile's `lanes` is set to the shard count: the
@@ -167,6 +174,16 @@ class Session {
     /// disables.  Fine-grained control (fail-N, slow shards): pass a profile.
     Builder& fault_injection(std::uint64_t seed, double rate);
     Builder& fault_injection(FaultProfile profile);
+    /// Simulate a MALICIOUS server (TamperingBackend): each shard's base
+    /// store is wrapped innermost -- under the encryption/authentication
+    /// seam -- with a distinct per-shard sub-seed, mutating served blocks
+    /// and silently dropping writes with probability `rate`.  Every mounted
+    /// attack is either harmless (the run completes with identical output)
+    /// or surfaces as StatusCode::kIntegrity through Result<T>; never a
+    /// silent wrong answer, and never a retry.  rate = 0 disables.
+    /// Fine-grained control (which attacks to mount): pass a profile.
+    Builder& tampering(std::uint64_t seed, double rate);
+    Builder& tampering(TamperProfile profile);
     /// Total attempts per backend call before kIo surfaces (default 4 when
     /// fault injection is on, else 1 = no retry).  With fault_injection()
     /// UNDER sharded(k), one batch touches up to k independently-faulted
@@ -195,7 +212,10 @@ class Session {
     bool prefetch_ = false;
     bool inject_faults_ = false;
     FaultProfile fault_profile_;
+    bool tamper_ = false;
+    TamperProfile tamper_profile_;
     bool encrypted_ = false;
+    bool encrypted_auth_ = false;
     Word encryption_key_ = 0;
     bool cache_seen_ = false;
     std::size_t cache_blocks_ = 0;
@@ -264,6 +284,16 @@ class Session {
   /// number of blocks freed.  With compact_arena() between calls, a sort
   /// loop's storage footprint stays bounded instead of growing per call.
   std::uint64_t compact_arena() { return client_->device().trim(); }
+
+  /// Flush the storage stack (write-back cache write-backs included) and
+  /// return the outcome.  Call before relying on the store below holding
+  /// every write: the destructor's flush is best-effort and can only report
+  /// failure through storage_health()/CacheStats::flush_failures after the
+  /// fact.
+  Status flush_storage() { return client_->device().backend().flush(); }
+  /// Health of the storage stack, including a CachingBackend's latched
+  /// flush failures: non-ok means dirty data may not have reached the store.
+  Status storage_health() const { return client_->device().backend().health(); }
 
   /// Escape hatch for benches/tests that need the raw protocol objects.
   Client& client() { return *client_; }

@@ -358,9 +358,12 @@ Status LatencyBackend::do_write_many(std::span<const std::uint64_t> blocks,
 // EncryptedBackend.
 
 EncryptedBackend::EncryptedBackend(std::size_t block_words,
-                                   std::unique_ptr<StorageBackend> inner, Word key)
-    : StorageBackend(block_words), inner_(std::move(inner)) {
-  assert(inner_ && inner_->block_words() == block_words + 1);
+                                   std::unique_ptr<StorageBackend> inner, Word key,
+                                   bool authenticated)
+    : StorageBackend(block_words),
+      inner_(std::move(inner)),
+      authenticated_(authenticated) {
+  assert(inner_ && inner_->block_words() == block_words + header_words());
   // Stack-order validation (see health()): a cache ANYWHERE below the
   // encryption seam would hold ciphertext, not plaintext -- walk the whole
   // decorator chain, intervening decorators included.
@@ -385,10 +388,19 @@ EncryptedBackend::EncryptedBackend(std::size_t block_words,
       key, rng::mix64(key ^ process_entropy ^
                       (0xd1b54a32d192ed03ULL *
                        (instance.fetch_add(1, std::memory_order_relaxed) + 1))));
-  staging_.resize(block_words + 1);
+  staging_.resize(block_words + header_words());
 }
 
 EncryptedBackend::~EncryptedBackend() = default;
+
+Status EncryptedBackend::do_resize(std::uint64_t nblocks) {
+  OEM_RETURN_IF_ERROR(inner_->resize(nblocks));
+  // The version table follows the inner capacity: shrinking drops history
+  // (the inner store re-zeroes a regrown block, so the expectation must
+  // reset to "never written" with it).
+  if (authenticated_) versions_.resize(nblocks, 0);
+  return Status::Ok();
+}
 
 Word EncryptedBackend::fresh_nonce() {
   Word nonce = enc_->fresh_nonce();
@@ -398,18 +410,47 @@ Word EncryptedBackend::fresh_nonce() {
 
 void EncryptedBackend::seal(std::uint64_t block, std::span<const Word> plain,
                             std::span<Word> sealed) {
+  const std::size_t hdr = header_words();
   sealed[0] = fresh_nonce();
-  std::copy(plain.begin(), plain.end(), sealed.begin() + 1);
-  enc_->apply_keystream(block, sealed[0], sealed.subspan(1));
+  std::copy(plain.begin(), plain.end(), sealed.begin() + hdr);
+  enc_->apply_keystream(block, sealed[0], sealed.subspan(hdr));
+  if (authenticated_) {
+    if (block >= versions_.size()) versions_.resize(block + 1, 0);
+    sealed[1] = enc_->mac(block, sealed[0], ++versions_[block], sealed.subspan(hdr));
+  }
 }
 
-void EncryptedBackend::open(std::uint64_t block, std::span<Word> sealed_to_plain) const {
+Status EncryptedBackend::open(std::uint64_t block,
+                              std::span<Word> sealed_to_plain) const {
   // A zero nonce is an inner block no write ever touched (fresh/shrunk-away
   // storage reads as zero); its plaintext is all-zero words by contract.
+  const std::size_t hdr = header_words();
   const Word nonce = sealed_to_plain[0];
-  if (nonce != 0) enc_->apply_keystream(block, nonce, sealed_to_plain.subspan(1));
-  std::copy(sealed_to_plain.begin() + 1, sealed_to_plain.end(),
-            sealed_to_plain.begin());
+  if (authenticated_) {
+    const std::span<const Word> cipher = sealed_to_plain.subspan(hdr);
+    const std::uint64_t version = block < versions_.size() ? versions_[block] : 0;
+    bool ok;
+    if (version == 0) {
+      // Never sealed by this client: only the all-zero fresh block is
+      // acceptable; any other bytes were fabricated by the server.
+      ok = nonce == 0 && sealed_to_plain[1] == 0 &&
+           std::all_of(cipher.begin(), cipher.end(), [](Word x) { return x == 0; });
+    } else {
+      ok = sealed_to_plain[1] == enc_->mac(block, nonce, version, cipher);
+    }
+    if (!ok) {
+      // Zero the output so tampered bytes cannot leak past an ignored error.
+      std::fill(sealed_to_plain.begin(), sealed_to_plain.end(), Word{0});
+      return Status::Integrity(
+          "block " + std::to_string(block) +
+          " failed authentication (tampered, swapped, or rolled back); "
+          "version " + std::to_string(version));
+    }
+  }
+  if (nonce != 0) enc_->apply_keystream(block, nonce, sealed_to_plain.subspan(hdr));
+  std::copy(sealed_to_plain.begin() + static_cast<std::ptrdiff_t>(hdr),
+            sealed_to_plain.end(), sealed_to_plain.begin());
+  return Status::Ok();
 }
 
 Status EncryptedBackend::do_read(std::uint64_t block, std::span<Word> out) {
@@ -424,12 +465,12 @@ Status EncryptedBackend::do_write(std::uint64_t block, std::span<const Word> in)
 
 Status EncryptedBackend::do_read_many(std::span<const std::uint64_t> blocks,
                                       std::span<Word> out) {
-  const std::size_t bw = block_words(), ibw = bw + 1;
+  const std::size_t bw = block_words(), ibw = bw + header_words();
   staging_.resize(blocks.size() * ibw);
   OEM_RETURN_IF_ERROR(inner_->read_many(blocks, staging_));
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     std::span<Word> sealed(staging_.data() + i * ibw, ibw);
-    open(blocks[i], sealed);
+    OEM_RETURN_IF_ERROR(open(blocks[i], sealed));
     std::copy_n(sealed.begin(), bw, out.begin() + i * bw);
   }
   return Status::Ok();
@@ -437,7 +478,7 @@ Status EncryptedBackend::do_read_many(std::span<const std::uint64_t> blocks,
 
 Status EncryptedBackend::do_write_many(std::span<const std::uint64_t> blocks,
                                        std::span<const Word> in) {
-  const std::size_t bw = block_words(), ibw = bw + 1;
+  const std::size_t bw = block_words(), ibw = bw + header_words();
   staging_.resize(blocks.size() * ibw);
   for (std::size_t i = 0; i < blocks.size(); ++i)
     seal(blocks[i], in.subspan(i * bw, bw),
@@ -450,7 +491,7 @@ Status EncryptedBackend::do_begin_read_many(std::span<const std::uint64_t> block
   Pending p;
   p.is_write = false;
   p.blocks.assign(blocks.begin(), blocks.end());
-  p.staging.resize(blocks.size() * (block_words() + 1));
+  p.staging.resize(blocks.size() * (block_words() + header_words()));
   p.dest = out.data();
   Status st = inner_->begin_read_many(p.blocks, p.staging);
   if (st.ok()) pending_.push_back(std::move(p));
@@ -459,7 +500,7 @@ Status EncryptedBackend::do_begin_read_many(std::span<const std::uint64_t> block
 
 Status EncryptedBackend::do_begin_write_many(std::span<const std::uint64_t> blocks,
                                              std::span<const Word> in) {
-  const std::size_t bw = block_words(), ibw = bw + 1;
+  const std::size_t bw = block_words(), ibw = bw + header_words();
   Pending p;
   p.is_write = true;
   p.blocks.assign(blocks.begin(), blocks.end());
@@ -481,10 +522,11 @@ Status EncryptedBackend::do_complete_oldest() {
   pending_.pop_front();
   Status st = inner_->complete_oldest();
   if (st.ok() && !p.is_write) {
-    const std::size_t bw = block_words(), ibw = bw + 1;
+    const std::size_t bw = block_words(), ibw = bw + header_words();
     for (std::size_t i = 0; i < p.blocks.size(); ++i) {
       std::span<Word> sealed(p.staging.data() + i * ibw, ibw);
-      open(p.blocks[i], sealed);
+      st.Update(open(p.blocks[i], sealed));
+      if (!st.ok()) break;
       std::copy_n(sealed.begin(), bw, p.dest + i * bw);
     }
   }
@@ -512,12 +554,14 @@ BackendFactory latency_backend(BackendFactory inner, LatencyProfile profile) {
   };
 }
 
-BackendFactory encrypted_backend(BackendFactory inner, Word key) {
-  return [inner = std::move(inner), key](std::size_t block_words)
+BackendFactory encrypted_backend(BackendFactory inner, Word key, bool authenticated) {
+  return [inner = std::move(inner), key, authenticated](std::size_t block_words)
              -> std::unique_ptr<StorageBackend> {
-    auto base = inner ? inner(block_words + 1)
-                      : std::make_unique<MemBackend>(block_words + 1);
-    return std::make_unique<EncryptedBackend>(block_words, std::move(base), key);
+    const std::size_t hdr = authenticated ? 2 : 1;
+    auto base = inner ? inner(block_words + hdr)
+                      : std::make_unique<MemBackend>(block_words + hdr);
+    return std::make_unique<EncryptedBackend>(block_words, std::move(base), key,
+                                              authenticated);
   };
 }
 

@@ -274,11 +274,21 @@ class Encryptor;  // extmem/encryption.h
 /// (raw-path writes, benches driving backends directly, a remote server that
 /// must hold nothing decryptable).  Each stored block grows by one word (the
 /// nonce header), so the inner backend is created with block_words + 1.
+///
+/// In *authenticated* mode (the malicious-server threat model) each stored
+/// block additionally carries a MAC word binding (ciphertext, block index,
+/// nonce, per-block version counter); the version table lives in this
+/// decorator, client-side, never below it.  A bit-flip, block swap, or
+/// rollback to a stale ciphertext then fails the read with
+/// StatusCode::kIntegrity -- which BlockDevice::with_retry never retries and
+/// BlockDevice::backend_fail surfaces as IntegrityError (fail closed).  The
+/// inner backend is then created with block_words + 2.
 class EncryptedBackend : public StorageBackend {
  public:
-  /// `inner` must have block_words() == block_words + 1.
+  /// `inner` must have block_words() == block_words + header_words()
+  /// (1 unauthenticated, 2 authenticated).
   EncryptedBackend(std::size_t block_words, std::unique_ptr<StorageBackend> inner,
-                   Word key);
+                   Word key, bool authenticated = false);
   ~EncryptedBackend() override;
   const char* name() const override { return "encrypted"; }
   /// Non-ok when the decorator stack is mis-ordered: a CachingBackend BELOW
@@ -295,8 +305,12 @@ class EncryptedBackend : public StorageBackend {
   const StorageBackend* inner_backend() const override { return inner_.get(); }
   Status flush() override { return inner_->flush(); }
 
+  bool authenticated() const { return authenticated_; }
+  /// Header words prepended to every inner block: [nonce] or [nonce][mac].
+  std::size_t header_words() const { return authenticated_ ? 2 : 1; }
+
  protected:
-  Status do_resize(std::uint64_t nblocks) override { return inner_->resize(nblocks); }
+  Status do_resize(std::uint64_t nblocks) override;
   Status do_read(std::uint64_t block, std::span<Word> out) override;
   Status do_write(std::uint64_t block, std::span<const Word> in) override;
   Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
@@ -317,7 +331,9 @@ class EncryptedBackend : public StorageBackend {
   /// keep reading back as all-zero plaintext).
   Word fresh_nonce();
   void seal(std::uint64_t block, std::span<const Word> plain, std::span<Word> sealed);
-  void open(std::uint64_t block, std::span<Word> sealed_to_plain) const;
+  /// Verifies (authenticated mode) then decrypts in place; the plaintext ends
+  /// up left-aligned in `sealed_to_plain`.  kIntegrity on a failed check.
+  Status open(std::uint64_t block, std::span<Word> sealed_to_plain) const;
 
   /// One outstanding split-phase op's staging (inner-sized blocks).
   struct Pending {
@@ -329,9 +345,14 @@ class EncryptedBackend : public StorageBackend {
 
   std::unique_ptr<StorageBackend> inner_;
   std::unique_ptr<Encryptor> enc_;
+  bool authenticated_ = false;
   Status init_status_;         // non-ok: mis-ordered stack (cache below)
   std::vector<Word> staging_;  // reused synchronous transfer buffer
   std::deque<Pending> pending_;
+  /// Client-side anti-rollback table (authenticated mode): versions_[b] is
+  /// how many times block b was sealed; follows resize like the inner store
+  /// (a shrunk-then-regrown block is never-written again on both sides).
+  std::vector<std::uint64_t> versions_;
 };
 
 // ---------------------------------------------------------------------------
@@ -342,7 +363,11 @@ BackendFactory file_backend(FileBackendOptions opts = {});
 /// Wrap the backend produced by `inner` (null = mem) in a LatencyBackend.
 BackendFactory latency_backend(BackendFactory inner, LatencyProfile profile);
 /// Wrap the backend produced by `inner` (null = mem) in an EncryptedBackend;
-/// `inner` is built one word wider to hold the nonce header.
-BackendFactory encrypted_backend(BackendFactory inner, Word key);
+/// `inner` is built one word wider to hold the nonce header.  With
+/// `authenticated` set, two words wider ([nonce][mac]) and every read is
+/// verified against a client-side version table (kIntegrity on tampering or
+/// rollback -- the malicious-server threat model; see docs/THREAT_MODEL.md).
+BackendFactory encrypted_backend(BackendFactory inner, Word key,
+                                 bool authenticated = false);
 
 }  // namespace oem

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <string>
+
+#include "util/status.h"
 
 namespace oem {
 
@@ -12,10 +15,10 @@ Client::Client(const ClientParams& params)
       M_(params.cache_records),
       io_batch_(params.io_batch_blocks),
       compute_model_ns_(params.compute_model_ns_per_block),
-      dev_(std::make_unique<BlockDevice>(1 + params.block_records * kWordsPerRecord,
-                                         params.backend,
-                                         RetryPolicy{params.io_retry_attempts},
-                                         params.pipeline_depth)),
+      dev_(std::make_unique<BlockDevice>(
+          kBlockHeaderWords + params.block_records * kWordsPerRecord,
+          params.backend, RetryPolicy{params.io_retry_attempts},
+          params.pipeline_depth)),
       pool_(std::make_unique<ComputePool>(params.compute_threads)),
       enc_(rng::mix64(params.seed ^ 0x5bf0363546294ce7ULL), params.seed),
       meter_(params.cache_records, params.strict_cache),
@@ -49,41 +52,84 @@ void Client::release(const ExtArray& a) { dev_->release(a.extent()); }
 
 void Client::serialize(std::span<const Record> in, std::span<Word> out_words) const {
   assert(in.size() == B_);
-  assert(out_words.size() == 1 + B_ * kWordsPerRecord);
-  // out_words[0] is the nonce slot, filled by the caller.
+  assert(out_words.size() == kBlockHeaderWords + B_ * kWordsPerRecord);
+  // out_words[0]/[1] are the nonce/mac header slots, filled by the sealer.
   for (std::size_t r = 0; r < B_; ++r) {
-    out_words[1 + 2 * r] = in[r].key;
-    out_words[2 + 2 * r] = in[r].value;
+    out_words[kBlockHeaderWords + 2 * r] = in[r].key;
+    out_words[kBlockHeaderWords + 1 + 2 * r] = in[r].value;
   }
 }
 
 void Client::deserialize(std::span<const Word> in_words, std::span<Record> out) const {
-  assert(in_words.size() == 1 + B_ * kWordsPerRecord);
+  assert(in_words.size() == kBlockHeaderWords + B_ * kWordsPerRecord);
   assert(out.size() == B_);
   for (std::size_t r = 0; r < B_; ++r) {
-    out[r].key = in_words[1 + 2 * r];
-    out[r].value = in_words[2 + 2 * r];
+    out[r].key = in_words[kBlockHeaderWords + 2 * r];
+    out[r].value = in_words[kBlockHeaderWords + 1 + 2 * r];
   }
+}
+
+void Client::seal_words(std::uint64_t dev_blk, Word nonce, std::uint64_t version,
+                        std::span<const Record> in, std::span<Word> w) const {
+  assert(w.size() == dev_->block_words());
+  w[0] = nonce;
+  serialize(in, w);
+  enc_.apply_keystream(dev_blk, nonce, w.subspan(kBlockHeaderWords));
+  w[1] = enc_.mac(dev_blk, nonce, version, w.subspan(kBlockHeaderWords));
+}
+
+bool Client::open_words(std::uint64_t dev_blk, std::span<const Word> w,
+                        std::span<Record> out) const {
+  assert(w.size() == dev_->block_words());
+  assert(out.size() == B_);
+  const Word nonce = w[0], tag = w[1];
+  const std::span<const Word> cipher = w.subspan(kBlockHeaderWords);
+  const std::uint64_t version = dev_->version(dev_blk);
+  bool ok;
+  if (version == 0) {
+    // Never written by this client: the backend contract says a fresh (or
+    // shrunk-then-regrown) block reads as all-zero, header included.  Any
+    // other bytes at version 0 were fabricated by the server.
+    ok = nonce == 0 && tag == 0 &&
+         std::all_of(cipher.begin(), cipher.end(), [](Word x) { return x == 0; });
+  } else {
+    ok = tag == enc_.mac(dev_blk, nonce, version, cipher);
+  }
+  if (!ok) {
+    // Zero the plaintext so a caller that drops the verdict on the floor can
+    // still never observe attacker-controlled bytes.
+    for (Record& r : out) r = Record{0, 0};
+    return false;
+  }
+  thread_local std::vector<Word> scratch;
+  scratch.assign(w.begin(), w.end());
+  if (nonce != 0)
+    enc_.apply_keystream(dev_blk, nonce,
+                         std::span<Word>(scratch).subspan(kBlockHeaderWords));
+  deserialize(scratch, out);
+  return true;
+}
+
+void Client::integrity_fail(std::uint64_t dev_blk) const {
+  throw IntegrityError("block authentication failed: device block " +
+                       std::to_string(dev_blk) +
+                       " (tampered, swapped, or rolled back); version " +
+                       std::to_string(dev_->version(dev_blk)));
 }
 
 void Client::read_block(const ExtArray& a, std::uint64_t i, BlockBuf& out) {
   assert(i < a.num_blocks());
   const std::uint64_t dev_blk = a.device_block(i);
   dev_->read(dev_blk, wire_);
-  const Word nonce = wire_[0];
-  enc_.apply_keystream(dev_blk, nonce, std::span<Word>(wire_).subspan(1));
   out.resize(B_);
-  deserialize(wire_, out);
+  if (!open_words(dev_blk, wire_, out)) integrity_fail(dev_blk);
 }
 
 void Client::write_block(const ExtArray& a, std::uint64_t i, const BlockBuf& in) {
   assert(i < a.num_blocks());
   assert(in.size() == B_);
   const std::uint64_t dev_blk = a.device_block(i);
-  const Word nonce = enc_.fresh_nonce();
-  wire_[0] = nonce;
-  serialize(in, wire_);
-  enc_.apply_keystream(dev_blk, nonce, std::span<Word>(wire_).subspan(1));
+  seal_words(dev_blk, enc_.fresh_nonce(), dev_->bump_version(dev_blk), in, wire_);
   dev_->write(dev_blk, wire_);
 }
 
@@ -99,9 +145,9 @@ void Client::read_blocks(const ExtArray& a, std::uint64_t first, std::uint64_t c
     wire_many_.resize(static_cast<std::size_t>(k) * bw);
     dev_->read_many(ids_, wire_many_);
     for (std::uint64_t j = 0; j < k; ++j) {
-      std::span<Word> w(wire_many_.data() + j * bw, bw);
-      enc_.apply_keystream(ids_[j], w[0], w.subspan(1));
-      deserialize(w, out.subspan((done + j) * B_, B_));
+      std::span<const Word> w(wire_many_.data() + j * bw, bw);
+      if (!open_words(ids_[j], w, out.subspan((done + j) * B_, B_)))
+        integrity_fail(ids_[j]);
     }
     done += k;
   }
@@ -120,10 +166,8 @@ void Client::write_blocks(const ExtArray& a, std::uint64_t first, std::uint64_t 
       const std::uint64_t dev_blk = a.device_block(first + done + j);
       ids_[j] = dev_blk;
       std::span<Word> w(wire_many_.data() + j * bw, bw);
-      const Word nonce = enc_.fresh_nonce();
-      w[0] = nonce;
-      serialize(in.subspan((done + j) * B_, B_), w);
-      enc_.apply_keystream(dev_blk, nonce, w.subspan(1));
+      seal_words(dev_blk, enc_.fresh_nonce(), dev_->bump_version(dev_blk),
+                 in.subspan((done + j) * B_, B_), w);
     }
     dev_->write_many(ids_, wire_many_);
     done += k;
@@ -137,22 +181,25 @@ void Client::decrypt_blocks(std::span<const std::uint64_t> dev_ids,
   assert(out.size() == dev_ids.size() * B_);
   if (dev_ids.empty()) return;
   const auto t0 = std::chrono::steady_clock::now();
-  // Each block's keystream is independent: chunk the window across the pool.
-  // The keystream is applied into a per-lane scratch copy so `wire` (the
-  // pipeline's reusable staging) is left untouched.
+  // Each block's verify + keystream is independent: chunk the window across
+  // the pool.  Lanes verify into their verdict slots (open_words copies into
+  // a per-lane scratch, so `wire` -- the pipeline's reusable staging -- is
+  // left untouched); the master reduces the verdicts after the fan-in and
+  // fails closed on the first bad block.
+  verdicts_.assign(dev_ids.size(), 1);
   pool_->parallel_for(dev_ids.size(), 0, [&](std::size_t first, std::size_t last) {
-    thread_local std::vector<Word> scratch;
-    scratch.resize(bw);
     for (std::size_t j = first; j < last; ++j) {
-      std::copy_n(wire.data() + j * bw, bw, scratch.begin());
-      enc_.apply_keystream(dev_ids[j], scratch[0], std::span<Word>(scratch).subspan(1));
-      deserialize(scratch, out.subspan(j * B_, B_));
+      if (!open_words(dev_ids[j], wire.subspan(j * bw, bw),
+                      out.subspan(j * B_, B_)))
+        verdicts_[j] = 0;
     }
   });
   dev_->add_crypto_ns(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
           .count()));
+  for (std::size_t j = 0; j < dev_ids.size(); ++j)
+    if (!verdicts_[j]) integrity_fail(dev_ids[j]);
 }
 
 void Client::encrypt_blocks(std::span<const std::uint64_t> dev_ids,
@@ -162,15 +209,19 @@ void Client::encrypt_blocks(std::span<const std::uint64_t> dev_ids,
   assert(in.size() == dev_ids.size() * B_);
   if (dev_ids.empty()) return;
   const auto t0 = std::chrono::steady_clock::now();
-  // Nonces mutate the Encryptor's state: draw them sequentially on the
-  // master, in scatter order, BEFORE fanning out -- ciphertexts are then a
-  // function of the write sequence alone, never of the lane count.
-  for (std::size_t j = 0; j < dev_ids.size(); ++j) wire[j * bw] = enc_.fresh_nonce();
+  // Nonces mutate the Encryptor's state and version bumps mutate the device's
+  // anti-rollback table: draw both sequentially on the master, in scatter
+  // order, BEFORE fanning out -- ciphertexts and MACs are then a function of
+  // the write sequence alone, never of the lane count.
+  versions_scratch_.resize(dev_ids.size());
+  for (std::size_t j = 0; j < dev_ids.size(); ++j) {
+    wire[j * bw] = enc_.fresh_nonce();
+    versions_scratch_[j] = dev_->bump_version(dev_ids[j]);
+  }
   pool_->parallel_for(dev_ids.size(), 0, [&](std::size_t first, std::size_t last) {
     for (std::size_t j = first; j < last; ++j) {
-      std::span<Word> w = wire.subspan(j * bw, bw);
-      serialize(in.subspan(j * B_, B_), w);
-      enc_.apply_keystream(dev_ids[j], w[0], w.subspan(1));
+      seal_words(dev_ids[j], wire[j * bw], versions_scratch_[j],
+                 in.subspan(j * B_, B_), wire.subspan(j * bw, bw));
     }
   });
   dev_->add_crypto_ns(static_cast<std::uint64_t>(
@@ -260,9 +311,8 @@ std::vector<Record> Client::peek(const ExtArray& a) const {
     dev_->read_raw_range(a.device_block(i), k, wire);
     for (std::uint64_t j = 0; j < k; ++j) {
       const std::uint64_t dev_blk = a.device_block(i + j);
-      std::span<Word> w(wire.data() + j * bw, bw);
-      enc_.apply_keystream(dev_blk, w[0], w.subspan(1));
-      deserialize(w, buf);
+      std::span<const Word> w(wire.data() + j * bw, bw);
+      if (!open_words(dev_blk, w, buf)) integrity_fail(dev_blk);
       for (std::size_t r = 0; r < B_ && out.size() < a.num_records(); ++r)
         out.push_back(buf[r]);
     }
@@ -287,10 +337,7 @@ void Client::poke(const ExtArray& a, std::span<const Record> records) {
       }
       const std::uint64_t dev_blk = a.device_block(i + j);
       std::span<Word> w(wire.data() + j * bw, bw);
-      const Word nonce = enc_.fresh_nonce();
-      w[0] = nonce;
-      serialize(buf, w);
-      enc_.apply_keystream(dev_blk, nonce, w.subspan(1));
+      seal_words(dev_blk, enc_.fresh_nonce(), dev_->bump_version(dev_blk), buf, w);
     }
     dev_->write_raw_range(a.device_block(i), k, wire);
   }

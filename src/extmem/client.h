@@ -155,6 +155,23 @@ class Client {
   void serialize(std::span<const Record> in, std::span<Word> out_words) const;
   void deserialize(std::span<const Word> in_words, std::span<Record> out) const;
 
+  /// Serialize + encrypt + authenticate one block into `w` (block_words()
+  /// wide, layout [nonce][mac][ciphertext]).  Pure given (nonce, version), so
+  /// compute-pool lanes can seal in parallel after the master drew nonces and
+  /// bumped versions in scatter order.
+  void seal_words(std::uint64_t dev_blk, Word nonce, std::uint64_t version,
+                  std::span<const Record> in, std::span<Word> w) const;
+  /// Verify + decrypt one stored block.  Returns false when authentication
+  /// fails (tampered ciphertext/header, swapped block, or rollback to a
+  /// stale version); `out` is zeroed in that case so tampered plaintext can
+  /// never leak to a caller that ignores the verdict.
+  bool open_words(std::uint64_t dev_blk, std::span<const Word> w,
+                  std::span<Record> out) const;
+  /// Throw IntegrityError for device block `dev_blk` (fail closed: the
+  /// Session facade maps it to StatusCode::kIntegrity, and RetryPolicy never
+  /// sees it).
+  [[noreturn]] void integrity_fail(std::uint64_t dev_blk) const;
+
   std::size_t B_;
   std::uint64_t M_;
   std::uint64_t io_batch_;
@@ -169,6 +186,12 @@ class Client {
   // Staging for batched I/O: ciphertext words and block ids for one window.
   std::vector<Word> wire_many_;
   std::vector<std::uint64_t> ids_;
+  // Per-block versions drawn on the master for one encrypt_blocks window
+  // (scatter order, before the lanes fan out -- like nonces).
+  std::vector<std::uint64_t> versions_scratch_;
+  // Per-block verification verdicts for one decrypt_blocks window: lanes
+  // write their slot, the master reduces after the fan-in and fails closed.
+  std::vector<std::uint8_t> verdicts_;
 };
 
 }  // namespace oem

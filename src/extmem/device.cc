@@ -13,10 +13,14 @@ namespace {
 
 /// Backend failures are storage-layer exceptions from the algorithms' point
 /// of view (the algorithms' own Status channel is reserved for whp events);
-/// the Session facade catches and converts them back into Status::Io.
+/// the Session facade catches and converts them back into Status::Io --
+/// except integrity violations, which keep their own exception type so they
+/// surface as kIntegrity and are never mistaken for a retryable I/O fault.
 [[noreturn]] void backend_fail(const char* op, const Status& st) {
-  throw std::runtime_error(std::string("storage backend ") + op + " failed: " +
-                           st.ToString());
+  const std::string what =
+      std::string("storage backend ") + op + " failed: " + st.ToString();
+  if (st.code() == StatusCode::kIntegrity) throw IntegrityError(what);
+  throw std::runtime_error(what);
 }
 
 }  // namespace
@@ -67,6 +71,7 @@ Status BlockDevice::consume_parked_async_error() const {
 Extent BlockDevice::allocate(std::uint64_t nblocks) {
   Extent e{num_blocks_, nblocks};
   num_blocks_ += nblocks;
+  versions_.resize(num_blocks_, 0);
   Status st = with_retry([&] { return backend_->resize(num_blocks_); });
   if (!st.ok()) backend_fail("allocate", st);
   return e;
@@ -76,6 +81,9 @@ void BlockDevice::release(const Extent& e) {
   if (e.num_blocks == 0) return;
   if (e.first_block + e.num_blocks == num_blocks_) {
     num_blocks_ = e.first_block;
+    // Drop the released blocks' version history: the backend re-zeroes a
+    // shrunk-then-regrown block, so the client-side table must reset too.
+    versions_.resize(num_blocks_);
     Status st = with_retry([&] { return backend_->resize(num_blocks_); });
     if (!st.ok()) backend_fail("release", st);
     return;
@@ -126,6 +134,7 @@ std::uint64_t BlockDevice::trim() {
     discarded_.pop_back();
   }
   if (num_blocks_ != before) {
+    versions_.resize(num_blocks_);
     Status st = with_retry([&] { return backend_->resize(num_blocks_); });
     if (!st.ok()) backend_fail("trim", st);
   }

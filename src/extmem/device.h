@@ -71,6 +71,23 @@ class BlockDevice {
   StorageBackend& backend() { return *backend_; }
   const StorageBackend& backend() const { return *backend_; }
 
+  /// Per-block write-version counters, held CLIENT-side (never stored on the
+  /// backend): the freshness half of the authenticated-block scheme.  A block
+  /// whose version is v was sealed exactly v times; the MAC binds v, so a
+  /// server replaying an older (valid-at-the-time) ciphertext fails
+  /// verification.  0 = never written, matching the backend's all-zero
+  /// fresh-block contract.  The table follows the arena lifecycle: it grows
+  /// zeroed with allocate() and shrinks with release()/trim(), so a
+  /// shrunk-then-regrown block is "never written" again on both sides.
+  std::uint64_t version(std::uint64_t block) const {
+    return block < versions_.size() ? versions_[block] : 0;
+  }
+  /// Returns the NEW version (to bind into the MAC being written).
+  std::uint64_t bump_version(std::uint64_t block) {
+    if (block >= versions_.size()) versions_.resize(block + 1, 0);
+    return ++versions_[block];
+  }
+
   Extent allocate(std::uint64_t nblocks);
   /// Stack-discipline release: frees the extent iff it is at the end of the
   /// arena (scratch arrays are allocated/released LIFO by the algorithms).
@@ -213,6 +230,7 @@ class BlockDevice {
   std::size_t pipeline_depth_ = 2;
   mutable std::uint64_t retries_ = 0;
   std::uint64_t num_blocks_ = 0;
+  std::vector<std::uint64_t> versions_;  // client-side anti-rollback table
   std::vector<Extent> discarded_;  // sorted by first_block, coalesced
   IoStats stats_;
   TraceRecorder trace_;

@@ -4,12 +4,40 @@
 
 namespace oem {
 
-Word Encryptor::fresh_nonce() { return rng::splitmix64(nonce_state_); }
+Encryptor::Encryptor(Word key, std::uint64_t nonce_seed)
+    : key_(key),
+      mac_key_(rng::mix64(key ^ 0x6d61632d6b657921ULL)),  // "mac-key!"
+      nonce_base_(nonce_seed ^ 0x41c64e6d12345ULL) {}
+
+Word Encryptor::fresh_nonce() {
+  // mix64 is a bijection, so distinct counter values give distinct nonces:
+  // reuse is impossible within this store's lifetime (a bare random draw
+  // would repeat a keystream at the 2^32 birthday bound).  Zero is reserved
+  // as the never-written header sentinel; skip it on the (one in 2^64)
+  // collision.
+  Word n = rng::mix64(nonce_base_ ^ (0x9e3779b97f4a7c15ULL * ++nonce_counter_));
+  if (n == 0)
+    n = rng::mix64(nonce_base_ ^ (0x9e3779b97f4a7c15ULL * ++nonce_counter_));
+  return n;
+}
 
 void Encryptor::apply_keystream(std::uint64_t block_index, Word nonce,
                                 std::span<Word> payload) const {
   std::uint64_t stream = key_ ^ (block_index * 0x9e3779b97f4a7c15ULL) ^ nonce;
   for (Word& w : payload) w ^= rng::splitmix64(stream);
+}
+
+Word Encryptor::mac(std::uint64_t block_index, Word nonce, std::uint64_t version,
+                    std::span<const Word> ciphertext) const {
+  // Keyed mix64 absorption chain -- simulation-grade, like the keystream:
+  // the point is the *binding* (ciphertext + index + nonce + version under a
+  // key Bob never sees), not cryptographic strength.
+  std::uint64_t h = mac_key_;
+  h = rng::mix64(h ^ (block_index * 0x9e3779b97f4a7c15ULL));
+  h = rng::mix64(h ^ nonce);
+  h = rng::mix64(h ^ version);
+  for (Word w : ciphertext) h = rng::mix64(h ^ w);
+  return h;
 }
 
 }  // namespace oem

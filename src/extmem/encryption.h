@@ -1,16 +1,26 @@
-// Simulation of semantically secure block encryption.
+// Simulation of authenticated block encryption.
 //
 // The paper assumes Alice encrypts every block "using a semantically secure
 // encryption scheme such that re-encryption of the same value is
 // indistinguishable from an encryption of a different value".  We simulate
 // this with a keyed keystream (SplitMix64 over key ⊕ block ⊕ nonce ⊕ counter)
-// and a fresh random nonce on every write, so that:
+// and a fresh nonce on every write, so that:
 //   * the device only ever holds ciphertext,
 //   * rewriting an unchanged block produces a fresh, unrelated ciphertext.
 //
-// This is NOT a real cipher; it exists so the simulation has a genuine
-// "Bob cannot read contents" code path (DESIGN.md substitution #2).  All
-// obliviousness guarantees in this library are about access patterns only.
+// Since PR 8 the scheme is *authenticated* too: mac() produces a per-block
+// tag bound to (ciphertext, device block index, nonce, version counter), the
+// AEAD shape — the version binding is what detects rollback/replay, because
+// the expected version lives client-side, never on the server.  Nonces are
+// derived from a monotonic per-Encryptor counter (mixed, so they still look
+// random on the wire) rather than drawn at random: a bijective counter makes
+// nonce reuse impossible within a store's lifetime, where a bare random draw
+// silently repeats a keystream at the birthday bound.
+//
+// This is NOT a real cipher or a real MAC; it exists so the simulation has
+// genuine "Bob cannot read contents" and "Bob cannot forge contents" code
+// paths (DESIGN.md substitution #2).  All obliviousness guarantees in this
+// library are about access patterns only.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +32,11 @@ namespace oem {
 
 class Encryptor {
  public:
-  Encryptor(Word key, std::uint64_t nonce_seed)
-      : key_(key), nonce_state_(nonce_seed ^ 0x41c64e6d12345ULL) {}
+  Encryptor(Word key, std::uint64_t nonce_seed);
 
-  /// Draw a fresh nonce for a write.
+  /// Draw a fresh nonce for a write.  Counter-derived: never repeats within
+  /// this Encryptor's lifetime, and never returns 0 (the never-written
+  /// sentinel in stored-block headers).
   Word fresh_nonce();
 
   /// XOR `payload` with the keystream for (block_index, nonce); involutive,
@@ -33,9 +44,18 @@ class Encryptor {
   void apply_keystream(std::uint64_t block_index, Word nonce,
                        std::span<Word> payload) const;
 
+  /// Authentication tag over the *ciphertext* payload, bound to the device
+  /// block index (detects block swaps), the nonce (binds tag to this exact
+  /// sealing), and the client-side version counter (detects rollback to a
+  /// stale-but-once-valid block).
+  Word mac(std::uint64_t block_index, Word nonce, std::uint64_t version,
+           std::span<const Word> ciphertext) const;
+
  private:
   Word key_;
-  std::uint64_t nonce_state_;
+  Word mac_key_;  // domain-separated from the keystream key
+  std::uint64_t nonce_base_;
+  std::uint64_t nonce_counter_ = 0;
 };
 
 }  // namespace oem

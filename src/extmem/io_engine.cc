@@ -675,6 +675,142 @@ Status FaultyBackend::do_begin_write_many(std::span<const std::uint64_t> blocks,
 }
 
 // ---------------------------------------------------------------------------
+// TamperingBackend.
+
+TamperingBackend::TamperingBackend(std::unique_ptr<StorageBackend> inner,
+                                   TamperProfile profile)
+    : StorageBackend(inner->block_words()),
+      inner_(std::move(inner)),
+      profile_(profile) {
+  assert(profile_.tamper_rate >= 0.0 && profile_.tamper_rate <= 1.0);
+}
+
+std::uint64_t TamperingBackend::draw() {
+  return rng::mix64(profile_.seed ^ (0x9e3779b97f4a7c15ULL * ++decisions_));
+}
+
+bool TamperingBackend::fire() {
+  const std::uint64_t h = draw();
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(std::uint64_t{1} << 53);
+  return u < profile_.tamper_rate;
+}
+
+void TamperingBackend::tamper_read(std::size_t nblocks, std::span<Word> out) {
+  if (!reads_armed()) return;
+  const std::size_t bw = block_words();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    if (!fire()) continue;
+    // Pick a mode among the enabled read attacks; swap needs a second block
+    // in the batch to trade places with, so it degrades to corrupt alone.
+    enum Mode { kCorrupt, kBitFlip, kSwap };
+    Mode modes[3];
+    std::size_t n = 0;
+    if (profile_.corrupt) modes[n++] = kCorrupt;
+    if (profile_.bit_flip) modes[n++] = kBitFlip;
+    if (profile_.swap && nblocks > 1) modes[n++] = kSwap;
+    if (n == 0) modes[n++] = kCorrupt;  // swap-only profile, one-block batch
+    const Mode m = modes[draw() % n];
+    std::span<Word> blk = out.subspan(i * bw, bw);
+    switch (m) {
+      case kCorrupt: {
+        // Garble every word with a keyed stream: the block decrypts to noise
+        // and its MAC check cannot pass.
+        const std::uint64_t g = draw();
+        for (std::size_t w = 0; w < bw; ++w) blk[w] ^= rng::mix64(g ^ w);
+        break;
+      }
+      case kBitFlip: {
+        // The subtlest mutation: one bit, anywhere -- header or payload.
+        const std::uint64_t h = draw();
+        blk[static_cast<std::size_t>(h % bw)] ^= Word{1} << ((h >> 32) % 64);
+        break;
+      }
+      case kSwap: {
+        // Serve another block's (valid!) bytes in this slot and vice versa:
+        // only a MAC bound to the block INDEX can tell them apart.
+        std::size_t other = static_cast<std::size_t>(draw() % nblocks);
+        if (other == i) other = (i + 1) % nblocks;
+        std::swap_ranges(blk.begin(), blk.end(), out.begin() + other * bw);
+        break;
+      }
+    }
+    tampered_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool TamperingBackend::drop_write() {
+  if (profile_.tamper_rate <= 0.0 || !profile_.rollback) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!fire()) return false;
+  tampered_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status TamperingBackend::do_read(std::uint64_t block, std::span<Word> out) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  OEM_RETURN_IF_ERROR(inner_->read(block, out));
+  tamper_read(1, out);
+  return Status::Ok();
+}
+
+Status TamperingBackend::do_write(std::uint64_t block, std::span<const Word> in) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  if (drop_write()) return Status::Ok();  // the rollback lie: ACK, apply nothing
+  return inner_->write(block, in);
+}
+
+Status TamperingBackend::do_read_many(std::span<const std::uint64_t> blocks,
+                                      std::span<Word> out) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  OEM_RETURN_IF_ERROR(inner_->read_many(blocks, out));
+  tamper_read(blocks.size(), out);
+  return Status::Ok();
+}
+
+Status TamperingBackend::do_write_many(std::span<const std::uint64_t> blocks,
+                                       std::span<const Word> in) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  if (drop_write()) return Status::Ok();
+  return inner_->write_many(blocks, in);
+}
+
+Status TamperingBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
+                                            std::span<Word> out) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  OEM_RETURN_IF_ERROR(inner_->begin_read_many(blocks, out));
+  Pending p;
+  p.is_read = true;
+  p.nblocks = blocks.size();
+  p.out = out;
+  pending_.push_back(p);
+  return Status::Ok();
+}
+
+Status TamperingBackend::do_begin_write_many(std::span<const std::uint64_t> blocks,
+                                             std::span<const Word> in) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  Pending p;
+  // Rollback is decided at BEGIN (call-sequence determinism); a dropped
+  // frame is never sent, and its completion below is a local no-op.
+  p.dropped = drop_write();
+  if (!p.dropped) OEM_RETURN_IF_ERROR(inner_->begin_write_many(blocks, in));
+  pending_.push_back(p);
+  return Status::Ok();
+}
+
+Status TamperingBackend::do_complete_oldest() {
+  if (pending_.empty()) return inner_->complete_oldest();
+  Pending p = pending_.front();
+  pending_.pop_front();
+  if (p.dropped) return Status::Ok();
+  Status st = inner_->complete_oldest();
+  if (st.ok() && p.is_read) tamper_read(p.nblocks, p.out);
+  return st;
+}
+
+// ---------------------------------------------------------------------------
 // CachingBackend.
 
 CachingBackend::CachingBackend(std::unique_ptr<StorageBackend> inner,
@@ -769,6 +905,19 @@ Result<CachingBackend::Entry*> CachingBackend::insert(std::uint64_t block) {
 }
 
 Status CachingBackend::flush() {
+  Status st = flush_impl();
+  if (!st.ok()) {
+    // Latch the failure so it cannot vanish with the destructor's
+    // best-effort flush: the count and first error stay observable through
+    // stats()/health() for the lifetime of the cache.
+    flush_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    if (flush_error_.ok()) flush_error_ = st;
+  }
+  return st;
+}
+
+Status CachingBackend::flush_impl() {
   // Complete any begun ops first (callers normally already have).
   while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
   std::vector<std::uint64_t> dirty;
@@ -936,11 +1085,19 @@ Status CachingBackend::do_write_many(std::span<const std::uint64_t> blocks,
 }
 
 // Split-phase face: cached blocks are served/absorbed at begin time and the
-// remainder forwards as at most one inner frame per begun batch.  Residency
-// never changes here -- and the synchronous paths (which do change it) only
-// run once the pipeline is drained -- so the set of cached blocks is frozen
-// while frames are in flight, which is what makes serving hits at begin
-// sound: no in-flight frame can target a cached block.
+// remainder forwards as at most one inner frame per begun batch.  The BEGIN
+// half never changes residency, so a frame begun against an uncached block
+// stays consistent; residency is granted at a read's successful COMPLETION
+// (the bytes are in hand -- caching them costs no inner op), with two guards
+// that keep the in-flight frames coherent:
+//   * a block targeted by a still-pending write-AROUND frame is skipped (the
+//     cached copy would go stale the moment that frame lands below), and
+//   * slot acquisition never does inner I/O (free slot or clean LRU victim
+//     only; a dirty victim would need a synchronous write-back in the middle
+//     of the inner store's in-flight FIFO).
+// Serving hits at begin stays sound: a block cached at completion time was a
+// MISS in every frame begun before, and those frames complete from the inner
+// store in FIFO order -- exactly the pre-insertion data they should observe.
 
 Status CachingBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
                                           std::span<Word> out) {
@@ -1010,6 +1167,9 @@ Status CachingBackend::do_begin_write_many(std::span<const std::uint64_t> blocks
     }
     if (!st.ok()) return st;
     op.has_frame = true;
+    // Remembered so read completions won't grant residency to a block whose
+    // write-around frame is still in flight below.
+    op.miss_ids = std::move(around_ids);
   }
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     Entry* e = find(blocks[i]);
@@ -1023,17 +1183,60 @@ Status CachingBackend::do_begin_write_many(std::span<const std::uint64_t> blocks
   return Status::Ok();
 }
 
+bool CachingBackend::write_around_in_flight(std::uint64_t block) const {
+  for (const PendingOp& p : pending_) {
+    if (p.is_read) continue;
+    for (std::uint64_t b : p.miss_ids)
+      if (b == block) return true;
+  }
+  return false;
+}
+
 Status CachingBackend::do_complete_oldest() {
   if (pending_.empty()) return Status::Ok();
   PendingOp op = std::move(pending_.front());
   pending_.pop_front();
   Status st;
   if (op.has_frame) st = inner_->complete_oldest();
+  const std::size_t bw = block_words();
   if (st.ok() && op.is_read && !op.staging.empty()) {
-    const std::size_t bw = block_words();
     for (std::size_t j = 0; j < op.miss_ids.size(); ++j)
       std::memcpy(op.out + op.miss_pos[j] * bw, op.staging.data() + j * bw,
                   bw * sizeof(Word));
+  }
+  if (st.ok() && op.is_read) {
+    // Grant the fetched misses residency -- the split-phase equivalent of
+    // the synchronous read path's insert, deferred to the moment the bytes
+    // exist.  See the guards in the section comment above: no inner I/O
+    // (free slot or clean victim only) and no block with a write-around
+    // frame still in flight.
+    for (std::size_t j = 0; j < op.miss_ids.size(); ++j) {
+      const std::uint64_t b = op.miss_ids[j];
+      if (find(b) != nullptr) continue;  // duplicate id or already granted
+      if (write_around_in_flight(b)) continue;
+      std::size_t slot;
+      if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+      } else if (!lru_.empty() && !entries_[lru_.back()].dirty) {
+        const std::uint64_t victim = lru_.back();
+        slot = entries_[victim].slot;
+        lru_.pop_back();
+        entries_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        continue;  // only dirty victims left: inserting would need inner I/O
+      }
+      lru_.push_front(b);
+      Entry e;
+      e.slot = slot;
+      e.dirty = false;
+      e.lru = lru_.begin();
+      entries_.emplace(b, e);
+      const Word* src = op.staging.empty() ? op.out + op.miss_pos[j] * bw
+                                           : op.staging.data() + j * bw;
+      std::memcpy(slot_data(slot), src, bw * sizeof(Word));
+    }
   }
   if (st.ok()) {
     // Credit the op's stats only now that it completed: a failed op is
@@ -1089,6 +1292,14 @@ BackendFactory faulty_backend(BackendFactory inner, FaultProfile profile) {
           profile](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
     auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
     return std::make_unique<FaultyBackend>(std::move(base), profile);
+  };
+}
+
+BackendFactory tampering_backend(BackendFactory inner, TamperProfile profile) {
+  return [inner = std::move(inner),
+          profile](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
+    auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
+    return std::make_unique<TamperingBackend>(std::move(base), profile);
   };
 }
 

@@ -394,6 +394,113 @@ class FaultyBackend : public StorageBackend {
 };
 
 // ---------------------------------------------------------------------------
+// TamperingBackend.
+
+/// Deterministic, seed-reproducible *malicious server* simulation -- the
+/// adversary upgrade from FaultyBackend's fail-stop model.  Where FaultyBackend
+/// rejects ops loudly with kIo (honest-but-unreliable storage), a
+/// TamperingBackend lies: reads return mutated bytes with Status::Ok, and a
+/// rolled-back write is acknowledged but silently dropped so later reads serve
+/// the stale ciphertext (and its stale, once-valid MAC).  Every decision comes
+/// from (seed, decision index), so a tampered run is exactly replayable.
+struct TamperProfile {
+  std::uint64_t seed = 1;
+  /// Probability a block read is mutated (rolled per block of a batch) and
+  /// that a write op is rolled back (rolled once per write op).
+  double tamper_rate = 0.0;
+  // Which attacks the simulated server mounts (mode picked per fired
+  // decision among the enabled read modes; rollback applies to writes):
+  bool corrupt = true;   // garble every word of the served block
+  bool bit_flip = true;  // flip one random bit of the served block
+  bool swap = true;      // serve another block of the same batch (both move);
+                         // degrades to corrupt on single-block reads
+  bool rollback = true;  // ACK a write but drop it: later reads serve the old
+                         // ciphertext with its old (once-valid) MAC -- only a
+                         // client-side version/freshness check can catch it
+};
+
+/// Decorator mounting the TamperProfile's attacks behind the StorageBackend
+/// seam.  Compose it INNERMOST (directly over the base store, UNDER
+/// EncryptedBackend/Client crypto), where the paper's malicious Bob lives:
+/// it mutates ciphertext at rest / in flight, and the authenticated
+/// encryption layer above must convert every mutation into a clean
+/// StatusCode::kIntegrity failure -- never silent corruption, and never a
+/// retry (RetryPolicy only retries kIo).  Session::Builder::tampering wraps
+/// each shard's base store with a distinct sub-seed, like fault_injection.
+///
+/// The split-phase face is forwarded; read mutations are applied at
+/// completion time (when the bytes exist), write rollbacks are decided at
+/// begin time (the dropped frame is never sent, and its completion is a
+/// local no-op), so the decision stream stays a pure function of the call
+/// sequence.  resize()/flush() are never tampered: arena bookkeeping, not
+/// data the adversary serves.
+class TamperingBackend : public StorageBackend {
+ public:
+  TamperingBackend(std::unique_ptr<StorageBackend> inner, TamperProfile profile);
+  const char* name() const override { return "tamper"; }
+  Status health() const override { return inner_->health(); }
+
+  StorageBackend& inner() { return *inner_; }
+  const StorageBackend& inner() const { return *inner_; }
+  const StorageBackend* inner_backend() const override { return inner_.get(); }
+  const TamperProfile& profile() const { return profile_; }
+  Status flush() override { return inner_->flush(); }
+
+  /// Data-path ops observed / blocks mutated + writes dropped.  Atomic: a
+  /// TamperingBackend under an AsyncBackend or a shard worker is driven
+  /// off-thread while the main thread reads the counters.
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+  std::uint64_t tampered() const { return tampered_.load(std::memory_order_relaxed); }
+
+ protected:
+  Status do_resize(std::uint64_t nblocks) override { return inner_->resize(nblocks); }
+  Status do_read(std::uint64_t block, std::span<Word> out) override;
+  Status do_write(std::uint64_t block, std::span<const Word> in) override;
+  Status do_read_many(std::span<const std::uint64_t> blocks, std::span<Word> out) override;
+  Status do_write_many(std::span<const std::uint64_t> blocks,
+                       std::span<const Word> in) override;
+  std::size_t do_max_inflight() const override { return inner_->max_inflight(); }
+  Status do_begin_read_many(std::span<const std::uint64_t> blocks,
+                            std::span<Word> out) override;
+  Status do_begin_write_many(std::span<const std::uint64_t> blocks,
+                             std::span<const Word> in) override;
+  Status do_complete_oldest() override;
+
+ private:
+  /// Next decision word; a pure function of (seed, ++decisions_).
+  std::uint64_t draw();
+  /// Rolls one tamper decision (caller holds mu_).
+  bool fire();
+  /// True when the profile can mutate reads at all.
+  bool reads_armed() const {
+    return profile_.tamper_rate > 0.0 &&
+           (profile_.corrupt || profile_.bit_flip || profile_.swap);
+  }
+  /// Mutates the served batch in place per the decision stream.
+  void tamper_read(std::size_t nblocks, std::span<Word> out);
+  /// Rolls the per-op rollback decision for a write.
+  bool drop_write();
+
+  /// One begun split-phase op: reads remember where the bytes will land so
+  /// the mutation can be applied at completion; dropped writes remember that
+  /// no inner frame exists to complete.
+  struct Pending {
+    bool is_read = false;
+    bool dropped = false;   // rolled-back write: no inner frame
+    std::size_t nblocks = 0;
+    std::span<Word> out;    // read destination; valid until complete_oldest
+  };
+
+  std::unique_ptr<StorageBackend> inner_;
+  TamperProfile profile_;
+  std::mutex mu_;                // serializes the decision stream
+  std::uint64_t decisions_ = 0;  // guarded by mu_
+  std::deque<Pending> pending_;  // begun split-phase ops (FIFO)
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> tampered_{0};
+};
+
+// ---------------------------------------------------------------------------
 // CachingBackend.
 
 /// Read-hit / write-absorption counters.  Snapshot of atomics: a cache under
@@ -405,6 +512,7 @@ struct CacheStats {
   std::uint64_t writebacks = 0;       // dirty blocks written back to the inner
   std::uint64_t writeback_ops = 0;    // coalesced write-back frames issued
   std::uint64_t evictions = 0;        // cached blocks dropped to make room
+  std::uint64_t flush_failures = 0;   // flush() calls that could not land dirty data
   double hit_rate() const {
     const std::uint64_t n = hits + misses;
     return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
@@ -436,15 +544,25 @@ struct CacheStats {
 /// its absorbed blocks stay cached (later begun reads already observed
 /// them, per FIFO), the error surfaces loudly, and the computation aborts
 /// -- same contract as a lost submitted write on the plain AsyncBackend.
-/// The destructor's flush is best-effort; services that must observe
-/// write-back errors call flush() and check the Status.
+/// The destructor's flush is best-effort for DELIVERY only, never for
+/// visibility: a failed flush (destructor's or caller's) increments
+/// CacheStats::flush_failures and latches the first error, which health()
+/// reports from then on -- so dirty data that never reached the store below
+/// can't vanish silently even when the only flush was the destructor's.
+/// Services that must act on write-back errors call flush() (or
+/// Session::flush_storage()) and check the Status before teardown.
 class CachingBackend : public StorageBackend {
  public:
   CachingBackend(std::unique_ptr<StorageBackend> inner, std::size_t capacity_blocks);
   ~CachingBackend() override;  // best-effort flush of dirty blocks
   const char* name() const override { return "cache"; }
   Status health() const override {
-    return init_status_.ok() ? inner_->health() : init_status_;
+    if (!init_status_.ok()) return init_status_;
+    {
+      std::lock_guard<std::mutex> lk(flush_mu_);
+      if (!flush_error_.ok()) return flush_error_;
+    }
+    return inner_->health();
   }
 
   StorageBackend& inner() { return *inner_; }
@@ -455,7 +573,8 @@ class CachingBackend : public StorageBackend {
 
   /// Write back every dirty block (coalesced into runs), keeping them
   /// cached-clean, then flush the inner store.  Synchronous: callers must
-  /// have completed all begun ops.
+  /// have completed all begun ops.  A failure is returned AND latched (see
+  /// class comment): flush_failures bumps and health() turns non-ok.
   Status flush() override;
 
   CacheStats stats() const {
@@ -466,6 +585,7 @@ class CachingBackend : public StorageBackend {
     s.writebacks = writebacks_.load(std::memory_order_relaxed);
     s.writeback_ops = writeback_ops_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.flush_failures = flush_failures_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -492,17 +612,24 @@ class CachingBackend : public StorageBackend {
     std::list<std::uint64_t>::iterator lru;  // position in lru_ (front = hottest)
   };
 
-  /// One begun split-phase batch.  The split-phase path never mutates cache
+  /// One begun split-phase batch.  The BEGIN half never mutates cache
   /// residency (no allocation, no eviction): hits are served/absorbed at
   /// begin, and the remainder forwards as AT MOST ONE inner frame, so a
   /// failed begin leaves nothing to unwind and the AsyncBackend's
   /// drain-and-replay recovery (which re-runs the op through the
-  /// synchronous path) stays idempotent.
+  /// synchronous path) stays idempotent.  Residency IS granted at a read's
+  /// successful COMPLETION (see do_complete_oldest): the fetched bytes are
+  /// in hand, so caching them costs no inner op -- a split-phase re-touch
+  /// stream hits exactly like the synchronous path's.
   struct PendingOp {
     bool is_read = false;
     bool has_frame = false;                  // one inner frame to complete
-    std::vector<std::uint64_t> miss_ids;     // read misses fetched from inner
-    std::vector<std::size_t> miss_pos;       // their positions in the caller batch
+    /// Reads: miss block ids fetched from the inner store.  Writes: the
+    /// write-AROUND block ids the in-flight inner frame targets (a later
+    /// read completion must not grant those residency: the cached copy
+    /// would go stale when the around-frame lands below).
+    std::vector<std::uint64_t> miss_ids;
+    std::vector<std::size_t> miss_pos;       // read misses' caller-batch positions
     std::vector<Word> staging;               // miss landing zone ([] = borrowed out)
     Word* out = nullptr;                     // caller read dest base
     // Stats are credited only at a SUCCESSFUL completion: a kIo'd op is
@@ -529,6 +656,10 @@ class CachingBackend : public StorageBackend {
   /// Writes back the maximal consecutive run of cached dirty blocks around
   /// `block` in one coalesced inner write_many, marking the run clean.
   Status write_back_run(std::uint64_t block);
+  /// flush() minus the failure latching.
+  Status flush_impl();
+  /// True when a still-pending begun write's around-frame targets `block`.
+  bool write_around_in_flight(std::uint64_t block) const;
 
   std::unique_ptr<StorageBackend> inner_;
   Status init_status_;
@@ -545,6 +676,10 @@ class CachingBackend : public StorageBackend {
   std::atomic<std::uint64_t> writebacks_{0};
   std::atomic<std::uint64_t> writeback_ops_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> flush_failures_{0};
+  /// First flush error ever observed (latched; see class comment).
+  mutable std::mutex flush_mu_;
+  Status flush_error_;  // guarded by flush_mu_
 };
 
 // ---------------------------------------------------------------------------
@@ -574,6 +709,13 @@ BackendFactory async_backend(BackendFactory inner);
 /// Compose UNDER sharding (wrap each shard's base) for per-shard failures;
 /// Session::Builder::fault_injection does that and derives per-shard seeds.
 BackendFactory faulty_backend(BackendFactory inner, FaultProfile profile);
+
+/// Wrap the backend produced by `inner` (null = mem) in a TamperingBackend.
+/// Compose INNERMOST -- directly over each shard's base store, UNDER
+/// encryption -- so the simulated malicious server mutates ciphertext, and
+/// the authentication layer above is what must catch it.
+/// Session::Builder::tampering does that and derives per-shard sub-seeds.
+BackendFactory tampering_backend(BackendFactory inner, TamperProfile profile);
 
 /// Wrap the backend produced by `inner` (null = mem) in a CachingBackend of
 /// `capacity_blocks` blocks.  Compose ABOVE sharding/latency/encryption and

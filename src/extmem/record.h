@@ -34,6 +34,12 @@ struct Record {
 /// Records per... words per record: a Record serializes to exactly 2 words.
 inline constexpr std::size_t kWordsPerRecord = 2;
 
+/// Header words on every stored client block: [nonce][mac].  The nonce makes
+/// re-encryption fresh; the MAC binds (ciphertext, device block index, nonce,
+/// client-side version), so a tampering or replaying server is detected as
+/// StatusCode::kIntegrity instead of silently corrupting results.
+inline constexpr std::size_t kBlockHeaderWords = 2;
+
 /// Key order with empty cells last; ties broken by value so that sorting is
 /// deterministic (useful for differential tests).
 struct RecordLess {

@@ -14,6 +14,7 @@
 #include <cassert>
 #include <optional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -25,6 +26,10 @@ enum class StatusCode {
   kInvalidArgument,   // caller violated a precondition (a bug, not bad luck)
   kCapacityExceeded,  // private-cache budget M would be exceeded
   kIo,                // the storage backend failed (file error, short read, ...)
+  kIntegrity,         // authentication/freshness check failed: the server is
+                      // tampering (or rolled back state).  NEVER retried --
+                      // retrying through a malicious server only hands it
+                      // more chances; callers must fail closed.
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -34,9 +39,20 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kCapacityExceeded: return "CAPACITY_EXCEEDED";
     case StatusCode::kIo: return "IO";
+    case StatusCode::kIntegrity: return "INTEGRITY";
   }
   return "UNKNOWN";
 }
+
+/// Thrown by the storage plumbing (BlockDevice::backend_fail) when a block
+/// fails authentication, so integrity violations keep their identity through
+/// the exception seam instead of degenerating into a retryable kIo.  The
+/// Session facade catches this ahead of std::runtime_error and maps it back
+/// to StatusCode::kIntegrity.
+class IntegrityError : public std::runtime_error {
+ public:
+  explicit IntegrityError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class Status {
  public:
@@ -54,6 +70,9 @@ class Status {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
   }
   static Status Io(std::string msg) { return Status(StatusCode::kIo, std::move(msg)); }
+  static Status Integrity(std::string msg) {
+    return Status(StatusCode::kIntegrity, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -6,6 +6,7 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -15,10 +16,31 @@
 #include "extmem/backend.h"
 #include "extmem/client.h"
 #include "extmem/io_engine.h"
+#include "extmem/remote.h"
+#include "server/server.h"
 #include "test_util.h"
 
 namespace oem {
 namespace {
+
+/// One loopback server shared by every remote conformance construction; each
+/// construction claims a fresh store id so tests never alias server state.
+std::shared_ptr<RemoteServer> conformance_server() {
+  static std::shared_ptr<RemoteServer> server = std::make_shared<RemoteServer>();
+  return server;
+}
+
+BackendFactory remote_conformance_backend() {
+  return [server = conformance_server()](
+             std::size_t block_words) -> std::unique_ptr<StorageBackend> {
+    static std::atomic<std::uint64_t> next_store{1u << 20};
+    RemoteBackendOptions opts;
+    opts.host = server->host();
+    opts.port = server->port();
+    opts.store_id = next_store.fetch_add(1);
+    return remote_backend(opts)(block_words);
+  };
+}
 
 LatencyProfile fast_profile() {
   LatencyProfile p;
@@ -54,6 +76,16 @@ std::vector<BackendCase> conformance_cases() {
        caching_backend(sharded_backend(encrypted_backend(mem_backend(), 0x5eedULL), 4), 6)},
       {"async_cache_sharded4",
        async_backend(caching_backend(sharded_backend(mem_backend(), 4), 8))},
+      // Authenticated encryption at the backend seam: MAC + version table per
+      // block, alone, striped (per-shard version tables), and over the wire
+      // under a write-back cache.
+      {"auth_mem", encrypted_backend(mem_backend(), 0x5eedULL, /*authenticated=*/true)},
+      {"auth_sharded4",
+       sharded_backend(encrypted_backend(mem_backend(), 0x5eedULL, /*authenticated=*/true), 4)},
+      {"auth_cache_remote",
+       caching_backend(encrypted_backend(remote_conformance_backend(), 0x5eedULL,
+                                         /*authenticated=*/true),
+                       6)},
   };
 }
 
@@ -155,7 +187,7 @@ TEST_P(BackendConformance, RejectsBadArguments) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
-                         ::testing::Range(0, 15), [](const auto& info) {
+                         ::testing::Range(0, 18), [](const auto& info) {
                            return conformance_cases()[info.param].name;
                          });
 

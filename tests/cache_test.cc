@@ -274,6 +274,120 @@ TEST(CachingBackend, CachedSessionSpendsFewerWireOpsOnReTouchingWork) {
       << " uncached -- less than 30% saved";
 }
 
+TEST(CachingBackend, SplitPhaseMissesGainResidencyAtCompletion) {
+  // Satellite regression: begun read misses used to scatter into the
+  // caller's buffer and vanish -- a split-phase re-touch stream hit 0% while
+  // the synchronous path hit 100%.  Misses must be inserted when their
+  // completion lands, so the second begun pass over the same blocks is
+  // all-hit (no inner frame).
+  RemoteServer server;
+  ASSERT_TRUE(server.health().ok()) << server.health();
+  RemoteBackendOptions ropts;
+  ropts.host = server.host();
+  ropts.port = server.port();
+  ropts.store_id = 2;
+  auto cache_owner = caching_backend(remote_backend(ropts), 8)(kBw);
+  auto* cache = dynamic_cast<CachingBackend*>(cache_owner.get());
+  ASSERT_NE(cache, nullptr);
+  ASSERT_TRUE(cache_owner->resize(8).ok());
+
+  const std::vector<std::uint64_t> ids = {0, 1, 2, 3};
+  std::vector<Word> out(ids.size() * kBw, 9);
+  ASSERT_TRUE(cache_owner->begin_read_many(ids, out).ok());
+  ASSERT_TRUE(cache_owner->complete_oldest().ok());
+  EXPECT_EQ(cache->stats().misses, 4u);
+  EXPECT_EQ(cache->cached_blocks(), 4u)
+      << "completed split-phase misses must gain cache residency";
+
+  // The same blocks again, still through the split-phase face: all hits,
+  // served at begin, no wire frame.
+  const std::uint64_t frames_before = server.frames_served();
+  ASSERT_TRUE(cache_owner->begin_read_many(ids, out).ok());
+  ASSERT_TRUE(cache_owner->complete_oldest().ok());
+  EXPECT_EQ(cache->stats().hits, 4u);
+  EXPECT_EQ(server.frames_served(), frames_before)
+      << "a re-touched begun read reached the wire";
+  EXPECT_DOUBLE_EQ(cache->stats().hit_rate(), 0.5)
+      << "split-phase re-touch must hit like the synchronous path";
+
+  // Strided misses (positions interleaved with hits) insert too.
+  const std::vector<std::uint64_t> mixed = {1, 5, 2, 7};  // 5 and 7 cold
+  std::vector<Word> mixed_out(mixed.size() * kBw, 9);
+  ASSERT_TRUE(cache_owner->begin_read_many(mixed, mixed_out).ok());
+  ASSERT_TRUE(cache_owner->complete_oldest().ok());
+  EXPECT_EQ(cache->cached_blocks(), 6u);
+
+  // Guard: a block whose write-around frame is still in flight must NOT be
+  // granted residency by a read completion behind it (the cached copy would
+  // go stale when the around-frame lands).
+  const std::vector<std::uint64_t> around = {4};
+  std::vector<Word> wdata(kBw, 55);
+  ASSERT_TRUE(cache_owner->begin_write_many(around, wdata).ok());
+  std::vector<Word> readback(kBw, 0);
+  ASSERT_TRUE(cache_owner->begin_read_many(around, readback).ok());
+  ASSERT_TRUE(cache_owner->complete_oldest().ok());  // the write-around
+  ASSERT_TRUE(cache_owner->complete_oldest().ok());  // the read
+  EXPECT_EQ(readback, wdata) << "FIFO: the read began after the write";
+  // Block 4 may have been skipped (write-around in flight at the read's
+  // completion is impossible here since FIFO completed the write first --
+  // but residency, if granted, must hold the POST-write bytes).
+  std::vector<Word> again(kBw, 0);
+  ASSERT_TRUE(cache_owner->read(4, again).ok());
+  EXPECT_EQ(again, wdata);
+}
+
+TEST(CachingBackend, FlushFailureIsCountedAndLatchedInHealth) {
+  // Satellite regression: the destructor's best-effort flush used to drop
+  // write-back errors on the floor -- dirty data silently never reached the
+  // store.  A failed flush must bump CacheStats::flush_failures and latch
+  // the error in health().
+  FaultProfile fp;
+  fp.seed = 3;
+  fp.fail_rate = 1.0;        // every op fails...
+  fp.fail_times = 1000000;   // ...and keeps failing past any retry budget
+  fp.fail_reads = false;     // only write-backs are interesting here
+  auto backend = caching_backend(faulty_backend(mem_backend(), fp), 4)(kBw);
+  auto* cache = dynamic_cast<CachingBackend*>(backend.get());
+  ASSERT_NE(cache, nullptr);
+  ASSERT_TRUE(backend->resize(4).ok());
+  ASSERT_TRUE(backend->write(1, std::vector<Word>(kBw, 7)).ok());  // absorbed
+  ASSERT_TRUE(cache->health().ok());
+
+  Status st = cache->flush();
+  EXPECT_EQ(st.code(), StatusCode::kIo);
+  EXPECT_EQ(cache->stats().flush_failures, 1u);
+  EXPECT_EQ(cache->health().code(), StatusCode::kIo)
+      << "a failed flush must latch into health()";
+
+  // The latch keeps the FIRST error and the count keeps climbing.
+  EXPECT_EQ(cache->flush().code(), StatusCode::kIo);
+  EXPECT_EQ(cache->stats().flush_failures, 2u);
+}
+
+TEST(SessionBuilderCache, FlushStorageSurfacesWriteBackFailures) {
+  // The Session-level face of the same satellite: flush_storage() returns
+  // the write-back failure and storage_health() stays non-ok after it.
+  FaultProfile fp;
+  fp.seed = 3;
+  fp.fail_rate = 1.0;
+  fp.fail_times = 1000000;
+  fp.fail_reads = false;
+  auto built = Session::Builder()
+                   .block_records(4)
+                   .cache_records(64)
+                   .backend(faulty_backend(nullptr, fp))
+                   .cache(16)
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  Session session = std::move(built).value();
+  ASSERT_TRUE(session.storage_health().ok());
+  auto data = session.outsource(test::random_records(16, 3));
+  ASSERT_TRUE(data.ok());
+  // outsource pokes through the cache; the dirty blocks are still absorbed.
+  EXPECT_EQ(session.flush_storage().code(), StatusCode::kIo);
+  EXPECT_EQ(session.storage_health().code(), StatusCode::kIo);
+}
+
 TEST(SessionBuilderCache, RejectsCacheZero) {
   auto built = Session::Builder().block_records(4).cache_records(64).cache(0).build();
   ASSERT_FALSE(built.ok());

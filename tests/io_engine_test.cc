@@ -204,6 +204,11 @@ struct EngineCase {
   /// with compute_threads > 1 pins the worker pool byte-identical to the
   /// serial compute path.
   std::size_t compute_threads = 1;
+  /// Authenticated encryption at the backend seam (MAC + version table per
+  /// block).  Verification is below the trace recorder, so the row must be
+  /// byte-identical to mem -- failing closed is a status-path property, not
+  /// a trace property.
+  bool encrypted_auth = false;
 };
 
 std::vector<EngineCase> engine_cases() {
@@ -228,7 +233,11 @@ std::vector<EngineCase> engine_cases() {
           // stacked on the deepest wire pipeline in the matrix.
           {"compute4", 1, false, false, false, 2, 0, false, /*threads=*/4},
           {"compute4_remote_sharded4_depth4", 4, true, false, true, 4, 0, false,
-           4}};
+           4},
+          // Authenticated-encryption seam (MAC verify/seal on every transfer):
+          // the freshness machinery must be invisible in Bob's view.
+          {"encrypted_auth", 1, false, false, false, 2, 0, false, 1,
+           /*auth=*/true}};
 }
 
 struct AlgoRun {
@@ -258,6 +267,7 @@ void run_engine_case(const EngineCase& ec, std::span<const Record> input,
   // sharded fault rows get headroom above the single-shard default of 4.
   if (ec.faulty) builder.io_retries(8);
   if (ec.cache_blocks > 0) builder.cache(ec.cache_blocks);
+  if (ec.encrypted_auth) builder.encrypted(0x5eedULL, /*authenticated=*/true);
   if (ec.remote && ec.out_of_process) {
     spawned = std::make_unique<server::SpawnedServer>();
     ASSERT_TRUE(spawned->health().ok()) << ec.name << ": " << spawned->health();
