@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "extmem/backend.h"
+#include "extmem/cache_meter.h"
 #include "extmem/client.h"
 #include "extmem/io_engine.h"
 #include "extmem/remote.h"
@@ -66,6 +67,14 @@ inline RemoteServer* global_remote_server(BackendFactory store_factory = nullptr
     }
   }
   return server.get();
+}
+
+/// The process-wide shared CacheCore behind --shared-cache: every Client
+/// built by this bench attaches a view of ONE slab (capacity fixed by the
+/// first call), modeling N sessions behind one memory budget.
+inline SharedCacheHandle global_shared_cache(std::size_t capacity_blocks) {
+  static SharedCacheHandle core = make_shared_cache(capacity_blocks);
+  return core;
 }
 
 inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 1) {
@@ -160,6 +169,38 @@ inline BackendFactory backend_from_flags(const Flags& flags,
     std::fprintf(stderr, "--shards must be >= 1\n");
     std::exit(2);
   }
+  // --engine=threads|uring picks the file store's disk engine: "threads" is
+  // the blocking pread/pwrite FileBackend (AsyncBackend supplies the overlap
+  // under --prefetch), "uring" is the kernel-async O_DIRECT DirectFileBackend
+  // (which itself falls back to threads, with notice via engine(), on kernels
+  // without io_uring).  --direct is shorthand for --engine=uring.
+  const std::string engine = flags.get("engine", "");
+  const bool direct = flags.get_bool("direct", false);
+  if (!engine.empty() && engine != "threads" && engine != "uring") {
+    std::fprintf(stderr, "unknown --engine=%s (threads|uring)\n", engine.c_str());
+    std::exit(2);
+  }
+  if (direct && engine == "threads") {
+    std::fprintf(stderr,
+                 "--direct contradicts --engine=threads (--direct means the "
+                 "O_DIRECT io_uring engine)\n");
+    std::exit(2);
+  }
+  const bool uring = direct || engine == "uring";
+  if ((uring || !engine.empty()) && which != "file") {
+    std::fprintf(stderr,
+                 "--engine/--direct need --backend=file: only the file store "
+                 "has a disk engine to choose\n");
+    std::exit(2);
+  }
+  // --shared-cache attaches every Client in this process to ONE CacheCore of
+  // --cache-blocks capacity (the multi-session shared-memory-budget shape)
+  // instead of a private cache per Client.
+  const bool shared_cache = flags.get_bool("shared-cache", false);
+  if (shared_cache && cache_blocks == 0) {
+    std::fprintf(stderr, "--shared-cache needs --cache-blocks=N (N >= 1)\n");
+    std::exit(2);
+  }
   // Per-shard base store, optionally wrapped in a FaultyBackend with a
   // distinct sub-seed per shard (per-shard failures, like Session::Builder).
   auto faulted = [inject, fault_profile](BackendFactory base, std::size_t shard) {
@@ -175,7 +216,7 @@ inline BackendFactory backend_from_flags(const Flags& flags,
     std::exit(2);
   }
   BackendFactory base;
-  if (which == "file") base = file_backend();
+  if (which == "file") base = uring ? direct_file_backend() : file_backend();
   if (remote) {
     // The server keeps the (mem or file) store; the client stack sees a
     // RemoteBackend per shard.  Store ids namespace by geometry too, so one
@@ -217,7 +258,12 @@ inline BackendFactory backend_from_flags(const Flags& flags,
     profile.lanes = shards;
     f = latency_backend(std::move(f), profile);
   }
-  if (cache_blocks > 0) f = caching_backend(std::move(f), cache_blocks);
+  if (cache_blocks > 0) {
+    if (shared_cache)
+      f = caching_backend(std::move(f), global_shared_cache(cache_blocks));
+    else
+      f = caching_backend(std::move(f), cache_blocks);
+  }
   if (prefetch) f = async_backend(std::move(f));
   return f;
 }
@@ -242,19 +288,12 @@ inline void engine_stats_note(const Client& c, const std::string& label = "") {
     std::cout << line << "\n";
   }
   if (const CachingBackend* cache = c.device().cache_backend()) {
-    const CacheStats cs = cache->stats();
-    char line[256];
-    std::snprintf(line, sizeof(line),
-                  "  %scache(%zu blocks): %.1f%% hit rate (%llu hits / %llu "
-                  "misses), %llu writes absorbed, %llu blocks written back in "
-                  "%llu coalesced ops",
-                  tag.c_str(), cache->capacity_blocks(), 100.0 * cs.hit_rate(),
-                  static_cast<unsigned long long>(cs.hits),
-                  static_cast<unsigned long long>(cs.misses),
-                  static_cast<unsigned long long>(cs.absorbed_writes),
-                  static_cast<unsigned long long>(cs.writebacks),
-                  static_cast<unsigned long long>(cs.writeback_ops));
-    std::cout << line << "\n";
+    // Per-session counters even on a --shared-cache slab: each Client's view
+    // tallies its own hits/misses/admission rejections (cache_meter.h).
+    std::cout << "  " << tag << "(" << cache->capacity_blocks() << " blocks, "
+              << (cache->core().policy() == CachePolicy::kLru ? "lru"
+                                                              : "scan-resistant")
+              << ") " << describe_cache_stats(cache->stats()) << "\n";
   }
 }
 

@@ -109,6 +109,11 @@ Session::Builder& Session::Builder::backend(BackendFactory factory) {
   return *this;
 }
 
+Session::Builder& Session::Builder::direct_io(bool on) {
+  direct_io_ = on;
+  return *this;
+}
+
 Session::Builder& Session::Builder::remote(const std::string& host, std::uint16_t port) {
   storage_ = Storage::kRemote;
   remote_seen_ = true;
@@ -137,6 +142,11 @@ Session::Builder& Session::Builder::encrypted(Word key, bool authenticated) {
 Session::Builder& Session::Builder::cache(std::size_t blocks) {
   cache_seen_ = true;
   cache_blocks_ = blocks;
+  return *this;
+}
+
+Session::Builder& Session::Builder::shared_cache(SharedCacheHandle core) {
+  shared_cache_ = std::move(core);
   return *this;
 }
 
@@ -212,6 +222,14 @@ Result<Session> Session::Builder::build() const {
     return Status::InvalidArgument(
         "cache(blocks) needs 1 <= blocks <= 1048576; to disable the cache, "
         "drop the cache() call instead of passing 0");
+  if (cache_seen_ && shared_cache_ != nullptr)
+    return Status::InvalidArgument(
+        "cache(blocks) and shared_cache(core) are mutually exclusive: a "
+        "session attaches either its own cache or the shared one");
+  if (direct_io_ && storage_ != Storage::kFile)
+    return Status::InvalidArgument(
+        "direct_io() needs file_backed() storage: mem/remote/custom stores "
+        "have no file to open with O_DIRECT");
   if (remote_seen_ && local_storage_seen_)
     return Status::InvalidArgument(
         "remote() cannot be combined with in_memory()/file_backed()/"
@@ -252,11 +270,21 @@ Result<Session> Session::Builder::build() const {
        shards = shards_, inject = inject_faults_, fault = fault_profile_,
        tamper = tamper_, tamper_profile = tamper_profile_,
        encrypted = encrypted_, encrypted_auth = encrypted_auth_,
+       direct = direct_io_,
        key = encryption_key_](std::size_t block_words,
                               std::size_t shard) -> std::unique_ptr<StorageBackend> {
     BackendFactory base;
     switch (storage) {
       case Storage::kFile: {
+        if (direct) {
+          DirectFileOptions opts;
+          opts.path = file_opts.path;
+          opts.keep_file = file_opts.keep_file;
+          if (!opts.path.empty() && shards > 1)
+            opts.path += ".shard" + std::to_string(shard);
+          base = direct_file_backend(std::move(opts));
+          break;
+        }
         FileBackendOptions opts = file_opts;
         if (!opts.path.empty() && shards > 1)
           opts.path += ".shard" + std::to_string(shard);
@@ -300,6 +328,8 @@ Result<Session> Session::Builder::build() const {
     factory = latency_backend(std::move(factory), profile);
   }
   if (cache_seen_) factory = caching_backend(std::move(factory), cache_blocks_);
+  if (shared_cache_ != nullptr)
+    factory = caching_backend(std::move(factory), shared_cache_);
   if (prefetch_) factory = async_backend(std::move(factory));
   params.backend = std::move(factory);
 
@@ -316,6 +346,11 @@ Result<Session> Session::Builder::build() const {
 
 Session::Session(const ClientParams& params)
     : params_(params), client_(std::make_unique<Client>(params)) {}
+
+CacheStats Session::cache_stats() const {
+  const CachingBackend* cb = client_->device().cache_backend();
+  return cb != nullptr ? cb->stats() : CacheStats{};
+}
 
 std::uint64_t Session::next_seed(std::uint64_t requested) {
   if (requested != 0) return requested;

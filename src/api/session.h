@@ -79,6 +79,14 @@ class Session {
     Builder& in_memory();
     Builder& file_backed(FileBackendOptions opts = {});
     Builder& backend(BackendFactory factory);
+    /// With file_backed() storage, use the kernel-async O_DIRECT engine
+    /// (DirectFileBackend on io_uring) instead of blocking pread/pwrite --
+    /// with graceful per-instance fallback to the threaded path when the
+    /// kernel or filesystem refuses (see DirectFileBackend).  Sharded
+    /// sessions get one ring per shard (per-shard ".shard<i>" paths, like
+    /// plain file_backed()).  Rejected at build() with any other storage:
+    /// mem/remote/custom stores have no file to open directly.
+    Builder& direct_io(bool on = true);
     /// Outsource the blocks to a RemoteServer (extmem/remote.h) over
     /// loopback/LAN TCP -- the paper's Bob as a real process boundary.
     /// Every build() draws a fresh private namespace of server store ids
@@ -151,6 +159,17 @@ class Session {
     ///                            crypto above it is what must catch it)
     ///                 mem | file | backend(...) | remote  (the base store)
     Builder& cache(std::size_t blocks);
+    /// Attach this session's cache layer to a cache SHARED with other
+    /// sessions (make_shared_cache in extmem/io_engine.h): one scan-resistant
+    /// slab of capacity_blocks behind N sessions, internally synchronized,
+    /// with per-session hit/miss/admission stats (Session::cache_stats()).
+    /// The multi-session oem-server workload uses this so K concurrent
+    /// clients share one memory budget instead of K private ones.  Each
+    /// session's blocks live in a private key namespace -- sharing the slab
+    /// never shares (or leaks) data between sessions.  Mutually exclusive
+    /// with cache(); all sharing sessions must use the same block geometry
+    /// (B and encryption mode), checked at build().
+    Builder& shared_cache(SharedCacheHandle core);
     /// Wrap the (possibly striped) store in a LatencyBackend.  With
     /// sharding, the profile's `lanes` is set to the shard count: the
     /// parallel-disk model, where striping divides streaming time but not
@@ -219,6 +238,8 @@ class Session {
     Word encryption_key_ = 0;
     bool cache_seen_ = false;
     std::size_t cache_blocks_ = 0;
+    SharedCacheHandle shared_cache_;
+    bool direct_io_ = false;
     unsigned io_retries_ = 0;  // 0 = auto (4 with faults, else 1)
   };
 
@@ -294,6 +315,11 @@ class Session {
   /// Health of the storage stack, including a CachingBackend's latched
   /// flush failures: non-ok means dirty data may not have reached the store.
   Status storage_health() const { return client_->device().backend().health(); }
+  /// This session's block-cache counters (hits/misses/write-backs/admission
+  /// rejections) -- per-SESSION even on a shared cache, where each session's
+  /// view keeps its own tallies.  All-zero when the session has no cache
+  /// layer.  Format for humans with describe_cache_stats (cache_meter.h).
+  CacheStats cache_stats() const;
 
   /// Escape hatch for benches/tests that need the raw protocol objects.
   Client& client() { return *client_; }

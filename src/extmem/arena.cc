@@ -1,0 +1,127 @@
+#include "extmem/arena.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+namespace oem {
+namespace {
+
+constexpr std::size_t kHugeThreshold = 2u << 20;  // 2 MiB
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+BufferArena::BufferArena(std::size_t alignment) : alignment_(alignment) {}
+
+BufferArena::~BufferArena() { trim(); }
+
+ArenaStats BufferArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferArena::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Buf& b : free_) destroy(b);
+  free_.clear();
+  stats_.pooled = 0;
+}
+
+void BufferArena::destroy(Buf& b) {
+  if (b.p == nullptr) return;
+  if (b.huge) {
+    ::munmap(b.p, b.cap);
+  } else {
+    std::free(b.p);
+  }
+  b = Buf{};
+}
+
+BufferArena::Buf BufferArena::acquire(std::size_t bytes) {
+  bytes = std::max<std::size_t>(round_up(bytes, alignment_), alignment_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Smallest pooled buffer that fits, so one oversized window does not
+    // pin a giant buffer under every small request forever.
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].cap < bytes) continue;
+      if (best == free_.size() || free_[i].cap < free_[best].cap) best = i;
+    }
+    if (best != free_.size()) {
+      Buf b = free_[best];
+      free_[best] = free_.back();
+      free_.pop_back();
+      ++stats_.reuses;
+      ++stats_.outstanding;
+      --stats_.pooled;
+      return b;
+    }
+  }
+  Buf b;
+  b.cap = bytes;
+  if (bytes >= kHugeThreshold) {
+    // Huge-page attempt: round to the 2 MiB granule; fall through to the
+    // aligned heap path when the kernel has no pages reserved.
+    const std::size_t huge_cap = round_up(bytes, kHugeThreshold);
+    void* p = ::mmap(nullptr, huge_cap, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (p != MAP_FAILED) {
+      b.p = p;
+      b.cap = huge_cap;
+      b.huge = true;
+    }
+  }
+  if (b.p == nullptr) {
+    if (::posix_memalign(&b.p, alignment_, bytes) != 0) b.p = nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (b.p != nullptr) {
+    ++stats_.allocations;
+    stats_.bytes_allocated += b.cap;
+    if (b.huge) ++stats_.hugepage_buffers;
+    ++stats_.outstanding;
+  }
+  return b;
+}
+
+void BufferArena::release(Buf b) {
+  if (b.p == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(b);
+  --stats_.outstanding;
+  ++stats_.pooled;
+}
+
+BufferArena& global_staging_arena() {
+  static BufferArena* arena = new BufferArena();  // leaked: outlives statics
+  return *arena;
+}
+
+void ArenaBuffer::resize(std::size_t words) {
+  const std::size_t bytes = words * sizeof(Word);
+  if (bytes > buf_.cap) {
+    BufferArena& a = arena();
+    a.release(buf_);
+    buf_ = a.acquire(bytes);
+    if (buf_.p == nullptr) {
+      size_ = 0;
+      throw std::bad_alloc();
+    }
+  }
+  size_ = words;
+}
+
+void ArenaBuffer::reset() {
+  if (buf_.p != nullptr) arena().release(buf_);
+  buf_ = BufferArena::Buf{};
+  size_ = 0;
+}
+
+}  // namespace oem

@@ -1,0 +1,139 @@
+// Pooled, recycling staging buffers for the I/O hot paths.
+//
+// Every layer of the engine stages block payloads somewhere: the pipeline's
+// window wires, ShardedBackend's strided sub-frames, AsyncBackend's queued
+// writes, DirectFileBackend's O_DIRECT bounce buffers.  Before this file
+// each of those was a per-frame std::vector<Word> -- a heap allocation (and
+// a page-fault storm on first touch) per window in steady state.
+//
+// BufferArena recycles page-aligned buffers through a free list so the
+// steady state performs zero heap allocations: the first few windows
+// populate the pool, every later window reuses it.  Buffers are aligned to
+// 4096 bytes -- which also satisfies O_DIRECT's alignment contract, so the
+// same arena feeds the io_uring path for free -- and allocations of 2 MiB
+// or more first try an anonymous MAP_HUGETLB mapping (fewer TLB misses on
+// big windows), quietly falling back to aligned heap memory when the
+// kernel has no huge pages to give.
+//
+// ArenaStats is the allocation-counting test hook: tests run a pipeline to
+// steady state, snapshot `allocations`, run N more windows, and pin that
+// the counter did not move (tests/hierarchy_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "extmem/record.h"
+
+namespace oem {
+
+/// Counters for one arena.  `allocations` counts fresh memory grabbed from
+/// the OS/heap; `reuses` counts acquisitions served from the free list.  A
+/// zero-allocation steady state shows `allocations` flat while `reuses`
+/// climbs.
+struct ArenaStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t hugepage_buffers = 0;
+  std::uint64_t outstanding = 0;  ///< buffers currently lent out
+  std::uint64_t pooled = 0;       ///< buffers parked on the free list
+};
+
+/// A pool of page-aligned buffers.  Thread-safe; one global instance
+/// (global_staging_arena) feeds all engine layers, so a buffer retired by
+/// one layer is immediately reusable by another.
+class BufferArena {
+ public:
+  explicit BufferArena(std::size_t alignment = 4096);
+  ~BufferArena();
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  ArenaStats stats() const;
+  /// Frees every pooled buffer (lent-out buffers are unaffected).
+  void trim();
+
+ private:
+  friend class ArenaBuffer;
+  struct Buf {
+    void* p = nullptr;
+    std::size_t cap = 0;  ///< bytes
+    bool huge = false;
+  };
+  /// Returns a buffer with capacity >= `bytes` (smallest pooled fit, else a
+  /// fresh allocation).  Contents are unspecified.
+  Buf acquire(std::size_t bytes);
+  void release(Buf b);
+  static void destroy(Buf& b);
+
+  const std::size_t alignment_;
+  mutable std::mutex mu_;
+  std::vector<Buf> free_;
+  ArenaStats stats_;
+};
+
+/// The process-wide staging pool.
+BufferArena& global_staging_arena();
+
+/// RAII view of one arena buffer with a minimal vector-of-Word face
+/// (data/size/resize/operator[]).  Unlike std::vector, resize() never
+/// value-initializes and MAY DISCARD CONTENTS when it grows -- callers are
+/// staging code that fully overwrites the buffer after sizing it.  The
+/// backing memory returns to the arena on destruction (or reset()).
+class ArenaBuffer {
+ public:
+  ArenaBuffer() = default;                     ///< uses global_staging_arena()
+  explicit ArenaBuffer(BufferArena* arena) : arena_(arena) {}
+  ~ArenaBuffer() { reset(); }
+  ArenaBuffer(ArenaBuffer&& o) noexcept
+      : arena_(o.arena_), buf_(o.buf_), size_(o.size_) {
+    o.buf_ = BufferArena::Buf{};
+    o.size_ = 0;
+  }
+  ArenaBuffer& operator=(ArenaBuffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      arena_ = o.arena_;
+      buf_ = o.buf_;
+      size_ = o.size_;
+      o.buf_ = BufferArena::Buf{};
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+
+  Word* data() { return static_cast<Word*>(buf_.p); }
+  const Word* data() const { return static_cast<const Word*>(buf_.p); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Word& operator[](std::size_t i) { return data()[i]; }
+  const Word& operator[](std::size_t i) const { return data()[i]; }
+  Word* begin() { return data(); }
+  Word* end() { return data() + size_; }
+  const Word* begin() const { return data(); }
+  const Word* end() const { return data() + size_; }
+
+  /// Sizes the buffer to `words`.  Growth beyond capacity swaps the backing
+  /// buffer (contents discarded); shrinking and within-capacity growth keep
+  /// the buffer, so a steady-state loop that sizes to the same window never
+  /// touches the arena.
+  void resize(std::size_t words);
+  void clear() { size_ = 0; }
+  /// Returns the backing memory to the arena.
+  void reset();
+
+ private:
+  BufferArena& arena() {
+    return arena_ != nullptr ? *arena_ : global_staging_arena();
+  }
+  BufferArena* arena_ = nullptr;
+  BufferArena::Buf buf_{};
+  std::size_t size_ = 0;  ///< words
+};
+
+}  // namespace oem

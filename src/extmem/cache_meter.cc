@@ -1,4 +1,23 @@
 #include "extmem/cache_meter.h"
 
-// Header-only; kept as a translation unit for symmetry and future growth.
-namespace oem {}
+#include "extmem/io_engine.h"
+
+namespace oem {
+
+std::string describe_cache_stats(const CacheStats& s) {
+  const std::uint64_t reads = s.hits + s.misses;
+  const double hit_pct = reads == 0 ? 0.0 : 100.0 * double(s.hits) / double(reads);
+  std::string out = "cache: hits=" + std::to_string(s.hits) + "/" +
+                    std::to_string(reads) + " (" +
+                    std::to_string(static_cast<int>(hit_pct + 0.5)) +
+                    "%) absorbed=" + std::to_string(s.absorbed_writes) +
+                    " writebacks=" + std::to_string(s.writebacks) + " (" +
+                    std::to_string(s.writeback_ops) +
+                    " ops) evictions=" + std::to_string(s.evictions) +
+                    " admission_rejects=" + std::to_string(s.admission_rejects);
+  if (s.flush_failures > 0)
+    out += " FLUSH_FAILURES=" + std::to_string(s.flush_failures);
+  return out;
+}
+
+}  // namespace oem

@@ -10,8 +10,18 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 namespace oem {
+
+struct CacheStats;  // extmem/io_engine.h
+
+/// One-line human summary of a session's block-cache counters -- hit rate,
+/// write absorption, and the scan-resistance tallies (evictions/admission
+/// rejections).  Used by the benches' engine_stats_note and service logs;
+/// pairs with Session::cache_stats(), which is per-session even when the
+/// CacheCore slab is shared across sessions.
+std::string describe_cache_stats(const CacheStats& s);
 
 class CacheMeter {
  public:

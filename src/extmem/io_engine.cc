@@ -138,9 +138,11 @@ void ShardedBackend::run_shard(std::size_t s) {
     for (std::size_t j = 0; j < sb.flat.size(); ++j)
       std::memcpy(sb.staging.data() + j * bw, job_win_.data() + sb.flat[j] * bw,
                   bw * sizeof(Word));
-    sb.status = shards_[s]->write_many(sb.inner_ids, sb.staging);
+    sb.status = shards_[s]->write_many(
+        sb.inner_ids, std::span<const Word>(sb.staging.data(), sb.staging.size()));
   } else {
-    sb.status = shards_[s]->read_many(sb.inner_ids, sb.staging);
+    sb.status = shards_[s]->read_many(
+        sb.inner_ids, std::span<Word>(sb.staging.data(), sb.staging.size()));
     if (sb.status.ok())
       for (std::size_t j = 0; j < sb.flat.size(); ++j)
         std::memcpy(job_rout_.data() + sb.flat[j] * bw, sb.staging.data() + j * bw,
@@ -262,9 +264,9 @@ Status ShardedBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
   for (std::size_t s = 0; s < sub_.size() && st.ok(); ++s) {
     SubBatch& sb = sub_[s];
     if (sb.inner_ids.empty()) continue;
-    ShardFrame::Part p;
+    ShardFrame::Part p = acquire_part();
     p.shard = s;
-    p.inner_ids = sb.inner_ids;
+    p.inner_ids.assign(sb.inner_ids.begin(), sb.inner_ids.end());
     if (contiguous_run(sb.flat)) {
       // Borrowed span: the shard reads straight into the caller's buffer at
       // its completion -- `out` stays valid until our complete_oldest.
@@ -272,9 +274,10 @@ Status ShardedBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
       st = shards_[s]->begin_read_many(p.inner_ids,
                                        out.subspan(p.flat0 * bw, p.inner_ids.size() * bw));
     } else {
-      p.flat = sb.flat;
+      p.flat.assign(sb.flat.begin(), sb.flat.end());
       p.staging.resize(p.inner_ids.size() * bw);
-      st = shards_[s]->begin_read_many(p.inner_ids, p.staging);
+      st = shards_[s]->begin_read_many(p.inner_ids,
+                                       std::span<Word>(p.staging.data(), p.staging.size()));
     }
     if (st.ok()) f.parts.push_back(std::move(p));
   }
@@ -296,9 +299,9 @@ Status ShardedBackend::do_begin_write_many(std::span<const std::uint64_t> blocks
   for (std::size_t s = 0; s < sub_.size() && st.ok(); ++s) {
     SubBatch& sb = sub_[s];
     if (sb.inner_ids.empty()) continue;
-    ShardFrame::Part p;
+    ShardFrame::Part p = acquire_part();
     p.shard = s;
-    p.inner_ids = sb.inner_ids;
+    p.inner_ids.assign(sb.inner_ids.begin(), sb.inner_ids.end());
     if (contiguous_run(sb.flat)) {
       const std::size_t first = sb.flat.empty() ? 0 : sb.flat[0];
       st = shards_[s]->begin_write_many(p.inner_ids,
@@ -310,7 +313,8 @@ Status ShardedBackend::do_begin_write_many(std::span<const std::uint64_t> blocks
       for (std::size_t j = 0; j < sb.flat.size(); ++j)
         std::memcpy(wstage_.data() + j * bw, in.data() + sb.flat[j] * bw,
                     bw * sizeof(Word));
-      st = shards_[s]->begin_write_many(p.inner_ids, wstage_);
+      st = shards_[s]->begin_write_many(
+          p.inner_ids, std::span<const Word>(wstage_.data(), wstage_.size()));
     }
     if (st.ok()) f.parts.push_back(std::move(p));
   }
@@ -320,6 +324,16 @@ Status ShardedBackend::do_begin_write_many(std::span<const std::uint64_t> blocks
   }
   frames_.push_back(std::move(f));
   return Status::Ok();
+}
+
+ShardedBackend::ShardFrame::Part ShardedBackend::acquire_part() {
+  if (part_pool_.empty()) return {};
+  ShardFrame::Part p = std::move(part_pool_.back());
+  part_pool_.pop_back();
+  p.inner_ids.clear();
+  p.flat.clear();
+  p.flat0 = 0;
+  return p;
 }
 
 Status ShardedBackend::complete_frame(ShardFrame f) {
@@ -334,6 +348,7 @@ Status ShardedBackend::complete_frame(ShardFrame f) {
         std::memcpy(f.rout.data() + p.flat[j] * bw, p.staging.data() + j * bw,
                     bw * sizeof(Word));
     st.Update(ps);
+    part_pool_.push_back(std::move(p));  // id/staging capacity kept for reuse
   }
   return st;
 }
@@ -348,7 +363,11 @@ void ShardedBackend::abort_partial_begin(ShardFrame& f) {
     completed_early_.push_back(complete_frame(std::move(frames_.front())));
     frames_.pop_front();
   }
-  for (const ShardFrame::Part& p : f.parts) shards_[p.shard]->complete_oldest();
+  for (ShardFrame::Part& p : f.parts) {
+    shards_[p.shard]->complete_oldest();
+    part_pool_.push_back(std::move(p));
+  }
+  f.parts.clear();
 }
 
 Status ShardedBackend::do_complete_oldest() {
@@ -431,6 +450,7 @@ void AsyncBackend::io_loop() {
     Status front = drained_status(inflight.front());
     if (front.code() != StatusCode::kIo) {
       finish(front);
+      recycle_op(std::move(inflight.front()));
       inflight.pop_front();
       return;
     }
@@ -443,6 +463,7 @@ void AsyncBackend::io_loop() {
                                                        : run_op(inflight[j]);
       finish(run_with_retry(inflight[j], std::move(st)));
     }
+    for (Op& op : inflight) recycle_op(std::move(op));
     inflight.clear();
   };
 
@@ -470,6 +491,7 @@ void AsyncBackend::io_loop() {
     }
     if (cap <= 1) {
       finish(run_with_retry(op, run_op(op)));
+      recycle_op(std::move(op));
       continue;
     }
     while (inflight.size() >= cap) complete_front();
@@ -483,16 +505,38 @@ void AsyncBackend::io_loop() {
   }
 }
 
+AsyncBackend::Op AsyncBackend::acquire_op_locked() {
+  if (op_pool_.empty()) return {};
+  Op op = std::move(op_pool_.back());
+  op_pool_.pop_back();
+  return op;
+}
+
+void AsyncBackend::recycle_op(Op&& op) {
+  // clear() keeps the vectors' capacity, so the next acquire re-fills the
+  // same storage instead of allocating.
+  op.blocks.clear();
+  op.wdata.clear();
+  op.wsrc = nullptr;
+  op.wlen = 0;
+  op.rdest = nullptr;
+  op.rlen = 0;
+  op.noop = false;
+  op.begun = Status::Ok();
+  std::lock_guard<std::mutex> lk(mu_);
+  op_pool_.push_back(std::move(op));
+}
+
 AsyncBackend::Ticket AsyncBackend::submit_read_many(
     std::span<const std::uint64_t> blocks, std::span<Word> out) {
-  Op op;
-  op.is_write = false;
-  op.blocks.assign(blocks.begin(), blocks.end());
-  op.rdest = out.data();
-  op.rlen = out.size();
   const Ticket t = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    Op op = acquire_op_locked();
+    op.is_write = false;
+    op.blocks.assign(blocks.begin(), blocks.end());
+    op.rdest = out.data();
+    op.rlen = out.size();
     queue_.push_back(std::move(op));
     queued_.fetch_add(1, std::memory_order_release);
   }
@@ -506,13 +550,13 @@ AsyncBackend::Ticket AsyncBackend::submit_read_many(
 
 AsyncBackend::Ticket AsyncBackend::submit_write_many(std::vector<std::uint64_t> blocks,
                                                      std::vector<Word> in) {
-  Op op;
-  op.is_write = true;
-  op.blocks = std::move(blocks);
-  op.wdata = std::move(in);
   const Ticket t = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    Op op = acquire_op_locked();
+    op.is_write = true;
+    op.blocks = std::move(blocks);
+    op.wdata = std::move(in);
     queue_.push_back(std::move(op));
     queued_.fetch_add(1, std::memory_order_release);
   }
@@ -523,14 +567,14 @@ AsyncBackend::Ticket AsyncBackend::submit_write_many(std::vector<std::uint64_t> 
 
 AsyncBackend::Ticket AsyncBackend::submit_write_many_borrowed(
     std::span<const std::uint64_t> blocks, std::span<const Word> in) {
-  Op op;
-  op.is_write = true;
-  op.blocks.assign(blocks.begin(), blocks.end());
-  op.wsrc = in.data();
-  op.wlen = in.size();
   const Ticket t = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    Op op = acquire_op_locked();
+    op.is_write = true;
+    op.blocks.assign(blocks.begin(), blocks.end());
+    op.wsrc = in.data();
+    op.wlen = in.size();
     queue_.push_back(std::move(op));
     queued_.fetch_add(1, std::memory_order_release);
   }
@@ -811,101 +855,215 @@ Status TamperingBackend::do_complete_oldest() {
 }
 
 // ---------------------------------------------------------------------------
-// CachingBackend.
+// CacheCore / CachingBackend.
+
+CacheCore::CacheCore(std::size_t capacity_blocks, CachePolicy policy)
+    : cap_(capacity_blocks),
+      prot_cap_(std::max<std::size_t>(1, capacity_blocks * 3 / 4)),
+      policy_(policy) {}
+
+SharedCacheHandle make_shared_cache(std::size_t capacity_blocks,
+                                    CachePolicy policy) {
+  return std::make_shared<CacheCore>(capacity_blocks, policy);
+}
 
 CachingBackend::CachingBackend(std::unique_ptr<StorageBackend> inner,
-                               std::size_t capacity_blocks)
+                               std::size_t capacity_blocks, CachePolicy policy)
+    : CachingBackend(std::move(inner),
+                     std::make_shared<CacheCore>(capacity_blocks, policy)) {}
+
+CachingBackend::CachingBackend(std::unique_ptr<StorageBackend> inner,
+                               SharedCacheHandle core)
     : StorageBackend(inner->block_words()),
       inner_(std::move(inner)),
-      cap_(capacity_blocks) {
-  if (cap_ < 1) {
+      core_(std::move(core)) {
+  if (core_ == nullptr) {
+    init_status_ = Status::InvalidArgument("null shared cache handle");
+    core_ = std::make_shared<CacheCore>(1, CachePolicy::kScanResistant);
+    return;
+  }
+  std::lock_guard<std::mutex> lk(core_->mu_);
+  view_id_ = core_->next_view_id_++;
+  if (core_->cap_ < 1) {
     init_status_ = Status::InvalidArgument(
         "cache capacity must be >= 1 block; drop the decorator instead of "
         "configuring cache(0)");
     return;
   }
-  slab_.resize(cap_ * block_words());
-  free_slots_.reserve(cap_);
-  for (std::size_t s = cap_; s > 0; --s) free_slots_.push_back(s - 1);
+  if (core_->block_words_ == 0) {
+    // The first attached view fixes the core's geometry.
+    core_->block_words_ = block_words();
+    core_->slab_.resize(core_->cap_ * block_words());
+    core_->free_slots_.reserve(core_->cap_);
+    for (std::size_t s = core_->cap_; s > 0; --s)
+      core_->free_slots_.push_back(s - 1);
+  } else if (core_->block_words_ != block_words()) {
+    init_status_ = Status::InvalidArgument(
+        "shared cache geometry mismatch: every attached session must use the "
+        "same block size");
+  }
 }
 
 CachingBackend::~CachingBackend() {
-  if (init_status_.ok()) flush();  // best effort: dirty blocks reach the store
+  if (!init_status_.ok()) return;
+  flush();  // best effort: this view's dirty blocks reach its store
+  std::lock_guard<std::mutex> lk(core_->mu_);
+  drop_view();
 }
 
 CachingBackend::Entry* CachingBackend::find(std::uint64_t block) {
-  auto it = entries_.find(block);
-  return it == entries_.end() ? nullptr : &it->second;
+  auto it = core_->entries_.find(key_of(block));
+  return it == core_->entries_.end() ? nullptr : &it->second;
 }
 
-void CachingBackend::touch(Entry& e, std::uint64_t block) {
-  lru_.erase(e.lru);
-  lru_.push_front(block);
-  e.lru = lru_.begin();
+void CachingBackend::touch(Entry& e, std::uint64_t key) {
+  CacheCore& c = *core_;
+  if (c.policy_ == CachePolicy::kLru) {
+    // v1 single-list LRU: probation_ doubles as the one list.
+    c.probation_.erase(e.lru);
+    c.probation_.push_front(key);
+    e.lru = c.probation_.begin();
+    return;
+  }
+  if (e.prot) {
+    c.protected_.erase(e.lru);
+    c.protected_.push_front(key);
+    e.lru = c.protected_.begin();
+    return;
+  }
+  // Re-reference of a probation resident: promote.  This is the admission
+  // gate -- a one-pass scan touches each block once and never gets here, so
+  // scan traffic can only churn probation while the re-referenced working
+  // set sits protected.
+  c.probation_.erase(e.lru);
+  c.protected_.push_front(key);
+  e.lru = c.protected_.begin();
+  e.prot = true;
+  if (c.protected_.size() > c.prot_cap_) {
+    // Demote the protected LRU to probation-front: it outlived its
+    // re-reference credit but still outranks a never-retouched scan block.
+    const std::uint64_t demoted = c.protected_.back();
+    c.protected_.pop_back();
+    Entry& d = c.entries_.at(demoted);
+    c.probation_.push_front(demoted);
+    d.lru = c.probation_.begin();
+    d.prot = false;
+  }
 }
 
-Status CachingBackend::write_back_run(std::uint64_t block) {
-  // Maximal run of consecutive cached dirty blocks around `block`: one
+Status CachingBackend::write_back_run(std::uint64_t key) {
+  CacheCore& c = *core_;
+  auto fnd = [&c](std::uint64_t k) -> Entry* {
+    auto it = c.entries_.find(k);
+    return it == c.entries_.end() ? nullptr : &it->second;
+  };
+  // Maximal run of consecutive cached dirty blocks around `key`: one
   // coalesced write_many frame instead of a narrow write per eviction.
-  std::uint64_t lo = block, hi = block;
-  while (lo > 0) {
-    Entry* e = find(lo - 1);
+  // Keys namespace the id space per view, so every neighbor in the run
+  // belongs to the same view -- and is written back through ITS inner.
+  std::uint64_t lo = key, hi = key;
+  while (block_of(lo) > 0) {
+    Entry* e = fnd(lo - 1);
     if (e == nullptr || !e->dirty) break;
     --lo;
   }
   for (;;) {
-    Entry* e = find(hi + 1);
+    Entry* e = fnd(hi + 1);
     if (e == nullptr || !e->dirty) break;
     ++hi;
   }
+  CachingBackend* owner = c.entries_.at(key).owner;
   const std::size_t bw = block_words();
   const std::size_t n = static_cast<std::size_t>(hi - lo + 1);
   std::vector<std::uint64_t> ids(n);
-  wb_stage_.resize(n * bw);
+  owner->wb_stage_.resize(n * bw);
   for (std::size_t i = 0; i < n; ++i) {
-    ids[i] = lo + i;
-    std::memcpy(wb_stage_.data() + i * bw, slot_data(entries_[lo + i].slot),
-                bw * sizeof(Word));
+    ids[i] = block_of(lo + i);
+    std::memcpy(owner->wb_stage_.data() + i * bw,
+                slot_data(c.entries_.at(lo + i).slot), bw * sizeof(Word));
   }
-  OEM_RETURN_IF_ERROR(inner_->write_many(ids, wb_stage_));
+  OEM_RETURN_IF_ERROR(owner->inner_->write_many(ids, owner->wb_stage_));
   // Only mark clean once the write landed: a transient failure above leaves
   // the dirty state (and the data) untouched for the device's retry.
-  for (std::uint64_t b = lo; b <= hi; ++b) entries_[b].dirty = false;
-  writebacks_.fetch_add(n, std::memory_order_relaxed);
-  writeback_ops_.fetch_add(1, std::memory_order_relaxed);
+  for (std::uint64_t k = lo; k <= hi; ++k) c.entries_.at(k).dirty = false;
+  owner->writebacks_.fetch_add(n, std::memory_order_relaxed);
+  owner->writeback_ops_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status CachingBackend::evict_one(std::size_t* slot) {
-  assert(!lru_.empty());
-  const std::uint64_t victim = lru_.back();
-  Entry& e = entries_[victim];
-  if (e.dirty) OEM_RETURN_IF_ERROR(write_back_run(victim));
-  *slot = e.slot;
-  lru_.pop_back();
-  entries_.erase(victim);
-  evictions_.fetch_add(1, std::memory_order_relaxed);
-  return Status::Ok();
+  CacheCore& c = *core_;
+  // Probation drains first (under kLru everything lives there); protected
+  // blocks go only when probation has no eligible victim.  Ineligible:
+  // batch-pinned entries (see do_write_many) and dirty entries whose owner
+  // view has begun-but-incomplete split-phase ops -- a synchronous
+  // write-back through that inner would land mid-flight inside its FIFO.
+  for (std::list<std::uint64_t>* seg : {&c.probation_, &c.protected_}) {
+    for (auto it = seg->rbegin(); it != seg->rend(); ++it) {
+      const std::uint64_t victim = *it;
+      Entry& e = c.entries_.at(victim);
+      if (e.pinned) continue;
+      if (e.dirty && !e.owner->pending_.empty()) continue;
+      if (e.dirty) OEM_RETURN_IF_ERROR(write_back_run(victim));
+      if (seg == &c.probation_ && c.policy_ == CachePolicy::kScanResistant)
+        e.owner->admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      e.owner->evictions_.fetch_add(1, std::memory_order_relaxed);
+      *slot = e.slot;
+      seg->erase(e.lru);
+      c.entries_.erase(victim);
+      return Status::Ok();
+    }
+  }
+  return Status::Io(
+      "cache eviction blocked: every resident block is pinned or owned by a "
+      "view with in-flight frames");
 }
 
 Result<CachingBackend::Entry*> CachingBackend::insert(std::uint64_t block) {
+  CacheCore& c = *core_;
   std::size_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
+  if (!c.free_slots_.empty()) {
+    slot = c.free_slots_.back();
+    c.free_slots_.pop_back();
   } else {
     OEM_RETURN_IF_ERROR(evict_one(&slot));
   }
-  lru_.push_front(block);
+  const std::uint64_t key = key_of(block);
+  c.probation_.push_front(key);
   Entry e;
+  e.owner = this;
   e.slot = slot;
   e.dirty = false;
-  e.lru = lru_.begin();
-  return &entries_.emplace(block, e).first->second;
+  e.prot = false;
+  e.lru = c.probation_.begin();
+  return &c.entries_.emplace(key, e).first->second;
+}
+
+void CachingBackend::erase_entry(std::uint64_t key) {
+  CacheCore& c = *core_;
+  auto it = c.entries_.find(key);
+  if (it == c.entries_.end()) return;
+  Entry& e = it->second;
+  (e.prot ? c.protected_ : c.probation_).erase(e.lru);
+  c.free_slots_.push_back(e.slot);
+  c.entries_.erase(it);
+}
+
+void CachingBackend::drop_view() {
+  CacheCore& c = *core_;
+  std::vector<std::uint64_t> own;
+  own.reserve(c.entries_.size());
+  for (const auto& [key, e] : c.entries_)
+    if (e.owner == this) own.push_back(key);
+  for (std::uint64_t k : own) erase_entry(k);
 }
 
 Status CachingBackend::flush() {
-  Status st = flush_impl();
+  Status st;
+  {
+    std::lock_guard<std::mutex> lk(core_->mu_);
+    st = flush_impl();
+  }
   if (!st.ok()) {
     // Latch the failure so it cannot vanish with the destructor's
     // best-effort flush: the count and first error stay observable through
@@ -918,38 +1076,42 @@ Status CachingBackend::flush() {
 }
 
 Status CachingBackend::flush_impl() {
-  // Complete any begun ops first (callers normally already have).
-  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
-  std::vector<std::uint64_t> dirty;
-  for (const auto& [block, e] : entries_)
-    if (e.dirty) dirty.push_back(block);
-  if (dirty.empty()) return inner_->flush();
-  std::sort(dirty.begin(), dirty.end());
+  // Complete any begun ops first (callers normally already have).  Only THIS
+  // view's dirty blocks are written back: a shared core's other sessions
+  // flush their own data on their own schedule.
+  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest_locked());
+  CacheCore& c = *core_;
+  std::vector<std::uint64_t> dirty_keys;
+  for (const auto& [key, e] : c.entries_)
+    if (e.owner == this && e.dirty) dirty_keys.push_back(key);
+  if (dirty_keys.empty()) return inner_->flush();
+  std::sort(dirty_keys.begin(), dirty_keys.end());
   const std::size_t bw = block_words();
-  wb_stage_.resize(dirty.size() * bw);
-  for (std::size_t i = 0; i < dirty.size(); ++i)
-    std::memcpy(wb_stage_.data() + i * bw, slot_data(entries_[dirty[i]].slot),
-                bw * sizeof(Word));
-  OEM_RETURN_IF_ERROR(inner_->write_many(dirty, wb_stage_));
-  for (std::uint64_t b : dirty) entries_[b].dirty = false;
-  writebacks_.fetch_add(dirty.size(), std::memory_order_relaxed);
+  std::vector<std::uint64_t> ids(dirty_keys.size());
+  wb_stage_.resize(dirty_keys.size() * bw);
+  for (std::size_t i = 0; i < dirty_keys.size(); ++i) {
+    ids[i] = block_of(dirty_keys[i]);
+    std::memcpy(wb_stage_.data() + i * bw,
+                slot_data(c.entries_.at(dirty_keys[i]).slot), bw * sizeof(Word));
+  }
+  OEM_RETURN_IF_ERROR(inner_->write_many(ids, wb_stage_));
+  for (std::uint64_t k : dirty_keys) c.entries_.at(k).dirty = false;
+  writebacks_.fetch_add(dirty_keys.size(), std::memory_order_relaxed);
   writeback_ops_.fetch_add(1, std::memory_order_relaxed);
   return inner_->flush();
 }
 
 Status CachingBackend::do_resize(std::uint64_t nblocks) {
-  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
+  std::lock_guard<std::mutex> lk(core_->mu_);
+  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest_locked());
   // Shrunk-away blocks are gone by contract -- dirty included -- so a later
-  // re-grow reads them as zero, exactly like the store below.
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first >= nblocks) {
-      free_slots_.push_back(it->second.slot);
-      lru_.erase(it->second.lru);
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // re-grow reads them as zero, exactly like the store below.  Only this
+  // view's namespace is affected.
+  CacheCore& c = *core_;
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [key, e] : c.entries_)
+    if (e.owner == this && block_of(key) >= nblocks) doomed.push_back(key);
+  for (std::uint64_t k : doomed) erase_entry(k);
   return inner_->resize(nblocks);
 }
 
@@ -965,7 +1127,8 @@ Status CachingBackend::do_write(std::uint64_t block, std::span<const Word> in) {
 
 Status CachingBackend::do_read_many(std::span<const std::uint64_t> blocks,
                                     std::span<Word> out) {
-  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
+  std::lock_guard<std::mutex> core_lk(core_->mu_);
+  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest_locked());
   const std::size_t bw = block_words();
   // Stats are credited only on success: the device's retry loop re-invokes
   // the whole op on kIo, and re-served hits must not count twice.
@@ -976,7 +1139,7 @@ Status CachingBackend::do_read_many(std::span<const std::uint64_t> blocks,
     Entry* e = find(blocks[i]);
     if (e != nullptr) {
       std::memcpy(out.data() + i * bw, slot_data(e->slot), bw * sizeof(Word));
-      touch(*e, blocks[i]);
+      touch(*e, key_of(blocks[i]));
       ++op_hits;
     } else {
       miss_ids.push_back(blocks[i]);
@@ -1003,8 +1166,10 @@ Status CachingBackend::do_read_many(std::span<const std::uint64_t> blocks,
     misses_.fetch_add(miss_ids.size(), std::memory_order_relaxed);
     return Status::Ok();
   }
-  std::vector<Word> staging(miss_ids.size() * bw);
-  OEM_RETURN_IF_ERROR(inner_->read_many(miss_ids, staging));
+  ArenaBuffer staging;
+  staging.resize(miss_ids.size() * bw);
+  OEM_RETURN_IF_ERROR(
+      inner_->read_many(miss_ids, std::span<Word>(staging.data(), staging.size())));
   for (std::size_t j = 0; j < miss_ids.size(); ++j) {
     std::memcpy(out.data() + miss_pos[j] * bw, staging.data() + j * bw,
                 bw * sizeof(Word));
@@ -1020,7 +1185,9 @@ Status CachingBackend::do_read_many(std::span<const std::uint64_t> blocks,
 
 Status CachingBackend::do_write_many(std::span<const std::uint64_t> blocks,
                                      std::span<const Word> in) {
-  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest());
+  std::lock_guard<std::mutex> core_lk(core_->mu_);
+  while (!pending_.empty()) OEM_RETURN_IF_ERROR(do_complete_oldest_locked());
+  CacheCore& c = *core_;
   const std::size_t bw = block_words();
   // Atomic-by-rejection, like every other backend: everything that can fail
   // (eviction write-backs, a write-through) happens BEFORE any of this
@@ -1034,19 +1201,27 @@ Status CachingBackend::do_write_many(std::span<const std::uint64_t> blocks,
     ++unique;
     if (find(blocks[i]) == nullptr) ++fresh;
   }
-  const bool fits = unique <= cap_;
+  const bool fits = unique <= c.cap_;
+  Status phase1;
   if (fits) {
-    // Phase 1a: pin this batch's cached entries at the LRU front so the
+    // Phase 1a: pin this batch's cached entries (and front them) so the
     // slot-freeing evictions below can only pick non-batch victims (the
     // capacity argument: unique <= cap_ guarantees enough of them).
     for (std::size_t i = 0; i < blocks.size(); ++i)
-      if (Entry* e = find(blocks[i])) touch(*e, blocks[i]);
+      if (Entry* e = find(blocks[i])) {
+        touch(*e, key_of(blocks[i]));
+        e->pinned = true;
+      }
     // Phase 1b: secure a slot per fresh id -- the only failure point.
-    while (free_slots_.size() < fresh) {
+    while (phase1.ok() && c.free_slots_.size() < fresh) {
       std::size_t slot;
-      OEM_RETURN_IF_ERROR(evict_one(&slot));
-      free_slots_.push_back(slot);
+      phase1 = evict_one(&slot);
+      if (phase1.ok()) c.free_slots_.push_back(slot);
     }
+    // Unpin before any return: pins only shield this batch's phase 1b.
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+      if (Entry* e = find(blocks[i])) e->pinned = false;
+    OEM_RETURN_IF_ERROR(phase1);
   } else {
     // Degenerate batch wider than the whole cache: write the uncached
     // subset through (one failable op, first), then absorb the cached
@@ -1074,7 +1249,7 @@ Status CachingBackend::do_write_many(std::span<const std::uint64_t> blocks,
       assert(inserted.ok());
       e = *inserted;
     } else {
-      touch(*e, blocks[i]);
+      touch(*e, key_of(blocks[i]));
     }
     std::memcpy(slot_data(e->slot), in.data() + i * bw, bw * sizeof(Word));
     e->dirty = true;
@@ -1101,6 +1276,7 @@ Status CachingBackend::do_write_many(std::span<const std::uint64_t> blocks,
 
 Status CachingBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
                                           std::span<Word> out) {
+  std::lock_guard<std::mutex> core_lk(core_->mu_);
   const std::size_t bw = block_words();
   PendingOp op;
   op.is_read = true;
@@ -1109,7 +1285,7 @@ Status CachingBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
     Entry* e = find(blocks[i]);
     if (e != nullptr) {
       std::memcpy(out.data() + i * bw, slot_data(e->slot), bw * sizeof(Word));
-      touch(*e, blocks[i]);
+      touch(*e, key_of(blocks[i]));
       ++op.hits;
     } else {
       op.miss_ids.push_back(blocks[i]);
@@ -1126,7 +1302,8 @@ Status CachingBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
           op.miss_ids, out.subspan(op.miss_pos[0] * bw, op.miss_ids.size() * bw));
     } else {
       op.staging.resize(op.miss_ids.size() * bw);
-      st = inner_->begin_read_many(op.miss_ids, op.staging);
+      st = inner_->begin_read_many(
+          op.miss_ids, std::span<Word>(op.staging.data(), op.staging.size()));
     }
     if (!st.ok()) return st;  // nothing begun, nothing to unwind
     op.has_frame = true;
@@ -1137,6 +1314,7 @@ Status CachingBackend::do_begin_read_many(std::span<const std::uint64_t> blocks,
 
 Status CachingBackend::do_begin_write_many(std::span<const std::uint64_t> blocks,
                                            std::span<const Word> in) {
+  std::lock_guard<std::mutex> core_lk(core_->mu_);
   const std::size_t bw = block_words();
   PendingOp op;
   std::vector<std::uint64_t> around_ids;
@@ -1176,7 +1354,7 @@ Status CachingBackend::do_begin_write_many(std::span<const std::uint64_t> blocks
     if (e == nullptr) continue;  // written around above
     std::memcpy(slot_data(e->slot), in.data() + i * bw, bw * sizeof(Word));
     e->dirty = true;
-    touch(*e, blocks[i]);
+    touch(*e, key_of(blocks[i]));
     ++op.absorbed;
   }
   pending_.push_back(std::move(op));
@@ -1193,7 +1371,13 @@ bool CachingBackend::write_around_in_flight(std::uint64_t block) const {
 }
 
 Status CachingBackend::do_complete_oldest() {
+  std::lock_guard<std::mutex> core_lk(core_->mu_);
+  return do_complete_oldest_locked();
+}
+
+Status CachingBackend::do_complete_oldest_locked() {
   if (pending_.empty()) return Status::Ok();
+  CacheCore& c = *core_;
   PendingOp op = std::move(pending_.front());
   pending_.pop_front();
   Status st;
@@ -1209,30 +1393,51 @@ Status CachingBackend::do_complete_oldest() {
     // the synchronous read path's insert, deferred to the moment the bytes
     // exist.  See the guards in the section comment above: no inner I/O
     // (free slot or clean victim only) and no block with a write-around
-    // frame still in flight.
+    // frame still in flight.  Victims come from the probation tail first --
+    // a fetched miss is itself probationary, so it never displaces the
+    // protected set.
     for (std::size_t j = 0; j < op.miss_ids.size(); ++j) {
       const std::uint64_t b = op.miss_ids[j];
       if (find(b) != nullptr) continue;  // duplicate id or already granted
       if (write_around_in_flight(b)) continue;
-      std::size_t slot;
-      if (!free_slots_.empty()) {
-        slot = free_slots_.back();
-        free_slots_.pop_back();
-      } else if (!lru_.empty() && !entries_[lru_.back()].dirty) {
-        const std::uint64_t victim = lru_.back();
-        slot = entries_[victim].slot;
-        lru_.pop_back();
-        entries_.erase(victim);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
+      std::size_t slot = 0;
+      bool have_slot = false;
+      if (!c.free_slots_.empty()) {
+        slot = c.free_slots_.back();
+        c.free_slots_.pop_back();
+        have_slot = true;
       } else {
-        continue;  // only dirty victims left: inserting would need inner I/O
+        for (std::list<std::uint64_t>* seg : {&c.probation_, &c.protected_}) {
+          for (auto it = seg->rbegin(); it != seg->rend(); ++it) {
+            Entry& v = c.entries_.at(*it);
+            if (v.dirty || v.pinned) continue;
+            slot = v.slot;
+            v.owner->evictions_.fetch_add(1, std::memory_order_relaxed);
+            c.entries_.erase(*it);
+            seg->erase(std::next(it).base());
+            have_slot = true;
+            break;
+          }
+          if (have_slot) break;
+        }
       }
-      lru_.push_front(b);
+      if (!have_slot) {
+        // Every resident block is dirty or pinned: granting residency would
+        // need inner I/O mid-FIFO.  Decline -- the bytes are already in the
+        // caller's hands, only the cache copy is skipped.
+        admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::uint64_t key = key_of(b);
+      c.probation_.push_front(key);
       Entry e;
+      e.owner = this;
       e.slot = slot;
       e.dirty = false;
-      e.lru = lru_.begin();
-      entries_.emplace(b, e);
+      e.prot = false;
+      e.pinned = false;
+      e.lru = c.probation_.begin();
+      c.entries_.emplace(key, e);
       const Word* src = op.staging.empty() ? op.out + op.miss_pos[j] * bw
                                            : op.staging.data() + j * bw;
       std::memcpy(slot_data(slot), src, bw * sizeof(Word));
@@ -1303,11 +1508,20 @@ BackendFactory tampering_backend(BackendFactory inner, TamperProfile profile) {
   };
 }
 
-BackendFactory caching_backend(BackendFactory inner, std::size_t capacity_blocks) {
-  return [inner = std::move(inner),
-          capacity_blocks](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
+BackendFactory caching_backend(BackendFactory inner, std::size_t capacity_blocks,
+                               CachePolicy policy) {
+  return [inner = std::move(inner), capacity_blocks,
+          policy](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
     auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
-    return std::make_unique<CachingBackend>(std::move(base), capacity_blocks);
+    return std::make_unique<CachingBackend>(std::move(base), capacity_blocks, policy);
+  };
+}
+
+BackendFactory caching_backend(BackendFactory inner, SharedCacheHandle core) {
+  return [inner = std::move(inner),
+          core = std::move(core)](std::size_t block_words) -> std::unique_ptr<StorageBackend> {
+    auto base = inner ? inner(block_words) : std::make_unique<MemBackend>(block_words);
+    return std::make_unique<CachingBackend>(std::move(base), core);
   };
 }
 

@@ -81,6 +81,7 @@
 #include <utility>
 #include <vector>
 
+#include "extmem/arena.h"
 #include "extmem/backend.h"
 
 namespace oem {
@@ -142,12 +143,15 @@ class ShardedBackend : public StorageBackend {
   struct SubBatch {
     std::vector<std::uint64_t> inner_ids;  // block ids on the shard
     std::vector<std::size_t> flat;         // position in the caller's batch
-    std::vector<Word> staging;             // contiguous per-shard transfer buffer
+    ArenaBuffer staging;                   // contiguous per-shard transfer buffer
     Status status;
   };
 
   /// One outstanding split-phase batch: its per-shard sub-frames, in the
   /// order their begin_* frames were issued (= completion order per shard).
+  /// Parts are pooled (part_pool_): a retired frame's parts keep their id
+  /// and staging capacity for the next begun batch, so the steady-state
+  /// split-phase path performs zero heap allocations per frame.
   struct ShardFrame {
     struct Part {
       std::size_t shard = 0;
@@ -155,7 +159,7 @@ class ShardedBackend : public StorageBackend {
       std::vector<std::size_t> flat;  // caller positions; empty for a
                                       // contiguous run starting at flat0
       std::size_t flat0 = 0;
-      std::vector<Word> staging;      // read landing zone for strided parts
+      ArenaBuffer staging;            // read landing zone for strided parts
     };
     bool is_write = false;
     std::span<Word> rout;  // caller read dest; valid until complete_oldest
@@ -170,8 +174,11 @@ class ShardedBackend : public StorageBackend {
   std::vector<std::unique_ptr<StorageBackend>> shards_;
   std::vector<SubBatch> sub_;
   /// Completes the oldest outstanding batch: one complete per involved
-  /// shard, scattering strided read parts into the caller's buffer.
+  /// shard, scattering strided read parts into the caller's buffer, then
+  /// recycles the frame's parts into part_pool_.
   Status complete_frame(ShardFrame f);
+  /// Pops a pooled Part (or a fresh one), reset for reuse.
+  ShardFrame::Part acquire_part();
   /// Fails a partially-begun batch without breaking any shard's FIFO: every
   /// OLDER batch is completed first (in order, statuses stashed for the
   /// caller's later complete_oldest calls -- their destinations are still
@@ -182,7 +189,8 @@ class ShardedBackend : public StorageBackend {
 
   std::deque<ShardFrame> frames_;  // outstanding split-phase batches (FIFO)
   std::deque<Status> completed_early_;  // statuses of batches retired by an abort
-  std::vector<Word> wstage_;       // strided write gather scratch (consumed at begin)
+  std::vector<ShardFrame::Part> part_pool_;  // retired parts, capacity retained
+  ArenaBuffer wstage_;             // strided write gather scratch (consumed at begin)
 
   // Dispatch state: the main thread publishes a batch under mu_ and bumps
   // gen_; workers with a non-empty slice run it and decrement pending_.
@@ -285,12 +293,19 @@ class AsyncBackend : public StorageBackend {
   };
 
   void io_loop();
+  /// Pops a pooled Op (blocks/wdata capacity retained from a retired op,
+  /// other fields reset) -- caller holds mu_.  Retired ops return via
+  /// recycle_op() on the I/O thread, so a steady-state submit stream
+  /// performs zero heap allocations per op.
+  Op acquire_op_locked();
+  void recycle_op(Op&& op);
 
   std::unique_ptr<StorageBackend> inner_;
   std::mutex mu_;
   std::condition_variable queue_cv_;
   std::condition_variable done_cv_;
-  std::deque<Op> queue_;  // guarded by mu_
+  std::deque<Op> queue_;    // guarded by mu_
+  std::vector<Op> op_pool_;  // retired ops for reuse (guarded by mu_)
   // Modified under mu_ (so the cv waits are race-free) but also read
   // lock-free by brief spin loops that avoid a futex round trip per op.
   std::atomic<std::uint64_t> completed_{0};
@@ -505,6 +520,9 @@ class TamperingBackend : public StorageBackend {
 
 /// Read-hit / write-absorption counters.  Snapshot of atomics: a cache under
 /// an AsyncBackend is driven from the I/O thread while the main thread reads.
+/// On a shared cache (make_shared_cache) every attached view keeps its OWN
+/// counters, so a multi-session server can report per-session numbers while
+/// the residency itself is shared.
 struct CacheStats {
   std::uint64_t hits = 0;             // read blocks served from the cache
   std::uint64_t misses = 0;           // read blocks fetched from the inner store
@@ -513,14 +531,94 @@ struct CacheStats {
   std::uint64_t writeback_ops = 0;    // coalesced write-back frames issued
   std::uint64_t evictions = 0;        // cached blocks dropped to make room
   std::uint64_t flush_failures = 0;   // flush() calls that could not land dirty data
+  /// Scan-resistance at work: blocks dropped from the probation segment
+  /// without ever being re-referenced (a one-pass scan's blocks end here
+  /// instead of evicting the protected working set), plus split-phase
+  /// residency grants that had to be declined.
+  std::uint64_t admission_rejects = 0;
   double hit_rate() const {
     const std::uint64_t n = hits + misses;
     return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
   }
 };
 
-/// LRU write-back block cache.  Reads of cached blocks never reach the inner
-/// store; writes are absorbed (marked dirty) and written back only on
+/// Admission/eviction policy of a CacheCore.
+enum class CachePolicy {
+  /// Segmented LRU (the default): a block enters the PROBATION segment on
+  /// first touch and is promoted to the PROTECTED segment (~3/4 of
+  /// capacity) only on re-reference; eviction drains probation first.  A
+  /// one-pass reshuffle or sort sweep therefore churns through probation
+  /// while the re-referenced hot set (ORAM position maps, the working
+  /// window) stays protected.
+  kScanResistant,
+  /// The v1 single-list LRU, kept as the bench_hierarchy baseline.
+  kLru,
+};
+
+class CachingBackend;
+
+/// The shareable heart of a CachingBackend: the slab, the residency index,
+/// and the segmented-LRU lists behind one mutex.  N Sessions attach N
+/// CachingBackend *views* to one core (make_shared_cache +
+/// Session::Builder::shared_cache); each view brings its own inner backend
+/// and its own stats, while residency and eviction pressure are shared.
+/// Entries are namespaced per view -- (view id << 48) | block -- so two
+/// sessions' block 7 never collide, and every entry remembers its owning
+/// view so a dirty victim is written back through the RIGHT inner store no
+/// matter which view triggered the eviction.
+///
+/// Geometry is fixed lazily: make_shared_cache picks only the capacity, the
+/// first attached view supplies block_words, and every later view must
+/// match it (mismatch surfaces at that view's health()).
+class CacheCore {
+ public:
+  CacheCore(std::size_t capacity_blocks, CachePolicy policy);
+  std::size_t capacity_blocks() const { return cap_; }
+  CachePolicy policy() const { return policy_; }
+  /// Resident blocks across every attached view.
+  std::size_t cached_blocks() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+  }
+
+ private:
+  friend class CachingBackend;
+  struct Entry {
+    CachingBackend* owner = nullptr;  // view that caches (and writes back) it
+    std::size_t slot = 0;
+    bool dirty = false;
+    bool prot = false;    // resident in the protected segment
+    bool pinned = false;  // mid-batch eviction shield (see do_write_many)
+    std::list<std::uint64_t>::iterator lru;  // position in its segment list
+  };
+
+  const std::size_t cap_;
+  const std::size_t prot_cap_;  // protected-segment capacity (~3/4 of cap_)
+  const CachePolicy policy_;
+  mutable std::mutex mu_;       // guards everything below AND every view's
+                                // cache operation end to end
+  std::size_t block_words_ = 0;  // fixed by the first attached view
+  std::vector<Word> slab_;       // cap_ * block_words_ words
+  std::vector<std::size_t> free_slots_;
+  std::unordered_map<std::uint64_t, Entry> entries_;  // key = view<<48 | block
+  std::list<std::uint64_t> probation_;   // front = most recently admitted
+  std::list<std::uint64_t> protected_;   // front = most recently re-referenced
+  std::uint64_t next_view_id_ = 0;
+};
+
+/// Shared ownership of a cache core: Sessions (and the oem-server) hold one
+/// handle and hand it to every Session::Builder::shared_cache call; the core
+/// dies with its last view.
+using SharedCacheHandle = std::shared_ptr<CacheCore>;
+
+/// A cache core to share across Sessions.  `capacity_blocks` >= 1; the block
+/// geometry is adopted from the first attached Session.
+SharedCacheHandle make_shared_cache(std::size_t capacity_blocks,
+                                    CachePolicy policy = CachePolicy::kScanResistant);
+
+/// Write-back block cache view over a CacheCore (segmented-LRU by default,
+/// scan-resistant; see CachePolicy).  Reads of cached blocks never reach the
+/// inner store; writes are absorbed (marked dirty) and written back only on
 /// eviction, flush() or destruction -- with cached dirty NEIGHBORS of the
 /// victim coalesced into the same batched write-back frame, so a hot working
 /// set streams back as few wide writes instead of many narrow ones.  The
@@ -553,8 +651,14 @@ struct CacheStats {
 /// Session::flush_storage()) and check the Status before teardown.
 class CachingBackend : public StorageBackend {
  public:
-  CachingBackend(std::unique_ptr<StorageBackend> inner, std::size_t capacity_blocks);
-  ~CachingBackend() override;  // best-effort flush of dirty blocks
+  /// Private core: this view owns a fresh CacheCore of `capacity_blocks`.
+  CachingBackend(std::unique_ptr<StorageBackend> inner, std::size_t capacity_blocks,
+                 CachePolicy policy = CachePolicy::kScanResistant);
+  /// Shared core: attach a view to `core` (make_shared_cache).  Residency
+  /// and capacity pressure are shared with every other attached view; this
+  /// view's inner store, pending split-phase FIFO, and stats stay private.
+  CachingBackend(std::unique_ptr<StorageBackend> inner, SharedCacheHandle core);
+  ~CachingBackend() override;  // best-effort flush + drop of this view's blocks
   const char* name() const override { return "cache"; }
   Status health() const override {
     if (!init_status_.ok()) return init_status_;
@@ -568,8 +672,13 @@ class CachingBackend : public StorageBackend {
   StorageBackend& inner() { return *inner_; }
   const StorageBackend& inner() const { return *inner_; }
   const StorageBackend* inner_backend() const override { return inner_.get(); }
-  std::size_t capacity_blocks() const { return cap_; }
-  std::size_t cached_blocks() const { return entries_.size(); }
+  std::size_t capacity_blocks() const { return core_->capacity_blocks(); }
+  /// Blocks resident across ALL views of the core (== this view's blocks
+  /// for a private core).
+  std::size_t cached_blocks() const { return core_->cached_blocks(); }
+  const CacheCore& core() const { return *core_; }
+  /// This view's id within the core (0 for the first/private view).
+  std::uint64_t view_id() const { return view_id_; }
 
   /// Write back every dirty block (coalesced into runs), keeping them
   /// cached-clean, then flush the inner store.  Synchronous: callers must
@@ -586,6 +695,7 @@ class CachingBackend : public StorageBackend {
     s.writeback_ops = writeback_ops_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.flush_failures = flush_failures_.load(std::memory_order_relaxed);
+    s.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -606,11 +716,7 @@ class CachingBackend : public StorageBackend {
   Status do_complete_oldest() override;
 
  private:
-  struct Entry {
-    std::size_t slot = 0;
-    bool dirty = false;
-    std::list<std::uint64_t>::iterator lru;  // position in lru_ (front = hottest)
-  };
+  using Entry = CacheCore::Entry;
 
   /// One begun split-phase batch.  The BEGIN half never mutates cache
   /// residency (no allocation, no eviction): hits are served/absorbed at
@@ -630,7 +736,7 @@ class CachingBackend : public StorageBackend {
     /// would go stale when the around-frame lands below).
     std::vector<std::uint64_t> miss_ids;
     std::vector<std::size_t> miss_pos;       // read misses' caller-batch positions
-    std::vector<Word> staging;               // miss landing zone ([] = borrowed out)
+    ArenaBuffer staging;                     // miss landing zone ([] = borrowed out)
     Word* out = nullptr;                     // caller read dest base
     // Stats are credited only at a SUCCESSFUL completion: a kIo'd op is
     // replayed through the synchronous path, which counts it then --
@@ -640,36 +746,64 @@ class CachingBackend : public StorageBackend {
     std::uint64_t absorbed = 0;
   };
 
-  Word* slot_data(std::size_t slot) { return slab_.data() + slot * block_words(); }
+  // Every helper below assumes the caller holds core_->mu_ -- each public
+  // data-path op takes it once, end to end, so views on other threads (a
+  // shared core under N sessions) are fully serialized against it and a
+  // cross-view write-back can never interleave with the owner's own I/O.
+
+  /// This view's namespaced residency key for `block`.
+  std::uint64_t key_of(std::uint64_t block) const {
+    return (view_id_ << 48) | block;
+  }
+  static std::uint64_t block_of(std::uint64_t key) {
+    return key & ((std::uint64_t{1} << 48) - 1);
+  }
+  Word* slot_data(std::size_t slot) {
+    return core_->slab_.data() + slot * block_words();
+  }
   Entry* find(std::uint64_t block);
-  void touch(Entry& e, std::uint64_t block);
-  /// Frees one slot by evicting the least-recently-used entry.  A dirty
-  /// victim is written back FIRST -- together with the maximal run of
-  /// consecutive cached dirty neighbors, coalesced into one batched inner
-  /// write (the neighbors stay cached, now clean) -- and the entry is only
-  /// erased once that write landed, so a transient write-back failure
-  /// surfaces as the op's error with no data-loss window and the device's
-  /// retry re-runs it from unchanged state.
+  /// Policy-dependent re-reference: kLru fronts the single list; segmented
+  /// LRU promotes a probation entry to the protected segment (demoting the
+  /// protected LRU back to probation when that segment is full).
+  void touch(Entry& e, std::uint64_t key);
+  /// Frees one slot by evicting the coldest ELIGIBLE entry -- probation
+  /// back-to-front first, then protected -- skipping dirty entries whose
+  /// owner view has begun-but-incomplete split-phase ops (writing those
+  /// back would corrupt that view's inner FIFO mid-flight).  A dirty
+  /// victim is written back FIRST through its OWNER's inner store --
+  /// together with the maximal run of consecutive cached dirty neighbors,
+  /// coalesced into one batched inner write (the neighbors stay cached,
+  /// now clean) -- and the entry is only erased once that write landed, so
+  /// a transient write-back failure surfaces as the op's error with no
+  /// data-loss window and the device's retry re-runs it from unchanged
+  /// state.
   Status evict_one(std::size_t* slot);
-  /// Slot for `block` (free or evicted); inserts the entry (clean, MRU).
+  /// Slot for `block` (free or evicted); inserts this view's entry (clean,
+  /// probation-front: admission to the protected segment takes a re-touch).
   Result<Entry*> insert(std::uint64_t block);
   /// Writes back the maximal consecutive run of cached dirty blocks around
-  /// `block` in one coalesced inner write_many, marking the run clean.
-  Status write_back_run(std::uint64_t block);
-  /// flush() minus the failure latching.
+  /// `key` (same view by construction: keys namespace the id space) in one
+  /// coalesced write_many through the owning view's inner store, marking
+  /// the run clean.
+  Status write_back_run(std::uint64_t key);
+  /// flush() minus the failure latching (caller holds core_->mu_).
   Status flush_impl();
   /// True when a still-pending begun write's around-frame targets `block`.
   bool write_around_in_flight(std::uint64_t block) const;
+  /// Erases `key`'s entry from its segment list + the index, freeing its
+  /// slot into the core's free list.
+  void erase_entry(std::uint64_t key);
+  /// Detaches this view: every resident entry is dropped (dirty ones were
+  /// flushed by the destructor's flush first).
+  void drop_view();
+  Status do_complete_oldest_locked();
 
   std::unique_ptr<StorageBackend> inner_;
+  SharedCacheHandle core_;
+  std::uint64_t view_id_ = 0;
   Status init_status_;
-  std::size_t cap_ = 0;
-  std::vector<Word> slab_;                 // cap_ * block_words() words
-  std::vector<std::size_t> free_slots_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::list<std::uint64_t> lru_;           // front = most recently used
-  std::deque<PendingOp> pending_;
-  std::vector<Word> wb_stage_;             // write-back / write-around gather scratch
+  std::deque<PendingOp> pending_;   // this view's begun ops (guarded by core mu)
+  std::vector<Word> wb_stage_;      // write-back / write-around gather scratch
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> absorbed_{0};
@@ -677,6 +811,7 @@ class CachingBackend : public StorageBackend {
   std::atomic<std::uint64_t> writeback_ops_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> flush_failures_{0};
+  std::atomic<std::uint64_t> admission_rejects_{0};
   /// First flush error ever observed (latched; see class comment).
   mutable std::mutex flush_mu_;
   Status flush_error_;  // guarded by flush_mu_
@@ -718,8 +853,16 @@ BackendFactory faulty_backend(BackendFactory inner, FaultProfile profile);
 BackendFactory tampering_backend(BackendFactory inner, TamperProfile profile);
 
 /// Wrap the backend produced by `inner` (null = mem) in a CachingBackend of
-/// `capacity_blocks` blocks.  Compose ABOVE sharding/latency/encryption and
-/// UNDER async_backend; Session::Builder::cache does exactly that.
-BackendFactory caching_backend(BackendFactory inner, std::size_t capacity_blocks);
+/// `capacity_blocks` blocks (private core; scan-resistant by default, pass
+/// CachePolicy::kLru for the v1 single-list baseline).  Compose ABOVE
+/// sharding/latency/encryption and UNDER async_backend;
+/// Session::Builder::cache does exactly that.
+BackendFactory caching_backend(BackendFactory inner, std::size_t capacity_blocks,
+                               CachePolicy policy = CachePolicy::kScanResistant);
+
+/// Wrap the backend produced by `inner` (null = mem) in a CachingBackend
+/// VIEW attached to `core` (make_shared_cache) -- every factory invocation
+/// (one per Session) becomes its own view of the one shared cache.
+BackendFactory caching_backend(BackendFactory inner, SharedCacheHandle core);
 
 }  // namespace oem

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <thread>
 
+#include "extmem/arena.h"
+
 namespace oem {
 
 namespace {
@@ -30,13 +32,18 @@ struct Slot {
   // Sorted copies, built once per describe() for the hazard checks.
   std::vector<std::uint64_t> sorted_reads;
   std::vector<std::uint64_t> sorted_writes;
-  std::vector<Word> wire;                 // read ciphertext staging
+  // Ciphertext staging comes from the pooled arena (extmem/arena.h): the
+  // first K windows populate the pool, every later window recycles -- the
+  // steady state allocates nothing (pinned by tests/hierarchy_test.cc).
+  // ArenaBuffer::resize may discard contents on growth, which is fine here:
+  // both buffers are fully overwritten each window.
+  ArenaBuffer wire;                       // read ciphertext staging
   // Write ciphertext staging, BORROWED by the device (zero-copy: no
   // per-window allocation or buffer hand-off).  Reusing it K windows later
   // is safe by FIFO: window u's read ticket is submitted after window
   // u-K's writes, so dev.wait(read ticket of u) proves those writes
   // executed before this buffer is touched again.
-  std::vector<Word> wwire;
+  ArenaBuffer wwire;
   BlockDevice::IoTicket ticket = 0;
   // Last write chunk submitted from this slot: waiting on it before the
   // slot's next window encrypts makes the wwire reuse safe even for
@@ -146,7 +153,7 @@ void run_block_pipeline_impl(Client& client, std::uint64_t passes,
       // FIFO execution means waiting on the last window's ticket covers all.
       s.ticket = dev.submit_read_many(
           std::span<const std::uint64_t>(s.dev_reads).subspan(i, k),
-          std::span<Word>(s.wire).subspan(i * bw, k * bw));
+          std::span<Word>(s.wire.data(), s.wire.size()).subspan(i * bw, k * bw));
     }
   };
 
@@ -196,7 +203,8 @@ void run_block_pipeline_impl(Client& client, std::uint64_t passes,
     const std::size_t nblocks = std::max(cur.dev_reads.size(), cur.dev_writes.size());
     lease.resize(nblocks * B);
     buf.resize(nblocks * B);
-    client.decrypt_blocks(cur.dev_reads, cur.wire,
+    client.decrypt_blocks(cur.dev_reads,
+                          std::span<const Word>(cur.wire.data(), cur.wire.size()),
                           std::span<Record>(buf).first(cur.dev_reads.size() * B));
 
     // Compute phase.  Serial passes run in place on the master (stateful
@@ -235,12 +243,14 @@ void run_block_pipeline_impl(Client& client, std::uint64_t passes,
     if (!cur.dev_writes.empty()) {
       const std::size_t wneed = out_blocks * bw;
       if (cur.wwire.size() != wneed) cur.wwire.resize(wneed);
-      client.encrypt_blocks(cur.dev_writes, wsrc, cur.wwire);
+      client.encrypt_blocks(cur.dev_writes, wsrc,
+                            std::span<Word>(cur.wwire.data(), cur.wwire.size()));
       for (std::size_t i = 0; i < cur.dev_writes.size(); i += W) {
         const std::size_t k = std::min(W, cur.dev_writes.size() - i);
         cur.wticket = dev.submit_write_many_borrowed(
             std::span<const std::uint64_t>(cur.dev_writes).subspan(i, k),
-            std::span<const Word>(cur.wwire).subspan(i * bw, k * bw));
+            std::span<const Word>(cur.wwire.data(), cur.wwire.size())
+                .subspan(i * bw, k * bw));
       }
     }
     // Writes of window t are on the device: reads they were blocking (the

@@ -2,6 +2,7 @@
 //
 //   oem-server [--host=127.0.0.1] [--port=0] [--backend=mem|file]
 //              [--file-path=PATH] [--shards=1] [--threads=0]
+//              [--engine=threads|uring] [--direct] [--shared-cache=BLOCKS]
 //              [--response-delay-ns=0] [--service-delay-ns=0]
 //              [--idle-timeout-ms=0]
 //
@@ -21,6 +22,14 @@
 // serial -- the load bench's baseline).  The delay knobs mirror
 // RemoteServerOptions: response-delay is propagation (never blocks later
 // frames), service-delay occupies a worker per data frame.
+//
+// --engine=uring (or its shorthand --direct) serves file stores through
+// DirectFileBackend -- io_uring + O_DIRECT, falling back to the threaded
+// FileBackend path when the kernel or filesystem refuses (the banner's
+// engine= reports what was REQUESTED; per-store fallback is silent and
+// safe).  --shared-cache=BLOCKS puts ONE scan-resistant cache core behind
+// every store of every session in this process; stats stay per-store.
+// Both require --backend=file; --direct contradicts --engine=threads.
 #include <csignal>
 #include <unistd.h>
 
@@ -53,6 +62,9 @@ int main(int argc, char** argv) {
   const std::string file_path = flags.get("file-path", "");
   const std::size_t shards = flags.get_u64("shards", 1);
   const std::size_t threads = flags.get_u64("threads", 0);
+  const std::string engine = flags.get("engine", "");
+  const bool direct = flags.get_bool("direct", false);
+  const std::size_t shared_cache_blocks = flags.get_u64("shared-cache", 0);
   const std::uint64_t response_delay_ns = flags.get_u64("response-delay-ns", 0);
   const std::uint64_t service_delay_ns = flags.get_u64("service-delay-ns", 0);
   const std::uint64_t idle_timeout_ms = flags.get_u64("idle-timeout-ms", 0);
@@ -70,6 +82,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "oem-server: --shards must be >= 1\n");
     return 2;
   }
+  if (!engine.empty() && engine != "threads" && engine != "uring") {
+    std::fprintf(stderr,
+                 "oem-server: --engine must be threads or uring, got '%s'\n",
+                 engine.c_str());
+    return 2;
+  }
+  if (direct && engine == "threads") {
+    std::fprintf(stderr,
+                 "oem-server: --direct contradicts --engine=threads\n");
+    return 2;
+  }
+  if ((direct || !engine.empty()) && backend != "file") {
+    std::fprintf(stderr,
+                 "oem-server: --engine/--direct require --backend=file\n");
+    return 2;
+  }
+  const bool uring = direct || engine == "uring";
 
   oem::RemoteServerOptions opts;
   opts.host = host;
@@ -78,22 +107,46 @@ int main(int argc, char** argv) {
   opts.service_delay_ns = service_delay_ns;
   opts.worker_threads = threads;
   opts.idle_timeout_ms = idle_timeout_ms;
-  opts.store_factory_by_id = [backend, file_path, shards](
-                                 std::uint64_t store_id, std::size_t block_words) {
-    auto base_for = [backend, file_path, store_id,
-                     shards](std::size_t bw, std::size_t shard) {
+  // One process-wide cache core: every store (across every session) attaches
+  // a view, so the slab is shared the way one machine's page cache would be.
+  // Geometry is adopted from the first store and enforced on the rest.
+  oem::SharedCacheHandle shared_cache;
+  if (shared_cache_blocks > 0)
+    shared_cache = oem::make_shared_cache(shared_cache_blocks);
+  opts.store_factory_by_id = [backend, file_path, shards, uring, shared_cache](
+                                 std::uint64_t store_id, std::size_t block_words)
+      -> std::unique_ptr<oem::StorageBackend> {
+    auto base_for = [backend, file_path, store_id, shards,
+                     uring](std::size_t bw, std::size_t shard) {
       if (backend == "file") {
-        oem::FileBackendOptions fo;
+        std::string path;
         if (!file_path.empty()) {
-          fo.path = file_path + ".store" + std::to_string(store_id);
-          if (shards > 1) fo.path += ".shard" + std::to_string(shard);
+          path = file_path + ".store" + std::to_string(store_id);
+          if (shards > 1) path += ".shard" + std::to_string(shard);
         }
+        if (uring) {
+          oem::DirectFileOptions dopts;
+          dopts.path = path;
+          return oem::direct_file_backend(dopts)(bw);
+        }
+        oem::FileBackendOptions fo;
+        fo.path = path;
         return oem::file_backend(fo)(bw);
       }
       return oem::mem_backend()(bw);
     };
-    if (shards <= 1) return base_for(block_words, 0);
-    return oem::sharded_backend(oem::ShardFactory(base_for), shards)(block_words);
+    std::unique_ptr<oem::StorageBackend> store;
+    if (shards <= 1) {
+      store = base_for(block_words, 0);
+    } else {
+      store =
+          oem::sharded_backend(oem::ShardFactory(base_for), shards)(block_words);
+    }
+    if (shared_cache != nullptr) {
+      store = std::make_unique<oem::CachingBackend>(std::move(store),
+                                                    shared_cache);
+    }
+    return store;
   };
 
   oem::RemoteServer server(opts);
@@ -112,9 +165,12 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
 
-  std::printf("oem-server listening on %s:%u (backend=%s, shards=%zu, threads=%zu)\n",
-              server.host().c_str(), server.port(), backend.c_str(), shards,
-              server.worker_threads());
+  std::printf(
+      "oem-server listening on %s:%u (backend=%s, engine=%s, shards=%zu, "
+      "threads=%zu, shared-cache=%zu)\n",
+      server.host().c_str(), server.port(), backend.c_str(),
+      backend == "file" ? (uring ? "uring" : "threads") : "n/a", shards,
+      server.worker_threads(), shared_cache_blocks);
   std::fflush(stdout);
 
   char b;

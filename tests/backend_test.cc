@@ -42,6 +42,32 @@ BackendFactory remote_conformance_backend() {
   };
 }
 
+/// A CachingBackend view that drags a sibling view of the SAME CacheCore
+/// along for its whole lifetime: conformance must hold while another
+/// "session" owns residency in the shared slab (cross-view eviction
+/// pressure, namespaced keys, per-view write-back routing).
+struct SharedCacheViewWithSibling : CachingBackend {
+  SharedCacheViewWithSibling(std::size_t bw, SharedCacheHandle core,
+                             std::unique_ptr<StorageBackend> sib)
+      : CachingBackend(mem_backend()(bw), std::move(core)),
+        sibling(std::move(sib)) {}
+  std::unique_ptr<StorageBackend> sibling;
+};
+
+BackendFactory shared_cache_two_sessions_backend() {
+  return [](std::size_t bw) -> std::unique_ptr<StorageBackend> {
+    SharedCacheHandle core = make_shared_cache(4);
+    auto sib = std::make_unique<CachingBackend>(mem_backend()(bw), core);
+    // Park dirty sibling blocks in the shared slab so the view under test
+    // starts out competing with another session's residency.
+    (void)sib->resize(8);
+    const std::vector<Word> w(bw, 0xAB);
+    for (std::uint64_t b = 0; b < 4; ++b) (void)sib->write(b, w);
+    return std::make_unique<SharedCacheViewWithSibling>(bw, std::move(core),
+                                                        std::move(sib));
+  };
+}
+
 LatencyProfile fast_profile() {
   LatencyProfile p;
   p.per_op_ns = 1000;
@@ -86,6 +112,11 @@ std::vector<BackendCase> conformance_cases() {
        caching_backend(encrypted_backend(remote_conformance_backend(), 0x5eedULL,
                                          /*authenticated=*/true),
                        6)},
+      // io_uring + O_DIRECT path (falls back to the threaded engine on
+      // kernels/filesystems that refuse; conformance must hold either way).
+      {"direct_file", direct_file_backend()},
+      {"direct_file_sharded4", sharded_backend(direct_file_backend(), 4)},
+      {"shared_cache_2sessions", shared_cache_two_sessions_backend()},
   };
 }
 
@@ -187,7 +218,7 @@ TEST_P(BackendConformance, RejectsBadArguments) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
-                         ::testing::Range(0, 18), [](const auto& info) {
+                         ::testing::Range(0, 21), [](const auto& info) {
                            return conformance_cases()[info.param].name;
                          });
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -209,6 +210,13 @@ struct EngineCase {
   /// byte-identical to mem -- failing closed is a status-path property, not
   /// a trace property.
   bool encrypted_auth = false;
+  /// io_uring + O_DIRECT file store (DirectFileBackend; threaded fallback on
+  /// refusing kernels).  Engine choice is pure mechanism: same trace.
+  bool direct_file = false;
+  /// Attach the session to a shared CacheCore and keep a sibling session's
+  /// residency parked in the same slab for the whole run: cross-session
+  /// eviction pressure must be invisible in Bob's view.
+  bool shared_cache = false;
 };
 
 std::vector<EngineCase> engine_cases() {
@@ -237,7 +245,16 @@ std::vector<EngineCase> engine_cases() {
           // Authenticated-encryption seam (MAC verify/seal on every transfer):
           // the freshness machinery must be invisible in Bob's view.
           {"encrypted_auth", 1, false, false, false, 2, 0, false, 1,
-           /*auth=*/true}};
+           /*auth=*/true},
+          // The O_DIRECT/io_uring disk engine at pipeline depth 4: real
+          // kernel-queued I/O (or its threaded fallback) pinned against mem
+          // at the same depth.
+          {"direct_file_depth4", 1, true, false, false, /*depth=*/4, 0, false,
+           1, false, /*direct=*/true},
+          // A remote session whose write-back cache is one VIEW of a shared
+          // CacheCore under live cross-session residency pressure.
+          {"shared_cache_remote", 1, true, false, true, 2, 0, false, 1, false,
+           false, /*shared_cache=*/true}};
 }
 
 struct AlgoRun {
@@ -268,6 +285,12 @@ void run_engine_case(const EngineCase& ec, std::span<const Record> input,
   if (ec.faulty) builder.io_retries(8);
   if (ec.cache_blocks > 0) builder.cache(ec.cache_blocks);
   if (ec.encrypted_auth) builder.encrypted(0x5eedULL, /*authenticated=*/true);
+  if (ec.direct_file) builder.file_backed().direct_io();
+  SharedCacheHandle shared_core;
+  if (ec.shared_cache) {
+    shared_core = make_shared_cache(32);
+    builder.shared_cache(shared_core);
+  }
   if (ec.remote && ec.out_of_process) {
     spawned = std::make_unique<server::SpawnedServer>();
     ASSERT_TRUE(spawned->health().ok()) << ec.name << ": " << spawned->health();
@@ -280,6 +303,22 @@ void run_engine_case(const EngineCase& ec, std::span<const Record> input,
   auto built = builder.build();
   ASSERT_TRUE(built.ok()) << ec.name << ": " << built.status();
   Session session = std::move(built).value();
+  // The sibling session for shared_cache rows: it parks its own residency in
+  // the SAME CacheCore slab and stays alive for the whole run, so the row
+  // under test constantly evicts around another session's blocks.
+  std::optional<Session> sibling;
+  if (ec.shared_cache) {
+    auto sib = Session::Builder()
+                   .block_records(4)
+                   .cache_records(64)
+                   .seed(6)
+                   .shared_cache(shared_core)
+                   .build();
+    ASSERT_TRUE(sib.ok()) << ec.name << ": " << sib.status();
+    sibling.emplace(std::move(sib).value());
+    auto parked = sibling->outsource(test::random_records(32, 31));
+    ASSERT_TRUE(parked.ok()) << ec.name;
+  }
   auto data = session.outsource(std::vector<Record>(input.begin(), input.end()));
   ASSERT_TRUE(data.ok()) << ec.name;
   session.trace().set_record_events(true);
