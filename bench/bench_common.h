@@ -51,6 +51,28 @@ inline std::size_t& global_compute_threads() {
   return threads;
 }
 
+/// Durable freshness state file from --state-path ("" = off); params() wires
+/// it into ClientParams::state_path (and hydrates a pre-existing file).
+inline std::string& global_state_path() {
+  static std::string path;
+  return path;
+}
+
+/// Per-frame wire deadline from --io-deadline-ms (0 = off; needs --remote).
+inline std::uint64_t& global_io_deadline_ms() {
+  static std::uint64_t ms = 0;
+  return ms;
+}
+
+/// Armed crash injection from --crash-at=frames:N (0 = off).  Only a
+/// SPAWNED oem-server (bench_recovery's SpawnedServer trials) can honor it;
+/// --remote's in-process server would take the bench down with it, so the
+/// combination exits 2 at parse time.
+inline std::uint64_t& global_crash_at_frames() {
+  static std::uint64_t frames = 0;
+  return frames;
+}
+
 /// The process-wide loopback RemoteServer behind --remote; started on first
 /// use, lives for the whole bench run (its stores persist across Clients).
 inline RemoteServer* global_remote_server(BackendFactory store_factory = nullptr,
@@ -86,6 +108,17 @@ inline ClientParams params(std::size_t B, std::uint64_t M, std::uint64_t seed = 
   p.io_retry_attempts = global_retry_attempts();
   p.pipeline_depth = global_pipeline_depth();
   p.compute_threads = global_compute_threads();
+  p.state_path = global_state_path();
+  if (!p.state_path.empty()) {
+    // Reload a persisted freshness state (restart semantics); a corrupt
+    // file is evidence of tampering and must stop the bench, not be
+    // bootstrapped over.
+    const Status st = hydrate_state(&p);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--state-path: %s\n", st.ToString().c_str());
+      std::exit(2);
+    }
+  }
   return p;
 }
 
@@ -148,6 +181,38 @@ inline BackendFactory backend_from_flags(const Flags& flags,
   // propagation delay per response (the pipelined wire still streams).
   const bool remote = flags.get_bool("remote", false);
   const std::uint64_t remote_rtt_us = flags.get_u64("remote-rtt-us", 0);
+  // Robustness flags (PR 10): durable freshness state, per-frame wire
+  // deadlines, armed crash injection -- with the usual strict validation.
+  global_state_path() = flags.get("state-path", "");
+  global_io_deadline_ms() = flags.get_u64("io-deadline-ms", 0);
+  if (global_io_deadline_ms() > 0 && !remote) {
+    std::fprintf(stderr,
+                 "--io-deadline-ms needs --remote: only the wire has "
+                 "deadlines\n");
+    std::exit(2);
+  }
+  const std::string crash_at = flags.get("crash-at", "");
+  global_crash_at_frames() = 0;
+  if (!crash_at.empty()) {
+    const std::string prefix = "frames:";
+    char* end = nullptr;
+    std::uint64_t n = 0;
+    if (crash_at.compare(0, prefix.size(), prefix) == 0)
+      n = std::strtoull(crash_at.c_str() + prefix.size(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 1) {
+      std::fprintf(stderr, "--crash-at must be frames:N with N >= 1, got '%s'\n",
+                   crash_at.c_str());
+      std::exit(2);
+    }
+    if (remote) {
+      std::fprintf(stderr,
+                   "--crash-at contradicts --remote: the in-process loopback "
+                   "server would take the bench down with it; crash trials "
+                   "spawn the oem-server binary\n");
+      std::exit(2);
+    }
+    global_crash_at_frames() = n;
+  }
   global_pipeline_depth() =
       static_cast<std::size_t>(flags.get_u64("depth", 2));
   if (global_pipeline_depth() < 1) {
@@ -226,13 +291,16 @@ inline BackendFactory backend_from_flags(const Flags& flags,
     const std::string host = server->host();
     const std::uint16_t port = server->port();
     base = nullptr;
-    ShardFactory per_shard = [host, port, faulted](std::size_t block_words,
-                                                   std::size_t shard)
+    const std::uint64_t io_deadline = global_io_deadline_ms();
+    ShardFactory per_shard = [host, port, faulted,
+                              io_deadline](std::size_t block_words,
+                                           std::size_t shard)
         -> std::unique_ptr<StorageBackend> {
       RemoteBackendOptions opts;
       opts.host = host;
       opts.port = port;
       opts.store_id = (static_cast<std::uint64_t>(block_words) << 16) | shard;
+      opts.io_deadline_ms = io_deadline;
       BackendFactory fb = faulted(remote_backend(opts), shard);
       return fb(block_words);
     };

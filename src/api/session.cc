@@ -36,10 +36,11 @@ class ArenaScratchGuard {
 
 // Backend failures surface as exceptions below the algorithm layer (see
 // device.cc); the facade converts them back into Status so callers get a
-// Result instead of a crash.  The IntegrityError catch must come FIRST at
-// every site: it is-a runtime_error, and mapping it to kIo would hand a
-// detected tampering to the retry machinery -- kIntegrity must fail closed,
-// unretried, at the API boundary.
+// Result instead of a crash.  The IntegrityError/TimeoutError catches must
+// come FIRST at every site: both are-a runtime_error, and mapping either to
+// kIo would lose its meaning -- kIntegrity must fail closed, unretried, at
+// the API boundary, and kTimeout must stay distinguishable from a failed
+// disk so callers can tell a dead peer from a bad sector.
 
 // ---------------------------------------------------------------------------
 // Oram handle.
@@ -50,6 +51,8 @@ Result<std::uint64_t> Oram::access(std::uint64_t index) {
     value = impl_->access(index);
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -197,6 +200,22 @@ Session::Builder& Session::Builder::io_retries(unsigned attempts) {
   return *this;
 }
 
+Session::Builder& Session::Builder::state_path(const std::string& p) {
+  params_.state_path = p;
+  return *this;
+}
+
+Session::Builder& Session::Builder::io_deadline_ms(std::uint64_t ms) {
+  io_deadline_ms_ = ms;
+  return *this;
+}
+
+Session::Builder& Session::Builder::wire_auth(Word key) {
+  wire_auth_seen_ = true;
+  wire_auth_key_ = key;
+  return *this;
+}
+
 Result<Session> Session::Builder::build() const {
   ClientParams params = params_;
   if (params.block_records < 1)
@@ -238,18 +257,36 @@ Result<Session> Session::Builder::build() const {
   if (remote_seen_ && (remote_host_.empty() || remote_port_ == 0))
     return Status::InvalidArgument(
         "remote() needs a non-empty host and a non-zero port");
+  if (io_deadline_ms_ != 0 && !remote_seen_)
+    return Status::InvalidArgument(
+        "io_deadline_ms() needs remote() storage: only the wire has "
+        "deadlines");
+  if (wire_auth_seen_ && !remote_seen_)
+    return Status::InvalidArgument(
+        "wire_auth() needs remote() storage: only the wire's control frames "
+        "are authenticated");
   params.io_retry_attempts =
       io_retries_ != 0 ? io_retries_ : (inject_faults_ ? 4u : 1u);
+
+  // Durable freshness: reload a persisted state file before composing the
+  // stack.  Missing = first boot, bootstrap fresh; existing-but-corrupt =
+  // kIntegrity, fail closed here rather than run blind over evidence of
+  // tampering.
+  OEM_RETURN_IF_ERROR(hydrate_state(&params));
 
   // Each built session claims a fresh random namespace of server store ids
   // (low bits carry the shard index; sharded(k) caps at 1024 = 10 bits), so
   // two Sessions pointed at one RemoteServer can never alias -- and
-  // therefore never silently overwrite -- each other's stores.
-  std::uint64_t store_namespace = 0;
-  if (storage_ == Storage::kRemote) {
+  // therefore never silently overwrite -- each other's stores.  A RESTARTED
+  // session (nonzero namespace reloaded from the state file) reuses its
+  // predecessor's namespace instead: it must reach the same server stores
+  // to find the blocks whose versions it remembers.
+  std::uint64_t store_namespace = params.store_namespace;
+  if (storage_ == Storage::kRemote && store_namespace == 0) {
     std::random_device rd;
     store_namespace =
         ((static_cast<std::uint64_t>(rd()) << 32) ^ rd()) & ~std::uint64_t{0x3ff};
+    params.store_namespace = store_namespace;
   }
 
   // Compose the storage stack inside-out (the legal order documented on
@@ -270,7 +307,8 @@ Result<Session> Session::Builder::build() const {
        shards = shards_, inject = inject_faults_, fault = fault_profile_,
        tamper = tamper_, tamper_profile = tamper_profile_,
        encrypted = encrypted_, encrypted_auth = encrypted_auth_,
-       direct = direct_io_,
+       direct = direct_io_, io_deadline = io_deadline_ms_,
+       auth_key = wire_auth_key_,
        key = encryption_key_](std::size_t block_words,
                               std::size_t shard) -> std::unique_ptr<StorageBackend> {
     BackendFactory base;
@@ -299,6 +337,8 @@ Result<Session> Session::Builder::build() const {
         opts.host = host;
         opts.port = port;
         opts.store_id = store_namespace | shard;
+        opts.io_deadline_ms = io_deadline;
+        opts.auth_key = auth_key;
         base = remote_backend(opts);
         break;
       }
@@ -364,6 +404,8 @@ Result<ExtArray> Session::outsource(std::span<const Record> records) {
     return a;
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -376,6 +418,8 @@ Result<std::vector<Record>> Session::retrieve(const ExtArray& a) const {
     return client_->peek(a);
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -394,6 +438,8 @@ Result<std::vector<Word>> Session::raw_block(const ExtArray& a, std::uint64_t i)
     return client_->device().raw(a.device_block(i));
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -409,6 +455,8 @@ Result<SortReport> Session::sort(const ExtArray& a, std::uint64_t seed,
     res = core::oblivious_sort(*client_, a, next_seed(seed), opts);
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -430,6 +478,8 @@ Result<Record> Session::select(const ExtArray& a, std::uint64_t k, std::uint64_t
     res = core::oblivious_select(*client_, a, k, next_seed(seed), opts);
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -449,6 +499,8 @@ Result<std::vector<Record>> Session::quantiles(const ExtArray& a, std::uint64_t 
     res = core::oblivious_quantiles(*client_, a, q, next_seed(seed), opts);
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -498,6 +550,8 @@ Result<CompactReport> Session::compact(const ExtArray& a) {
     return report;
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }
@@ -513,6 +567,8 @@ Result<Oram> Session::open_oram(std::uint64_t n_items, oram::ShuffleKind kind,
     return Oram(std::move(impl));
   } catch (const IntegrityError& e) {
     return Status::Integrity(e.what());
+  } catch (const TimeoutError& e) {
+    return Status::Timeout(e.what());
   } catch (const std::runtime_error& e) {
     return Status::Io(e.what());
   }

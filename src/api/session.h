@@ -210,6 +210,28 @@ class Session {
     /// so budget the worst case at roughly k + a few -- e.g. io_retries(8)
     /// for sharded(4) -- where the single-shard default of 4 suffices.
     Builder& io_retries(unsigned attempts);
+    /// Durable freshness: persist the anti-rollback version table (plus the
+    /// nonce counter, the remote store namespace and a Merkle root over the
+    /// table) to `p`, sealed with a MAC under the session key and a
+    /// monotonic generation counter -- written temp+fsync+rename, so the
+    /// visible file is always a complete snapshot.  build() reloads it: a
+    /// missing file bootstraps fresh (first run), an existing-but-corrupt
+    /// or wrong-key file FAILS CLOSED with kIntegrity, and a restarted
+    /// session keeps detecting rollback staged while it was down.  Persist
+    /// explicitly with Session::persist_freshness(); the session destructor
+    /// also saves best-effort.  See docs/THREAT_MODEL.md.
+    Builder& state_path(const std::string& p);
+    /// Per-frame wire deadline (ms) for remote() storage: a dead or
+    /// byzantine-slow server surfaces as retryable StatusCode::kTimeout
+    /// (connection torn down, next attempt reconnects under io_retries())
+    /// instead of hanging the session.  0 = no deadline (the default).
+    /// Rejected at build() without remote().
+    Builder& io_deadline_ms(std::uint64_t ms);
+    /// Pre-shared key authenticating the HELLO/PING control frames with
+    /// remote() storage (both ends default to key 0, which still fails
+    /// closed on mismatch -- see RemoteBackendOptions::auth_key).  Rejected
+    /// at build() without remote().
+    Builder& wire_auth(Word key);
 
     /// Validates parameters (kInvalidArgument) and opens the backend (kIo).
     Result<Session> build() const;
@@ -241,6 +263,9 @@ class Session {
     SharedCacheHandle shared_cache_;
     bool direct_io_ = false;
     unsigned io_retries_ = 0;  // 0 = auto (4 with faults, else 1)
+    std::uint64_t io_deadline_ms_ = 0;  // 0 = no wire deadline
+    bool wire_auth_seen_ = false;
+    Word wire_auth_key_ = 0;
   };
 
   Session(Session&&) = default;
@@ -315,6 +340,11 @@ class Session {
   /// Health of the storage stack, including a CachingBackend's latched
   /// flush failures: non-ok means dirty data may not have reached the store.
   Status storage_health() const { return client_->device().backend().health(); }
+  /// Seal the current freshness state to the Builder's state_path (bumped
+  /// generation, atomic replace).  kInvalidArgument without a state_path.
+  /// The destructor also persists best-effort; call this when the error
+  /// matters (e.g. before a planned handover).
+  Status persist_freshness() { return client_->persist_state(); }
   /// This session's block-cache counters (hits/misses/write-backs/admission
   /// rejections) -- per-SESSION even on a shared cache, where each session's
   /// view keeps its own tallies.  All-zero when the session has no cache

@@ -196,7 +196,9 @@ FileBackend::FileBackend(std::size_t block_words, FileBackendOptions opts)
     unlink_on_close_ = true;
   } else {
     path_ = opts.path;
-    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+    // keep_file stores are durable across processes: reuse what is on disk.
+    const int trunc = opts.keep_file ? 0 : O_TRUNC;
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | trunc, 0600);
     if (fd_ < 0) {
       init_status_ = Status::Io(errno_string("open", path_));
       return;

@@ -168,7 +168,10 @@ class MemBackend : public StorageBackend {
 struct FileBackendOptions {
   /// Backing file path; empty means a fresh temp file (deleted on destroy).
   std::string path;
-  /// Keep the backing file on destruction (only honored for explicit paths).
+  /// Keep the backing file on destruction -- and, symmetrically, REUSE its
+  /// existing contents on open instead of truncating (only honored for
+  /// explicit paths).  This is the durable-restart store: a session with a
+  /// state_path reopens its blocks across process restarts.
   bool keep_file = false;
 };
 
@@ -287,7 +290,7 @@ class DirectFileBackend : public StorageBackend {
   struct Ring;   // raw io_uring state (mmapped SQ/CQ views); direct_file.cc
   struct Frame;  // one begun batch: bounce buffer + outstanding-CQE count
 
-  Status setup_direct_path(std::size_t queue_depth);
+  Status setup_direct_path(std::size_t queue_depth, bool preserve);
   void teardown_ring();
   /// Builds one frame's SQEs (one per consecutive-id run), submitting as the
   /// queue fills; reaps any ready CQEs opportunistically along the way.

@@ -10,11 +10,30 @@
 
 namespace oem {
 
+Status hydrate_state(ClientParams* p) {
+  if (p->state_path.empty()) return Status::Ok();
+  Result<FreshnessState> loaded =
+      load_freshness(p->state_path, freshness_state_key(p->seed));
+  if (!loaded.ok()) {
+    // Absent = first boot with this path: bootstrap fresh.  Any OTHER
+    // failure is an existing file that does not verify -- fail closed.
+    if (loaded.status().code() == StatusCode::kIo) return Status::Ok();
+    return loaded.status();
+  }
+  p->store_namespace = loaded->store_namespace;
+  p->initial_state =
+      std::make_shared<const FreshnessState>(std::move(loaded).value());
+  return Status::Ok();
+}
+
 Client::Client(const ClientParams& params)
     : B_(params.block_records),
       M_(params.cache_records),
       io_batch_(params.io_batch_blocks),
       compute_model_ns_(params.compute_model_ns_per_block),
+      state_path_(params.state_path),
+      seed_(params.seed),
+      store_namespace_(params.store_namespace),
       dev_(std::make_unique<BlockDevice>(
           kBlockHeaderWords + params.block_records * kWordsPerRecord,
           params.backend, RetryPolicy{params.io_retry_attempts},
@@ -27,6 +46,30 @@ Client::Client(const ClientParams& params)
   assert(M_ >= 2 * B_ && "the paper assumes at least M >= 2B everywhere");
   if (io_batch_ == 0) io_batch_ = std::max<std::uint64_t>(1, m() / 4);
   wire_.resize(dev_->block_words());
+  if (params.initial_state) {
+    // Restart: restore the freshness state a predecessor sealed.  Versions
+    // resume rollback detection, the nonce counter keeps counter-derived
+    // nonces unique across process lifetimes, and the generation continues
+    // monotonically so the next save supersedes the loaded file.
+    dev_->set_versions(params.initial_state->versions);
+    enc_.set_nonce_counter(params.initial_state->nonce_counter);
+    state_generation_ = params.initial_state->generation;
+  }
+}
+
+Client::~Client() {
+  if (!state_path_.empty()) (void)persist_state();
+}
+
+Status Client::persist_state() {
+  if (state_path_.empty())
+    return Status::InvalidArgument("persist_state: no state_path configured");
+  FreshnessState st;
+  st.generation = ++state_generation_;
+  st.nonce_counter = enc_.nonce_counter();
+  st.store_namespace = store_namespace_;
+  st.versions = dev_->versions();
+  return save_freshness(state_path_, st, freshness_state_key(seed_));
 }
 
 ExtArray Client::alloc(std::uint64_t num_records, Init init) {

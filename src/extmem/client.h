@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "extmem/backend.h"
@@ -25,6 +26,7 @@
 #include "extmem/device.h"
 #include "extmem/encryption.h"
 #include "extmem/ext_array.h"
+#include "extmem/freshness.h"
 #include "extmem/record.h"
 #include "rng/random.h"
 #include "util/math.h"
@@ -65,11 +67,35 @@ struct ClientParams {
   /// claims are core-count independent (the bench_server_load precedent).
   /// 0 = off (the default; real workloads pay only their real compute).
   std::uint64_t compute_model_ns_per_block = 0;
+  /// Durable freshness state file (extmem/freshness.h).  Empty = the PR 8
+  /// behavior: the anti-rollback table lives and dies with the process.
+  /// Non-empty: persist_state() (and the destructor, best-effort) seal the
+  /// version table + nonce counter + store namespace here, and a restarted
+  /// client restores them via `initial_state` so rollback staged while it
+  /// was down is still detected.
+  std::string state_path;
+  /// Loaded state to restore (normally filled by hydrate_state below).
+  std::shared_ptr<const FreshnessState> initial_state;
+  /// Remote store-id namespace this session addresses (0 = none/mem).  Kept
+  /// here so it rides into the persisted state: a restarted remote session
+  /// must reach the SAME server stores its predecessor wrote.
+  std::uint64_t store_namespace = 0;
 };
+
+/// Load `p->state_path` (if set and present) into `p->initial_state` and
+/// restore the persisted store namespace.  Missing file (first boot) is a
+/// no-op; an existing-but-corrupt file returns kIntegrity and the caller
+/// must fail closed, not bootstrap over evidence of tampering.  Shared by
+/// Session::Builder::build() and bench_common.
+Status hydrate_state(ClientParams* p);
 
 class Client {
  public:
   explicit Client(const ClientParams& params);
+  /// Best-effort persist of the freshness state when a state_path is
+  /// configured (errors are swallowed: destructors cannot report; callers
+  /// that need the error call persist_state() explicitly first).
+  ~Client();
 
   std::size_t B() const { return B_; }
   std::uint64_t M() const { return M_; }
@@ -151,6 +177,11 @@ class Client {
   const IoStats& stats() const { return dev_->stats(); }
   void reset_stats() { dev_->reset_stats(); }
 
+  /// Seal the current freshness state (version table, nonce counter, store
+  /// namespace, bumped generation) to ClientParams::state_path, atomically.
+  /// kInvalidArgument when no state_path was configured.
+  Status persist_state();
+
  private:
   void serialize(std::span<const Record> in, std::span<Word> out_words) const;
   void deserialize(std::span<const Word> in_words, std::span<Record> out) const;
@@ -176,6 +207,10 @@ class Client {
   std::uint64_t M_;
   std::uint64_t io_batch_;
   std::uint64_t compute_model_ns_;
+  std::string state_path_;
+  std::uint64_t seed_;             // keys the state-file MAC (domain-separated)
+  std::uint64_t store_namespace_;  // persisted so a restart reuses it
+  std::uint64_t state_generation_ = 0;  // last loaded/saved generation
   std::unique_ptr<BlockDevice> dev_;
   std::unique_ptr<ComputePool> pool_;
   Encryptor enc_;

@@ -20,6 +20,7 @@ namespace {
   const std::string what =
       std::string("storage backend ") + op + " failed: " + st.ToString();
   if (st.code() == StatusCode::kIntegrity) throw IntegrityError(what);
+  if (st.code() == StatusCode::kTimeout) throw TimeoutError(what);
   throw std::runtime_error(what);
 }
 

@@ -87,6 +87,11 @@ class BlockDevice {
     if (block >= versions_.size()) versions_.resize(block + 1, 0);
     return ++versions_[block];
   }
+  /// Whole-table access for the durable freshness state (extmem/freshness.h):
+  /// a session with a state_path persists the table on shutdown and restores
+  /// it here on restart, so rollback detection survives the process.
+  const std::vector<std::uint64_t>& versions() const { return versions_; }
+  void set_versions(std::vector<std::uint64_t> v) { versions_ = std::move(v); }
 
   Extent allocate(std::uint64_t nblocks);
   /// Stack-discipline release: frees the extent iff it is at the end of the
@@ -214,8 +219,7 @@ class BlockDevice {
     Status prior = consume_parked_async_error();
     if (!prior.ok()) return prior;
     Status st = fn();
-    for (unsigned a = 1; a < retry_.max_attempts && st.code() == StatusCode::kIo;
-         ++a) {
+    for (unsigned a = 1; a < retry_.max_attempts && IsRetryable(st.code()); ++a) {
       ++retries_;
       st = fn();
     }

@@ -196,7 +196,8 @@ DirectFileBackend::DirectFileBackend(std::size_t block_words, DirectFileOptions 
   } else {
     path_ = opts.path;
   }
-  Status direct = setup_direct_path(std::max<std::size_t>(1, opts.queue_depth));
+  Status direct = setup_direct_path(std::max<std::size_t>(1, opts.queue_depth),
+                                    /*preserve=*/!temp_path && opts.keep_file);
   if (direct.ok()) {
     ring_live_ = true;
     unlink_on_close_ = temp_path || !opts.keep_file;
@@ -235,8 +236,11 @@ DirectFileBackend::~DirectFileBackend() {
 
 void DirectFileBackend::teardown_ring() { ring_.reset(); }
 
-Status DirectFileBackend::setup_direct_path(std::size_t queue_depth) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_DIRECT, 0600);
+Status DirectFileBackend::setup_direct_path(std::size_t queue_depth,
+                                            bool preserve) {
+  // keep_file stores are durable across processes: reuse what is on disk.
+  const int trunc = preserve ? 0 : O_TRUNC;
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | trunc | O_DIRECT, 0600);
   if (fd_ < 0) return Status::Io(errno_string("open(O_DIRECT)", path_));
 
   // Alignment discovery: the kernel reports per-file direct-I/O constraints

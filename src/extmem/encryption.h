@@ -51,6 +51,12 @@ class Encryptor {
   Word mac(std::uint64_t block_index, Word nonce, std::uint64_t version,
            std::span<const Word> ciphertext) const;
 
+  /// Nonce-counter persistence hooks for the durable freshness state: a
+  /// restarted client restores the counter so counter-derived nonces keep
+  /// their never-repeat guarantee across process lifetimes.
+  std::uint64_t nonce_counter() const { return nonce_counter_; }
+  void set_nonce_counter(std::uint64_t c) { nonce_counter_ = c; }
+
  private:
   Word key_;
   Word mac_key_;  // domain-separated from the keystream key

@@ -1,0 +1,161 @@
+#include "extmem/freshness.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "rng/random.h"
+
+namespace oem {
+
+namespace {
+
+// "OEMFRSH1" as a little-endian u64 literal: version the format alongside
+// the wire protocol, not silently.
+constexpr std::uint64_t kMagic = 0x314853524d454f45ULL;
+constexpr std::uint64_t kStateKeyDomain = 0x73746174652d6b79ULL;  // "state-ky"
+constexpr std::uint64_t kStateMacDomain = 0x73746174652d6d63ULL;  // "state-mc"
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  const std::size_t at = buf.size();
+  buf.resize(at + sizeof(v));
+  std::memcpy(buf.data() + at, &v, sizeof(v));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Keyed absorption chain over every u64 preceding the MAC slot -- the same
+/// simulation-grade construction as Encryptor::mac and wire::control_mac.
+std::uint64_t seal_mac(std::uint64_t key, const std::uint8_t* bytes, std::size_t len) {
+  std::uint64_t h = rng::mix64(key ^ kStateMacDomain);
+  for (std::size_t at = 0; at + sizeof(std::uint64_t) <= len; at += sizeof(std::uint64_t))
+    h = rng::mix64(h ^ get_u64(bytes + at));
+  return h;
+}
+
+bool write_all(int fd, const std::uint8_t* p, std::size_t len) {
+  while (len > 0) {
+    const ssize_t put = ::write(fd, p, len);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    len -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t freshness_merkle_root(std::span<const std::uint64_t> versions) {
+  if (versions.empty()) return 0;
+  std::vector<std::uint64_t> level(versions.size());
+  for (std::size_t i = 0; i < versions.size(); ++i) level[i] = rng::mix64(versions[i]);
+  while (level.size() > 1) {
+    std::vector<std::uint64_t> next((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next[i / 2] = rng::mix64(level[i] ^ rng::mix64(level[i + 1]));
+    if (level.size() % 2 != 0) next.back() = level.back();  // odd node promotes
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::uint64_t freshness_state_key(std::uint64_t session_seed) {
+  return rng::mix64(session_seed ^ kStateKeyDomain);
+}
+
+Status save_freshness(const std::string& path, const FreshnessState& state,
+                      std::uint64_t key) {
+  if (path.empty())
+    return Status::InvalidArgument("save_freshness: empty path");
+
+  std::vector<std::uint8_t> buf;
+  put_u64(buf, kMagic);
+  put_u64(buf, state.generation);
+  put_u64(buf, state.nonce_counter);
+  put_u64(buf, state.store_namespace);
+  put_u64(buf, state.versions.size());
+  for (std::uint64_t v : state.versions) put_u64(buf, v);
+  put_u64(buf, freshness_merkle_root(state.versions));
+  put_u64(buf, seal_mac(key, buf.data(), buf.size()));
+
+  // Temp + fsync + rename: the visible file is always a complete, sealed
+  // snapshot -- a crash mid-save leaves the previous generation intact.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0)
+    return Status::Io("save_freshness: open " + tmp + ": " + std::strerror(errno));
+  const bool wrote = write_all(fd, buf.data(), buf.size());
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote || !synced) {
+    ::unlink(tmp.c_str());
+    return Status::Io("save_freshness: write " + tmp + ": " + std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Io("save_freshness: rename to " + path + ": " + std::strerror(err));
+  }
+  return Status::Ok();
+}
+
+Result<FreshnessState> load_freshness(const std::string& path, std::uint64_t key) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT)
+      return Status::Io("load_freshness: " + path + " not found");
+    return Status::Io("load_freshness: open " + path + ": " + std::strerror(errno));
+  }
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Io("load_freshness: read " + path + ": " + std::strerror(errno));
+    }
+    if (got == 0) break;
+    buf.insert(buf.end(), chunk, chunk + got);
+  }
+  ::close(fd);
+
+  // Everything past this point is evidence tampering, not transient I/O: the
+  // file exists but does not parse as a sealed snapshot.  Fail closed.
+  constexpr std::size_t kW = sizeof(std::uint64_t);
+  constexpr std::size_t kFixedWords = 7;  // magic..count, root, mac
+  if (buf.size() < kFixedWords * kW || buf.size() % kW != 0)
+    return Status::Integrity("load_freshness: " + path + ": truncated or misaligned");
+  if (get_u64(buf.data()) != kMagic)
+    return Status::Integrity("load_freshness: " + path + ": bad magic");
+
+  FreshnessState st;
+  st.generation = get_u64(buf.data() + 1 * kW);
+  st.nonce_counter = get_u64(buf.data() + 2 * kW);
+  st.store_namespace = get_u64(buf.data() + 3 * kW);
+  const std::uint64_t count = get_u64(buf.data() + 4 * kW);
+  if (buf.size() != (kFixedWords + count) * kW)
+    return Status::Integrity("load_freshness: " + path + ": length mismatch");
+
+  const std::size_t mac_at = buf.size() - kW;
+  if (seal_mac(key, buf.data(), mac_at) != get_u64(buf.data() + mac_at))
+    return Status::Integrity("load_freshness: " + path + ": MAC check failed");
+
+  st.versions.resize(static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < st.versions.size(); ++i)
+    st.versions[i] = get_u64(buf.data() + (5 + i) * kW);
+  if (freshness_merkle_root(st.versions) != get_u64(buf.data() + mac_at - kW))
+    return Status::Integrity("load_freshness: " + path + ": Merkle root mismatch");
+  return st;
+}
+
+}  // namespace oem

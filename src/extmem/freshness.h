@@ -1,0 +1,71 @@
+// Durable freshness state: persistence of the client-side anti-rollback
+// version table across process restarts.
+//
+// PR 8's fail-closed guarantee (block MACs bound to a client-side version
+// counter) only held while the client process lived: the version table was
+// in-memory, so a restart forgot all freshness state and a malicious server
+// could replay arbitrarily stale blocks to the reborn client.  This module
+// closes that gap.  A session configured with Session::Builder::state_path(p)
+// persists, under a key derived from the session seed:
+//
+//   * the per-block version table (and a Merkle root over it, so a resident
+//     client could keep O(1) state and page table chunks on demand -- the
+//     root is recomputed and checked on load),
+//   * the Encryptor nonce counter (counter-derived nonces must never repeat
+//     across restarts),
+//   * the remote store namespace (a restarted session must reach the SAME
+//     server stores its predecessor wrote),
+//   * a monotonic generation counter, bumped on every save.
+//
+// The file is sealed with a MAC over all of the above and written
+// temp + fsync + rename, so it is atomic against crashes and tamper-evident
+// against a server (or anyone else) that can scribble on the client's disk:
+// a modified, truncated, or wrong-key state file fails closed with
+// kIntegrity.  Rolling the FILE back to an older-but-validly-sealed
+// generation is not detected here (the client holds no other durable state
+// to compare against) -- but it is detected at read time, because the stale
+// versions it carries make every since-rewritten block's MAC check fail.
+// See docs/THREAT_MODEL.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace oem {
+
+struct FreshnessState {
+  std::uint64_t generation = 0;     // bumped on every save; newest wins
+  std::uint64_t nonce_counter = 0;  // Encryptor counter at save time
+  std::uint64_t store_namespace = 0;  // remote store-id namespace (0 = none)
+  std::vector<std::uint64_t> versions;  // per-block expected versions
+};
+
+/// Merkle root over the version table: a mix64 binary tree (leaf = mix64 of
+/// the version, odd node promotes unchanged, empty table = 0).  O(1) resident
+/// summary of the whole table; recomputed and checked against the stored root
+/// on load.
+std::uint64_t freshness_merkle_root(std::span<const std::uint64_t> versions);
+
+/// Key sealing the state file, derived (domain-separated) from the session
+/// seed: the same secret that keys the block MACs, so an attacker who can
+/// forge the state file could already forge blocks.
+std::uint64_t freshness_state_key(std::uint64_t session_seed);
+
+/// Atomically persist `state` to `path`: serialize, MAC under `key`, write a
+/// sibling temp file, fsync, rename over `path`.  A crash at any point leaves
+/// either the old file or the new one, never a torn hybrid.
+Status save_freshness(const std::string& path, const FreshnessState& state,
+                      std::uint64_t key);
+
+/// Load and verify a state file.  A file that does not exist returns kIo
+/// ("not found") so a first-boot caller can distinguish bootstrap from
+/// attack; anything else that is wrong -- bad magic, short file, trailing
+/// garbage, Merkle-root mismatch, MAC mismatch (including wrong key) --
+/// returns kIntegrity and the caller must fail closed.
+Result<FreshnessState> load_freshness(const std::string& path, std::uint64_t key);
+
+}  // namespace oem

@@ -415,11 +415,12 @@ void AsyncBackend::io_loop() {
                : inner_->read_many(op.blocks, std::span<Word>(op.rdest, op.rlen));
   };
   // Bounded retry of transient storage failures (the BlockDevice's retry
-  // policy, installed via set_retry_attempts): only kIo is retryable, and
-  // retries never touch the trace -- it was recorded at submit time.
+  // policy, installed via set_retry_attempts): only IsRetryable codes
+  // (kIo/kTimeout) are re-issued, and retries never touch the trace -- it
+  // was recorded at submit time.
   auto run_with_retry = [&](Op& op, Status st) {
     const unsigned attempts = retry_attempts_.load(std::memory_order_relaxed);
-    for (unsigned a = 1; a < attempts && st.code() == StatusCode::kIo; ++a) {
+    for (unsigned a = 1; a < attempts && IsRetryable(st.code()); ++a) {
       retries_.fetch_add(1, std::memory_order_relaxed);
       st = run_op(op);
     }
@@ -448,7 +449,7 @@ void AsyncBackend::io_loop() {
       return op.begun.ok() ? inner_->complete_oldest() : op.begun;
     };
     Status front = drained_status(inflight.front());
-    if (front.code() != StatusCode::kIo) {
+    if (!IsRetryable(front.code())) {
       finish(front);
       recycle_op(std::move(inflight.front()));
       inflight.pop_front();
@@ -459,8 +460,7 @@ void AsyncBackend::io_loop() {
     for (std::size_t j = 1; j < inflight.size(); ++j)
       drained.push_back(drained_status(inflight[j]));
     for (std::size_t j = 0; j < inflight.size(); ++j) {
-      Status st = drained[j].code() == StatusCode::kIo ? drained[j]
-                                                       : run_op(inflight[j]);
+      Status st = IsRetryable(drained[j].code()) ? drained[j] : run_op(inflight[j]);
       finish(run_with_retry(inflight[j], std::move(st)));
     }
     for (Op& op : inflight) recycle_op(std::move(op));

@@ -89,24 +89,43 @@ Status RemoteBackend::try_connect() const {
   // current num_blocks.  Version policing is bidirectional -- the server
   // rejects a version it does not speak, and we reject a server whose
   // declared version differs from ours (kInvalidArgument: a deployment bug,
-  // not a transient transport failure, so retries don't mask it).
+  // not a transient transport failure, so retries don't mask it).  Since v3
+  // the handshake is authenticated: both directions carry a control_mac tag
+  // bound to a fresh token, so an active attacker can neither spoof version
+  // negotiation nor replay a stale handshake (kIntegrity, fail closed).
+  const std::uint64_t token =
+      rng::mix64(opts_.store_id ^ rng::mix64(++hello_token_));
   std::vector<std::uint8_t> frame;
   put_u64(frame, static_cast<std::uint64_t>(wire::Op::kHello));
   put_u64(frame, wire::kProtocolVersion);
   put_u64(frame, opts_.store_id);
   put_u64(frame, block_words());
+  put_u64(frame, token);
+  put_u64(frame, wire::control_mac(opts_.auth_key, wire::kMacHelloReq,
+                                   {wire::kProtocolVersion, opts_.store_id,
+                                    block_words(), token}));
   std::vector<std::uint8_t> body;
-  if (!wire::write_frame(fd, frame) || !wire::read_frame(fd, &body)) {
+  const wire::IoVerdict sent = wire::write_frame_deadline(fd, frame, opts_.io_deadline_ms);
+  const wire::IoVerdict got =
+      sent == wire::IoVerdict::kOk
+          ? wire::read_frame_deadline(fd, &body, opts_.io_deadline_ms)
+          : sent;
+  if (got != wire::IoVerdict::kOk) {
     ::close(fd);
-    return Status::Io("remote: HELLO round trip to " + opts_.host + ":" + port_str +
-                      " failed");
+    const std::string what =
+        "remote: HELLO round trip to " + opts_.host + ":" + port_str +
+        (got == wire::IoVerdict::kTimeout ? " timed out" : " failed");
+    return got == wire::IoVerdict::kTimeout ? Status::Timeout(what) : Status::Io(what);
   }
   Status st = wire::parse_status(body);
   if (!st.ok()) {
     ::close(fd);
     return st;
   }
-  if (body.size() < 3 * sizeof(std::uint64_t)) {
+  // Version is policed before the v3 frame shape: an older server's
+  // ok-response is legitimately shorter, and the actionable diagnosis is
+  // the version mismatch, not a generic short frame.
+  if (body.size() < 2 * sizeof(std::uint64_t)) {
     ::close(fd);
     return Status::Io("remote: short HELLO response from " + opts_.host + ":" +
                       port_str);
@@ -118,6 +137,21 @@ Status RemoteBackend::try_connect() const {
         "remote: server " + opts_.host + ":" + port_str + " speaks protocol version " +
         std::to_string(server_version) + ", this client speaks " +
         std::to_string(wire::kProtocolVersion));
+  }
+  if (body.size() < 4 * sizeof(std::uint64_t)) {
+    ::close(fd);
+    return Status::Io("remote: short HELLO response from " + opts_.host + ":" +
+                      port_str);
+  }
+  const std::uint64_t server_blocks = get_u64(body.data() + 16);
+  const std::uint64_t server_tag = get_u64(body.data() + 24);
+  if (server_tag != wire::control_mac(opts_.auth_key, wire::kMacHelloResp,
+                                      {token, server_version, server_blocks})) {
+    ::close(fd);
+    return Status::Integrity("remote: HELLO response from " + opts_.host + ":" +
+                             port_str +
+                             " failed authentication (wrong wire auth key, or an "
+                             "active attacker on the connection)");
   }
   if (was_connected_) reconnects_.fetch_add(1, std::memory_order_relaxed);
   was_connected_ = true;
@@ -173,18 +207,31 @@ Status RemoteBackend::send_frame(wire::Op op, std::span<const std::uint64_t> hea
     frame.resize(at + payload.size() * sizeof(Word));
     std::memcpy(frame.data() + at, payload.data(), payload.size() * sizeof(Word));
   }
-  if (!wire::write_frame(fd_, frame)) {
-    kill_connection("send failed");
-    return Status::Io(last_error_);
+  switch (wire::write_frame_deadline(fd_, frame, opts_.io_deadline_ms)) {
+    case wire::IoVerdict::kOk:
+      return Status::Ok();
+    case wire::IoVerdict::kTimeout:
+      kill_connection("send deadline expired");
+      return Status::Timeout(last_error_);
+    case wire::IoVerdict::kClosed:
+    default:
+      kill_connection("send failed");
+      return Status::Io(last_error_);
   }
-  return Status::Ok();
 }
 
 Status RemoteBackend::recv_response(std::span<Word> payload_dest) const {
   std::vector<std::uint8_t> body;
-  if (!wire::read_frame(fd_, &body)) {
-    kill_connection("response lost");
-    return Status::Io(last_error_);
+  switch (wire::read_frame_deadline(fd_, &body, opts_.io_deadline_ms)) {
+    case wire::IoVerdict::kOk:
+      break;
+    case wire::IoVerdict::kTimeout:
+      kill_connection("response deadline expired");
+      return Status::Timeout(last_error_);
+    case wire::IoVerdict::kClosed:
+    default:
+      kill_connection("response lost");
+      return Status::Io(last_error_);
   }
   round_trips_.fetch_add(1, std::memory_order_relaxed);
   Status st = wire::parse_status(body);
@@ -230,12 +277,17 @@ Status RemoteBackend::stat(std::uint64_t* num_blocks, std::uint64_t* block_words
 
 Status RemoteBackend::ping() {
   const std::uint64_t token = ++ping_token_;
-  const std::uint64_t head[1] = {token};
-  Word echo[1] = {0};
+  const std::uint64_t head[2] = {
+      token, wire::control_mac(opts_.auth_key, wire::kMacPingReq, {token})};
+  Word echo[2] = {0, 0};
   OEM_RETURN_IF_ERROR(rpc(wire::Op::kPing, head, {}, echo));
   if (echo[0] != token) {
     kill_connection("PING echo mismatch");
     return Status::Io(last_error_);
+  }
+  if (echo[1] != wire::control_mac(opts_.auth_key, wire::kMacPingResp, {token})) {
+    kill_connection("PING response failed authentication");
+    return Status::Integrity(last_error_);
   }
   return Status::Ok();
 }

@@ -59,6 +59,18 @@ struct RemoteBackendOptions {
   /// disables the backoff entirely.
   std::uint64_t backoff_initial_us = 500;
   std::uint64_t backoff_max_us = 200'000;
+  /// Per-frame send/receive deadline in milliseconds (0 = none: blocking
+  /// I/O, the pre-PR 10 behavior).  One deadline bounds each WHOLE frame, so
+  /// a dead, hung, or byzantine-slow (slow-loris) server surfaces as
+  /// StatusCode::kTimeout -- retryable: the connection is torn down and the
+  /// next attempt reconnects -- instead of hanging the session forever.
+  std::uint64_t io_deadline_ms = 0;
+  /// Pre-shared key authenticating the HELLO/PING control frames (see
+  /// wire::control_mac).  0 -- the default on both ends -- still computes and
+  /// checks the tags, so a key mismatch between deployments fails closed as
+  /// kIntegrity; a nonzero shared secret is what buys active-attacker
+  /// resistance.
+  std::uint64_t auth_key = 0;
 };
 
 class RemoteBackend : public StorageBackend {
@@ -143,6 +155,7 @@ class RemoteBackend : public StorageBackend {
   mutable unsigned connect_failures_ = 0;
   mutable std::chrono::steady_clock::time_point next_connect_at_{};
   std::uint64_t ping_token_ = 0;
+  mutable std::uint64_t hello_token_ = 0;  // fresh per handshake (anti-replay)
   mutable std::atomic<std::uint64_t> round_trips_{0};
   mutable std::atomic<std::uint64_t> reconnects_{0};
   mutable std::atomic<std::uint64_t> backoff_waits_{0};

@@ -1,11 +1,22 @@
 #include "extmem/wire.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "rng/random.h"
+
 namespace oem::wire {
+
+std::uint64_t control_mac(std::uint64_t key, std::uint64_t domain,
+                          std::initializer_list<std::uint64_t> fields) {
+  std::uint64_t h = rng::mix64(key ^ domain);
+  for (std::uint64_t f : fields) h = rng::mix64(h ^ f);
+  return h;
+}
 
 void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
   const std::size_t at = buf.size();
@@ -59,6 +70,73 @@ bool read_frame(int fd, std::vector<std::uint8_t>* body) {
 bool write_frame(int fd, const std::vector<std::uint8_t>& body) {
   const std::uint64_t len = body.size();
   return write_full(fd, &len, sizeof(len)) && write_full(fd, body.data(), body.size());
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Full-buffer transfer against an absolute deadline: poll for readiness
+/// with the REMAINING time, then move what the socket will take without
+/// blocking.  Progress does not extend the deadline -- it bounds the whole
+/// transfer, which is what defeats a byte-at-a-time slow-loris peer.
+template <bool kWrite>
+IoVerdict transfer_deadline(int fd, void* buf, std::size_t len,
+                            Clock::time_point deadline) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    const auto now = Clock::now();
+    if (now >= deadline) return IoVerdict::kTimeout;
+    pollfd pfd{fd, static_cast<short>(kWrite ? POLLOUT : POLLIN), 0};
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left) < 1 ? 1 : static_cast<int>(left));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return IoVerdict::kClosed;
+    }
+    if (pr == 0) continue;  // re-check the clock at the top
+    const ssize_t moved = kWrite
+                              ? ::send(fd, p, len, MSG_NOSIGNAL | MSG_DONTWAIT)
+                              : ::recv(fd, p, len, MSG_DONTWAIT);
+    if (moved < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return IoVerdict::kClosed;
+    }
+    if (!kWrite && moved == 0) return IoVerdict::kClosed;  // peer closed
+    p += moved;
+    len -= static_cast<std::size_t>(moved);
+  }
+  return IoVerdict::kOk;
+}
+
+}  // namespace
+
+IoVerdict read_frame_deadline(int fd, std::vector<std::uint8_t>* body,
+                              std::uint64_t deadline_ms) {
+  if (deadline_ms == 0)
+    return read_frame(fd, body) ? IoVerdict::kOk : IoVerdict::kClosed;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  std::uint64_t len = 0;
+  IoVerdict v = transfer_deadline<false>(fd, &len, sizeof(len), deadline);
+  if (v != IoVerdict::kOk) return v;
+  if (len < sizeof(std::uint64_t) || len > kMaxFrameBytes) return IoVerdict::kClosed;
+  body->resize(static_cast<std::size_t>(len));
+  return transfer_deadline<false>(fd, body->data(), body->size(), deadline);
+}
+
+IoVerdict write_frame_deadline(int fd, const std::vector<std::uint8_t>& body,
+                               std::uint64_t deadline_ms) {
+  if (deadline_ms == 0)
+    return write_frame(fd, body) ? IoVerdict::kOk : IoVerdict::kClosed;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  std::uint64_t len = body.size();
+  IoVerdict v = transfer_deadline<true>(fd, &len, sizeof(len), deadline);
+  if (v != IoVerdict::kOk) return v;
+  // write_full takes const; the template writes through a non-const pointer
+  // only for symmetry with the read path -- the bytes are never mutated.
+  return transfer_deadline<true>(fd, const_cast<std::uint8_t*>(body.data()),
+                                 body.size(), deadline);
 }
 
 std::vector<std::uint8_t> make_response(const Status& st) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "util/status.h"
@@ -21,16 +22,36 @@ namespace oem::wire {
 /// server declares its own in the ok response, so either side can reject a
 /// peer it does not speak with a clean error instead of misparsing frames.
 /// v2 added the server version to the HELLO response and the PING op.
-inline constexpr std::uint64_t kProtocolVersion = 2;
+/// v3 authenticates the control frames: HELLO and PING carry a token + a MAC
+/// under the (pre-shared) wire auth key in both directions, so an active
+/// attacker can no longer spoof version negotiation or keep-alives.
+inline constexpr std::uint64_t kProtocolVersion = 3;
 
 enum class Op : std::uint64_t {
-  kHello = 1,      // version, store id, block words -> server version, num_blocks
+  kHello = 1,      // version, store id, block words, token, mac
+                   //   -> server version, num_blocks, mac
   kReadMany = 2,   // count, ids[count] -> words[count * block_words]
   kWriteMany = 3,  // count, ids[count], words[count * block_words] -> ()
   kResize = 4,     // nblocks -> ()
   kStat = 5,       // () -> num_blocks, block_words
-  kPing = 6,       // token -> token (keep-alive heartbeat; resets idle clock)
+  kPing = 6,       // token, mac -> token, mac (keep-alive; resets idle clock)
 };
+
+/// Domain-separation constants for control_mac: request and response tags of
+/// the two control ops must never be confusable with each other.
+inline constexpr std::uint64_t kMacHelloReq = 0x68656c6c6f2d7271ULL;   // "hello-rq"
+inline constexpr std::uint64_t kMacHelloResp = 0x68656c6c6f2d7273ULL;  // "hello-rs"
+inline constexpr std::uint64_t kMacPingReq = 0x70696e672d726571ULL;    // "ping-req"
+inline constexpr std::uint64_t kMacPingResp = 0x70696e672d727370ULL;   // "ping-rsp"
+
+/// Keyed tag over a control frame's fields (keyed mix64 absorption chain,
+/// the Encryptor::mac idiom -- simulation-grade on purpose; the point is
+/// that both ends bind the SAME fields under a key the wire never carries).
+/// key = 0 is the default on both ends: the tag is still computed and
+/// checked, so mismatched deployments fail closed, but a real deployment
+/// wanting active-attacker resistance must share a secret key.
+std::uint64_t control_mac(std::uint64_t key, std::uint64_t domain,
+                          std::initializer_list<std::uint64_t> fields);
 
 /// Hard cap on a frame's payload; a corrupt length prefix must not turn into
 /// a giant allocation.  256 MiB comfortably exceeds any real batch window.
@@ -52,6 +73,18 @@ bool write_full(int fd, const void* src, std::size_t len);
 /// [8, kMaxFrameBytes] (every valid body starts with a u64 op or status).
 bool read_frame(int fd, std::vector<std::uint8_t>* body);
 bool write_frame(int fd, const std::vector<std::uint8_t>& body);
+
+/// Deadline-aware frame I/O: tri-state, so a dead peer (EOF/reset) and a
+/// merely SILENT one (nothing moved before the deadline) stay distinct --
+/// the caller maps them to kIo and kTimeout respectively.  Implemented as
+/// poll-then-nonblocking-I/O rounds against one absolute deadline covering
+/// the WHOLE frame (a slow-loris peer trickling a byte per poll still
+/// times out).  deadline_ms == 0 means no deadline: plain blocking I/O.
+enum class IoVerdict { kOk, kClosed, kTimeout };
+IoVerdict read_frame_deadline(int fd, std::vector<std::uint8_t>* body,
+                              std::uint64_t deadline_ms);
+IoVerdict write_frame_deadline(int fd, const std::vector<std::uint8_t>& body,
+                               std::uint64_t deadline_ms);
 
 /// Response body: status code word, then the error message (non-ok) or the
 /// op-specific payload (ok).

@@ -214,6 +214,23 @@ Status RemoteServer::peek_store(std::uint64_t store_id, std::uint64_t block,
   return store->backend->read(block, *out);
 }
 
+Status RemoteServer::poke_store(std::uint64_t store_id, std::uint64_t block,
+                                std::span<const Word> in) {
+  Store* store = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(stores_mu_);
+    auto it = stores_.find(store_id);
+    if (it == stores_.end())
+      return Status::InvalidArgument("poke_store: unknown store " +
+                                     std::to_string(store_id));
+    store = it->second.get();
+  }
+  std::lock_guard<std::mutex> lk(store->mu);
+  if (in.size() != store->backend->block_words())
+    return Status::InvalidArgument("poke_store: wrong block size");
+  return store->backend->write(block, in);
+}
+
 Result<RemoteServer::Store*> RemoteServer::bind_store(std::uint64_t store_id,
                                                       std::uint64_t block_words) {
   // A block must fit many times over into one frame, or no batched op could
@@ -446,38 +463,74 @@ bool RemoteServer::flush_out(Conn& c, Clock::time_point now) {
 // Frame dispatch (one connection's frames arrive here strictly in order).
 
 bool RemoteServer::handle_frame(Conn& c, const std::uint8_t* p, std::size_t n) {
-  frames_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t frame_no = frames_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Crash injection: die ABRUPTLY at the top of dispatch -- the frame is
+  // never applied, nothing is flushed, no destructor runs.  _exit, not
+  // abort: the harness asserts the distinct exit code, and no cleanup may
+  // soften the crash into a graceful shutdown.
+  if (opts_.crash_at_frames > 0 && frame_no >= opts_.crash_at_frames)
+    ::_exit(kCrashExitCode);
   const auto op = static_cast<wire::Op>(get_u64(p));
   std::vector<std::uint8_t> resp;
   auto fields = [&](std::size_t k) { return n >= (k + 1) * sizeof(std::uint64_t); };
 
   if (op == wire::Op::kHello) {
-    if (!fields(3)) return false;  // malformed: drop the connection
+    // Version is policed before the v3 frame shape: an older client's HELLO
+    // is legitimately shorter, and it deserves a version diagnosis, not a
+    // dropped connection.
+    if (!fields(2)) return false;  // malformed: drop the connection
     const std::uint64_t version = get_u64(p + 8);
-    const std::uint64_t store_id = get_u64(p + 16);
-    const std::uint64_t block_words = get_u64(p + 24);
     if (version != wire::kProtocolVersion) {
       resp = wire::make_response(Status::InvalidArgument(
           "HELLO: protocol version " + std::to_string(version) + " unsupported, server speaks " +
           std::to_string(wire::kProtocolVersion)));
+      enqueue_response(c, std::move(resp));
+      return true;
+    }
+    if (!fields(5)) return false;  // malformed: drop the connection
+    const std::uint64_t store_id = get_u64(p + 16);
+    const std::uint64_t block_words = get_u64(p + 24);
+    const std::uint64_t token = get_u64(p + 32);
+    const std::uint64_t tag = get_u64(p + 40);
+    if (tag != wire::control_mac(opts_.auth_key, wire::kMacHelloReq,
+                                 {version, store_id, block_words, token})) {
+      resp = wire::make_response(Status::Integrity(
+          "HELLO authentication failed: wrong wire auth key, or a spoofed "
+          "handshake"));
     } else {
       auto bound = bind_store(store_id, block_words);
       if (bound.ok()) {
         c.store = *bound;
         resp = wire::make_response(Status::Ok());
         put_u64(resp, wire::kProtocolVersion);
-        std::lock_guard<std::mutex> lk(c.store->mu);
-        put_u64(resp, c.store->backend->num_blocks());
+        std::uint64_t num_blocks = 0;
+        {
+          std::lock_guard<std::mutex> lk(c.store->mu);
+          num_blocks = c.store->backend->num_blocks();
+        }
+        put_u64(resp, num_blocks);
+        put_u64(resp, wire::control_mac(opts_.auth_key, wire::kMacHelloResp,
+                                        {token, wire::kProtocolVersion, num_blocks}));
       } else {
         resp = wire::make_response(bound.status());
       }
     }
   } else if (op == wire::Op::kPing) {
     // Connection-level keep-alive: legal before HELLO, echoes the token.
-    if (!fields(1)) return false;
-    pings_.fetch_add(1, std::memory_order_relaxed);
-    resp = wire::make_response(Status::Ok());
-    put_u64(resp, get_u64(p + 8));
+    // Authenticated both ways since v3, so an attacker can neither forge
+    // keep-alives (holding an idle eviction open) nor spoof our answer.
+    if (!fields(2)) return false;
+    const std::uint64_t token = get_u64(p + 8);
+    if (get_u64(p + 16) !=
+        wire::control_mac(opts_.auth_key, wire::kMacPingReq, {token})) {
+      resp = wire::make_response(
+          Status::Integrity("PING authentication failed"));
+    } else {
+      pings_.fetch_add(1, std::memory_order_relaxed);
+      resp = wire::make_response(Status::Ok());
+      put_u64(resp, token);
+      put_u64(resp, wire::control_mac(opts_.auth_key, wire::kMacPingResp, {token}));
+    }
   } else if (c.store == nullptr) {
     resp = wire::make_response(Status::InvalidArgument("data op before HELLO"));
   } else if (op == wire::Op::kReadMany || op == wire::Op::kWriteMany) {

@@ -49,6 +49,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,7 +88,23 @@ struct RemoteServerOptions {
   /// Evict a connection idle (no frame received) for longer than this.
   /// PINGs count as activity.  0 = never evict.
   std::uint64_t idle_timeout_ms = 0;
+  /// Crash injection (the chaos harness): after this many frames have been
+  /// RECEIVED server-wide, the process calls _exit(kCrashExitCode) at the
+  /// top of dispatch -- before the frame is applied or flushed, like a
+  /// kernel panic mid-request.  Only meaningful in the stand-alone
+  /// oem-server (--crash-at=frames:N); an in-process server taking the
+  /// whole test down would prove nothing.  0 = off.
+  std::uint64_t crash_at_frames = 0;
+  /// Pre-shared key authenticating HELLO/PING control frames (see
+  /// wire::control_mac).  0 -- the default on both ends -- still computes
+  /// and checks tags, so mismatched deployments fail closed as kIntegrity.
+  std::uint64_t auth_key = 0;
 };
+
+/// Exit code of a --crash-at injected crash: distinct from a clean exit (0)
+/// and from signal death (128+sig as SpawnedServer reports it), so the
+/// recovery harness can assert WHICH way the server died.
+inline constexpr int kCrashExitCode = 42;
 
 class RemoteServer {
  public:
@@ -133,6 +150,12 @@ class RemoteServer {
   /// Test hook: Bob's raw view of one stored block (what the server holds).
   Status peek_store(std::uint64_t store_id, std::uint64_t block,
                     std::vector<Word>* out);
+  /// Test hook: overwrite one stored block -- the MALICIOUS server swapping
+  /// in a stale or fabricated ciphertext behind the client's back (e.g. to
+  /// stage a rollback while the client is down).  The client's block MACs,
+  /// not the server, are what must catch it.
+  Status poke_store(std::uint64_t store_id, std::uint64_t block,
+                    std::span<const Word> in);
 
  private:
   using Clock = std::chrono::steady_clock;

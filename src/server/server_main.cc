@@ -4,7 +4,7 @@
 //              [--file-path=PATH] [--shards=1] [--threads=0]
 //              [--engine=threads|uring] [--direct] [--shared-cache=BLOCKS]
 //              [--response-delay-ns=0] [--service-delay-ns=0]
-//              [--idle-timeout-ms=0]
+//              [--idle-timeout-ms=0] [--crash-at=frames:N] [--auth-key=U64]
 //
 // Prints "oem-server listening on HOST:PORT ..." on stdout once the socket
 // is bound (port 0 picks an ephemeral port; harnesses parse this line), then
@@ -23,6 +23,12 @@
 // RemoteServerOptions: response-delay is propagation (never blocks later
 // frames), service-delay occupies a worker per data frame.
 //
+// --crash-at=frames:N arms crash injection: the process _exits abruptly
+// (exit code 42, no flush, no cleanup) at the top of dispatching the N-th
+// received frame -- the chaos harness's simulated kernel panic.
+// --auth-key=U64 sets the pre-shared wire-auth key checked on HELLO/PING
+// (both ends default to 0; a mismatch fails closed as INTEGRITY).
+//
 // --engine=uring (or its shorthand --direct) serves file stores through
 // DirectFileBackend -- io_uring + O_DIRECT, falling back to the threaded
 // FileBackend path when the kernel or filesystem refuses (the banner's
@@ -35,6 +41,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -68,7 +75,26 @@ int main(int argc, char** argv) {
   const std::uint64_t response_delay_ns = flags.get_u64("response-delay-ns", 0);
   const std::uint64_t service_delay_ns = flags.get_u64("service-delay-ns", 0);
   const std::uint64_t idle_timeout_ms = flags.get_u64("idle-timeout-ms", 0);
+  const std::string crash_at = flags.get("crash-at", "");
+  const std::uint64_t auth_key = flags.get_u64("auth-key", 0);
   flags.validate_or_die();
+  std::uint64_t crash_at_frames = 0;
+  if (!crash_at.empty()) {
+    // Strict "frames:N" with N >= 1: a typo must not silently disarm the
+    // crash the harness thinks it injected.
+    const std::string prefix = "frames:";
+    char* end = nullptr;
+    if (crash_at.compare(0, prefix.size(), prefix) == 0)
+      crash_at_frames =
+          std::strtoull(crash_at.c_str() + prefix.size(), &end, 10);
+    if (end == nullptr || *end != '\0' || crash_at_frames < 1) {
+      std::fprintf(stderr,
+                   "oem-server: --crash-at must be frames:N with N >= 1, got "
+                   "'%s'\n",
+                   crash_at.c_str());
+      return 2;
+    }
+  }
   if (backend != "mem" && backend != "file") {
     std::fprintf(stderr, "oem-server: --backend must be mem or file, got '%s'\n",
                  backend.c_str());
@@ -107,6 +133,8 @@ int main(int argc, char** argv) {
   opts.service_delay_ns = service_delay_ns;
   opts.worker_threads = threads;
   opts.idle_timeout_ms = idle_timeout_ms;
+  opts.crash_at_frames = crash_at_frames;
+  opts.auth_key = auth_key;
   // One process-wide cache core: every store (across every session) attaches
   // a view, so the slab is shared the way one machine's page cache would be.
   // Geometry is adopted from the first store and enforced on the rest.

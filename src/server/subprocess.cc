@@ -124,11 +124,10 @@ SpawnedServer::~SpawnedServer() {
   }
 }
 
-int SpawnedServer::terminate() {
-  if (pid_ <= 0) return -1;
-  ::kill(pid_, SIGTERM);
+ExitResult SpawnedServer::reap(std::uint64_t grace_ms) {
   int st = 0;
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
   for (;;) {
     const pid_t r = ::waitpid(pid_, &st, WNOHANG);
     if (r == pid_) break;
@@ -141,9 +140,35 @@ int SpawnedServer::terminate() {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   pid_ = -1;
-  if (WIFEXITED(st)) return WEXITSTATUS(st);
-  if (WIFSIGNALED(st)) return 128 + WTERMSIG(st);
-  return -1;
+  ExitResult res;
+  if (WIFEXITED(st)) {
+    res.code = WEXITSTATUS(st);
+  } else if (WIFSIGNALED(st)) {
+    res.signaled = true;
+    res.signal = WTERMSIG(st);
+  }
+  return res;
+}
+
+int SpawnedServer::terminate() {
+  if (pid_ <= 0) return -1;
+  ::kill(pid_, SIGTERM);
+  const ExitResult res = reap(10'000);
+  if (res.signaled) return 128 + res.signal;
+  return res.code;
+}
+
+ExitResult SpawnedServer::kill_now() {
+  if (pid_ <= 0) return ExitResult{};
+  ::kill(pid_, SIGKILL);
+  // SIGKILL cannot be caught or delayed; the grace window only covers the
+  // kernel actually tearing the process down.
+  return reap(10'000);
+}
+
+ExitResult SpawnedServer::wait_exit(std::uint64_t timeout_ms) {
+  if (pid_ <= 0) return ExitResult{};
+  return reap(timeout_ms);
 }
 
 }  // namespace oem::server

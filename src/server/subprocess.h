@@ -22,6 +22,15 @@ namespace oem::server {
 /// "./oem-server" when /proc/self/exe is unavailable.
 std::string default_server_binary();
 
+/// How a child died, with signal death reported DISTINCTLY from exit codes
+/// (the old int convention folded both into one number; the recovery
+/// harness must tell SIGKILL from --crash-at's _exit(42) from a clean 0).
+struct ExitResult {
+  int code = -1;        // exit code when !signaled; -1 = no child/unknown
+  int signal = 0;       // terminating signal when signaled
+  bool signaled = false;
+};
+
 class SpawnedServer {
  public:
   /// fork+execs `binary` with --port=0 plus `extra_args`, then blocks until
@@ -43,7 +52,20 @@ class SpawnedServer {
   /// signal, -1 when there is no child.  Idempotent; the destructor calls it.
   int terminate();
 
+  /// SIGKILL the child NOW and reap it -- the abrupt death path of the chaos
+  /// harness (no grace period, no chance to flush).  Idempotent like
+  /// terminate(); returns {signaled=true, signal=SIGKILL} normally.
+  ExitResult kill_now();
+  /// Wait (bounded) for the child to exit ON ITS OWN -- e.g. an armed
+  /// --crash-at tripping -- without sending it any signal first.  Falls back
+  /// to SIGKILL when the deadline passes so a test can never hang on a
+  /// server that refused to die.
+  ExitResult wait_exit(std::uint64_t timeout_ms = 30'000);
+
  private:
+  /// Poll-reap the child for up to `grace_ms`, then SIGKILL + blocking wait.
+  ExitResult reap(std::uint64_t grace_ms);
+
   pid_t pid_ = -1;
   int stdout_fd_ = -1;
   std::string host_;

@@ -30,7 +30,18 @@ enum class StatusCode {
                       // tampering (or rolled back state).  NEVER retried --
                       // retrying through a malicious server only hands it
                       // more chances; callers must fail closed.
+  kTimeout,           // a wire deadline expired (dead or byzantine-slow peer).
+                      // Retryable like kIo: the connection is torn down and
+                      // the next attempt reconnects, so a slow-loris server
+                      // degrades to bounded retries instead of a hang.
 };
+
+/// The codes RetryPolicy (and the AsyncBackend's I/O-thread twin) may re-issue
+/// an op for: transient transport/storage faults.  kIntegrity is deliberately
+/// NOT here -- a failed MAC is proof of tampering, not bad luck.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kIo || code == StatusCode::kTimeout;
+}
 
 inline const char* StatusCodeName(StatusCode code) {
   switch (code) {
@@ -40,6 +51,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCapacityExceeded: return "CAPACITY_EXCEEDED";
     case StatusCode::kIo: return "IO";
     case StatusCode::kIntegrity: return "INTEGRITY";
+    case StatusCode::kTimeout: return "TIMEOUT";
   }
   return "UNKNOWN";
 }
@@ -52,6 +64,15 @@ inline const char* StatusCodeName(StatusCode code) {
 class IntegrityError : public std::runtime_error {
  public:
   explicit IntegrityError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by BlockDevice::backend_fail when a wire deadline expired and the
+/// bounded retries could not recover.  Like IntegrityError it keeps its
+/// identity through the exception seam: the Session facade maps it back to
+/// StatusCode::kTimeout so callers can tell a dead peer from a failed disk.
+class TimeoutError : public std::runtime_error {
+ public:
+  explicit TimeoutError(const std::string& what) : std::runtime_error(what) {}
 };
 
 class Status {
@@ -72,6 +93,9 @@ class Status {
   static Status Io(std::string msg) { return Status(StatusCode::kIo, std::move(msg)); }
   static Status Integrity(std::string msg) {
     return Status(StatusCode::kIntegrity, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
